@@ -1,0 +1,52 @@
+//! Criterion bench — EigenTrust power iteration cost vs network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use socialtrust_reputation::prelude::*;
+use socialtrust_socnet::NodeId;
+
+fn loaded_engine(n: usize, ratings: usize, seed: u64) -> EigenTrust {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let pretrusted: Vec<NodeId> = (0..(n / 20).max(1)).map(NodeId::from).collect();
+    let mut sys = EigenTrust::with_defaults(n, &pretrusted);
+    for _ in 0..ratings {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            let v = if rng.gen::<f64>() < 0.8 { 1.0 } else { -1.0 };
+            sys.record(Rating::new(NodeId::from(a), NodeId::from(b), v));
+        }
+    }
+    sys
+}
+
+fn bench_eigentrust(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigentrust");
+    for &n in &[100usize, 200, 400, 800] {
+        group.bench_with_input(BenchmarkId::new("end_cycle", n), &n, |bench, &n| {
+            bench.iter_batched(
+                || loaded_engine(n, n * 20, 3),
+                |mut sys| {
+                    sys.end_cycle();
+                    std::hint::black_box(sys.reputation(NodeId(0)))
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    // Incremental update: one more cycle on an already-converged engine.
+    group.bench_function("incremental_update_200", |bench| {
+        let mut sys = loaded_engine(200, 4000, 5);
+        sys.end_cycle();
+        bench.iter(|| {
+            sys.record(Rating::new(NodeId(1), NodeId(2), 1.0));
+            sys.end_cycle();
+            std::hint::black_box(sys.reputation(NodeId(2)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eigentrust);
+criterion_main!(benches);

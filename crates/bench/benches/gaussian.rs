@@ -1,0 +1,68 @@
+//! Criterion bench — the Gaussian adjustment pass: detection plus
+//! rescaling of one cycle's ratings through `WithSocialTrust`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use socialtrust_core::prelude::*;
+use socialtrust_core::config::SocialTrustConfig;
+use socialtrust_core::gaussian::{adjustment_weight, combined_weight};
+use socialtrust_core::stats::OmegaStats;
+use socialtrust_reputation::prelude::*;
+use socialtrust_socnet::NodeId;
+
+fn bench_kernels(c: &mut Criterion) {
+    let stats = OmegaStats::new(0.4, 1.0, 0.1);
+    c.bench_function("gaussian/weight_1d", |b| {
+        b.iter(|| std::hint::black_box(adjustment_weight(0.9, &stats, 1.0)));
+    });
+    c.bench_function("gaussian/weight_2d", |b| {
+        b.iter(|| std::hint::black_box(combined_weight(0.9, &stats, 0.05, &stats, 1.0)));
+    });
+}
+
+fn loaded_decorator(
+    n: usize,
+    ratings: usize,
+    seed: u64,
+) -> WithSocialTrust<EigenTrust> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ctx = SharedSocialContext::new(SocialContext::new(n, 20));
+    let mut sys = WithSocialTrust::new(
+        EigenTrust::with_defaults(n, &[NodeId(0)]),
+        ctx,
+        SocialTrustConfig::default(),
+    );
+    for _ in 0..ratings {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            sys.record(Rating::new(NodeId::from(a), NodeId::from(b), 1.0));
+        }
+    }
+    // A flood pair so the detector has something to inspect.
+    for _ in 0..500 {
+        sys.record(Rating::new(NodeId(1), NodeId(2), 1.0).non_transactional());
+    }
+    sys
+}
+
+fn bench_adjustment_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian/adjustment_pass");
+    for &n in &[100usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            bench.iter_batched(
+                || loaded_decorator(n, n * 20, 11),
+                |mut sys| {
+                    sys.end_cycle();
+                    std::hint::black_box(sys.reputations()[0])
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_adjustment_pass);
+criterion_main!(benches);

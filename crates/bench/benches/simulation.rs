@@ -1,0 +1,42 @@
+//! Criterion bench — full simulation cycles, per collusion model and
+//! reputation system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use socialtrust_sim::prelude::*;
+
+fn scenario(model: CollusionModel) -> ScenarioConfig {
+    ScenarioConfig::paper_default()
+        .with_collusion(model)
+        .with_colluder_behavior(0.6)
+        .with_cycles(3) // three simulation cycles per iteration
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation/3_cycles");
+    group.sample_size(10);
+    let cases = [
+        (CollusionModel::None, ReputationKind::EigenTrust, "none_eigentrust"),
+        (CollusionModel::PairWise, ReputationKind::EigenTrust, "pcm_eigentrust"),
+        (CollusionModel::PairWise, ReputationKind::EBay, "pcm_ebay"),
+        (
+            CollusionModel::PairWise,
+            ReputationKind::EigenTrustWithSocialTrust,
+            "pcm_eigentrust_socialtrust",
+        ),
+        (
+            CollusionModel::MultiMutual,
+            ReputationKind::EigenTrustWithSocialTrust,
+            "mmm_eigentrust_socialtrust",
+        ),
+    ];
+    for (model, kind, label) in cases {
+        let s = scenario(model);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &s, |bench, s| {
+            bench.iter(|| std::hint::black_box(run_scenario(s, kind, 42)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

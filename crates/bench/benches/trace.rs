@@ -1,0 +1,57 @@
+//! Criterion bench — synthetic Overstock trace generation and the
+//! Section-3 analysis pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use socialtrust_trace::analysis::TraceAnalysis;
+use socialtrust_trace::crawler::crawl;
+use socialtrust_trace::generator::{generate, TraceConfig};
+use socialtrust_socnet::NodeId;
+
+fn config(users: usize) -> TraceConfig {
+    TraceConfig {
+        users,
+        transactions: users * 20,
+        ..TraceConfig::default()
+    }
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(10);
+    for &users in &[500usize, 2000] {
+        let cfg = config(users);
+        group.bench_with_input(BenchmarkId::new("generate", users), &cfg, |bench, cfg| {
+            bench.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                std::hint::black_box(generate(cfg, &mut rng))
+            });
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let platform = generate(&cfg, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("analysis_full", users),
+            &platform,
+            |bench, p| {
+                bench.iter(|| {
+                    let a = TraceAnalysis::new(p);
+                    std::hint::black_box((
+                        a.business_reputation_correlation(),
+                        a.personal_reputation_correlation(),
+                        a.rating_stats_by_distance(),
+                        a.top3_category_share(),
+                        a.share_transactions_above_similarity(0.3),
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("crawl", users), &platform, |bench, p| {
+            bench.iter(|| std::hint::black_box(crawl(p, NodeId(0), None)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Run every experiment binary's logic in sequence, writing all JSON
+//! results into `experiments_out/`.
+//!
+//! This drives the same code as the individual `figXX_*` / `table1_*`
+//! binaries by spawning them (so each binary stays the source of truth),
+//! and prints a final index of what was produced.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig01_trace_reputation",
+    "fig02_personal_network",
+    "fig03_social_distance",
+    "fig04_interest_similarity",
+    "fig05_gaussian_1d",
+    "fig06_gaussian_2d",
+    "fig07_no_collusion",
+    "fig08_pcm_b06",
+    "fig09_pcm_b02",
+    "fig10_pcm_compromised",
+    "fig11_mcm_b06",
+    "fig12_mcm_b02",
+    "fig13_mmm_b06",
+    "fig14_mmm_b02",
+    "fig15_mcm_mmm_compromised",
+    "fig16_falsified_pcm",
+    "fig17_falsified_mcm",
+    "fig18_falsified_mmm",
+    "fig19_convergence",
+    "fig20_distance_sweep",
+    "table1_request_percentage",
+    "ablation_components",
+    "ablation_thresholds",
+    "ablation_baselines",
+    "ablation_baseline_systems",
+    "ext_negative_campaign",
+    "ext_oscillation",
+    "ext_community",
+    "ext_manager_overhead",
+    "ext_whitewash",
+    "ext_churn",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n================ {name} ================");
+        let status = Command::new(bin_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        if !status.success() {
+            eprintln!("!! {name} exited with {status}");
+            failures.push(*name);
+        }
+    }
+    println!("\n================ index ================");
+    println!(
+        "{} experiments completed, {} failed{}",
+        EXPERIMENTS.len() - failures.len(),
+        failures.len(),
+        if failures.is_empty() {
+            String::new()
+        } else {
+            format!(": {failures:?}")
+        }
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

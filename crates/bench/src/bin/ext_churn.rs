@@ -1,0 +1,102 @@
+//! Extension — population churn (membership turnover).
+//!
+//! P2P populations turn over constantly; every cycle a fraction of normal
+//! nodes departs and is replaced by fresh identities the reputation engine
+//! knows nothing about. Churn stresses reputation bootstrap: newcomers
+//! start at zero and must re-earn standing, so aggregate normal-node
+//! reputation sags as churn rises — while the (stable) colluders' relative
+//! position improves for free under an unprotected system.
+//!
+//! The claim under test: SocialTrust keeps *suppressing collusion* at
+//! every churn level — its detection keys on per-interval behavior, not
+//! long-lived identity state, so turnover does not starve it of signal.
+//! (Note the measured finding: at heavy churn the *mean-vs-mean*
+//! comparison degrades for any defense, because the stable colluders are
+//! the only long-lived identities while honest standing keeps being wiped
+//! — reputation systems inherently reward longevity.)
+
+use serde::Serialize;
+use socialtrust_bench as bench;
+use socialtrust_sim::prelude::*;
+
+#[derive(Serialize)]
+struct Row {
+    churn_rate: f64,
+    system: String,
+    colluder_mean: f64,
+    normal_mean: f64,
+    pct_requests_to_colluders: f64,
+}
+
+#[derive(Serialize)]
+struct Result {
+    rows: Vec<Row>,
+}
+
+fn main() {
+    println!("Extension — population churn (PCM, B = 0.6)");
+    println!(
+        "{:>7} {:<28} {:>15} {:>13} {:>8}",
+        "churn", "system", "colluder mean", "normal mean", "req %"
+    );
+    let mut rows = Vec::new();
+    for &churn in &[0.0, 0.05, 0.2] {
+        for kind in [
+            ReputationKind::EigenTrust,
+            ReputationKind::EigenTrustWithSocialTrust,
+        ] {
+            let scenario = bench::scenario_base()
+                .with_collusion(CollusionModel::PairWise)
+                .with_colluder_behavior(0.6)
+                .with_churn(churn);
+            let cell = bench::run_cell(&scenario, kind);
+            println!(
+                "{:>6.0}% {:<28} {:>15.5} {:>13.5} {:>7.1}%",
+                churn * 100.0,
+                cell.system,
+                cell.colluder_mean,
+                cell.normal_mean,
+                cell.pct_requests_to_colluders.0
+            );
+            rows.push(Row {
+                churn_rate: churn,
+                system: cell.system.clone(),
+                colluder_mean: cell.colluder_mean,
+                normal_mean: cell.normal_mean,
+                pct_requests_to_colluders: cell.pct_requests_to_colluders.0,
+            });
+        }
+    }
+    // Relative suppression per churn level: ST colluder mean vs the
+    // unprotected colluder mean at the same churn.
+    let mut holds = true;
+    println!();
+    for &churn in &[0.0, 0.05, 0.2] {
+        let plain = rows
+            .iter()
+            .find(|r| r.churn_rate == churn && !r.system.contains("SocialTrust"))
+            .expect("row");
+        let st = rows
+            .iter()
+            .find(|r| r.churn_rate == churn && r.system.contains("SocialTrust"))
+            .expect("row");
+        let factor = plain.colluder_mean / st.colluder_mean.max(1e-12);
+        println!(
+            "churn {:>3.0}%: suppression factor {:.1}x (requests {:.1}% → {:.1}%)",
+            churn * 100.0,
+            factor,
+            plain.pct_requests_to_colluders,
+            st.pct_requests_to_colluders
+        );
+        holds &= factor > 3.0;
+    }
+    println!(
+        "SocialTrust keeps suppressing collusion (>3x) at every churn level: {}",
+        if holds { "HOLDS" } else { "FAILS" }
+    );
+    println!(
+        "(at heavy churn the honest *mean* sags below the stable colluders for any\n\
+         defense — newcomers hold no standing; see EXPERIMENTS.md)"
+    );
+    bench::write_json("ext_churn", &Result { rows });
+}

@@ -1,0 +1,80 @@
+//! Figure 6 — the two-dimensional (closeness × similarity) adjustment
+//! surface of Eq. (9).
+//!
+//! The corner regions — (Hc,Hs), (Hc,Ls), (Lc,Hs), (Lc,Ls) — are damped
+//! most strongly; the centre (normal closeness, normal similarity) passes
+//! through at weight α.
+
+use serde::Serialize;
+use socialtrust_bench as bench;
+use socialtrust_core::gaussian::combined_weight;
+use socialtrust_core::stats::OmegaStats;
+
+#[derive(Serialize)]
+struct Fig6Result {
+    closeness_stats: OmegaStats,
+    similarity_stats: OmegaStats,
+    /// Row-major grid of weights, `grid[i][j]` at (Ωc_i, Ωs_j).
+    grid: Vec<Vec<f64>>,
+    omega_c_axis: Vec<f64>,
+    omega_s_axis: Vec<f64>,
+}
+
+fn main() {
+    let sc = OmegaStats::new(0.3, 1.0, 0.0);
+    let ss = OmegaStats::overstock_similarity();
+    println!("Figure 6 — 2-D adjustment surface (Ω̄c = {:.2}, Ω̄s = {:.2})", sc.mean, ss.mean);
+
+    let omega_c_axis: Vec<f64> = (0..=10).map(|i| i as f64 * 0.1).collect();
+    let omega_s_axis: Vec<f64> = (0..=10).map(|i| i as f64 * 0.1).collect();
+    let grid: Vec<Vec<f64>> = omega_c_axis
+        .iter()
+        .map(|&oc| {
+            omega_s_axis
+                .iter()
+                .map(|&os| combined_weight(oc, &sc, os, &ss, 1.0))
+                .collect()
+        })
+        .collect();
+
+    print!("{:>6}", "Ωc\\Ωs");
+    for os in &omega_s_axis {
+        print!("{os:>7.1}");
+    }
+    println!();
+    for (i, row) in grid.iter().enumerate() {
+        print!("{:>6.1}", omega_c_axis[i]);
+        for w in row {
+            print!("{w:>7.3}");
+        }
+        println!();
+    }
+
+    // Corner vs centre check (Figure 6's claim).
+    let centre = combined_weight(sc.mean, &sc, ss.mean, &ss, 1.0);
+    let corners = [
+        combined_weight(1.0, &sc, 1.0, &ss, 1.0),
+        combined_weight(1.0, &sc, 0.0, &ss, 1.0),
+        combined_weight(0.0, &sc, 1.0, &ss, 1.0),
+        combined_weight(0.0, &sc, 0.0, &ss, 1.0),
+    ];
+    println!("\ncentre = {centre:.3}; corners = {corners:?}");
+    println!(
+        "corner-damping check: {}",
+        if corners.iter().all(|&c| c < centre) {
+            "HOLDS"
+        } else {
+            "FAILS"
+        }
+    );
+    bench::write_json(
+        "fig06_gaussian_2d",
+        &Fig6Result {
+            closeness_stats: sc,
+            similarity_stats: ss,
+            grid,
+            omega_c_axis,
+            omega_s_axis,
+        },
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 7 — EigenTrust and eBay **without** colluders.
+//!
+//! Malicious nodes (the would-be colluder block) serve authentically with
+//! `B` drawn per node from [0.2, 0.6] and do not collude. The paper shows:
+//!
+//! * (a) EigenTrust: malicious reputations near zero; pre-trusted and a
+//!   small number of normal nodes comparatively high;
+//! * (b) eBay: reputations distributed relatively evenly, malicious nodes
+//!   lower;
+//! * (c) the percent of services provided by malicious nodes is much lower
+//!   under EigenTrust than under eBay.
+
+use serde::Serialize;
+use socialtrust_bench as bench;
+use socialtrust_sim::prelude::*;
+
+#[derive(Serialize)]
+struct Fig7Result {
+    eigentrust: bench::SystemSummary,
+    ebay: bench::SystemSummary,
+    pct_services_malicious_eigentrust: f64,
+    pct_services_malicious_ebay: f64,
+}
+
+fn main() {
+    let scenario = bench::scenario_base()
+        .with_collusion(CollusionModel::None)
+        .with_colluder_behavior_range((0.2, 0.6));
+
+    println!("Figure 7 — EigenTrust and eBay without colluders (malicious B ∈ [0.2, 0.6])");
+    let et = bench::run_cell(&scenario, ReputationKind::EigenTrust);
+    bench::print_distribution("Fig 7(a)", &scenario, &et);
+    let ebay = bench::run_cell(&scenario, ReputationKind::EBay);
+    bench::print_distribution("Fig 7(b)", &scenario, &ebay);
+
+    println!("\nFig 7(c) — percent of services provided by malicious nodes:");
+    println!("  EigenTrust: {:.2}%", et.pct_requests_to_colluders.0);
+    println!("  eBay:       {:.2}%", ebay.pct_requests_to_colluders.0);
+    // The paper reports EigenTrust ≈ 3% vs eBay ≈ 14% — its eBay fed
+    // malicious nodes far longer. Under our selection model the weekly
+    // service record differentiates malicious nodes after one cycle, so
+    // both systems starve them almost immediately; the paper's gap
+    // compresses to noise. We check the part of the claim that is about
+    // the defense (malicious nodes get little traffic in both systems) and
+    // report the ordering for the record.
+    let both_low = et.pct_requests_to_colluders.0 < 5.0 && ebay.pct_requests_to_colluders.0 < 15.0;
+    println!(
+        "malicious nodes starved of traffic in both systems (<5% / <15%): {}",
+        if both_low { "HOLDS" } else { "FAILS" }
+    );
+    println!(
+        "paper's EigenTrust≪eBay ordering: {} (see EXPERIMENTS.md — the gap \
+         compresses because our eBay differentiates within one cycle)",
+        if et.pct_requests_to_colluders.0 < ebay.pct_requests_to_colluders.0 {
+            "HOLDS"
+        } else {
+            "DEVIATES"
+        }
+    );
+    bench::write_json(
+        "fig07_no_collusion",
+        &Fig7Result {
+            pct_services_malicious_eigentrust: et.pct_requests_to_colluders.0,
+            pct_services_malicious_ebay: ebay.pct_requests_to_colluders.0,
+            eigentrust: et,
+            ebay,
+        },
+    );
+}

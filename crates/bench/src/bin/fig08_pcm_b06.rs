@@ -1,0 +1,27 @@
+//! Figure 8 — reputation distribution in PairWise with B=0.6.
+//!
+//! PCM with B=0.6: colluders overtake everyone under plain EigenTrust and eBay;
+//! SocialTrust collapses their reputations (panels (c)/(d)).
+//!
+//! Panels: (a) EigenTrust, (b) eBay, (c) EigenTrust+SocialTrust,
+//! (d) eBay+SocialTrust — same layout as the paper.
+
+use serde::Serialize;
+use socialtrust_bench as bench;
+use socialtrust_sim::prelude::*;
+
+#[derive(Serialize)]
+struct Result {
+    panels: Vec<bench::SystemSummary>,
+}
+
+fn main() {
+    let scenario = bench::scenario_base()
+        .with_collusion(CollusionModel::PairWise)
+        .with_colluder_behavior(0.6);
+    println!("Figure 8 — PairWise, B = 0.6 (pretrusted ids 0-8, colluders 9-38)");
+    let panels = bench::four_panel("Figure 8", &scenario);
+    bench::print_verdict(&panels[0], &panels[2]); // EigenTrust vs +SocialTrust
+    bench::print_verdict(&panels[1], &panels[3]); // eBay vs +SocialTrust
+    bench::write_json("fig08_pcm_b06", &Result { panels });
+}

@@ -1,0 +1,27 @@
+//! Figure 9 — reputation distribution in PairWise with B=0.2.
+//!
+//! PCM with B=0.2: EigenTrust already suppresses low-QoS colluders on its own;
+//! eBay leaves them flat; SocialTrust drives both to ~0.
+//!
+//! Panels: (a) EigenTrust, (b) eBay, (c) EigenTrust+SocialTrust,
+//! (d) eBay+SocialTrust — same layout as the paper.
+
+use serde::Serialize;
+use socialtrust_bench as bench;
+use socialtrust_sim::prelude::*;
+
+#[derive(Serialize)]
+struct Result {
+    panels: Vec<bench::SystemSummary>,
+}
+
+fn main() {
+    let scenario = bench::scenario_base()
+        .with_collusion(CollusionModel::PairWise)
+        .with_colluder_behavior(0.2);
+    println!("Figure 9 — PairWise, B = 0.2 (pretrusted ids 0-8, colluders 9-38)");
+    let panels = bench::four_panel("Figure 9", &scenario);
+    bench::print_verdict(&panels[0], &panels[2]); // EigenTrust vs +SocialTrust
+    bench::print_verdict(&panels[1], &panels[3]); // eBay vs +SocialTrust
+    bench::write_json("fig09_pcm_b02", &Result { panels });
+}

@@ -1,0 +1,55 @@
+//! Figure 10 — PCM with **compromised pre-trusted nodes**, B = 0.2.
+//!
+//! Seven of the nine pre-trusted nodes each pick a colluder and collude
+//! with it pair-wise. The paper shows that plain EigenTrust is subverted —
+//! compromised pre-trusted nodes boost the colluders (and themselves) —
+//! while EigenTrust+SocialTrust drives both the colluders and the
+//! compromised pre-trusted nodes to near-zero reputation.
+
+use serde::Serialize;
+use socialtrust_bench as bench;
+use socialtrust_sim::prelude::*;
+
+#[derive(Serialize)]
+struct Result {
+    eigentrust: bench::SystemSummary,
+    eigentrust_socialtrust: bench::SystemSummary,
+    baseline_eigentrust_no_compromise: bench::SystemSummary,
+}
+
+fn main() {
+    let scenario = bench::scenario_base()
+        .with_collusion(CollusionModel::PairWise)
+        .with_colluder_behavior(0.2)
+        .with_compromised_pretrusted(7);
+    println!("Figure 10 — PCM + 7 compromised pre-trusted nodes, B = 0.2");
+
+    let et = bench::run_cell(&scenario, ReputationKind::EigenTrust);
+    bench::print_distribution("Fig 10(a) EigenTrust", &scenario, &et);
+    let st = bench::run_cell(&scenario, ReputationKind::EigenTrustWithSocialTrust);
+    bench::print_distribution("Fig 10(b) EigenTrust+SocialTrust", &scenario, &st);
+
+    // Contrast against PCM B=0.2 *without* compromised pre-trusted nodes
+    // (Figure 9(a)): compromising pre-trusted nodes must visibly help the
+    // colluders under plain EigenTrust.
+    let clean = bench::scenario_base()
+        .with_collusion(CollusionModel::PairWise)
+        .with_colluder_behavior(0.2);
+    let base = bench::run_cell(&clean, ReputationKind::EigenTrust);
+
+    println!(
+        "\ncolluder mean: clean EigenTrust {:.5} → compromised {:.5} (boost from compromised pretrusted: {})",
+        base.colluder_mean,
+        et.colluder_mean,
+        if et.colluder_mean > base.colluder_mean { "HOLDS" } else { "FAILS" },
+    );
+    bench::print_verdict(&et, &st);
+    bench::write_json(
+        "fig10_pcm_compromised",
+        &Result {
+            eigentrust: et,
+            eigentrust_socialtrust: st,
+            baseline_eigentrust_no_compromise: base,
+        },
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 11 — reputation distribution in MultiNode with B=0.6.
+//!
+//! MCM with B=0.6: boosted nodes climb while boosting nodes stay low;
+//! SocialTrust reduces both.
+//!
+//! Panels: (a) EigenTrust, (b) eBay, (c) EigenTrust+SocialTrust,
+//! (d) eBay+SocialTrust — same layout as the paper.
+
+use serde::Serialize;
+use socialtrust_bench as bench;
+use socialtrust_sim::prelude::*;
+
+#[derive(Serialize)]
+struct Result {
+    panels: Vec<bench::SystemSummary>,
+}
+
+fn main() {
+    let scenario = bench::scenario_base()
+        .with_collusion(CollusionModel::MultiNode)
+        .with_colluder_behavior(0.6);
+    println!("Figure 11 — MultiNode, B = 0.6 (pretrusted ids 0-8, colluders 9-38)");
+    let panels = bench::four_panel("Figure 11", &scenario);
+    bench::print_verdict(&panels[0], &panels[2]); // EigenTrust vs +SocialTrust
+    bench::print_verdict(&panels[1], &panels[3]); // eBay vs +SocialTrust
+    bench::write_json("fig11_mcm_b06", &Result { panels });
+}

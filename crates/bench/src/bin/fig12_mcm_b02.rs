@@ -1,0 +1,27 @@
+//! Figure 12 — reputation distribution in MultiNode with B=0.2.
+//!
+//! MCM with B=0.2: EigenTrust resists (boosters carry no weight); in eBay the
+//! boosted nodes still accumulate; SocialTrust suppresses them further.
+//!
+//! Panels: (a) EigenTrust, (b) eBay, (c) EigenTrust+SocialTrust,
+//! (d) eBay+SocialTrust — same layout as the paper.
+
+use serde::Serialize;
+use socialtrust_bench as bench;
+use socialtrust_sim::prelude::*;
+
+#[derive(Serialize)]
+struct Result {
+    panels: Vec<bench::SystemSummary>,
+}
+
+fn main() {
+    let scenario = bench::scenario_base()
+        .with_collusion(CollusionModel::MultiNode)
+        .with_colluder_behavior(0.2);
+    println!("Figure 12 — MultiNode, B = 0.2 (pretrusted ids 0-8, colluders 9-38)");
+    let panels = bench::four_panel("Figure 12", &scenario);
+    bench::print_verdict(&panels[0], &panels[2]); // EigenTrust vs +SocialTrust
+    bench::print_verdict(&panels[1], &panels[3]); // eBay vs +SocialTrust
+    bench::write_json("fig12_mcm_b02", &Result { panels });
+}

@@ -1,0 +1,27 @@
+//! Figure 13 — reputation distribution in MultiMutual with B=0.6.
+//!
+//! MMM with B=0.6: mutual boosting lifts boosters and boosted alike — the
+//! hardest case for the baselines; SocialTrust collapses the cluster.
+//!
+//! Panels: (a) EigenTrust, (b) eBay, (c) EigenTrust+SocialTrust,
+//! (d) eBay+SocialTrust — same layout as the paper.
+
+use serde::Serialize;
+use socialtrust_bench as bench;
+use socialtrust_sim::prelude::*;
+
+#[derive(Serialize)]
+struct Result {
+    panels: Vec<bench::SystemSummary>,
+}
+
+fn main() {
+    let scenario = bench::scenario_base()
+        .with_collusion(CollusionModel::MultiMutual)
+        .with_colluder_behavior(0.6);
+    println!("Figure 13 — MultiMutual, B = 0.6 (pretrusted ids 0-8, colluders 9-38)");
+    let panels = bench::four_panel("Figure 13", &scenario);
+    bench::print_verdict(&panels[0], &panels[2]); // EigenTrust vs +SocialTrust
+    bench::print_verdict(&panels[1], &panels[3]); // eBay vs +SocialTrust
+    bench::write_json("fig13_mmm_b06", &Result { panels });
+}

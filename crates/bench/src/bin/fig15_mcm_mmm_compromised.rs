@@ -1,0 +1,54 @@
+//! Figure 15 — MCM and MMM with **compromised pre-trusted nodes**, B = 0.2.
+//!
+//! Panels: (a) EigenTrust in MCM, (b) EigenTrust in MMM,
+//! (c) EigenTrust+SocialTrust in MCM, (d) EigenTrust+SocialTrust in MMM.
+//! Compromised pre-trusted nodes amplify both collusion models under plain
+//! EigenTrust; SocialTrust suppresses colluders and the compromised
+//! pre-trusted nodes alike.
+
+use serde::Serialize;
+use socialtrust_bench as bench;
+use socialtrust_sim::prelude::*;
+
+#[derive(Serialize)]
+struct Result {
+    mcm_eigentrust: bench::SystemSummary,
+    mmm_eigentrust: bench::SystemSummary,
+    mcm_socialtrust: bench::SystemSummary,
+    mmm_socialtrust: bench::SystemSummary,
+}
+
+fn main() {
+    let mcm = bench::scenario_base()
+        .with_collusion(CollusionModel::MultiNode)
+        .with_colluder_behavior(0.2)
+        .with_compromised_pretrusted(7);
+    let mmm = bench::scenario_base()
+        .with_collusion(CollusionModel::MultiMutual)
+        .with_colluder_behavior(0.2)
+        .with_compromised_pretrusted(7);
+
+    println!("Figure 15 — MCM & MMM + 7 compromised pre-trusted nodes, B = 0.2");
+    let a = bench::run_cell(&mcm, ReputationKind::EigenTrust);
+    bench::print_distribution("Fig 15(a) EigenTrust, MCM", &mcm, &a);
+    let b = bench::run_cell(&mmm, ReputationKind::EigenTrust);
+    bench::print_distribution("Fig 15(b) EigenTrust, MMM", &mmm, &b);
+    let c = bench::run_cell(&mcm, ReputationKind::EigenTrustWithSocialTrust);
+    bench::print_distribution("Fig 15(c) EigenTrust+SocialTrust, MCM", &mcm, &c);
+    let d = bench::run_cell(&mmm, ReputationKind::EigenTrustWithSocialTrust);
+    bench::print_distribution("Fig 15(d) EigenTrust+SocialTrust, MMM", &mmm, &d);
+
+    println!("\nMCM:");
+    bench::print_verdict(&a, &c);
+    println!("MMM:");
+    bench::print_verdict(&b, &d);
+    bench::write_json(
+        "fig15_mcm_mmm_compromised",
+        &Result {
+            mcm_eigentrust: a,
+            mmm_eigentrust: b,
+            mcm_socialtrust: c,
+            mmm_socialtrust: d,
+        },
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 20 — average colluder reputation vs the social distance between
+//! colluding pairs (1–3 hops), under EigenTrust+SocialTrust.
+//!
+//! The paper's point: even when colluders engineer a *moderate* social
+//! distance (2 hops) to dodge the closeness extremes, their reputations
+//! stay well below normal nodes — the filter also uses interest similarity
+//! and interaction behavior, which they cannot normalize away.
+
+use serde::Serialize;
+use socialtrust_bench as bench;
+use socialtrust_sim::prelude::*;
+
+#[derive(Serialize)]
+struct Row {
+    model: String,
+    distance: u32,
+    colluder_mean: f64,
+    normal_mean: f64,
+}
+
+#[derive(Serialize)]
+struct Result {
+    rows: Vec<Row>,
+}
+
+fn main() {
+    println!("Figure 20 — average reputation vs colluder social distance (EigenTrust+SocialTrust)");
+    let models = [
+        CollusionModel::PairWise,
+        CollusionModel::MultiNode,
+        CollusionModel::MultiMutual,
+    ];
+    let mut rows = Vec::new();
+    println!(
+        "{:>6} {:>10} {:>18} {:>16}",
+        "model", "distance", "colluder mean", "normal mean"
+    );
+    for &model in &models {
+        for distance in 1..=3u32 {
+            let scenario = bench::scenario_base()
+                .with_collusion(model)
+                .with_colluder_behavior(0.6)
+                .with_colluder_distance(distance);
+            let cell = bench::run_cell(&scenario, ReputationKind::EigenTrustWithSocialTrust);
+            println!(
+                "{:>6} {:>10} {:>18.5} {:>16.5}",
+                model.to_string(),
+                distance,
+                cell.colluder_mean,
+                cell.normal_mean
+            );
+            rows.push(Row {
+                model: model.to_string(),
+                distance,
+                colluder_mean: cell.colluder_mean,
+                normal_mean: cell.normal_mean,
+            });
+        }
+    }
+    let holds = rows.iter().all(|r| r.colluder_mean < r.normal_mean);
+    println!(
+        "\npaper's claim (colluders stay below normal nodes at every distance, incl. moderate d=2): {}",
+        if holds { "HOLDS" } else { "FAILS" }
+    );
+    bench::write_json("fig20_distance_sweep", &Result { rows });
+}

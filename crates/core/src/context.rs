@@ -1,0 +1,235 @@
+//! The social context: everything SocialTrust knows about the social side
+//! of the network, bundled for concurrent access.
+//!
+//! [`SocialContext`] owns the social graph, the interaction tracker and the
+//! per-node interest profiles; it answers the two questions the detector
+//! and the Gaussian filter ask: *how close are i and j* (`Ωc`) and *how
+//! similar are their interests* (`Ωs`).
+//!
+//! [`SharedSocialContext`] is an `Arc<RwLock<…>>` handle so that the
+//! simulator (which mutates interactions and request profiles during a
+//! cycle) and the [`crate::decorator::WithSocialTrust`] layer (which reads
+//! them at the end of the cycle) can share one context. `parking_lot`'s
+//! lock is used per the workspace's concurrency guidelines.
+
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use socialtrust_socnet::closeness::{ClosenessConfig, ClosenessModel};
+use socialtrust_socnet::graph::SocialGraph;
+use socialtrust_socnet::interaction::InteractionTracker;
+use socialtrust_socnet::interest::{
+    similarity, weighted_similarity, InterestId, InterestProfile, InterestSet,
+};
+use socialtrust_socnet::NodeId;
+
+/// The bundled social state of the network.
+#[derive(Debug, Clone)]
+pub struct SocialContext {
+    graph: SocialGraph,
+    interactions: InteractionTracker,
+    profiles: Vec<InterestProfile>,
+    total_interests: u16,
+}
+
+impl SocialContext {
+    /// An empty context over `n` nodes and `total_interests` interest
+    /// categories. Nodes start with no relationships, no interactions and
+    /// empty interest profiles.
+    pub fn new(n: usize, total_interests: u16) -> Self {
+        SocialContext {
+            graph: SocialGraph::new(n),
+            interactions: InteractionTracker::new(n),
+            profiles: vec![InterestProfile::new(InterestSet::new()); n],
+            total_interests,
+        }
+    }
+
+    /// Build a context from pre-constructed parts (e.g. the simulator's
+    /// generated social network).
+    ///
+    /// # Panics
+    /// Panics if the parts disagree on the node count.
+    pub fn from_parts(
+        graph: SocialGraph,
+        interactions: InteractionTracker,
+        profiles: Vec<InterestProfile>,
+        total_interests: u16,
+    ) -> Self {
+        assert_eq!(graph.node_count(), profiles.len(), "node count mismatch");
+        assert_eq!(
+            graph.node_count(),
+            interactions.node_count(),
+            "node count mismatch"
+        );
+        SocialContext {
+            graph,
+            interactions,
+            profiles,
+            total_interests,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of interest categories in the system.
+    pub fn total_interests(&self) -> u16 {
+        self.total_interests
+    }
+
+    /// The social graph.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// Mutable access to the social graph (e.g. for relationship
+    /// falsification attacks).
+    pub fn graph_mut(&mut self) -> &mut SocialGraph {
+        &mut self.graph
+    }
+
+    /// The interaction tracker.
+    pub fn interactions(&self) -> &InteractionTracker {
+        &self.interactions
+    }
+
+    /// The interest profile of `node`.
+    pub fn profile(&self, node: NodeId) -> &InterestProfile {
+        &self.profiles[node.index()]
+    }
+
+    /// Mutable interest profile (e.g. for declaring/deleting interests).
+    pub fn profile_mut(&mut self, node: NodeId) -> &mut InterestProfile {
+        &mut self.profiles[node.index()]
+    }
+
+    /// Record one resource request `from → to` in category `interest`.
+    /// Updates both the interaction frequency `f(from,to)` and `from`'s
+    /// request-weighted interest profile.
+    pub fn record_request(&mut self, from: NodeId, to: NodeId, interest: InterestId) {
+        self.interactions.record(from, to, 1.0);
+        self.profiles[from.index()].record_requests(interest, 1);
+    }
+
+    /// Record a bare social interaction without an interest annotation.
+    pub fn record_interaction(&mut self, from: NodeId, to: NodeId, amount: f64) {
+        self.interactions.record(from, to, amount);
+    }
+
+    /// Social closeness `Ωc(i,j)` under the given closeness configuration.
+    pub fn closeness(&self, i: NodeId, j: NodeId, config: ClosenessConfig) -> f64 {
+        ClosenessModel::new(&self.graph, &self.interactions, config).closeness(i, j)
+    }
+
+    /// Interest similarity `Ωs(i,j)`: request-weighted Eq. (11) when
+    /// `weighted` is set, otherwise the declared-profile overlap Eq. (7).
+    pub fn similarity(&self, i: NodeId, j: NodeId, weighted: bool) -> f64 {
+        let (pi, pj) = (&self.profiles[i.index()], &self.profiles[j.index()]);
+        if weighted {
+            weighted_similarity(pi, pj)
+        } else {
+            similarity(pi.declared(), pj.declared())
+        }
+    }
+}
+
+/// A cloneable, thread-safe handle to a [`SocialContext`].
+#[derive(Debug, Clone)]
+pub struct SharedSocialContext {
+    inner: Arc<RwLock<SocialContext>>,
+}
+
+impl SharedSocialContext {
+    /// Wrap a context in a shared handle.
+    pub fn new(ctx: SocialContext) -> Self {
+        SharedSocialContext {
+            inner: Arc::new(RwLock::new(ctx)),
+        }
+    }
+
+    /// Acquire a read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, SocialContext> {
+        self.inner.read()
+    }
+
+    /// Acquire a write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, SocialContext> {
+        self.inner.write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialtrust_socnet::relationship::Relationship;
+
+    #[test]
+    fn new_context_is_empty() {
+        let ctx = SocialContext::new(3, 20);
+        assert_eq!(ctx.node_count(), 3);
+        assert_eq!(ctx.total_interests(), 20);
+        assert_eq!(ctx.similarity(NodeId(0), NodeId(1), false), 0.0);
+        assert_eq!(
+            ctx.closeness(NodeId(0), NodeId(1), ClosenessConfig::default()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn record_request_updates_both_signals() {
+        let mut ctx = SocialContext::new(2, 4);
+        ctx.record_request(NodeId(0), NodeId(1), InterestId(2));
+        assert_eq!(ctx.interactions().frequency(NodeId(0), NodeId(1)), 1.0);
+        assert_eq!(ctx.profile(NodeId(0)).total_requests(), 1);
+        assert_eq!(ctx.profile(NodeId(0)).request_weight(InterestId(2)), 1.0);
+    }
+
+    #[test]
+    fn closeness_flows_through_graph_and_interactions() {
+        let mut ctx = SocialContext::new(2, 4);
+        ctx.graph_mut()
+            .add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        ctx.record_interaction(NodeId(0), NodeId(1), 3.0);
+        let c = ctx.closeness(NodeId(0), NodeId(1), ClosenessConfig::default());
+        assert!((c - 1.0).abs() < 1e-12, "1 rel · 3/3 interactions = 1");
+    }
+
+    #[test]
+    fn similarity_modes_differ_under_falsification() {
+        let mut ctx = SocialContext::new(2, 4);
+        ctx.profile_mut(NodeId(0)).declared_mut().insert(InterestId(1));
+        ctx.profile_mut(NodeId(1)).declared_mut().insert(InterestId(1));
+        // Declared profiles overlap fully…
+        assert_eq!(ctx.similarity(NodeId(0), NodeId(1), false), 1.0);
+        // …but nobody ever requested category 1, so Eq. (11) sees nothing.
+        assert_eq!(ctx.similarity(NodeId(0), NodeId(1), true), 0.0);
+    }
+
+    #[test]
+    fn shared_context_allows_concurrent_reads() {
+        let shared = SharedSocialContext::new(SocialContext::new(2, 4));
+        let g1 = shared.read();
+        let g2 = shared.read();
+        assert_eq!(g1.node_count(), g2.node_count());
+        drop((g1, g2));
+        shared.write().record_interaction(NodeId(0), NodeId(1), 1.0);
+        assert_eq!(
+            shared.read().interactions().frequency(NodeId(0), NodeId(1)),
+            1.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "node count mismatch")]
+    fn from_parts_checks_consistency() {
+        SocialContext::from_parts(
+            SocialGraph::new(3),
+            InteractionTracker::new(3),
+            vec![InterestProfile::new(InterestSet::new()); 2],
+            4,
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! Detection of the suspicious collusion behaviors B1–B4 (Section 4.3).
+//!
+//! The Overstock trace analysis (Section 3 of the paper) identifies four
+//! behavior patterns that almost never occur organically:
+//!
+//! * **B1** — users with *long social distance* rate each other with high
+//!   ratings and high frequency;
+//! * **B2** — a user frequently rates a *low-reputed, socially-close* user
+//!   with high ratings;
+//! * **B3** — users with *few common interests* rate each other with high
+//!   ratings and high frequency;
+//! * **B4** — a buyer frequently rates a seller with *many common
+//!   interests* with **low** ratings (competitor suppression).
+//!
+//! Detection is gated on rating frequency: a pair becomes suspect only when
+//! its positive (`t⁺(i,j)`) or negative (`t⁻(i,j)`) rating count in the
+//! current update interval exceeds `T⁺_t` / `T⁻_t` (derived from `θ·F̄`).
+
+use serde::{Deserialize, Serialize};
+use socialtrust_reputation::rating::RatingLedger;
+use socialtrust_socnet::NodeId;
+
+use crate::config::SocialTrustConfig;
+use crate::context::SocialContext;
+
+/// Which suspicious behavior pattern a pair matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SuspicionReason {
+    /// B1: high-frequency positive ratings across a long social distance
+    /// (`Ωc < T_cl`).
+    B1DistantFrequentPositive,
+    /// B2: high-frequency positive ratings to a socially-close
+    /// (`Ωc > T_ch`) but low-reputed (`R < T_R`) node.
+    B2CloseLowReputed,
+    /// B3: high-frequency positive ratings despite few common interests
+    /// (`Ωs < T_sl`).
+    B3DissimilarFrequentPositive,
+    /// B4: high-frequency negative ratings despite many common interests
+    /// (`Ωs > T_sh`) — likely competitor suppression.
+    B4SimilarFrequentNegative,
+}
+
+/// One flagged rater→ratee pair, with the social coefficients that
+/// triggered it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Suspicion {
+    /// The suspected colluding rater.
+    pub rater: NodeId,
+    /// The node receiving the suspect ratings.
+    pub ratee: NodeId,
+    /// All matched behavior patterns (at least one).
+    pub reasons: Vec<SuspicionReason>,
+    /// Social closeness `Ωc(rater, ratee)` at detection time.
+    pub omega_c: f64,
+    /// Interest similarity `Ωs(rater, ratee)` at detection time.
+    pub omega_s: f64,
+}
+
+/// The B1–B4 detector.
+#[derive(Debug, Clone, Copy)]
+pub struct Detector {
+    config: SocialTrustConfig,
+}
+
+impl Detector {
+    /// A detector with the given configuration.
+    pub fn new(config: SocialTrustConfig) -> Self {
+        config.validate();
+        Detector { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SocialTrustConfig {
+        &self.config
+    }
+
+    /// Inspect one rater→ratee pair. Returns a [`Suspicion`] when the
+    /// pair's interval rating frequency is high *and* its social
+    /// coefficients match one of B1–B4; `None` otherwise.
+    ///
+    /// `ratee_reputation` is the ratee's global reputation from the
+    /// previous update (used by B2's `R < T_R` test); `rater_reputation`
+    /// feeds the *mutual* B2 reading from Section 4.3 (*"If t⁺(j,i) > T⁺_t,
+    /// which means n_j also frequently rates n_i…"*) — when a socially-close
+    /// pair rates each other frequently and **either** side is low-reputed,
+    /// both directions are suspect. This is what catches the
+    /// colluder→compromised-pretrusted half of a bribed pair, whose ratee
+    /// is (still) high-reputed.
+    pub fn inspect_pair(
+        &self,
+        ctx: &SocialContext,
+        ledger: &RatingLedger,
+        rater: NodeId,
+        ratee: NodeId,
+        rater_reputation: f64,
+        ratee_reputation: f64,
+    ) -> Option<Suspicion> {
+        let stats = ledger.interval_stats(rater, ratee);
+        if stats.count() == 0 {
+            return None;
+        }
+        let mean_freq = ledger.average_rating_frequency();
+        let t_pos = self.config.positive_threshold(mean_freq);
+        let t_neg = self.config.negative_threshold(mean_freq);
+
+        let mut frequent_positive = stats.positive as f64 > t_pos;
+        let frequent_negative = stats.negative as f64 > t_neg;
+        if self.config.require_mutual && frequent_positive {
+            // Strictly mutual reading: the ratee must also frequently rate
+            // the rater back.
+            let back = ledger.interval_stats(ratee, rater);
+            frequent_positive = back.positive as f64 > t_pos;
+        }
+        if !frequent_positive && !frequent_negative {
+            return None;
+        }
+
+        let omega_c = ctx.closeness(rater, ratee, self.config.closeness);
+        let omega_s = ctx.similarity(rater, ratee, self.config.weighted_similarity);
+
+        let mut reasons = Vec::new();
+        if frequent_positive {
+            if omega_c < self.config.closeness_low {
+                reasons.push(SuspicionReason::B1DistantFrequentPositive);
+            }
+            if omega_c > self.config.closeness_high {
+                // Direct B2: the ratee is low-reputed. Mutual B2: the pair
+                // frequently rates each other and the *rater* is the
+                // low-reputed half (a colluder propping up its compromised
+                // pre-trusted partner).
+                let mutual_back = ledger.interval_stats(ratee, rater).positive as f64 > t_pos;
+                if ratee_reputation < self.config.low_reputation
+                    || (mutual_back && rater_reputation < self.config.low_reputation)
+                {
+                    reasons.push(SuspicionReason::B2CloseLowReputed);
+                }
+            }
+            if omega_s < self.config.similarity_low {
+                reasons.push(SuspicionReason::B3DissimilarFrequentPositive);
+            }
+        }
+        if frequent_negative && omega_s > self.config.similarity_high {
+            reasons.push(SuspicionReason::B4SimilarFrequentNegative);
+        }
+        if reasons.is_empty() {
+            None
+        } else {
+            Some(Suspicion {
+                rater,
+                ratee,
+                reasons,
+                omega_c,
+                omega_s,
+            })
+        }
+    }
+
+    /// Inspect every pair active in the current ledger interval.
+    /// `reputations` is the global reputation vector from the previous
+    /// update (indexed by node).
+    pub fn detect_all(
+        &self,
+        ctx: &SocialContext,
+        ledger: &RatingLedger,
+        reputations: &[f64],
+    ) -> Vec<Suspicion> {
+        let mut out: Vec<Suspicion> = ledger
+            .interval_pairs()
+            .filter_map(|((rater, ratee), _)| {
+                self.inspect_pair(
+                    ctx,
+                    ledger,
+                    rater,
+                    ratee,
+                    reputations[rater.index()],
+                    reputations[ratee.index()],
+                )
+            })
+            .collect();
+        // Deterministic order for reproducibility (HashMap iteration isn't).
+        out.sort_by_key(|s| (s.rater, s.ratee));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialtrust_reputation::rating::Rating;
+    use socialtrust_socnet::interest::InterestId;
+    use socialtrust_socnet::relationship::Relationship;
+
+    /// Context: nodes 0,1 socially close with shared interests (honest
+    /// neighbors); nodes 2,3 socially distant with disjoint interests
+    /// (typical colluders); nodes 4,5 close but low-reputed; nodes 6,7
+    /// extra honest traffic sources keeping the system-average rating
+    /// frequency F̄ realistic.
+    fn fixture() -> SocialContext {
+        let mut ctx = SocialContext::new(8, 10);
+        // 0-1: adjacent, interacting, same interest.
+        ctx.graph_mut()
+            .add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        ctx.record_interaction(NodeId(0), NodeId(1), 5.0);
+        for n in [0u32, 1] {
+            ctx.profile_mut(NodeId(n)).declared_mut().insert(InterestId(1));
+            ctx.profile_mut(NodeId(n)).declared_mut().insert(InterestId(2));
+        }
+        // 2, 3: no edge, disjoint interests.
+        ctx.profile_mut(NodeId(2)).declared_mut().insert(InterestId(3));
+        ctx.profile_mut(NodeId(3)).declared_mut().insert(InterestId(4));
+        // 4-5: strongly connected clique pair, high interaction, shared
+        // interest.
+        for _ in 0..4 {
+            ctx.graph_mut()
+                .add_relationship(NodeId(4), NodeId(5), Relationship::friendship());
+        }
+        ctx.record_interaction(NodeId(4), NodeId(5), 10.0);
+        for n in [4u32, 5] {
+            ctx.profile_mut(NodeId(n)).declared_mut().insert(InterestId(7));
+        }
+        ctx
+    }
+
+    fn flood(ledger: &mut RatingLedger, rater: u32, ratee: u32, value: f64, count: usize) {
+        for _ in 0..count {
+            ledger.record(&Rating::new(NodeId(rater), NodeId(ratee), value));
+        }
+    }
+
+    /// Background organic traffic so F̄ stays low relative to the flood.
+    fn background(ledger: &mut RatingLedger) {
+        for (a, b) in [(0u32, 1u32), (1, 0), (0, 6), (6, 0), (1, 7), (7, 1)] {
+            ledger.record(&Rating::new(NodeId(a), NodeId(b), 1.0));
+        }
+    }
+
+    fn detector() -> Detector {
+        Detector::new(SocialTrustConfig::default())
+    }
+
+    #[test]
+    fn quiet_pair_is_not_suspicious() {
+        let ctx = fixture();
+        let mut ledger = RatingLedger::new();
+        background(&mut ledger);
+        let s = detector().inspect_pair(&ctx, &ledger, NodeId(0), NodeId(1), 0.5, 0.5);
+        assert!(s.is_none());
+    }
+
+    #[test]
+    fn unrated_pair_is_not_suspicious() {
+        let ctx = fixture();
+        let ledger = RatingLedger::new();
+        assert!(detector()
+            .inspect_pair(&ctx, &ledger, NodeId(2), NodeId(3), 0.5, 0.5)
+            .is_none());
+    }
+
+    #[test]
+    fn b1_b3_distant_dissimilar_flood() {
+        let ctx = fixture();
+        let mut ledger = RatingLedger::new();
+        background(&mut ledger);
+        flood(&mut ledger, 2, 3, 1.0, 20);
+        let s = detector()
+            .inspect_pair(&ctx, &ledger, NodeId(2), NodeId(3), 0.5, 0.5)
+            .expect("should be flagged");
+        assert!(s.reasons.contains(&SuspicionReason::B1DistantFrequentPositive));
+        assert!(s
+            .reasons
+            .contains(&SuspicionReason::B3DissimilarFrequentPositive));
+        assert_eq!(s.omega_c, 0.0);
+        assert_eq!(s.omega_s, 0.0);
+    }
+
+    #[test]
+    fn b2_close_low_reputed_flood() {
+        let ctx = fixture();
+        let mut ledger = RatingLedger::new();
+        background(&mut ledger);
+        flood(&mut ledger, 4, 5, 1.0, 20);
+        let s = detector()
+            .inspect_pair(&ctx, &ledger, NodeId(4), NodeId(5), 0.5, 0.001)
+            .expect("should be flagged");
+        assert!(s.reasons.contains(&SuspicionReason::B2CloseLowReputed));
+    }
+
+    #[test]
+    fn b2_not_triggered_for_reputable_ratee() {
+        let ctx = fixture();
+        let mut ledger = RatingLedger::new();
+        background(&mut ledger);
+        flood(&mut ledger, 4, 5, 1.0, 20);
+        // Same flood, but the ratee has healthy reputation: no B2 (and the
+        // pair shares interests and closeness, so no B1/B3 either).
+        let s = detector().inspect_pair(&ctx, &ledger, NodeId(4), NodeId(5), 0.5, 0.5);
+        assert!(s.is_none(), "got {s:?}");
+    }
+
+    #[test]
+    fn b4_similar_negative_flood() {
+        let ctx = fixture();
+        let mut ledger = RatingLedger::new();
+        background(&mut ledger);
+        // Node 0 floods its same-interest competitor 1 with negatives.
+        flood(&mut ledger, 0, 1, -1.0, 20);
+        let s = detector()
+            .inspect_pair(&ctx, &ledger, NodeId(0), NodeId(1), 0.5, 0.5)
+            .expect("should be flagged");
+        assert_eq!(s.reasons, vec![SuspicionReason::B4SimilarFrequentNegative]);
+    }
+
+    #[test]
+    fn negative_flood_on_dissimilar_node_is_not_b4() {
+        let ctx = fixture();
+        let mut ledger = RatingLedger::new();
+        background(&mut ledger);
+        flood(&mut ledger, 2, 3, -1.0, 20);
+        // Dissimilar interests: legitimately bad experiences, not B4.
+        assert!(detector()
+            .inspect_pair(&ctx, &ledger, NodeId(2), NodeId(3), 0.5, 0.5)
+            .is_none());
+    }
+
+    #[test]
+    fn frequency_threshold_scales_with_system_traffic() {
+        let ctx = fixture();
+        let mut ledger = RatingLedger::new();
+        // Every pair rates 20 times: nobody deviates from F̄ = 20.
+        flood(&mut ledger, 2, 3, 1.0, 20);
+        flood(&mut ledger, 0, 1, 1.0, 20);
+        flood(&mut ledger, 1, 0, 1.0, 20);
+        flood(&mut ledger, 4, 5, 1.0, 20);
+        assert!(
+            detector()
+                .inspect_pair(&ctx, &ledger, NodeId(2), NodeId(3), 0.5, 0.5)
+                .is_none(),
+            "20 ratings is not anomalous when θ·F̄ = 40"
+        );
+    }
+
+    #[test]
+    fn require_mutual_suppresses_one_directional_floods() {
+        let ctx = fixture();
+        let cfg = SocialTrustConfig {
+            require_mutual: true,
+            ..SocialTrustConfig::default()
+        };
+        let det = Detector::new(cfg);
+        let mut ledger = RatingLedger::new();
+        background(&mut ledger);
+        flood(&mut ledger, 2, 3, 1.0, 20);
+        assert!(det
+            .inspect_pair(&ctx, &ledger, NodeId(2), NodeId(3), 0.5, 0.5)
+            .is_none());
+        // Once the flood is mutual, it is flagged again.
+        flood(&mut ledger, 3, 2, 1.0, 20);
+        assert!(det
+            .inspect_pair(&ctx, &ledger, NodeId(2), NodeId(3), 0.5, 0.5)
+            .is_some());
+    }
+
+    #[test]
+    fn detect_all_is_sorted_and_complete() {
+        let ctx = fixture();
+        let mut ledger = RatingLedger::new();
+        background(&mut ledger);
+        flood(&mut ledger, 2, 3, 1.0, 20);
+        flood(&mut ledger, 4, 5, 1.0, 20);
+        let reputations = vec![0.2, 0.2, 0.2, 0.2, 0.2, 0.0, 0.2, 0.2];
+        let all = detector().detect_all(&ctx, &ledger, &reputations);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].rater, NodeId(2));
+        assert_eq!(all[1].rater, NodeId(4));
+    }
+}

@@ -1,0 +1,267 @@
+//! A Chord-style consistent-hash ring — the DHT substrate the paper's
+//! reputation baselines assume (*"EigenTrust and PowerTrust depend on the
+//! distributed hash tables to collect reputation ratings"*).
+//!
+//! The distributed SocialTrust deployment assigns each node's reputation
+//! bookkeeping to a resource manager; with a DHT that assignment is
+//! "successor of the node's key on the ring", and reaching the manager
+//! costs O(log n) routing hops through finger tables. This module
+//! implements exactly that slice of Chord:
+//!
+//! * keys: 64-bit hashes of node ids (SplitMix64);
+//! * [`ChordRing::successor`] — the manager responsible for a key;
+//! * [`ChordRing::lookup`] — greedy finger routing with a hop count, so
+//!   the experiment harness can report realistic lookup costs.
+
+use socialtrust_socnet::NodeId;
+
+/// SplitMix64 — deterministic well-distributed key hash.
+fn hash(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Clockwise distance from `a` to `b` on the 2^64 ring.
+fn ring_distance(a: u64, b: u64) -> u64 {
+    b.wrapping_sub(a)
+}
+
+/// One ring member with its finger table.
+#[derive(Debug, Clone)]
+struct Member {
+    key: u64,
+    node: NodeId,
+    /// `fingers[k]` = index (into the sorted member list) of the successor
+    /// of `key + 2^k`.
+    fingers: Vec<usize>,
+}
+
+/// A Chord-style ring over a set of manager nodes.
+#[derive(Debug, Clone)]
+pub struct ChordRing {
+    /// Members sorted by ring key.
+    members: Vec<Member>,
+}
+
+impl ChordRing {
+    /// Build a ring from the manager node ids (finger tables included).
+    ///
+    /// # Panics
+    /// Panics if `managers` is empty or contains duplicates.
+    pub fn new(managers: &[NodeId]) -> Self {
+        assert!(!managers.is_empty(), "a ring needs at least one member");
+        let mut members: Vec<Member> = managers
+            .iter()
+            .map(|&node| Member {
+                key: hash(node.0 as u64),
+                node,
+                fingers: Vec::new(),
+            })
+            .collect();
+        members.sort_by_key(|m| m.key);
+        for w in members.windows(2) {
+            assert!(
+                w[0].key != w[1].key,
+                "hash collision between ring members {} and {}",
+                w[0].node,
+                w[1].node
+            );
+        }
+        let keys: Vec<u64> = members.iter().map(|m| m.key).collect();
+        for member in &mut members {
+            let mut fingers = Vec::with_capacity(64);
+            for k in 0..64u32 {
+                let target = member.key.wrapping_add(1u64 << k);
+                fingers.push(Self::successor_index(&keys, target));
+            }
+            member.fingers = fingers;
+        }
+        ChordRing { members }
+    }
+
+    /// Number of ring members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Index of the first member whose key is ≥ `key` (wrapping).
+    fn successor_index(sorted_keys: &[u64], key: u64) -> usize {
+        match sorted_keys.binary_search(&key) {
+            Ok(i) => i,
+            Err(i) => {
+                if i == sorted_keys.len() {
+                    0
+                } else {
+                    i
+                }
+            }
+        }
+    }
+
+    /// The manager responsible for `node`'s reputation record: the
+    /// successor of `hash(node)` on the ring.
+    pub fn successor(&self, node: NodeId) -> NodeId {
+        let key = hash(node.0 as u64);
+        let keys: Vec<u64> = self.members.iter().map(|m| m.key).collect();
+        self.members[Self::successor_index(&keys, key)].node
+    }
+
+    /// Route a lookup for `target`'s record starting from ring member
+    /// `from`, using greedy finger routing. Returns the responsible
+    /// manager and the number of routing hops taken.
+    ///
+    /// # Panics
+    /// Panics if `from` is not a ring member.
+    pub fn lookup(&self, from: NodeId, target: NodeId) -> (NodeId, usize) {
+        let key = hash(target.0 as u64);
+        let keys: Vec<u64> = self.members.iter().map(|m| m.key).collect();
+        let destination = Self::successor_index(&keys, key);
+        let mut current = self
+            .members
+            .iter()
+            .position(|m| m.node == from)
+            .expect("lookup must start at a ring member");
+        let mut hops = 0;
+        // Greedy: jump through the finger that gets closest to (but not
+        // past) the key's predecessor, then step to the successor.
+        while current != destination {
+            let cur_key = self.members[current].key;
+            // If the destination is our direct successor region, one hop.
+            let mut best = (current + 1) % self.members.len();
+            let mut best_gain = ring_distance(cur_key, self.members[best].key);
+            for &f in &self.members[current].fingers {
+                let fk = self.members[f].key;
+                let gain = ring_distance(cur_key, fk);
+                // Must not overshoot the key (stay within (cur, key]).
+                if gain != 0 && gain <= ring_distance(cur_key, key) && gain > best_gain {
+                    best = f;
+                    best_gain = gain;
+                }
+            }
+            // Direct successor also must not overshoot unless it IS the
+            // destination.
+            current = if ring_distance(cur_key, self.members[best].key)
+                <= ring_distance(cur_key, key)
+            {
+                best
+            } else {
+                destination // adjacent: final step
+            };
+            hops += 1;
+            if hops > self.members.len() {
+                unreachable!("routing loop: greedy Chord must terminate");
+            }
+            if current == destination {
+                break;
+            }
+            // If we've reached the key's region, finish.
+            if Self::successor_index(&keys, self.members[current].key) == destination
+                && ring_distance(self.members[current].key, key) == 0
+            {
+                current = destination;
+            }
+        }
+        (self.members[destination].node, hops)
+    }
+
+    /// Average lookup hops over every (member, target) pair in a sample —
+    /// the metric the experiment harness reports.
+    pub fn average_lookup_hops(&self, targets: &[NodeId]) -> f64 {
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for m in &self.members {
+            for &t in targets {
+                total += self.lookup(m.node, t).1;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u32) -> ChordRing {
+        let members: Vec<NodeId> = (0..n).map(NodeId).collect();
+        ChordRing::new(&members)
+    }
+
+    #[test]
+    fn successor_matches_linear_scan() {
+        let r = ring(16);
+        for t in 0..200u32 {
+            let target = NodeId(t);
+            let key = hash(t as u64);
+            // Linear reference: member with minimal clockwise distance
+            // from key.
+            let expect = (0..16u32)
+                .map(NodeId)
+                .min_by_key(|m| ring_distance(key, hash(m.0 as u64)))
+                .unwrap();
+            assert_eq!(r.successor(target), expect, "target {t}");
+        }
+    }
+
+    #[test]
+    fn lookup_always_reaches_the_responsible_manager() {
+        let r = ring(32);
+        for from in 0..32u32 {
+            for t in (0..100u32).step_by(7) {
+                let (owner, _) = r.lookup(NodeId(from), NodeId(t));
+                assert_eq!(owner, r.successor(NodeId(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_hops_are_logarithmic() {
+        let r = ring(128);
+        let targets: Vec<NodeId> = (0..64u32).map(|i| NodeId(i * 13 + 5)).collect();
+        let avg = r.average_lookup_hops(&targets);
+        // log2(128) = 7; greedy finger routing should average well under
+        // that and far under the linear 64.
+        assert!(avg <= 8.0, "average hops {avg}");
+        assert!(avg > 0.0);
+    }
+
+    #[test]
+    fn lookup_from_owner_is_free() {
+        let r = ring(8);
+        let target = NodeId(77);
+        let owner = r.successor(target);
+        let (found, hops) = r.lookup(owner, target);
+        assert_eq!(found, owner);
+        assert_eq!(hops, 0);
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let r = ChordRing::new(&[NodeId(3)]);
+        assert_eq!(r.member_count(), 1);
+        for t in 0..10u32 {
+            assert_eq!(r.successor(NodeId(t)), NodeId(3));
+            assert_eq!(r.lookup(NodeId(3), NodeId(t)), (NodeId(3), 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ring_rejected() {
+        ChordRing::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ring member")]
+    fn lookup_from_non_member_rejected() {
+        let r = ring(4);
+        r.lookup(NodeId(99), NodeId(0));
+    }
+}

@@ -1,0 +1,185 @@
+//! The Gaussian reputation filter — Equations (5), (6), (8) and (9).
+//!
+//! The paper filters ratings from suspected colluders with the Gaussian
+//! kernel
+//!
+//! ```text
+//! Eq. (5):  f(x) = a · exp( −(x − b)² / (2c²) )
+//! ```
+//!
+//! instantiated with `a = α` (the function parameter, set to 1 in the
+//! evaluation), `b = Ω̄_i` (the rater's average coefficient over its rated
+//! set — its "normal" value) and `c = |maxΩ_i − minΩ_i|` (its largest
+//! observed spread). Ratings whose closeness/similarity deviates far from
+//! the rater's normal value are damped toward zero; ratings at the normal
+//! value pass through at weight `α`.
+//!
+//! Eq. (6) applies the filter on social closeness, Eq. (8) on interest
+//! similarity, and Eq. (9) multiplies both exponents into one
+//! two-dimensional filter (Figure 6): pairs in the extreme corners —
+//! (high, high), (high, low), (low, high), (low, low) — are damped most.
+
+use crate::stats::OmegaStats;
+
+/// The raw Gaussian kernel of Eq. (5): `a·exp(−(x−b)²/(2c²))`.
+///
+/// Degenerate width (`c == 0`) is defined by the limit: `a` when `x == b`,
+/// `0` otherwise. (A rater whose observed coefficients never varied treats
+/// any deviation as maximally abnormal.)
+pub fn gaussian(x: f64, a: f64, b: f64, c: f64) -> f64 {
+    if c == 0.0 {
+        return if x == b { a } else { 0.0 };
+    }
+    a * (-(x - b).powi(2) / (2.0 * c * c)).exp()
+}
+
+/// The one-dimensional adjustment weight of Eqs. (6)/(8):
+/// `α·exp(−(Ω − Ω̄)²/(2·|maxΩ−minΩ|²))`.
+///
+/// The result is in `[0, α]`; multiply the suspected rating by it.
+pub fn adjustment_weight(omega: f64, stats: &OmegaStats, alpha: f64) -> f64 {
+    gaussian(omega, alpha, stats.mean, stats.width())
+}
+
+/// The two-dimensional combined weight of Eq. (9):
+/// `α·exp(−[(Ωc−Ω̄c)²/(2wc²) + (Ωs−Ω̄s)²/(2ws²)])`.
+///
+/// Note this is *not* the product of two independent Eq. (6)/(8) weights
+/// with separate `α`s — `α` is applied once, the exponents add.
+pub fn combined_weight(
+    omega_c: f64,
+    stats_c: &OmegaStats,
+    omega_s: f64,
+    stats_s: &OmegaStats,
+    alpha: f64,
+) -> f64 {
+    let term = |omega: f64, stats: &OmegaStats| -> f64 {
+        let w = stats.width();
+        if w == 0.0 {
+            if omega == stats.mean {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (omega - stats.mean).powi(2) / (2.0 * w * w)
+        }
+    };
+    let exponent = term(omega_c, stats_c) + term(omega_s, stats_s);
+    if exponent.is_infinite() {
+        0.0
+    } else {
+        alpha * (-exponent).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_peaks_at_center() {
+        assert_eq!(gaussian(0.5, 1.0, 0.5, 0.2), 1.0);
+        assert!(gaussian(0.4, 1.0, 0.5, 0.2) < 1.0);
+        assert!(gaussian(0.6, 1.0, 0.5, 0.2) < 1.0);
+    }
+
+    #[test]
+    fn kernel_is_symmetric_about_center() {
+        let l = gaussian(0.3, 1.0, 0.5, 0.2);
+        let r = gaussian(0.7, 1.0, 0.5, 0.2);
+        assert!((l - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_matches_closed_form() {
+        // exp(-(0.9-0.5)²/(2·0.2²)) = exp(-0.16/0.08) = e^-2
+        let v = gaussian(0.9, 1.0, 0.5, 0.2);
+        assert!((v - (-2.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_scales_with_alpha() {
+        let v1 = gaussian(0.6, 1.0, 0.5, 0.2);
+        let v2 = gaussian(0.6, 2.0, 0.5, 0.2);
+        assert!((v2 - 2.0 * v1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_width_is_indicator() {
+        assert_eq!(gaussian(0.5, 1.0, 0.5, 0.0), 1.0);
+        assert_eq!(gaussian(0.6, 1.0, 0.5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn adjustment_weight_uses_rater_stats() {
+        let stats = OmegaStats::new(0.5, 0.9, 0.1); // width 0.8
+        let at_mean = adjustment_weight(0.5, &stats, 1.0);
+        assert_eq!(at_mean, 1.0);
+        let deviant = adjustment_weight(0.0, &stats, 1.0);
+        assert!(deviant < at_mean);
+        assert!((deviant - (-(0.25f64) / (2.0 * 0.64)).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_monotonically_decreases_with_deviation() {
+        let stats = OmegaStats::new(0.5, 1.0, 0.0);
+        let mut prev = adjustment_weight(0.5, &stats, 1.0);
+        for step in 1..=10 {
+            let omega = 0.5 + step as f64 * 0.05;
+            let w = adjustment_weight(omega, &stats, 1.0);
+            assert!(w < prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn weight_bounded_by_alpha() {
+        let stats = OmegaStats::new(0.4, 0.8, 0.1);
+        for i in 0..50 {
+            let omega = i as f64 * 0.05;
+            let w = adjustment_weight(omega, &stats, 1.0);
+            assert!((0.0..=1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn combined_weight_is_product_of_exponentials() {
+        let sc = OmegaStats::new(0.5, 1.0, 0.0);
+        let ss = OmegaStats::new(0.4, 0.9, 0.1); // width 0.8
+        let w = combined_weight(0.8, &sc, 0.1, &ss, 1.0);
+        let expected =
+            (-((0.3f64).powi(2) / 2.0 + (0.3f64).powi(2) / (2.0 * 0.64))).exp();
+        assert!((w - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_weight_peaks_at_both_means() {
+        let sc = OmegaStats::new(0.5, 1.0, 0.0);
+        let ss = OmegaStats::new(0.4, 0.9, 0.1);
+        assert_eq!(combined_weight(0.5, &sc, 0.4, &ss, 1.0), 1.0);
+    }
+
+    #[test]
+    fn combined_weight_corners_are_damped_most() {
+        // Figure 6: (Hc,Hs), (Hc,Ls), (Lc,Hs), (Lc,Ls) corners are reduced
+        // most strongly.
+        let sc = OmegaStats::new(0.5, 1.0, 0.0);
+        let ss = OmegaStats::new(0.5, 1.0, 0.0);
+        let centre = combined_weight(0.5, &sc, 0.5, &ss, 1.0);
+        let edge = combined_weight(1.0, &sc, 0.5, &ss, 1.0);
+        let corner = combined_weight(1.0, &sc, 1.0, &ss, 1.0);
+        assert!(centre > edge);
+        assert!(edge > corner);
+    }
+
+    #[test]
+    fn combined_weight_degenerate_widths() {
+        let degenerate = OmegaStats::new(0.5, 0.5, 0.5);
+        let normal = OmegaStats::new(0.5, 1.0, 0.0);
+        // At the degenerate mean, only the normal dimension matters.
+        assert_eq!(combined_weight(0.5, &degenerate, 0.5, &normal, 1.0), 1.0);
+        // Off the degenerate mean, the weight collapses to 0.
+        assert_eq!(combined_weight(0.6, &degenerate, 0.5, &normal, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! # socialtrust-core
+//!
+//! The SocialTrust mechanism itself — the primary contribution of
+//! *Leveraging Social Networks to Combat Collusion in Reputation Systems
+//! for Peer-to-Peer Networks* (Li, Shen & Sapra, IEEE TC 2012 / IPPS 2011).
+//!
+//! SocialTrust is a rating-adjustment layer over an arbitrary reputation
+//! system. Per reputation-update interval it:
+//!
+//! 1. watches rating frequencies (`t⁺(i,j)`, `t⁻(i,j)`) through the
+//!    [`socialtrust_reputation::rating::RatingLedger`],
+//! 2. flags rater→ratee pairs matching the suspicious behaviors **B1–B4**
+//!    learned from the Overstock trace ([`detector`]),
+//! 3. rescales suspected ratings with a Gaussian filter centred on the
+//!    rater's *normal* social closeness / interest similarity
+//!    ([`gaussian`], Equations (5)–(9)),
+//! 4. feeds the adjusted ratings to the wrapped reputation engine
+//!    ([`decorator::WithSocialTrust`]).
+//!
+//! The [`manager`] module implements the paper's distributed execution
+//! model (Section 4.3): per-node resource managers that track rating
+//! frequencies for the nodes they manage and exchange social information
+//! on demand, with message-overhead accounting.
+//!
+//! ## Example: wrapping EigenTrust
+//!
+//! ```
+//! use socialtrust_core::prelude::*;
+//! use socialtrust_reputation::prelude::*;
+//! use socialtrust_socnet::prelude::*;
+//!
+//! let n = 4;
+//! let ctx = SharedSocialContext::new(SocialContext::new(n, 4));
+//! let inner = EigenTrust::with_defaults(n, &[NodeId(0)]);
+//! let mut sys = WithSocialTrust::new(inner, ctx.clone(), SocialTrustConfig::default());
+//!
+//! // Colluders 2 and 3 hammer each other with positive ratings...
+//! for _ in 0..30 {
+//!     sys.record(Rating::new(NodeId(2), NodeId(3), 1.0));
+//!     sys.record(Rating::new(NodeId(3), NodeId(2), 1.0));
+//! }
+//! // ...while an honest client rates its server once.
+//! sys.record(Rating::new(NodeId(0), NodeId(1), 1.0));
+//! sys.end_cycle();
+//!
+//! // The colluders' mutual ratings were damped: socially-distant,
+//! // zero-interest-overlap, high-frequency pairs match behavior B1/B3.
+//! assert!(sys.reputation(NodeId(3)) < sys.reputation(NodeId(1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod context;
+pub mod dht;
+pub mod decorator;
+pub mod detector;
+pub mod gaussian;
+pub mod manager;
+pub mod report;
+pub mod stats;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::config::SocialTrustConfig;
+    pub use crate::context::{SharedSocialContext, SocialContext};
+    pub use crate::decorator::WithSocialTrust;
+    pub use crate::detector::{Detector, Suspicion, SuspicionReason};
+    pub use crate::dht::ChordRing;
+    pub use crate::gaussian::{adjustment_weight, combined_weight, gaussian};
+    pub use crate::manager::{ManagerNetwork, ManagerStats};
+    pub use crate::report::{CycleReport, FlaggedPair};
+    pub use crate::stats::OmegaStats;
+}

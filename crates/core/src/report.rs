@@ -1,0 +1,235 @@
+//! Human-readable reporting of SocialTrust's detection activity.
+//!
+//! A reputation operator needs to see *why* a rating was adjusted; this
+//! module turns one update interval's suspicions and weights into a
+//! structured, printable [`CycleReport`] — per-behavior counts, the
+//! most-damped pairs, and per-node involvement — without exposing internal
+//! types.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use socialtrust_reputation::rating::PairKey;
+use socialtrust_reputation::system::ReputationSystem;
+use socialtrust_socnet::NodeId;
+
+use crate::decorator::WithSocialTrust;
+use crate::detector::{Suspicion, SuspicionReason};
+
+/// One flagged pair in the report, with its applied weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlaggedPair {
+    /// The suspected rater.
+    pub rater: NodeId,
+    /// The ratee of the suspect ratings.
+    pub ratee: NodeId,
+    /// Matched behaviors (B1–B4); empty for hysteresis-only adjustments.
+    pub reasons: Vec<SuspicionReason>,
+    /// Closeness at detection time.
+    pub omega_c: f64,
+    /// Similarity at detection time.
+    pub omega_s: f64,
+    /// The Gaussian weight applied to the pair's ratings this interval.
+    pub weight: f64,
+}
+
+/// A summary of one reputation-update interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleReport {
+    /// All flagged pairs, hardest-damped first.
+    pub pairs: Vec<FlaggedPair>,
+    /// Count of matches per behavior pattern.
+    pub behavior_counts: BTreeMap<String, usize>,
+    /// Pairs adjusted purely through hysteresis (no fresh behavior match).
+    pub hysteresis_only: usize,
+}
+
+impl CycleReport {
+    /// Build a report from an interval's suspicions and applied weights.
+    pub fn from_parts(suspicions: &[Suspicion], weights: &[(PairKey, f64)]) -> CycleReport {
+        let by_pair: BTreeMap<PairKey, &Suspicion> = suspicions
+            .iter()
+            .map(|s| ((s.rater, s.ratee), s))
+            .collect();
+        let mut pairs: Vec<FlaggedPair> = weights
+            .iter()
+            .map(|&((rater, ratee), weight)| match by_pair.get(&(rater, ratee)) {
+                Some(s) => FlaggedPair {
+                    rater,
+                    ratee,
+                    reasons: s.reasons.clone(),
+                    omega_c: s.omega_c,
+                    omega_s: s.omega_s,
+                    weight,
+                },
+                None => FlaggedPair {
+                    rater,
+                    ratee,
+                    reasons: Vec::new(),
+                    omega_c: f64::NAN,
+                    omega_s: f64::NAN,
+                    weight,
+                },
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.weight.partial_cmp(&b.weight).expect("finite weights"));
+        let mut behavior_counts: BTreeMap<String, usize> = BTreeMap::new();
+        for s in suspicions {
+            for r in &s.reasons {
+                *behavior_counts.entry(label(*r).to_string()).or_insert(0) += 1;
+            }
+        }
+        let hysteresis_only = pairs.iter().filter(|p| p.reasons.is_empty()).count();
+        CycleReport {
+            pairs,
+            behavior_counts,
+            hysteresis_only,
+        }
+    }
+
+    /// Build a report directly from a decorator's last interval.
+    pub fn from_decorator<R: ReputationSystem>(sys: &WithSocialTrust<R>) -> CycleReport {
+        CycleReport::from_parts(sys.last_suspicions(), sys.last_weights())
+    }
+
+    /// Total flagged pairs.
+    pub fn flagged_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// All distinct nodes appearing as suspected raters.
+    pub fn suspected_raters(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.pairs.iter().map(|p| p.rater).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Short label for a behavior pattern.
+fn label(reason: SuspicionReason) -> &'static str {
+    match reason {
+        SuspicionReason::B1DistantFrequentPositive => "B1 distant-frequent-positive",
+        SuspicionReason::B2CloseLowReputed => "B2 close-low-reputed",
+        SuspicionReason::B3DissimilarFrequentPositive => "B3 dissimilar-frequent-positive",
+        SuspicionReason::B4SimilarFrequentNegative => "B4 similar-frequent-negative",
+    }
+}
+
+impl fmt::Display for CycleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "SocialTrust interval report: {} flagged pair(s), {} via hysteresis",
+            self.flagged_count(),
+            self.hysteresis_only
+        )?;
+        for (behavior, count) in &self.behavior_counts {
+            writeln!(f, "  {behavior}: {count}")?;
+        }
+        for p in self.pairs.iter().take(10) {
+            if p.reasons.is_empty() {
+                writeln!(
+                    f,
+                    "  {} -> {}: weight {:.6} (hysteresis)",
+                    p.rater, p.ratee, p.weight
+                )?;
+            } else {
+                let reasons: Vec<&str> = p.reasons.iter().map(|&r| label(r)).collect();
+                writeln!(
+                    f,
+                    "  {} -> {}: weight {:.6} — {} (Ωc {:.2}, Ωs {:.2})",
+                    p.rater,
+                    p.ratee,
+                    p.weight,
+                    reasons.join(" + "),
+                    p.omega_c,
+                    p.omega_s
+                )?;
+            }
+        }
+        if self.pairs.len() > 10 {
+            writeln!(f, "  … and {} more", self.pairs.len() - 10)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn suspicion(rater: u32, ratee: u32, reasons: Vec<SuspicionReason>) -> Suspicion {
+        Suspicion {
+            rater: NodeId(rater),
+            ratee: NodeId(ratee),
+            reasons,
+            omega_c: 2.0,
+            omega_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn report_sorts_by_weight_and_counts_behaviors() {
+        let suspicions = vec![
+            suspicion(1, 2, vec![SuspicionReason::B1DistantFrequentPositive]),
+            suspicion(
+                3,
+                4,
+                vec![
+                    SuspicionReason::B2CloseLowReputed,
+                    SuspicionReason::B3DissimilarFrequentPositive,
+                ],
+            ),
+        ];
+        let weights = vec![
+            ((NodeId(1), NodeId(2)), 0.5),
+            ((NodeId(3), NodeId(4)), 0.001),
+        ];
+        let report = CycleReport::from_parts(&suspicions, &weights);
+        assert_eq!(report.flagged_count(), 2);
+        assert_eq!(report.pairs[0].rater, NodeId(3), "hardest-damped first");
+        assert_eq!(report.behavior_counts["B2 close-low-reputed"], 1);
+        assert_eq!(
+            report.behavior_counts["B3 dissimilar-frequent-positive"],
+            1
+        );
+        assert_eq!(report.hysteresis_only, 0);
+        assert_eq!(report.suspected_raters(), vec![NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn hysteresis_adjustments_are_marked() {
+        // A weight with no matching suspicion = hysteresis carry-over.
+        let weights = vec![((NodeId(5), NodeId(6)), 0.01)];
+        let report = CycleReport::from_parts(&[], &weights);
+        assert_eq!(report.hysteresis_only, 1);
+        assert!(report.pairs[0].reasons.is_empty());
+        assert!(report.to_string().contains("hysteresis"));
+    }
+
+    #[test]
+    fn display_is_complete_and_truncates() {
+        let suspicions: Vec<Suspicion> = (0..15u32)
+            .map(|i| suspicion(i, i + 20, vec![SuspicionReason::B4SimilarFrequentNegative]))
+            .collect();
+        let weights: Vec<(PairKey, f64)> = suspicions
+            .iter()
+            .map(|s| ((s.rater, s.ratee), 0.1))
+            .collect();
+        let report = CycleReport::from_parts(&suspicions, &weights);
+        let text = report.to_string();
+        assert!(text.contains("15 flagged pair(s)"));
+        assert!(text.contains("B4 similar-frequent-negative: 15"));
+        assert!(text.contains("… and 5 more"));
+    }
+
+    #[test]
+    fn empty_interval_reports_cleanly() {
+        let report = CycleReport::from_parts(&[], &[]);
+        assert_eq!(report.flagged_count(), 0);
+        assert!(report.suspected_raters().is_empty());
+        assert!(report.to_string().contains("0 flagged"));
+    }
+}

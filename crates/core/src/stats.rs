@@ -1,0 +1,153 @@
+//! Per-rater statistics over social coefficients.
+//!
+//! The Gaussian filter (Eqs. (6), (8), (9)) is centred on `Ω̄_i` — the
+//! *average* closeness/similarity of rater `i` to the nodes it has rated —
+//! with width `|maxΩ_i − minΩ_i|`. [`OmegaStats`] carries those three
+//! numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean, maximum and minimum of a rater's social coefficient (closeness or
+/// similarity) over the set of nodes it has rated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OmegaStats {
+    /// `Ω̄_i` — the centre of the Gaussian (the rater's "normal" value).
+    pub mean: f64,
+    /// `maxΩ_i`.
+    pub max: f64,
+    /// `minΩ_i`.
+    pub min: f64,
+}
+
+impl OmegaStats {
+    /// Compute stats from a slice of coefficient values.
+    ///
+    /// Returns `None` for an empty slice (a rater with no history has no
+    /// "normal" value; callers fall back to empirical system-wide stats).
+    pub fn from_values(values: &[f64]) -> Option<OmegaStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            debug_assert!(v.is_finite(), "coefficient must be finite, got {v}");
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Some(OmegaStats {
+            mean: sum / values.len() as f64,
+            max,
+            min,
+        })
+    }
+
+    /// Build stats directly (e.g. the paper's empirical Overstock values:
+    /// average/max/min interest similarity 0.423 / 1 / 0.13).
+    pub fn new(mean: f64, max: f64, min: f64) -> OmegaStats {
+        assert!(
+            min <= mean && mean <= max,
+            "require min ≤ mean ≤ max, got {min} / {mean} / {max}"
+        );
+        OmegaStats { mean, max, min }
+    }
+
+    /// The Gaussian width parameter `c = |maxΩ − minΩ|`.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.max - self.min).abs()
+    }
+
+    /// A copy with the width shrunk by `scale` around the same mean.
+    ///
+    /// The paper sets `c = |maxΩ − minΩ|` — the full **range** of observed
+    /// values. A Gaussian whose σ equals the full range is nearly flat over
+    /// the data (a value at the extreme deviates by at most 1σ, weight
+    /// ≥ e^(−1/2) ≈ 0.61), which would make the low-closeness /
+    /// low-similarity behaviors (B1, B3) and the B4 competitor check almost
+    /// free for colluders. The statistical range rule (`range ≈ 4σ`)
+    /// recovers a usable σ; [`crate::config::SocialTrustConfig::width_scale`]
+    /// (default 0.25) applies it.
+    pub fn with_width_scale(&self, scale: f64) -> OmegaStats {
+        assert!(scale > 0.0 && scale <= 1.0, "width scale must be in (0,1]");
+        OmegaStats {
+            mean: self.mean,
+            max: self.mean + (self.max - self.mean) * scale,
+            min: self.mean - (self.mean - self.min) * scale,
+        }
+    }
+
+    /// The paper's empirical Overstock interest-similarity statistics for a
+    /// pair of transaction peers: average 0.423, max 1, min 0.13
+    /// (Section 4.2). Used when a rater has no history of its own.
+    pub fn overstock_similarity() -> OmegaStats {
+        OmegaStats::new(0.423, 1.0, 0.13)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_computes_mean_max_min() {
+        let s = OmegaStats::from_values(&[0.2, 0.8, 0.5]).unwrap();
+        assert!((s.mean - 0.5).abs() < 1e-12);
+        assert_eq!(s.max, 0.8);
+        assert_eq!(s.min, 0.2);
+        assert!((s.width() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_values_empty_is_none() {
+        assert!(OmegaStats::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn single_value_has_zero_width() {
+        let s = OmegaStats::from_values(&[0.7]).unwrap();
+        assert_eq!(s.mean, 0.7);
+        assert_eq!(s.width(), 0.0);
+    }
+
+    #[test]
+    fn overstock_defaults_are_consistent() {
+        let s = OmegaStats::overstock_similarity();
+        assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "min ≤ mean ≤ max")]
+    fn new_rejects_inconsistent_order() {
+        OmegaStats::new(0.5, 0.4, 0.6);
+    }
+
+    #[test]
+    fn width_scale_shrinks_around_mean() {
+        let s = OmegaStats::new(0.4, 1.0, 0.2);
+        let scaled = s.with_width_scale(0.25);
+        assert_eq!(scaled.mean, 0.4);
+        assert!((scaled.width() - s.width() * 0.25).abs() < 1e-12);
+        assert!((scaled.max - 0.55).abs() < 1e-12);
+        assert!((scaled.min - 0.35).abs() < 1e-12);
+        // Identity at scale 1.
+        let same = s.with_width_scale(1.0);
+        assert_eq!(same, s);
+    }
+
+    #[test]
+    fn width_scale_preserves_ordering_invariant() {
+        let s = OmegaStats::new(0.4, 0.4, 0.4);
+        let scaled = s.with_width_scale(0.5);
+        assert!(scaled.min <= scaled.mean && scaled.mean <= scaled.max);
+        assert_eq!(scaled.width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width scale")]
+    fn width_scale_rejects_zero() {
+        OmegaStats::new(0.4, 1.0, 0.0).with_width_scale(0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! A naive mean-rating reputation baseline.
+//!
+//! Not part of the paper's evaluation, but useful in ablations: it has
+//! *no* defense against rating frequency at all (every rating counts
+//! individually, unweighted), so it bounds how bad collusion can get and
+//! shows how much the eBay dedup and EigenTrust weighting already help.
+
+use socialtrust_socnet::NodeId;
+
+use crate::normalize::normalize_to_simplex;
+use crate::rating::Rating;
+use crate::system::ReputationSystem;
+
+/// Reputation = mean received rating value (clamped at 0), normalized onto
+/// the simplex.
+#[derive(Debug, Clone)]
+pub struct SimpleAverage {
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+    buffer: Vec<Rating>,
+    reputations: Vec<f64>,
+}
+
+impl SimpleAverage {
+    /// An engine over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        SimpleAverage {
+            sums: vec![0.0; n],
+            counts: vec![0; n],
+            buffer: Vec::new(),
+            reputations: vec![0.0; n],
+        }
+    }
+
+    /// The raw mean rating of `node` (0 when never rated).
+    pub fn mean_rating(&self, node: NodeId) -> f64 {
+        let c = self.counts[node.index()];
+        if c == 0 {
+            0.0
+        } else {
+            self.sums[node.index()] / c as f64
+        }
+    }
+}
+
+impl ReputationSystem for SimpleAverage {
+    fn node_count(&self) -> usize {
+        self.sums.len()
+    }
+
+    fn record(&mut self, rating: Rating) {
+        if rating.rater != rating.ratee {
+            self.buffer.push(rating);
+        }
+    }
+
+    fn end_cycle(&mut self) {
+        for r in std::mem::take(&mut self.buffer) {
+            self.sums[r.ratee.index()] += r.value;
+            self.counts[r.ratee.index()] += 1;
+        }
+        let means: Vec<f64> = (0..self.sums.len())
+            .map(|i| self.mean_rating(NodeId::from(i)))
+            .collect();
+        self.reputations = normalize_to_simplex(&means);
+    }
+
+    fn reputations(&self) -> &[f64] {
+        &self.reputations
+    }
+
+    fn name(&self) -> String {
+        "SimpleAverage".into()
+    }
+
+    fn reset_node(&mut self, node: NodeId) {
+        self.sums[node.index()] = 0.0;
+        self.counts[node.index()] = 0;
+        self.buffer
+            .retain(|r| r.rater != node && r.ratee != node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_is_computed_over_all_ratings() {
+        let mut sys = SimpleAverage::new(2);
+        sys.record(Rating::new(NodeId(0), NodeId(1), 1.0));
+        sys.record(Rating::new(NodeId(0), NodeId(1), -1.0));
+        sys.record(Rating::new(NodeId(0), NodeId(1), 1.0));
+        sys.end_cycle();
+        assert!((sys.mean_rating(NodeId(1)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_fully_manipulates_the_average() {
+        // The property that makes this baseline weak: 20 colluding ratings
+        // outvote 1 honest rating with no damping at all.
+        let mut sys = SimpleAverage::new(3);
+        sys.record(Rating::new(NodeId(0), NodeId(2), -1.0)); // honest
+        for _ in 0..20 {
+            sys.record(Rating::new(NodeId(1), NodeId(2), 1.0)); // colluder
+        }
+        sys.end_cycle();
+        assert!(sys.mean_rating(NodeId(2)) > 0.8);
+    }
+
+    #[test]
+    fn reputations_normalized_and_nonnegative() {
+        let mut sys = SimpleAverage::new(3);
+        sys.record(Rating::new(NodeId(0), NodeId(1), 1.0));
+        sys.record(Rating::new(NodeId(0), NodeId(2), -1.0));
+        sys.end_cycle();
+        let reps = sys.reputations();
+        assert!((reps.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(reps[2], 0.0);
+    }
+
+    #[test]
+    fn unrated_nodes_have_zero_mean() {
+        let mut sys = SimpleAverage::new(2);
+        sys.end_cycle();
+        assert_eq!(sys.mean_rating(NodeId(0)), 0.0);
+        assert_eq!(sys.reputations(), &[0.0, 0.0]);
+    }
+}

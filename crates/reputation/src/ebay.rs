@@ -1,0 +1,304 @@
+//! The eBay-style accumulative reputation model.
+//!
+//! The paper's second baseline mirrors eBay's weekly feedback aggregation,
+//! and the paper states two rules for it:
+//!
+//! 1. *"In eBay, a node's reputation increase is only determined by whether
+//!    the node offers more authentic files than inauthentic files in each
+//!    simulation cycle"* — the **weekly service record**: per cycle, a node
+//!    gains `+1` if its transaction-backed feedback nets positive, `−1` if
+//!    negative, `0` if balanced or absent. This is why *"nodes with B>0.5
+//!    are possible to have good reputation values"*.
+//! 2. *"No matter how frequently a node rates the other node in a
+//!    simulation cycle, eBay only counts all the ratings as one rating"* —
+//!    **per-rater dedup** of rating activity that is not backed by real
+//!    transactions (collusion rating spam): each such rater contributes
+//!    exactly one rating per cycle, whose value is the *mean* of the
+//!    values it submitted. For raw `±1` spam the mean is `±1` — the
+//!    paper's "counts all the ratings as one rating"; for
+//!    SocialTrust-adjusted (damped toward 0) spam the single counted
+//!    rating shrinks proportionally, which is what lets the adjustment
+//!    layer bite through the dedup.
+//!
+//! Per-cycle contributions accumulate into a lifetime score `R_i`; global
+//! reputations are the scores scaled to `[0, 1]` by `R_i / Σ_k R_k`
+//! (negatives clamped to zero first).
+//!
+//! Together the two rules reproduce every eBay observation in the paper:
+//! `B = 0.6` colluders gain `+2`/cycle (service `+1` + partner `+1`) and
+//! overtake normal nodes (`+1`); `B = 0.2` colluders stall at `0`
+//! (`−1 + 1`); boosted MCM/MMM nodes gain `+(boosters−1)`; and because a
+//! node's score moves by at most a few units per cycle, eBay converges far
+//! slower than EigenTrust (Figure 19).
+
+use std::collections::BTreeMap;
+
+use socialtrust_socnet::NodeId;
+
+use crate::normalize::normalize_to_simplex;
+use crate::rating::{PairKey, Rating};
+use crate::system::ReputationSystem;
+
+/// The eBay-style reputation engine.
+#[derive(Debug, Clone)]
+pub struct EBayModel {
+    /// Accumulated lifetime scores `R_i`.
+    scores: Vec<f64>,
+    /// Net transaction-backed feedback per node within the current cycle
+    /// (the weekly service record).
+    service_net: Vec<f64>,
+    /// (sum, count) of non-transactional (rating-spam) values per
+    /// rater→ratee pair within the current cycle.
+    spam_net: BTreeMap<PairKey, (f64, u64)>,
+    /// Normalized reputations from the last `end_cycle`.
+    reputations: Vec<f64>,
+}
+
+impl EBayModel {
+    /// An engine over `n` nodes; everyone starts at reputation 0.
+    pub fn new(n: usize) -> Self {
+        EBayModel {
+            scores: vec![0.0; n],
+            service_net: vec![0.0; n],
+            spam_net: BTreeMap::new(),
+            reputations: vec![0.0; n],
+        }
+    }
+
+    /// The raw accumulated score `R_i` (pre-normalization).
+    pub fn raw_score(&self, node: NodeId) -> f64 {
+        self.scores[node.index()]
+    }
+}
+
+impl ReputationSystem for EBayModel {
+    fn node_count(&self) -> usize {
+        self.scores.len()
+    }
+
+    fn record(&mut self, rating: Rating) {
+        if rating.rater == rating.ratee {
+            return; // self-feedback is ignored
+        }
+        if rating.transactional {
+            self.service_net[rating.ratee.index()] += rating.value;
+        } else {
+            let entry = self
+                .spam_net
+                .entry((rating.rater, rating.ratee))
+                .or_insert((0.0, 0));
+            entry.0 += rating.value;
+            entry.1 += 1;
+        }
+    }
+
+    fn end_cycle(&mut self) {
+        // Rule 1: weekly service record, ±1 per node.
+        for (i, net) in self.service_net.iter_mut().enumerate() {
+            if *net > 0.0 {
+                self.scores[i] += 1.0;
+            } else if *net < 0.0 {
+                self.scores[i] -= 1.0;
+            }
+            *net = 0.0;
+        }
+        // Rule 2: per-rater dedup of rating spam — one rating per rater,
+        // valued at the rater's mean submitted value.
+        for ((_rater, ratee), (sum, count)) in std::mem::take(&mut self.spam_net) {
+            if count > 0 {
+                self.scores[ratee.index()] += (sum / count as f64).clamp(-1.0, 1.0);
+            }
+        }
+        self.reputations = normalize_to_simplex(&self.scores);
+    }
+
+    fn reputations(&self) -> &[f64] {
+        &self.reputations
+    }
+
+    fn name(&self) -> String {
+        "eBay".into()
+    }
+
+    fn reset_node(&mut self, node: NodeId) {
+        self.scores[node.index()] = 0.0;
+        self.service_net[node.index()] = 0.0;
+        self.spam_net
+            .retain(|&(rater, ratee), _| rater != node && ratee != node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service(sys: &mut EBayModel, rater: u32, ratee: u32, value: f64) {
+        sys.record(Rating::new(NodeId(rater), NodeId(ratee), value));
+    }
+
+    fn spam(sys: &mut EBayModel, rater: u32, ratee: u32, value: f64) {
+        sys.record(Rating::new(NodeId(rater), NodeId(ratee), value).non_transactional());
+    }
+
+    #[test]
+    fn initial_reputations_are_zero() {
+        let sys = EBayModel::new(3);
+        assert_eq!(sys.reputations(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn service_record_is_node_level_sign() {
+        let mut sys = EBayModel::new(4);
+        // Node 1: 3 positive, 1 negative → +1 regardless of volume.
+        service(&mut sys, 0, 1, 1.0);
+        service(&mut sys, 2, 1, 1.0);
+        service(&mut sys, 3, 1, 1.0);
+        service(&mut sys, 0, 1, -1.0);
+        // Node 2: net negative → −1.
+        service(&mut sys, 0, 2, -1.0);
+        sys.end_cycle();
+        assert_eq!(sys.raw_score(NodeId(1)), 1.0);
+        assert_eq!(sys.raw_score(NodeId(2)), -1.0);
+        assert_eq!(sys.raw_score(NodeId(3)), 0.0, "no feedback ⇒ no change");
+    }
+
+    #[test]
+    fn balanced_service_record_contributes_nothing() {
+        let mut sys = EBayModel::new(2);
+        service(&mut sys, 0, 1, 1.0);
+        service(&mut sys, 0, 1, -1.0);
+        sys.end_cycle();
+        assert_eq!(sys.raw_score(NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn spam_frequency_within_a_cycle_is_deduplicated() {
+        let mut sys = EBayModel::new(3);
+        for _ in 0..20 {
+            spam(&mut sys, 0, 1, 1.0);
+        }
+        spam(&mut sys, 2, 1, 1.0);
+        sys.end_cycle();
+        // 20 spam ratings from node 0 count as one: R_1 = 2, not 21.
+        assert_eq!(sys.raw_score(NodeId(1)), 2.0);
+    }
+
+    #[test]
+    fn damped_spam_shrinks_below_one_unit() {
+        // SocialTrust multiplies spam values by a near-zero weight; the
+        // clamp then passes the tiny net through instead of rounding it
+        // back up to ±1.
+        let mut sys = EBayModel::new(2);
+        for _ in 0..20 {
+            spam(&mut sys, 0, 1, 0.001);
+        }
+        sys.end_cycle();
+        assert!((sys.raw_score(NodeId(1)) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colluder_with_good_behavior_gains_double() {
+        // The Figure 8(b) mechanism: B=0.6 colluder earns +1 service +1
+        // partner = +2/cycle, while a normal node earns +1.
+        let mut sys = EBayModel::new(4);
+        for _ in 0..3 {
+            service(&mut sys, 0, 1, 1.0); // normal node's good service
+            service(&mut sys, 0, 2, 1.0); // colluder's organic good service
+            for _ in 0..20 {
+                spam(&mut sys, 3, 2, 1.0); // partner boost
+            }
+            sys.end_cycle();
+        }
+        assert_eq!(sys.raw_score(NodeId(1)), 3.0);
+        assert_eq!(sys.raw_score(NodeId(2)), 6.0);
+    }
+
+    #[test]
+    fn colluder_with_bad_behavior_stalls() {
+        // The Figure 9(b) mechanism: B=0.2 colluder nets −1 service +1
+        // partner = 0/cycle, while normals grow.
+        let mut sys = EBayModel::new(4);
+        for _ in 0..5 {
+            service(&mut sys, 0, 1, 1.0);
+            service(&mut sys, 0, 2, -1.0); // colluder misbehaves organically
+            for _ in 0..20 {
+                spam(&mut sys, 3, 2, 1.0);
+            }
+            sys.end_cycle();
+        }
+        assert_eq!(sys.raw_score(NodeId(1)), 5.0);
+        assert_eq!(sys.raw_score(NodeId(2)), 0.0);
+        assert!(sys.reputation(NodeId(2)) < sys.reputation(NodeId(1)));
+    }
+
+    #[test]
+    fn scores_accumulate_across_cycles() {
+        let mut sys = EBayModel::new(2);
+        for _ in 0..3 {
+            service(&mut sys, 0, 1, 1.0);
+            sys.end_cycle();
+        }
+        assert_eq!(sys.raw_score(NodeId(1)), 3.0);
+    }
+
+    #[test]
+    fn reputations_are_normalized() {
+        let mut sys = EBayModel::new(3);
+        service(&mut sys, 0, 1, 1.0);
+        spam(&mut sys, 0, 2, 1.0);
+        spam(&mut sys, 1, 2, 1.0);
+        sys.end_cycle();
+        let reps = sys.reputations();
+        assert!((reps.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((reps[2] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((reps[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_scores_clamp_to_zero_reputation() {
+        let mut sys = EBayModel::new(2);
+        service(&mut sys, 0, 1, -1.0);
+        sys.end_cycle();
+        assert_eq!(sys.raw_score(NodeId(1)), -1.0);
+        assert_eq!(sys.reputation(NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn self_feedback_ignored() {
+        let mut sys = EBayModel::new(2);
+        service(&mut sys, 1, 1, 1.0);
+        spam(&mut sys, 1, 1, 1.0);
+        sys.end_cycle();
+        assert_eq!(sys.raw_score(NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn reset_node_wipes_score_and_pending_state() {
+        let mut sys = EBayModel::new(3);
+        service(&mut sys, 0, 1, -1.0);
+        sys.end_cycle();
+        assert_eq!(sys.raw_score(NodeId(1)), -1.0);
+        // Pending state in the new cycle is wiped too.
+        service(&mut sys, 0, 1, -1.0);
+        spam(&mut sys, 2, 1, 1.0);
+        sys.reset_node(NodeId(1));
+        sys.end_cycle();
+        assert_eq!(sys.raw_score(NodeId(1)), 0.0, "fresh identity");
+    }
+
+    #[test]
+    fn convergence_is_bounded_per_cycle() {
+        // The Figure 19 mechanism: however loud the feedback, |ΔR| per
+        // cycle is at most 1 + number of spamming raters — reputations
+        // move slowly.
+        let mut sys = EBayModel::new(3);
+        for _ in 0..50 {
+            service(&mut sys, 0, 1, -1.0);
+        }
+        for _ in 0..50 {
+            spam(&mut sys, 2, 1, -1.0);
+        }
+        sys.end_cycle();
+        assert_eq!(sys.raw_score(NodeId(1)), -2.0, "−1 service − 1 spam rater");
+    }
+}

@@ -1,0 +1,264 @@
+//! A TrustGuard-style feedback-credibility baseline.
+//!
+//! The paper's related work describes TrustGuard (Srivatsa, Xiong & Liu,
+//! WWW'05) as giving *"more weight to the feedbacks from similar ratings,
+//! acting as an effective defense against potential collusive nodes that
+//! only give good ratings within the clique and give bad rating to
+//! everyone else"*. This module implements that *feedback-similarity*
+//! credibility idea as a comparator baseline:
+//!
+//! * each rater's credibility is derived from how well its ratings agree
+//!   with the community consensus about the nodes it rated (root-mean-
+//!   square distance between its mean per-ratee rating and the global mean
+//!   per-ratee rating);
+//! * a node's reputation is the credibility-weighted mean of the ratings
+//!   it received, normalized onto the simplex.
+//!
+//! It needs no social information at all — which is exactly why the
+//! comparison with SocialTrust is interesting: feedback similarity fails
+//! when colluders also rate honestly outside the clique (their consensus
+//! distance stays small), while SocialTrust keys on the social and
+//! interest structure of the clique itself.
+
+use std::collections::BTreeMap;
+
+use socialtrust_socnet::NodeId;
+
+use crate::normalize::normalize_to_simplex;
+use crate::rating::{PairKey, Rating};
+use crate::system::ReputationSystem;
+
+/// The feedback-similarity-weighted reputation engine.
+#[derive(Debug, Clone)]
+pub struct FeedbackSimilarity {
+    n: usize,
+    /// Lifetime (sum, count) of ratings per rater→ratee pair.
+    pair_totals: BTreeMap<PairKey, (f64, u64)>,
+    /// Ratings buffered since the last `end_cycle`.
+    buffer: Vec<Rating>,
+    /// Normalized reputations from the last `end_cycle`.
+    reputations: Vec<f64>,
+    /// Last computed per-rater credibility (diagnostics).
+    credibility: Vec<f64>,
+}
+
+impl FeedbackSimilarity {
+    /// An engine over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        FeedbackSimilarity {
+            n,
+            pair_totals: BTreeMap::new(),
+            buffer: Vec::new(),
+            reputations: vec![0.0; n],
+            credibility: vec![1.0; n],
+        }
+    }
+
+    /// The credibility of `rater` from the most recent update, in `(0, 1]`.
+    pub fn credibility(&self, rater: NodeId) -> f64 {
+        self.credibility[rater.index()]
+    }
+
+    /// Global mean rating per ratee over all raters' *mean* opinions (each
+    /// rater counts once per ratee, so frequency cannot stuff the
+    /// consensus).
+    fn consensus(&self) -> BTreeMap<NodeId, (f64, u64)> {
+        let mut acc: BTreeMap<NodeId, (f64, u64)> = BTreeMap::new();
+        for (&(_, ratee), &(sum, count)) in &self.pair_totals {
+            if count > 0 {
+                let e = acc.entry(ratee).or_insert((0.0, 0));
+                e.0 += sum / count as f64;
+                e.1 += 1;
+            }
+        }
+        acc
+    }
+}
+
+impl ReputationSystem for FeedbackSimilarity {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn record(&mut self, rating: Rating) {
+        if rating.rater != rating.ratee {
+            self.buffer.push(rating);
+        }
+    }
+
+    fn end_cycle(&mut self) {
+        for r in std::mem::take(&mut self.buffer) {
+            let e = self
+                .pair_totals
+                .entry((r.rater, r.ratee))
+                .or_insert((0.0, 0));
+            e.0 += r.value;
+            e.1 += 1;
+        }
+        // 1. Community consensus per ratee.
+        let consensus = self.consensus();
+        let mean_of: BTreeMap<NodeId, f64> = consensus
+            .iter()
+            .map(|(&ratee, &(sum, n))| (ratee, sum / n as f64))
+            .collect();
+        // 2. Per-rater credibility = 1 / (1 + RMS distance to consensus).
+        let mut sq_dist = vec![0.0f64; self.n];
+        let mut rated_count = vec![0u64; self.n];
+        for (&(rater, ratee), &(sum, count)) in &self.pair_totals {
+            if count == 0 {
+                continue;
+            }
+            let my_mean = sum / count as f64;
+            let consensus_mean = mean_of.get(&ratee).copied().unwrap_or(0.0);
+            sq_dist[rater.index()] += (my_mean - consensus_mean).powi(2);
+            rated_count[rater.index()] += 1;
+        }
+        for i in 0..self.n {
+            self.credibility[i] = if rated_count[i] == 0 {
+                1.0
+            } else {
+                1.0 / (1.0 + (sq_dist[i] / rated_count[i] as f64).sqrt())
+            };
+        }
+        // 3. Reputation = credibility-weighted mean received rating
+        //    (per-rater mean opinions, weighted by rater credibility).
+        let mut weighted = vec![0.0f64; self.n];
+        let mut weights = vec![0.0f64; self.n];
+        for (&(rater, ratee), &(sum, count)) in &self.pair_totals {
+            if count == 0 {
+                continue;
+            }
+            let c = self.credibility[rater.index()];
+            weighted[ratee.index()] += c * (sum / count as f64);
+            weights[ratee.index()] += c;
+        }
+        let scores: Vec<f64> = (0..self.n)
+            .map(|i| {
+                if weights[i] > 0.0 {
+                    weighted[i] / weights[i]
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        self.reputations = normalize_to_simplex(&scores);
+    }
+
+    fn reputations(&self) -> &[f64] {
+        &self.reputations
+    }
+
+    fn name(&self) -> String {
+        "FeedbackSimilarity".into()
+    }
+
+    fn reset_node(&mut self, node: NodeId) {
+        self.pair_totals
+            .retain(|&(rater, ratee), _| rater != node && ratee != node);
+        self.buffer
+            .retain(|r| r.rater != node && r.ratee != node);
+        self.credibility[node.index()] = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate(sys: &mut FeedbackSimilarity, rater: u32, ratee: u32, value: f64) {
+        sys.record(Rating::new(NodeId(rater), NodeId(ratee), value));
+    }
+
+    #[test]
+    fn agreeing_raters_keep_full_credibility() {
+        let mut sys = FeedbackSimilarity::new(4);
+        // Everyone agrees node 3 is good.
+        rate(&mut sys, 0, 3, 1.0);
+        rate(&mut sys, 1, 3, 1.0);
+        rate(&mut sys, 2, 3, 1.0);
+        sys.end_cycle();
+        for r in 0..3u32 {
+            assert!((sys.credibility(NodeId(r)) - 1.0).abs() < 1e-9);
+        }
+        assert!(sys.reputation(NodeId(3)) > 0.9);
+    }
+
+    #[test]
+    fn dissenting_rater_loses_credibility() {
+        let mut sys = FeedbackSimilarity::new(5);
+        // Three honest raters say node 4 is bad; node 0 insists it's great.
+        rate(&mut sys, 1, 4, -1.0);
+        rate(&mut sys, 2, 4, -1.0);
+        rate(&mut sys, 3, 4, -1.0);
+        rate(&mut sys, 0, 4, 1.0);
+        sys.end_cycle();
+        assert!(
+            sys.credibility(NodeId(0)) < sys.credibility(NodeId(1)),
+            "{} vs {}",
+            sys.credibility(NodeId(0)),
+            sys.credibility(NodeId(1))
+        );
+    }
+
+    #[test]
+    fn frequency_cannot_stuff_the_consensus() {
+        let mut sys = FeedbackSimilarity::new(4);
+        // One colluder rates 100 times; two honest raters once each. The
+        // consensus counts each rater's mean once.
+        for _ in 0..100 {
+            rate(&mut sys, 0, 3, 1.0);
+        }
+        rate(&mut sys, 1, 3, -1.0);
+        rate(&mut sys, 2, 3, -1.0);
+        sys.end_cycle();
+        // Consensus mean = (1 - 1 - 1)/3 = -1/3 < 0: the colluder deviates.
+        assert!(sys.credibility(NodeId(0)) < sys.credibility(NodeId(1)));
+        assert!(sys.reputation(NodeId(3)) < 0.5);
+    }
+
+    #[test]
+    fn isolated_clique_self_agreement_is_the_known_weakness() {
+        // A clique rating only each other agrees with "the consensus" about
+        // its own members perfectly — feedback similarity cannot see it.
+        let mut sys = FeedbackSimilarity::new(6);
+        rate(&mut sys, 0, 1, 1.0); // honest pair
+        rate(&mut sys, 1, 0, 1.0);
+        rate(&mut sys, 4, 5, 1.0); // colluding pair, no outside raters
+        rate(&mut sys, 5, 4, 1.0);
+        sys.end_cycle();
+        assert!((sys.credibility(NodeId(4)) - 1.0).abs() < 1e-9);
+        assert_eq!(sys.reputation(NodeId(4)), sys.reputation(NodeId(0)));
+    }
+
+    #[test]
+    fn reputations_normalized() {
+        let mut sys = FeedbackSimilarity::new(3);
+        rate(&mut sys, 0, 1, 1.0);
+        rate(&mut sys, 0, 2, 1.0);
+        sys.end_cycle();
+        let sum: f64 = sys.reputations().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_node_restores_newcomer_state() {
+        let mut sys = FeedbackSimilarity::new(4);
+        rate(&mut sys, 1, 0, -1.0);
+        rate(&mut sys, 2, 0, 1.0);
+        rate(&mut sys, 3, 0, 1.0);
+        sys.end_cycle();
+        assert!(sys.credibility(NodeId(1)) < 1.0);
+        sys.reset_node(NodeId(1));
+        sys.end_cycle();
+        assert!((sys.credibility(NodeId(1)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cycle_is_harmless() {
+        let mut sys = FeedbackSimilarity::new(3);
+        sys.end_cycle();
+        assert_eq!(sys.reputations(), &[0.0, 0.0, 0.0]);
+        assert_eq!(sys.name(), "FeedbackSimilarity");
+        assert_eq!(sys.node_count(), 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! Gossip-based aggregation — the decentralized substrate behind
+//! GossipTrust (Zhou & Hwang, TKDE'07), cited in the paper's related work:
+//! *"GossipTrust enables peers to share weighted local trust scores with
+//! randomly selected neighbors until reaching global consensus on peer
+//! reputations."*
+//!
+//! The core primitive is **push-sum** (Kempe, Dobra & Gehrke, FOCS'03):
+//! every node holds a `(value, weight)` pair; each round it keeps half and
+//! pushes half to a uniformly random peer; `value/weight` at every node
+//! converges exponentially fast to the global average. Aggregating each
+//! node's *weighted local trust* about a target this way yields the
+//! target's global score without any central collector.
+//!
+//! The simulation here is synchronous and deterministic under a seeded
+//! RNG, which is what the tests and the experiment harness need.
+
+use rand::Rng;
+
+/// State of one push-sum instance over `n` nodes (one scalar per node —
+/// run one instance per aggregation target, or reuse by calling
+/// [`PushSum::reset`]).
+#[derive(Debug, Clone)]
+pub struct PushSum {
+    values: Vec<f64>,
+    weights: Vec<f64>,
+    true_average: f64,
+    rounds: usize,
+}
+
+impl PushSum {
+    /// Start an aggregation over the given local values (weight 1 each).
+    ///
+    /// # Panics
+    /// Panics if `local_values` is empty or contains non-finite numbers.
+    pub fn new(local_values: &[f64]) -> Self {
+        assert!(!local_values.is_empty(), "need at least one node");
+        assert!(
+            local_values.iter().all(|v| v.is_finite()),
+            "local values must be finite"
+        );
+        let true_average = local_values.iter().sum::<f64>() / local_values.len() as f64;
+        PushSum {
+            values: local_values.to_vec(),
+            weights: vec![1.0; local_values.len()],
+            true_average,
+            rounds: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The exact average the protocol converges to (for tests/monitoring;
+    /// a real deployment doesn't know this).
+    pub fn true_average(&self) -> f64 {
+        self.true_average
+    }
+
+    /// Every node's current estimate `value/weight`.
+    pub fn estimates(&self) -> Vec<f64> {
+        self.values
+            .iter()
+            .zip(&self.weights)
+            .map(|(&v, &w)| if w > 0.0 { v / w } else { 0.0 })
+            .collect()
+    }
+
+    /// Worst-case relative error of the current estimates against the true
+    /// average (absolute error when the average is ~0).
+    pub fn max_error(&self) -> f64 {
+        let scale = self.true_average.abs().max(1e-12);
+        self.estimates()
+            .iter()
+            .map(|e| (e - self.true_average).abs() / scale)
+            .fold(0.0, f64::max)
+    }
+
+    /// Execute one synchronous push-sum round: every node keeps half its
+    /// mass and pushes half to a uniformly random other node.
+    pub fn round<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.values.len();
+        if n == 1 {
+            self.rounds += 1;
+            return;
+        }
+        let mut new_values = vec![0.0; n];
+        let mut new_weights = vec![0.0; n];
+        for i in 0..n {
+            let mut target = rng.gen_range(0..n - 1);
+            if target >= i {
+                target += 1; // uniform over the *other* nodes
+            }
+            let v_half = self.values[i] / 2.0;
+            let w_half = self.weights[i] / 2.0;
+            new_values[i] += v_half;
+            new_weights[i] += w_half;
+            new_values[target] += v_half;
+            new_weights[target] += w_half;
+        }
+        self.values = new_values;
+        self.weights = new_weights;
+        self.rounds += 1;
+    }
+
+    /// Run rounds until every node's estimate is within `tolerance`
+    /// (relative) of the average, or `max_rounds` elapse. Returns the
+    /// number of rounds executed in this call.
+    pub fn run_to_convergence<R: Rng + ?Sized>(
+        &mut self,
+        tolerance: f64,
+        max_rounds: usize,
+        rng: &mut R,
+    ) -> usize {
+        let start = self.rounds;
+        while self.max_error() > tolerance && self.rounds - start < max_rounds {
+            self.round(rng);
+        }
+        self.rounds - start
+    }
+
+    /// Restart the protocol with fresh local values, keeping the allocation.
+    pub fn reset(&mut self, local_values: &[f64]) {
+        assert_eq!(local_values.len(), self.values.len(), "node count fixed");
+        self.values.copy_from_slice(local_values);
+        self.weights.iter_mut().for_each(|w| *w = 1.0);
+        self.true_average = local_values.iter().sum::<f64>() / local_values.len() as f64;
+        self.rounds = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn mass_conservation_every_round() {
+        let mut ps = PushSum::new(&[1.0, 5.0, 3.0, 7.0]);
+        let total_v: f64 = 16.0;
+        let total_w: f64 = 4.0;
+        let mut r = rng(1);
+        for _ in 0..20 {
+            ps.round(&mut r);
+            assert!((ps.values.iter().sum::<f64>() - total_v).abs() < 1e-9);
+            assert!((ps.weights.iter().sum::<f64>() - total_w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn converges_to_the_true_average() {
+        let locals: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+        let mut ps = PushSum::new(&locals);
+        let mut r = rng(2);
+        let rounds = ps.run_to_convergence(1e-6, 500, &mut r);
+        assert!(ps.max_error() <= 1e-6, "error {}", ps.max_error());
+        assert!(rounds > 0);
+        for e in ps.estimates() {
+            assert!((e - ps.true_average()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn convergence_is_logarithmic_ish() {
+        // Push-sum converges in O(log n + log 1/ε) rounds; at n = 128 and
+        // ε = 1e-4 this should comfortably fit in 100 rounds.
+        let locals: Vec<f64> = (0..128).map(|i| i as f64).collect();
+        let mut ps = PushSum::new(&locals);
+        let mut r = rng(3);
+        let rounds = ps.run_to_convergence(1e-4, 1000, &mut r);
+        assert!(rounds < 100, "took {rounds} rounds");
+    }
+
+    #[test]
+    fn single_node_is_trivially_converged() {
+        let mut ps = PushSum::new(&[42.0]);
+        assert_eq!(ps.max_error(), 0.0);
+        let mut r = rng(4);
+        assert_eq!(ps.run_to_convergence(1e-9, 10, &mut r), 0);
+        assert_eq!(ps.estimates(), vec![42.0]);
+    }
+
+    #[test]
+    fn reset_reuses_the_instance() {
+        let mut ps = PushSum::new(&[1.0, 2.0]);
+        let mut r = rng(5);
+        ps.run_to_convergence(1e-6, 200, &mut r);
+        ps.reset(&[10.0, 30.0]);
+        assert_eq!(ps.rounds(), 0);
+        assert!((ps.true_average() - 20.0).abs() < 1e-12);
+        ps.run_to_convergence(1e-6, 200, &mut r);
+        for e in ps.estimates() {
+            assert!((e - 20.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gossip_matches_centralized_reputation_aggregation() {
+        // The GossipTrust use-case: each node holds its local (already
+        // weighted) trust contribution about one target; the decentralized
+        // average must match what a central collector would compute.
+        let contributions = [0.0, 0.2, 0.9, 0.4, 0.0, 0.1, 0.7, 0.3];
+        let central = contributions.iter().sum::<f64>() / contributions.len() as f64;
+        let mut ps = PushSum::new(&contributions);
+        let mut r = rng(6);
+        ps.run_to_convergence(1e-8, 500, &mut r);
+        for e in ps.estimates() {
+            assert!((e - central).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_input_rejected() {
+        PushSum::new(&[]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Normalization helpers shared by the reputation engines.
+
+/// Project raw scores onto the probability simplex the way the paper does
+/// for eBay (*"we scale the reputation of each node to \[0,1\] by
+/// `R_i / Σ_k R_k`"*): negative scores are clamped to zero first (a node
+/// cannot have negative global reputation), then everything is divided by
+/// the sum. If the sum is zero the output is all zeros.
+pub fn normalize_to_simplex(scores: &[f64]) -> Vec<f64> {
+    let clamped: Vec<f64> = scores.iter().map(|&s| s.max(0.0)).collect();
+    let sum: f64 = clamped.iter().sum();
+    if sum <= 0.0 {
+        return vec![0.0; scores.len()];
+    }
+    clamped.into_iter().map(|s| s / sum).collect()
+}
+
+/// L1 distance between two vectors of equal length — the power-iteration
+/// convergence criterion used by EigenTrust.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simplex_normalization_sums_to_one() {
+        let v = normalize_to_simplex(&[1.0, 3.0, 0.0]);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((v[0] - 0.25).abs() < 1e-12);
+        assert!((v[1] - 0.75).abs() < 1e-12);
+        assert_eq!(v[2], 0.0);
+    }
+
+    #[test]
+    fn negatives_are_clamped_before_normalizing() {
+        let v = normalize_to_simplex(&[-5.0, 1.0, 1.0]);
+        assert_eq!(v[0], 0.0);
+        assert!((v[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_or_negative_yields_zero_vector() {
+        assert_eq!(normalize_to_simplex(&[0.0, -1.0]), vec![0.0, 0.0]);
+        assert_eq!(normalize_to_simplex(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn l1_distance_basics() {
+        assert_eq!(l1_distance(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((l1_distance(&[1.0, 0.0], &[0.0, 1.0]) - 2.0).abs() < 1e-12);
+    }
+}

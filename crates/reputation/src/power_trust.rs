@@ -1,0 +1,362 @@
+//! A PowerTrust-style baseline (Zhou & Hwang, TPDS'07), cited in the
+//! paper's related work as *"a robust and scalable reputation system for
+//! trusted P2P computing"*.
+//!
+//! PowerTrust's key idea: P2P feedback networks are power-law — a few
+//! *power nodes* accumulate most of the feedback — and the system
+//! leverages them dynamically instead of a static pre-trusted set.
+//! This implementation keeps the essential structure:
+//!
+//! * local trust is normalized feedback (like EigenTrust);
+//! * the global vector is a damped power iteration whose teleport
+//!   distribution is **recomputed every cycle** over the current top-`m`
+//!   most reputable nodes (the dynamically-elected power nodes), rather
+//!   than a fixed pre-trusted set;
+//! * power nodes therefore rotate with the system's opinion — robust to a
+//!   static pre-trusted node being compromised, but (as the SocialTrust
+//!   paper's argument goes) *not* robust to colluders voting each other
+//!   into the power set.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use socialtrust_socnet::NodeId;
+
+use crate::normalize::l1_distance;
+use crate::rating::Rating;
+use crate::system::ReputationSystem;
+
+/// Tunables for the PowerTrust engine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PowerTrustConfig {
+    /// Number of dynamically-elected power nodes `m`.
+    pub power_nodes: usize,
+    /// Damping weight toward the power-node distribution.
+    pub damping: f64,
+    /// L1 convergence threshold for the power iteration.
+    pub epsilon: f64,
+    /// Safety cap on iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for PowerTrustConfig {
+    fn default() -> Self {
+        PowerTrustConfig {
+            power_nodes: 10,
+            damping: 0.15,
+            epsilon: 1e-10,
+            max_iterations: 1000,
+        }
+    }
+}
+
+/// The PowerTrust-style reputation engine.
+#[derive(Debug, Clone)]
+pub struct PowerTrust {
+    n: usize,
+    config: PowerTrustConfig,
+    /// Accumulated local satisfaction sums, sparse per rater.
+    sat: Vec<BTreeMap<NodeId, f64>>,
+    buffer: Vec<Rating>,
+    reputations: Vec<f64>,
+    power_set: Vec<NodeId>,
+}
+
+impl PowerTrust {
+    /// An engine over `n` nodes.
+    pub fn new(n: usize, config: PowerTrustConfig) -> Self {
+        assert!(config.power_nodes >= 1, "need at least one power node");
+        assert!((0.0..=1.0).contains(&config.damping));
+        PowerTrust {
+            n,
+            config,
+            sat: vec![BTreeMap::new(); n],
+            buffer: Vec::new(),
+            reputations: vec![0.0; n],
+            power_set: Vec::new(),
+        }
+    }
+
+    /// With default configuration.
+    pub fn with_defaults(n: usize) -> Self {
+        PowerTrust::new(n, PowerTrustConfig::default())
+    }
+
+    /// The power nodes elected at the last update (empty before the first
+    /// cycle).
+    pub fn power_nodes(&self) -> &[NodeId] {
+        &self.power_set
+    }
+
+    /// The current teleport distribution: uniform over the elected power
+    /// set, or uniform over everyone before any reputations exist.
+    fn teleport(&self) -> Vec<f64> {
+        let mut q = vec![0.0; self.n];
+        if self.power_set.is_empty() {
+            for v in &mut q {
+                *v = 1.0 / self.n as f64;
+            }
+        } else {
+            for &p in &self.power_set {
+                q[p.index()] = 1.0 / self.power_set.len() as f64;
+            }
+        }
+        q
+    }
+
+    fn local_trust_row(&self, i: usize) -> Vec<f64> {
+        let mut row = vec![0.0; self.n];
+        let mut sum = 0.0;
+        for (&j, &s) in &self.sat[i] {
+            let v = s.max(0.0);
+            row[j.index()] = v;
+            sum += v;
+        }
+        if sum > 0.0 {
+            for v in &mut row {
+                *v /= sum;
+            }
+        } else {
+            // Nodes with no positive opinions spread their trust uniformly.
+            // Defaulting to the teleport distribution (as EigenTrust does
+            // with its *static* pre-trusted set) would let the first
+            // elected power set reinforce itself forever.
+            for v in &mut row {
+                *v = 1.0 / self.n as f64;
+            }
+        }
+        row
+    }
+
+    fn elect_power_nodes(&mut self) {
+        let mut ranked: Vec<NodeId> = (0..self.n).map(NodeId::from).collect();
+        ranked.sort_by(|a, b| {
+            self.reputations[b.index()]
+                .partial_cmp(&self.reputations[a.index()])
+                .expect("finite")
+                .then(a.cmp(b)) // deterministic tie-break
+        });
+        ranked.truncate(self.config.power_nodes.min(self.n));
+        self.power_set = ranked;
+    }
+}
+
+impl ReputationSystem for PowerTrust {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn record(&mut self, rating: Rating) {
+        if rating.rater != rating.ratee {
+            self.buffer.push(rating);
+        }
+    }
+
+    fn end_cycle(&mut self) {
+        for r in std::mem::take(&mut self.buffer) {
+            *self.sat[r.rater.index()].entry(r.ratee).or_insert(0.0) += r.value;
+        }
+        if self.n == 0 {
+            return;
+        }
+        let teleport = self.teleport();
+        let rows: Vec<Vec<f64>> = (0..self.n).map(|i| self.local_trust_row(i)).collect();
+        let a = self.config.damping;
+        let mut t = teleport.clone();
+        let mut next = vec![0.0; self.n];
+        let mut iters = 0;
+        loop {
+            next.copy_from_slice(&teleport);
+            for v in &mut next {
+                *v *= a;
+            }
+            for (i, row) in rows.iter().enumerate() {
+                let ti = t[i];
+                if ti == 0.0 {
+                    continue;
+                }
+                let w = (1.0 - a) * ti;
+                for (j, &cij) in row.iter().enumerate() {
+                    if cij != 0.0 {
+                        next[j] += w * cij;
+                    }
+                }
+            }
+            iters += 1;
+            let delta = l1_distance(&next, &t);
+            std::mem::swap(&mut t, &mut next);
+            if delta < self.config.epsilon || iters >= self.config.max_iterations {
+                break;
+            }
+        }
+        self.reputations = t;
+        // Elect next cycle's power nodes from the fresh reputations.
+        self.elect_power_nodes();
+    }
+
+    fn reputations(&self) -> &[f64] {
+        &self.reputations
+    }
+
+    fn name(&self) -> String {
+        "PowerTrust".into()
+    }
+
+    fn reset_node(&mut self, node: NodeId) {
+        self.sat[node.index()].clear();
+        for row in &mut self.sat {
+            row.remove(&node);
+        }
+        self.buffer
+            .retain(|r| r.rater != node && r.ratee != node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rate(sys: &mut PowerTrust, rater: u32, ratee: u32, value: f64) {
+        sys.record(Rating::new(NodeId(rater), NodeId(ratee), value));
+    }
+
+    #[test]
+    fn first_cycle_uses_uniform_teleport() {
+        let mut sys = PowerTrust::with_defaults(4);
+        sys.end_cycle();
+        for &v in sys.reputations() {
+            assert!((v - 0.25).abs() < 1e-9);
+        }
+        assert_eq!(sys.power_nodes().len(), 4);
+    }
+
+    #[test]
+    fn power_nodes_track_reputation() {
+        let mut sys = PowerTrust::new(
+            6,
+            PowerTrustConfig {
+                power_nodes: 2,
+                ..PowerTrustConfig::default()
+            },
+        );
+        // Everyone praises nodes 4 and 5.
+        for rater in 0..4u32 {
+            rate(&mut sys, rater, 4, 1.0);
+            rate(&mut sys, rater, 5, 1.0);
+        }
+        sys.end_cycle();
+        let powers = sys.power_nodes().to_vec();
+        assert!(powers.contains(&NodeId(4)) && powers.contains(&NodeId(5)), "{powers:?}");
+    }
+
+    #[test]
+    fn reputations_form_a_distribution() {
+        let mut sys = PowerTrust::with_defaults(5);
+        rate(&mut sys, 0, 1, 1.0);
+        rate(&mut sys, 1, 2, 1.0);
+        rate(&mut sys, 2, 0, -1.0);
+        sys.end_cycle();
+        let sum: f64 = sys.reputations().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+        assert!(sys.reputations().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn no_static_pretrusted_single_point_of_failure() {
+        // A node that misbehaves loses its power status in later cycles —
+        // unlike a compromised static pre-trusted node in EigenTrust.
+        let mut sys = PowerTrust::new(
+            5,
+            PowerTrustConfig {
+                power_nodes: 1,
+                ..PowerTrustConfig::default()
+            },
+        );
+        for rater in 1..5u32 {
+            rate(&mut sys, rater, 0, 1.0);
+        }
+        sys.end_cycle();
+        assert_eq!(sys.power_nodes(), &[NodeId(0)]);
+        // Now everyone condemns node 0 (and praises node 1) for a few
+        // cycles — including node 1, so no stale positive opinion of the
+        // old power node survives.
+        for _ in 0..5 {
+            rate(&mut sys, 1, 0, -1.0);
+            for rater in 2..5u32 {
+                rate(&mut sys, rater, 0, -1.0);
+                rate(&mut sys, rater, 1, 1.0);
+            }
+            sys.end_cycle();
+        }
+        assert_eq!(sys.power_nodes(), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn colluders_can_capture_the_power_set() {
+        // The vulnerability the SocialTrust paper's argument predicts:
+        // a mutually-boosting pair traps the trust that flows into it
+        // (honest nodes spread theirs), so the colluders out-rank honest
+        // nodes and get elected as power nodes.
+        let mut sys = PowerTrust::new(
+            6,
+            PowerTrustConfig {
+                power_nodes: 2,
+                ..PowerTrustConfig::default()
+            },
+        );
+        for _ in 0..4 {
+            // Honest nodes 0-3 spread their trust across each other…
+            for rater in 0..4u32 {
+                for ratee in 0..4u32 {
+                    if rater != ratee {
+                        rate(&mut sys, rater, ratee, 1.0);
+                    }
+                }
+            }
+            // …and one honest node occasionally uses colluder 4 (so the
+            // collusion cluster has organic inflow to trap).
+            rate(&mut sys, 0, 4, 1.0);
+            // The colluders rate only each other, at high frequency.
+            for _ in 0..30 {
+                rate(&mut sys, 4, 5, 1.0);
+                rate(&mut sys, 5, 4, 1.0);
+            }
+            sys.end_cycle();
+        }
+        let powers = sys.power_nodes();
+        assert!(
+            powers.contains(&NodeId(4)) || powers.contains(&NodeId(5)),
+            "colluders captured no power slot: {powers:?} (reps {:?})",
+            sys.reputations()
+        );
+    }
+
+    #[test]
+    fn reset_node_forgets_opinions() {
+        let mut sys = PowerTrust::with_defaults(4);
+        for rater in 1..4u32 {
+            rate(&mut sys, rater, 0, 1.0);
+        }
+        sys.end_cycle();
+        let before = sys.reputation(NodeId(0));
+        sys.reset_node(NodeId(0));
+        sys.end_cycle();
+        assert!(
+            sys.reputation(NodeId(0)) < before,
+            "a reset identity loses its accumulated standing"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut sys = PowerTrust::with_defaults(6);
+            for c in 0..3 {
+                rate(&mut sys, c, (c + 1) % 6, 1.0);
+                sys.end_cycle();
+            }
+            sys.reputations().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+}

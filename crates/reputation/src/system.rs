@@ -1,0 +1,138 @@
+//! The `ReputationSystem` trait: the interface every reputation engine in
+//! this workspace implements, and the seam where SocialTrust plugs in.
+//!
+//! The lifecycle mirrors the paper's simulation: clients submit ratings
+//! during a simulation cycle ([`ReputationSystem::record`]); at the end of
+//! the cycle the system recomputes global reputations
+//! ([`ReputationSystem::end_cycle`] — *"each node's global reputation is
+//! updated once after each simulation cycle"*).
+
+use socialtrust_socnet::NodeId;
+
+use crate::rating::Rating;
+
+/// A reputation engine that turns streams of ratings into a global
+/// reputation vector.
+///
+/// Implementations buffer ratings between `end_cycle` calls; reputations
+/// are only guaranteed to reflect a rating after the cycle it was recorded
+/// in has ended.
+pub trait ReputationSystem {
+    /// Number of nodes this system tracks.
+    fn node_count(&self) -> usize;
+
+    /// Buffer one rating for the current cycle.
+    fn record(&mut self, rating: Rating);
+
+    /// Close the current cycle: fold all buffered ratings into the global
+    /// reputation vector.
+    fn end_cycle(&mut self);
+
+    /// The global reputation of `node`, from the most recent `end_cycle`.
+    fn reputation(&self, node: NodeId) -> f64 {
+        self.reputations()[node.index()]
+    }
+
+    /// The full global reputation vector (indexed by `NodeId::index`).
+    fn reputations(&self) -> &[f64];
+
+    /// Human-readable name, used in experiment output ("EigenTrust",
+    /// "eBay", "EigenTrust+SocialTrust", …).
+    fn name(&self) -> String;
+
+    /// Cumulative count of individual ratings an adjustment layer (such as
+    /// SocialTrust) has rescaled. Plain engines report 0.
+    fn total_adjusted_ratings(&self) -> u64 {
+        0
+    }
+
+    /// Cumulative count of suspicions an adjustment layer has flagged.
+    /// Plain engines report 0.
+    fn total_suspicions(&self) -> u64 {
+        0
+    }
+
+    /// Forget everything known about `node` — it re-enters the system as a
+    /// fresh identity (whitewashing / newcomer modeling). Both the node's
+    /// accumulated standing and other nodes' recorded opinions *about* it
+    /// are dropped; opinions the node issued about others are dropped too
+    /// (they belonged to the old identity). Default: no-op for stateless
+    /// engines.
+    fn reset_node(&mut self, _node: NodeId) {}
+}
+
+/// Blanket impl so `Box<dyn ReputationSystem>` composes with decorators.
+impl<T: ReputationSystem + ?Sized> ReputationSystem for Box<T> {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn record(&mut self, rating: Rating) {
+        (**self).record(rating)
+    }
+    fn end_cycle(&mut self) {
+        (**self).end_cycle()
+    }
+    fn reputation(&self, node: NodeId) -> f64 {
+        (**self).reputation(node)
+    }
+    fn reputations(&self) -> &[f64] {
+        (**self).reputations()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn total_adjusted_ratings(&self) -> u64 {
+        (**self).total_adjusted_ratings()
+    }
+    fn total_suspicions(&self) -> u64 {
+        (**self).total_suspicions()
+    }
+    fn reset_node(&mut self, node: NodeId) {
+        (**self).reset_node(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal fake: reputation = count of ratings received, normalized.
+    struct CountSystem {
+        buf: Vec<Rating>,
+        reps: Vec<f64>,
+    }
+
+    impl ReputationSystem for CountSystem {
+        fn node_count(&self) -> usize {
+            self.reps.len()
+        }
+        fn record(&mut self, rating: Rating) {
+            self.buf.push(rating);
+        }
+        fn end_cycle(&mut self) {
+            for r in self.buf.drain(..) {
+                self.reps[r.ratee.index()] += 1.0;
+            }
+        }
+        fn reputations(&self) -> &[f64] {
+            &self.reps
+        }
+        fn name(&self) -> String {
+            "count".into()
+        }
+    }
+
+    #[test]
+    fn boxed_system_delegates() {
+        let mut sys: Box<dyn ReputationSystem> = Box::new(CountSystem {
+            buf: vec![],
+            reps: vec![0.0; 3],
+        });
+        sys.record(Rating::new(NodeId(0), NodeId(1), 1.0));
+        assert_eq!(sys.reputation(NodeId(1)), 0.0, "not folded until end_cycle");
+        sys.end_cycle();
+        assert_eq!(sys.reputation(NodeId(1)), 1.0);
+        assert_eq!(sys.node_count(), 3);
+        assert_eq!(sys.name(), "count");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the reputation engines.
+
+use proptest::prelude::*;
+use socialtrust_reputation::prelude::*;
+use socialtrust_socnet::NodeId;
+
+/// A random batch of ratings among `n` nodes, excluding self-ratings.
+fn ratings_strategy(n: u32) -> impl Strategy<Value = Vec<Rating>> {
+    proptest::collection::vec(
+        (0..n, 0..n, prop_oneof![Just(1.0f64), Just(-1.0f64)]),
+        0..120,
+    )
+    .prop_map(move |triples| {
+        triples
+            .into_iter()
+            .filter(|(a, b, _)| a != b)
+            .map(|(a, b, v)| Rating::new(NodeId(a), NodeId(b), v))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn eigentrust_reputations_are_a_distribution(batch in ratings_strategy(12)) {
+        let mut sys = EigenTrust::with_defaults(12, &[NodeId(0), NodeId(1)]);
+        for r in batch {
+            sys.record(r);
+        }
+        sys.end_cycle();
+        let reps = sys.reputations();
+        prop_assert!(reps.iter().all(|&v| v >= -1e-12 && v.is_finite()));
+        let sum: f64 = reps.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+    }
+
+    #[test]
+    fn eigentrust_is_deterministic(batch in ratings_strategy(10)) {
+        let run = || {
+            let mut sys = EigenTrust::with_defaults(10, &[NodeId(0)]);
+            for r in &batch {
+                sys.record(*r);
+            }
+            sys.end_cycle();
+            sys.reputations().to_vec()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn eigentrust_order_of_ratings_within_cycle_is_irrelevant(batch in ratings_strategy(8)) {
+        let mut fwd = EigenTrust::with_defaults(8, &[NodeId(0)]);
+        let mut rev = EigenTrust::with_defaults(8, &[NodeId(0)]);
+        for r in &batch {
+            fwd.record(*r);
+        }
+        for r in batch.iter().rev() {
+            rev.record(*r);
+        }
+        fwd.end_cycle();
+        rev.end_cycle();
+        for (a, b) in fwd.reputations().iter().zip(rev.reputations()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ebay_reputations_bounded_and_normalized(batch in ratings_strategy(12)) {
+        let mut sys = EBayModel::new(12);
+        for r in batch {
+            sys.record(r);
+        }
+        sys.end_cycle();
+        let reps = sys.reputations();
+        prop_assert!(reps.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let sum: f64 = reps.iter().sum();
+        prop_assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ebay_cycle_contribution_bounded_by_distinct_raters(batch in ratings_strategy(12)) {
+        // Per cycle, |ΔR_i| ≤ number of distinct raters that rated i.
+        let mut sys = EBayModel::new(12);
+        let mut raters_per_ratee = std::collections::HashMap::<NodeId, std::collections::HashSet<NodeId>>::new();
+        for r in &batch {
+            sys.record(*r);
+            raters_per_ratee.entry(r.ratee).or_default().insert(r.rater);
+        }
+        sys.end_cycle();
+        for i in 0..12u32 {
+            let bound = raters_per_ratee
+                .get(&NodeId(i))
+                .map(|s| s.len() as f64)
+                .unwrap_or(0.0);
+            prop_assert!(sys.raw_score(NodeId(i)).abs() <= bound + 1e-12);
+        }
+    }
+
+    #[test]
+    fn ledger_totals_match_recorded(batch in ratings_strategy(12)) {
+        let mut ledger = RatingLedger::new();
+        for r in &batch {
+            ledger.record(r);
+        }
+        let recorded: u64 = ledger.interval_pairs().map(|(_, s)| s.count()).sum();
+        prop_assert_eq!(recorded, batch.len() as u64);
+        // Positive + negative counts match the batch's signs.
+        let pos = batch.iter().filter(|r| r.value > 0.0).count() as u64;
+        let posl: u64 = ledger.interval_pairs().map(|(_, s)| s.positive).sum();
+        prop_assert_eq!(pos, posl);
+    }
+
+    #[test]
+    fn ledger_interval_reset_preserves_lifetime(batch in ratings_strategy(8)) {
+        let mut ledger = RatingLedger::new();
+        for r in &batch {
+            ledger.record(r);
+        }
+        let lifetime_before: Vec<_> = batch
+            .iter()
+            .map(|r| ledger.lifetime_stats(r.rater, r.ratee))
+            .collect();
+        ledger.end_interval();
+        prop_assert_eq!(ledger.active_pair_count(), 0);
+        for (r, before) in batch.iter().zip(lifetime_before) {
+            prop_assert_eq!(ledger.lifetime_stats(r.rater, r.ratee), before);
+        }
+    }
+
+    #[test]
+    fn average_baseline_is_frequency_sensitive(k in 2u32..30) {
+        // Invariant the ablation relies on: mean rating moves monotonically
+        // with colluder rating count.
+        let run = |count: u32| {
+            let mut sys = SimpleAverage::new(3);
+            sys.record(Rating::new(NodeId(0), NodeId(2), -1.0));
+            for _ in 0..count {
+                sys.record(Rating::new(NodeId(1), NodeId(2), 1.0));
+            }
+            sys.end_cycle();
+            sys.mean_rating(NodeId(2))
+        };
+        prop_assert!(run(k) >= run(k - 1) - 1e-12);
+    }
+}

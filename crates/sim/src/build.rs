@@ -1,0 +1,463 @@
+//! Construction of the simulated world: social network, interests,
+//! overlay, node parameters.
+//!
+//! Follows Section 5.1 of the paper:
+//! * interests: 20 categories, each node holds a random `[1, 10]` subset;
+//!   *"nodes with the same interests are connected with each other, and a
+//!   node requests resources from its interest neighbors"*;
+//! * request frequencies over a node's own interests follow a power law;
+//! * social backbone: random relationships `[1, 2]` between normal nodes;
+//!   colluding pairs get `[3, 5]` relationships and social distance 1
+//!   (configurable to 2–3 for the Figure 20 sweep, via intermediary hubs);
+//! * colluding pairs share few declared interests (*"colluders have
+//!   relatively more social relationships, higher social interaction
+//!   frequency, and less common interests"*), unless the
+//!   falsified-social-information variant is active, in which case each
+//!   pair has exactly one relationship and identical declared interests
+//!   (Section 5.8).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use socialtrust_core::context::{SharedSocialContext, SocialContext};
+use socialtrust_socnet::builder::{connected_random_graph, random_interests};
+use socialtrust_socnet::graph::SocialGraph;
+use socialtrust_socnet::interaction::InteractionTracker;
+use socialtrust_socnet::interest::{InterestId, InterestProfile, InterestSet};
+use socialtrust_socnet::relationship::{Relationship, RelationshipKind};
+use socialtrust_socnet::NodeId;
+
+use crate::collusion::CollusionPlan;
+use crate::scenario::ScenarioConfig;
+
+/// Power-law request weights over a node's interests: the node's `k`-th
+/// preferred category is requested with weight `1/k` (Zipf with exponent 1),
+/// matching Observation O5 — a user's purchases concentrate in its top few
+/// categories.
+#[derive(Debug, Clone)]
+pub struct RequestDistribution {
+    /// (category, cumulative weight) in preference order.
+    cumulative: Vec<(InterestId, f64)>,
+}
+
+impl RequestDistribution {
+    /// Build from a node's interests; `rng` shuffles the preference order.
+    pub fn new<R: Rng + ?Sized>(interests: &InterestSet, rng: &mut R) -> Self {
+        let mut order: Vec<InterestId> = interests.as_slice().to_vec();
+        order.shuffle(rng);
+        let mut cumulative = Vec::with_capacity(order.len());
+        let mut total = 0.0;
+        for (rank, id) in order.into_iter().enumerate() {
+            total += 1.0 / (rank + 1) as f64;
+            cumulative.push((id, total));
+        }
+        RequestDistribution { cumulative }
+    }
+
+    /// Sample one category. Returns `None` if the node has no interests
+    /// (cannot happen with the paper's `[1, 10]` range, but handled).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<InterestId> {
+        let total = self.cumulative.last()?.1;
+        let x = rng.gen::<f64>() * total;
+        Some(
+            self.cumulative
+                .iter()
+                .find(|(_, c)| x < *c)
+                .unwrap_or(self.cumulative.last().expect("non-empty"))
+                .0,
+        )
+    }
+
+    /// The preference-ordered categories (most preferred first).
+    pub fn preference_order(&self) -> Vec<InterestId> {
+        self.cumulative.iter().map(|(id, _)| *id).collect()
+    }
+}
+
+/// The fully built simulation world.
+#[derive(Debug, Clone)]
+pub struct SimWorld {
+    /// Shared social context (graph + interactions + interest profiles) —
+    /// mutated by the engine as requests flow, read by SocialTrust.
+    pub ctx: SharedSocialContext,
+    /// Declared interest set per node.
+    pub interests: Vec<InterestSet>,
+    /// `providers[l]` = nodes declaring interest `l` (candidate servers).
+    pub providers: Vec<Vec<NodeId>>,
+    /// Per-node activity probability (uniform in the scenario's range).
+    pub active_prob: Vec<f64>,
+    /// Per-node authentic-service probability.
+    pub behavior: Vec<f64>,
+    /// Per-node power-law request distribution over its own interests.
+    pub request_dist: Vec<RequestDistribution>,
+    /// The materialized collusion plan.
+    pub plan: CollusionPlan,
+    /// Overlay links: `neighbors[i][l]` = the providers of interest `l`
+    /// that node `i` can route requests to (its interest neighbors).
+    /// Empty for interests `i` does not hold.
+    pub neighbors: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl SimWorld {
+    /// Build the world for `scenario` using `rng`.
+    pub fn build<R: Rng + ?Sized>(scenario: &ScenarioConfig, rng: &mut R) -> SimWorld {
+        scenario.validate();
+        let n = scenario.nodes;
+        let plan = CollusionPlan::build(scenario, rng);
+
+        // --- Interests -------------------------------------------------
+        let mut interests = random_interests(
+            n,
+            scenario.total_interests,
+            scenario.interests_per_node,
+            rng,
+        );
+        let colluder_pairs: Vec<(NodeId, NodeId)> = plan
+            .social_pairs
+            .iter()
+            .copied()
+            .filter(|&(a, b)| scenario.is_colluder(a) && scenario.is_colluder(b))
+            .collect();
+        if scenario.falsified_social_info {
+            // Section 5.8: identical declared interests per colluding pair
+            // (randomly [1, 10] categories).
+            for &(a, b) in &colluder_pairs {
+                let k = rng.gen_range(1..=10.min(scenario.total_interests as usize));
+                let all: Vec<u16> = (0..scenario.total_interests).collect();
+                let shared: Vec<u16> = all.choose_multiple(rng, k).copied().collect();
+                let set = InterestSet::from_ids(shared);
+                interests[a.index()] = set.clone();
+                interests[b.index()] = set;
+            }
+        } else {
+            // Colluding pairs share few interests ("colluders have …
+            // less common interests"). Process colluders in id order,
+            // stripping each one's declared set of every category held by
+            // an already-processed partner; replacements are drawn from
+            // categories outside *all* partners' sets, so multi-booster
+            // targets end up disjoint from every partner.
+            use std::collections::HashMap;
+            let mut partner_map: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+            for &(a, b) in &colluder_pairs {
+                partner_map.entry(a).or_default().push(b);
+                partner_map.entry(b).or_default().push(a);
+            }
+            let mut members: Vec<NodeId> = partner_map.keys().copied().collect();
+            members.sort_unstable();
+            for &x in &members {
+                let partners = &partner_map[&x];
+                let forbidden: Vec<InterestId> = partners
+                    .iter()
+                    .filter(|p| **p < x) // already finalized
+                    .flat_map(|p| interests[p.index()].as_slice().to_vec())
+                    .collect();
+                for id in forbidden {
+                    interests[x.index()].remove(id);
+                }
+                if interests[x.index()].is_empty() {
+                    let all_partner_union: InterestSet = partners.iter().fold(
+                        InterestSet::new(),
+                        |acc, p| acc.union(&interests[p.index()]),
+                    );
+                    if let Some(replacement) = (0..scenario.total_interests)
+                        .map(InterestId)
+                        .find(|id| !all_partner_union.contains(*id))
+                    {
+                        interests[x.index()].insert(replacement);
+                    } else {
+                        interests[x.index()].insert(InterestId(0));
+                    }
+                }
+            }
+        }
+
+        // Negative campaigns: attackers are *competitors* of their victims —
+        // they sell in the same categories, so their declared interest sets
+        // match the victims' (the B4 signature: high similarity + frequent
+        // negative ratings).
+        if scenario.collusion == crate::collusion::CollusionModel::NegativeCampaign {
+            for e in &plan.edges {
+                interests[e.rater.index()] = interests[e.ratee.index()].clone();
+            }
+        }
+
+        // --- Social graph ----------------------------------------------
+        let mut graph = connected_random_graph(
+            n,
+            scenario.social_avg_degree,
+            scenario.normal_relationships,
+            rng,
+        );
+        Self::wire_colluder_social_structure(scenario, &plan, &mut graph, rng);
+
+        // --- Overlay / node parameters ----------------------------------
+        let mut providers = vec![Vec::new(); scenario.total_interests as usize];
+        for (i, set) in interests.iter().enumerate() {
+            for id in set.as_slice() {
+                providers[id.0 as usize].push(NodeId::from(i));
+            }
+        }
+        let active_prob: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(scenario.active_prob.0..=scenario.active_prob.1))
+            .collect();
+        let behavior: Vec<f64> = (0..n)
+            .map(|i| {
+                let id = NodeId::from(i);
+                match scenario.colluder_behavior_range {
+                    Some((lo, hi)) if scenario.is_colluder(id) => rng.gen_range(lo..=hi),
+                    _ => scenario.behavior_of(id),
+                }
+            })
+            .collect();
+        let request_dist: Vec<RequestDistribution> = interests
+            .iter()
+            .map(|set| RequestDistribution::new(set, rng))
+            .collect();
+
+        // Overlay: each node links to `overlay_per_interest` random
+        // providers of each of its interests.
+        let neighbors: Vec<Vec<Vec<NodeId>>> = (0..n)
+            .map(|i| {
+                let me = NodeId::from(i);
+                (0..scenario.total_interests as usize)
+                    .map(|l| {
+                        if !interests[i].contains(InterestId(l as u16)) {
+                            return Vec::new();
+                        }
+                        let pool: Vec<NodeId> = providers[l]
+                            .iter()
+                            .copied()
+                            .filter(|&p| p != me)
+                            .collect();
+                        let k = scenario.overlay_per_interest.min(pool.len());
+                        pool.choose_multiple(rng, k).copied().collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let profiles: Vec<InterestProfile> = interests
+            .iter()
+            .map(|set| InterestProfile::new(set.clone()))
+            .collect();
+        let ctx = SocialContext::from_parts(
+            graph,
+            InteractionTracker::new(n),
+            profiles,
+            scenario.total_interests,
+        );
+
+        SimWorld {
+            ctx: SharedSocialContext::new(ctx),
+            interests,
+            providers,
+            active_prob,
+            behavior,
+            request_dist,
+            plan,
+            neighbors,
+        }
+    }
+
+    /// Give colluding pairs their social structure: heavy relationships at
+    /// distance 1 (default), or an intermediary chain realizing distance
+    /// 2–3 (Figure 20 sweep). Falsified pairs get exactly one relationship.
+    fn wire_colluder_social_structure<R: Rng + ?Sized>(
+        scenario: &ScenarioConfig,
+        plan: &CollusionPlan,
+        graph: &mut SocialGraph,
+        rng: &mut R,
+    ) {
+        let hub_pool: Vec<NodeId> = scenario.normal_ids();
+        for &(a, b) in &plan.social_pairs {
+            // Drop any backbone edge so we control this pair's structure.
+            graph.remove_edge(a, b);
+            match scenario.colluder_social_distance {
+                1 => {
+                    let count = if scenario.falsified_social_info {
+                        1
+                    } else {
+                        rng.gen_range(
+                            scenario.colluder_relationships.0..=scenario.colluder_relationships.1,
+                        )
+                    };
+                    for _ in 0..count {
+                        let kind = *RelationshipKind::ALL.choose(rng).expect("non-empty");
+                        graph.add_relationship(a, b, Relationship::new(kind));
+                    }
+                }
+                d @ (2 | 3) => {
+                    // Route the pair through (d-1) intermediary hubs. The
+                    // realized BFS distance is ≤ d (shorter backbone
+                    // detours are possible but rare); the direct edge is
+                    // removed above, so it is ≥ 2.
+                    let mut chain = vec![a];
+                    for _ in 0..(d - 1) {
+                        chain.push(*hub_pool.choose(rng).expect("normal nodes exist"));
+                    }
+                    chain.push(b);
+                    for w in chain.windows(2) {
+                        if w[0] != w[1] && !graph.are_adjacent(w[0], w[1]) {
+                            graph.add_relationship(w[0], w[1], Relationship::friendship());
+                        }
+                    }
+                }
+                other => unreachable!("validated distance, got {other}"),
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.active_prob.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collusion::CollusionModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use socialtrust_socnet::distance::bfs_distance;
+    use socialtrust_socnet::interest::similarity;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn world_has_consistent_dimensions() {
+        let s = ScenarioConfig::small();
+        let w = SimWorld::build(&s, &mut rng(1));
+        assert_eq!(w.node_count(), s.nodes);
+        assert_eq!(w.interests.len(), s.nodes);
+        assert_eq!(w.providers.len(), s.total_interests as usize);
+        assert_eq!(w.ctx.read().node_count(), s.nodes);
+        for (i, p) in w.active_prob.iter().enumerate() {
+            assert!(
+                (s.active_prob.0..=s.active_prob.1).contains(p),
+                "node {i} activity {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn providers_index_is_correct() {
+        let s = ScenarioConfig::small();
+        let w = SimWorld::build(&s, &mut rng(2));
+        for (l, nodes) in w.providers.iter().enumerate() {
+            for v in nodes {
+                assert!(w.interests[v.index()].contains(InterestId(l as u16)));
+            }
+        }
+        // Every node appears under each of its interests.
+        for (i, set) in w.interests.iter().enumerate() {
+            for id in set.as_slice() {
+                assert!(w.providers[id.0 as usize].contains(&NodeId::from(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn pcm_pairs_are_adjacent_with_heavy_relationships() {
+        let s = ScenarioConfig::small().with_collusion(CollusionModel::PairWise);
+        let w = SimWorld::build(&s, &mut rng(3));
+        let ctx = w.ctx.read();
+        for &(a, b) in &w.plan.social_pairs {
+            assert!(ctx.graph().are_adjacent(a, b));
+            let m = ctx.graph().relationship_count(a, b);
+            assert!((3..=5).contains(&m), "m({a},{b}) = {m}");
+        }
+    }
+
+    #[test]
+    fn falsified_pairs_have_one_relationship_and_identical_interests() {
+        let s = ScenarioConfig::small()
+            .with_collusion(CollusionModel::PairWise)
+            .with_falsified_social_info(true);
+        let w = SimWorld::build(&s, &mut rng(4));
+        let ctx = w.ctx.read();
+        for &(a, b) in &w.plan.social_pairs {
+            assert_eq!(ctx.graph().relationship_count(a, b), 1);
+            assert_eq!(w.interests[a.index()], w.interests[b.index()]);
+            assert_eq!(similarity(&w.interests[a.index()], &w.interests[b.index()]), 1.0);
+        }
+    }
+
+    #[test]
+    fn unfalsified_pairs_share_no_declared_interests() {
+        let s = ScenarioConfig::small().with_collusion(CollusionModel::PairWise);
+        let w = SimWorld::build(&s, &mut rng(5));
+        for &(a, b) in &w.plan.social_pairs {
+            assert_eq!(
+                w.interests[a.index()].intersection_size(&w.interests[b.index()]),
+                0,
+                "colluding pairs must share few interests"
+            );
+        }
+    }
+
+    #[test]
+    fn distance_two_pairs_are_not_adjacent() {
+        let s = ScenarioConfig::small()
+            .with_collusion(CollusionModel::PairWise)
+            .with_colluder_distance(2);
+        let w = SimWorld::build(&s, &mut rng(6));
+        let ctx = w.ctx.read();
+        for &(a, b) in &w.plan.social_pairs {
+            assert!(!ctx.graph().are_adjacent(a, b));
+            let d = bfs_distance(ctx.graph(), a, b, None).expect("connected");
+            assert!(d >= 2, "distance({a},{b}) = {d}");
+        }
+    }
+
+    #[test]
+    fn request_distribution_prefers_top_ranks() {
+        let set = InterestSet::from_ids([1u16, 2, 3, 4]);
+        let mut r = rng(7);
+        let dist = RequestDistribution::new(&set, &mut r);
+        let order = dist.preference_order();
+        let mut counts = std::collections::HashMap::<InterestId, u32>::new();
+        for _ in 0..10_000 {
+            *counts.entry(dist.sample(&mut r).unwrap()).or_insert(0) += 1;
+        }
+        // Zipf(1) over 4 items: top rank ≈ 48%, last ≈ 12%.
+        let top = counts[&order[0]] as f64 / 10_000.0;
+        let last = counts[&order[3]] as f64 / 10_000.0;
+        assert!(top > 0.40, "top share {top}");
+        assert!(last < 0.20, "last share {last}");
+    }
+
+    #[test]
+    fn empty_interest_set_distribution_yields_none() {
+        let set = InterestSet::new();
+        let mut r = rng(8);
+        let dist = RequestDistribution::new(&set, &mut r);
+        assert!(dist.sample(&mut r).is_none());
+    }
+
+    #[test]
+    fn behavior_vector_matches_roles() {
+        let s = ScenarioConfig::small().with_colluder_behavior(0.2);
+        let w = SimWorld::build(&s, &mut rng(9));
+        for p in s.pretrusted_ids() {
+            assert_eq!(w.behavior[p.index()], 1.0);
+        }
+        for c in s.colluder_ids() {
+            assert_eq!(w.behavior[c.index()], 0.2);
+        }
+        for m in s.normal_ids() {
+            assert_eq!(w.behavior[m.index()], 0.8);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_under_seed() {
+        let s = ScenarioConfig::small().with_collusion(CollusionModel::MultiMutual);
+        let w1 = SimWorld::build(&s, &mut rng(11));
+        let w2 = SimWorld::build(&s, &mut rng(11));
+        assert_eq!(w1.plan.edges, w2.plan.edges);
+        assert_eq!(w1.interests, w2.interests);
+        assert_eq!(w1.active_prob, w2.active_prob);
+    }
+}

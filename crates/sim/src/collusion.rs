@@ -1,0 +1,327 @@
+//! The paper's three collusion models (Section 5.1) and the per-run
+//! collusion plan derived from them.
+//!
+//! * **PCM** (pair-wise): colluders pair up; each pair mutually rates at
+//!   high frequency.
+//! * **MCM** (multiple node): a few *boosted* nodes each receive
+//!   high-frequency ratings from several *boosting* nodes; the boosted
+//!   nodes do not rate back.
+//! * **MMM** (multiple and mutual): like MCM, but the boosted nodes rate
+//!   their boosters back (at a lower rate).
+//!
+//! Compromised pre-trusted nodes (Sections 5.4, 5.7) each pick one
+//! colluder and collude with it pair-wise.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use socialtrust_socnet::NodeId;
+
+use crate::scenario::ScenarioConfig;
+
+/// Which collusion model is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollusionModel {
+    /// No collusion (the Figure 7 baseline).
+    None,
+    /// Pair-wise collusion (PCM).
+    PairWise,
+    /// Multiple-node collusion (MCM): boosters → boosted, one direction.
+    MultiNode,
+    /// Multiple-and-mutual collusion (MMM): boosters ↔ boosted.
+    MultiMutual,
+    /// Negative-rating campaign (the paper notes "similar results can be
+    /// obtained for the collusion of negative ratings"): each colluder
+    /// picks a normal-node *competitor* with matching interests and floods
+    /// it with negative ratings — suspicious behavior B4.
+    NegativeCampaign,
+}
+
+impl std::fmt::Display for CollusionModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CollusionModel::None => "none",
+            CollusionModel::PairWise => "PCM",
+            CollusionModel::MultiNode => "MCM",
+            CollusionModel::MultiMutual => "MMM",
+            CollusionModel::NegativeCampaign => "NEG",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One directed high-frequency rating assignment: `rater` rates `ratee`
+/// `rate` times (positively) per query cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoostEdge {
+    /// The colluder issuing the ratings.
+    pub rater: NodeId,
+    /// The node whose reputation is being manipulated (a fellow colluder
+    /// for boosting, a normal-node competitor for negative campaigns).
+    pub ratee: NodeId,
+    /// Ratings per query cycle.
+    pub rate: u32,
+    /// The rating value: `+1.0` for boosting, `-1.0` for suppression.
+    pub value: f64,
+}
+
+/// The fully materialized collusion plan for one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CollusionPlan {
+    /// All directed boost edges (colluder→colluder and compromised
+    /// pretrusted↔colluder), executed every query cycle.
+    pub edges: Vec<BoostEdge>,
+    /// The boosted nodes (targets of boosting). In PCM every colluder is
+    /// both booster and boosted.
+    pub boosted: Vec<NodeId>,
+    /// The compromised pre-trusted nodes, if any.
+    pub compromised: Vec<NodeId>,
+    /// Normal-node victims of a negative campaign (empty otherwise).
+    pub victims: Vec<NodeId>,
+    /// Colluding pairs that should be socially adjacent (distance 1) —
+    /// the social-network builder adds clique edges for these.
+    pub social_pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl CollusionPlan {
+    /// Materialize the plan for `scenario`, using `rng` for the random
+    /// role choices the paper describes.
+    pub fn build<R: Rng + ?Sized>(scenario: &ScenarioConfig, rng: &mut R) -> CollusionPlan {
+        let colluders = scenario.colluder_ids();
+        let mut plan = CollusionPlan::default();
+        match scenario.collusion {
+            CollusionModel::None => {}
+            CollusionModel::PairWise => {
+                // Colluders pair up; each pair mutually rates `boost_rate`
+                // times per query cycle.
+                let mut shuffled = colluders.clone();
+                shuffled.shuffle(rng);
+                for pair in shuffled.chunks(2) {
+                    if let [a, b] = *pair {
+                        plan.edges.push(BoostEdge {
+                            rater: a,
+                            ratee: b,
+                            rate: scenario.boost_rate,
+                            value: 1.0,
+                        });
+                        plan.edges.push(BoostEdge {
+                            rater: b,
+                            ratee: a,
+                            rate: scenario.boost_rate,
+                            value: 1.0,
+                        });
+                        plan.boosted.push(a);
+                        plan.boosted.push(b);
+                        plan.social_pairs.push((a, b));
+                    }
+                }
+            }
+            CollusionModel::NegativeCampaign => {
+                // Each colluder picks a distinct normal-node competitor and
+                // floods it with negative ratings at the boost rate. No
+                // social edges are wired: B4 is about interest overlap, not
+                // closeness.
+                let normals = scenario.normal_ids();
+                let mut victims = normals.clone();
+                victims.shuffle(rng);
+                for (idx, &attacker) in colluders.iter().enumerate() {
+                    let victim = victims[idx % victims.len()];
+                    plan.edges.push(BoostEdge {
+                        rater: attacker,
+                        ratee: victim,
+                        rate: scenario.boost_rate,
+                        value: -1.0,
+                    });
+                    plan.victims.push(victim);
+                }
+                plan.victims.sort_unstable();
+                plan.victims.dedup();
+            }
+            CollusionModel::MultiNode | CollusionModel::MultiMutual => {
+                // `boosted_count` boosted nodes; every other colluder picks
+                // one boosted node to boost.
+                let mut shuffled = colluders.clone();
+                shuffled.shuffle(rng);
+                let boosted: Vec<NodeId> =
+                    shuffled[..scenario.boosted_count.min(shuffled.len())].to_vec();
+                plan.boosted = boosted.clone();
+                for &booster in &shuffled[scenario.boosted_count.min(shuffled.len())..] {
+                    let target = *boosted.choose(rng).expect("at least one boosted node");
+                    plan.edges.push(BoostEdge {
+                        rater: booster,
+                        ratee: target,
+                        rate: scenario.boost_rate,
+                        value: 1.0,
+                    });
+                    if scenario.collusion == CollusionModel::MultiMutual {
+                        plan.edges.push(BoostEdge {
+                            rater: target,
+                            ratee: booster,
+                            rate: scenario.reciprocal_rate,
+                            value: 1.0,
+                        });
+                    }
+                    plan.social_pairs.push((booster, target));
+                }
+            }
+        }
+        // Compromised pre-trusted nodes: each picks a random colluder and
+        // colludes with it pair-wise at the boost rate (Section 5.4).
+        let pretrusted = scenario.pretrusted_ids();
+        let mut pool = pretrusted.clone();
+        pool.shuffle(rng);
+        for &p in pool.iter().take(scenario.compromised_pretrusted) {
+            let partner = *colluders.choose(rng).expect("colluders exist");
+            plan.compromised.push(p);
+            plan.edges.push(BoostEdge {
+                rater: p,
+                ratee: partner,
+                rate: scenario.boost_rate,
+                value: 1.0,
+            });
+            plan.edges.push(BoostEdge {
+                rater: partner,
+                ratee: p,
+                rate: scenario.boost_rate,
+                value: 1.0,
+            });
+            plan.social_pairs.push((p, partner));
+        }
+        plan
+    }
+
+    /// All nodes participating in collusion (boosters, boosted, and
+    /// compromised pre-trusted nodes), deduplicated and sorted.
+    pub fn participants(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .edges
+            .iter()
+            .flat_map(|e| [e.rater, e.ratee])
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn none_model_produces_empty_plan() {
+        let s = ScenarioConfig::paper_default();
+        let plan = CollusionPlan::build(&s, &mut rng());
+        assert!(plan.edges.is_empty());
+        assert!(plan.boosted.is_empty());
+        assert!(plan.participants().is_empty());
+    }
+
+    #[test]
+    fn pcm_pairs_everyone_mutually() {
+        let s = ScenarioConfig::paper_default().with_collusion(CollusionModel::PairWise);
+        let plan = CollusionPlan::build(&s, &mut rng());
+        // 30 colluders → 15 pairs → 30 directed edges.
+        assert_eq!(plan.edges.len(), 30);
+        assert_eq!(plan.boosted.len(), 30);
+        assert_eq!(plan.social_pairs.len(), 15);
+        // Every edge has its reverse.
+        for e in &plan.edges {
+            assert!(plan
+                .edges
+                .iter()
+                .any(|r| r.rater == e.ratee && r.ratee == e.rater));
+            assert_eq!(e.rate, s.boost_rate);
+            assert!(s.is_colluder(e.rater) && s.is_colluder(e.ratee));
+        }
+    }
+
+    #[test]
+    fn pcm_handles_odd_colluder_count() {
+        let mut s = ScenarioConfig::paper_default().with_collusion(CollusionModel::PairWise);
+        s.colluder_count = 5;
+        let plan = CollusionPlan::build(&s, &mut rng());
+        assert_eq!(plan.edges.len(), 4, "one colluder is left unpaired");
+    }
+
+    #[test]
+    fn mcm_boosters_point_at_boosted_one_way() {
+        let s = ScenarioConfig::paper_default().with_collusion(CollusionModel::MultiNode);
+        let plan = CollusionPlan::build(&s, &mut rng());
+        assert_eq!(plan.boosted.len(), 7);
+        // 23 boosters, one edge each, no reverse edges.
+        assert_eq!(plan.edges.len(), 23);
+        for e in &plan.edges {
+            assert!(plan.boosted.contains(&e.ratee));
+            assert!(!plan.boosted.contains(&e.rater));
+            assert!(
+                !plan
+                    .edges
+                    .iter()
+                    .any(|r| r.rater == e.ratee && r.ratee == e.rater),
+                "MCM must not rate back"
+            );
+        }
+    }
+
+    #[test]
+    fn mmm_adds_reciprocal_edges_at_lower_rate() {
+        let s = ScenarioConfig::paper_default().with_collusion(CollusionModel::MultiMutual);
+        let plan = CollusionPlan::build(&s, &mut rng());
+        assert_eq!(plan.edges.len(), 46, "23 boost + 23 reciprocal edges");
+        let boost: Vec<&BoostEdge> = plan.edges.iter().filter(|e| e.rate == 20).collect();
+        let back: Vec<&BoostEdge> = plan.edges.iter().filter(|e| e.rate == 5).collect();
+        assert_eq!(boost.len(), 23);
+        assert_eq!(back.len(), 23);
+        for b in back {
+            assert!(plan.boosted.contains(&b.rater));
+        }
+    }
+
+    #[test]
+    fn compromised_pretrusted_join_pairwise() {
+        let s = ScenarioConfig::paper_default()
+            .with_collusion(CollusionModel::PairWise)
+            .with_compromised_pretrusted(7);
+        let plan = CollusionPlan::build(&s, &mut rng());
+        assert_eq!(plan.compromised.len(), 7);
+        assert_eq!(plan.edges.len(), 30 + 14, "PCM edges + 7 mutual pairs");
+        for &p in &plan.compromised {
+            assert!(s.is_pretrusted(p));
+            assert!(plan.edges.iter().any(|e| e.rater == p));
+            assert!(plan.edges.iter().any(|e| e.ratee == p));
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_under_seed() {
+        let s = ScenarioConfig::paper_default().with_collusion(CollusionModel::MultiMutual);
+        let p1 = CollusionPlan::build(&s, &mut ChaCha8Rng::seed_from_u64(3));
+        let p2 = CollusionPlan::build(&s, &mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(p1.edges, p2.edges);
+        assert_eq!(p1.boosted, p2.boosted);
+    }
+
+    #[test]
+    fn participants_are_sorted_unique() {
+        let s = ScenarioConfig::paper_default().with_collusion(CollusionModel::PairWise);
+        let plan = CollusionPlan::build(&s, &mut rng());
+        let p = plan.participants();
+        assert_eq!(p.len(), 30);
+        assert!(p.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CollusionModel::PairWise.to_string(), "PCM");
+        assert_eq!(CollusionModel::MultiNode.to_string(), "MCM");
+        assert_eq!(CollusionModel::MultiMutual.to_string(), "MMM");
+        assert_eq!(CollusionModel::None.to_string(), "none");
+    }
+}

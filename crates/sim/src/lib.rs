@@ -1,0 +1,44 @@
+//! # socialtrust-sim
+//!
+//! The P2P network simulator used to reproduce the evaluation (Section 5)
+//! of the SocialTrust paper.
+//!
+//! The simulator implements the paper's experimental setup:
+//!
+//! * an unstructured P2P network of 200 nodes connected by shared
+//!   interests (20 categories, 1–10 interests per node);
+//! * simulation cycles of 30 query cycles; in each query cycle every
+//!   active node (activity probability ∈ [0.5, 1]) issues one resource
+//!   request on one of its interests (power-law weighted), served by an
+//!   interest neighbor with free capacity (50/query cycle) and reputation
+//!   above `T_R = 0.01`;
+//! * node models: 9 pre-trusted nodes (authentic with probability 1),
+//!   normal nodes (0.8), and 30 colluders (`B ∈ {0.2, 0.6}`);
+//! * the three collusion models of the paper — pair-wise (PCM), multiple
+//!   node (MCM), and multiple-and-mutual (MMM) — plus compromised
+//!   pre-trusted variants and falsified-social-information variants;
+//! * metrics: reputation distributions, percentage of requests served by
+//!   colluders, and colluder-suppression convergence.
+//!
+//! Entry points: configure a [`scenario::ScenarioConfig`], pick a
+//! [`runner::ReputationKind`], and call [`runner::run_scenario`] (single
+//! seeded run) or [`runner::run_scenario_multi`] (n seeded runs in
+//! parallel, with 95% confidence intervals).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod collusion;
+pub mod engine;
+pub mod metrics;
+pub mod runner;
+pub mod scenario;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use crate::collusion::{CollusionModel, CollusionPlan};
+    pub use crate::metrics::{MultiRunSummary, ReputationSummary, RunResult};
+    pub use crate::runner::{run_scenario, run_scenario_multi, ReputationKind};
+    pub use crate::scenario::ScenarioConfig;
+}

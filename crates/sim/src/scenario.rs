@@ -1,0 +1,397 @@
+//! Scenario configuration: every knob of the paper's experimental setup
+//! (Section 5.1), with the paper's values as defaults.
+
+use serde::{Deserialize, Serialize};
+use socialtrust_socnet::NodeId;
+
+use crate::collusion::CollusionModel;
+
+/// Full configuration of one simulation scenario.
+///
+/// Node id layout follows the paper: ids `0..pretrusted_count` are the
+/// pre-trusted nodes (the paper's user IDs 1–9), the next
+/// `colluder_count` ids are the colluders (the paper's IDs 10–39), and the
+/// rest are normal nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Total number of nodes (paper: 200).
+    pub nodes: usize,
+    /// Number of pre-trusted nodes (paper: 9).
+    pub pretrusted_count: usize,
+    /// Number of colluders (paper: 30).
+    pub colluder_count: usize,
+    /// Number of interest categories in the system (paper: 20).
+    pub total_interests: u16,
+    /// Per-node interest count range (paper: [1, 10]).
+    pub interests_per_node: (usize, usize),
+    /// Service capacity per node per query cycle (paper: 50).
+    pub capacity_per_query_cycle: u32,
+    /// Query cycles per simulation cycle (paper: 30).
+    pub query_cycles: usize,
+    /// Simulation cycles per run (paper: 50).
+    pub sim_cycles: usize,
+    /// Node activity probability range (paper: [0.5, 1]).
+    pub active_prob: (f64, f64),
+    /// Probability a normal node serves authentically (paper: 0.8).
+    pub normal_behavior: f64,
+    /// Probability a pre-trusted node serves authentically (paper: 1.0).
+    pub pretrusted_behavior: f64,
+    /// Probability `B` a colluder serves authentically (paper: 0.2 / 0.6).
+    pub colluder_behavior: f64,
+    /// When set, each colluder/malicious node draws its own `B` uniformly
+    /// from this range instead of using `colluder_behavior` — the Figure 7
+    /// no-collusion baseline draws `B ∈ [0.2, 0.6]` per malicious node.
+    pub colluder_behavior_range: Option<(f64, f64)>,
+    /// Server-selection reputation threshold `T_R` (paper: 0.01).
+    pub selection_reputation_threshold: f64,
+    /// The collusion model in force.
+    pub collusion: CollusionModel,
+    /// Ratings per query cycle from a boosting node to its boosted target
+    /// (paper: 20).
+    pub boost_rate: u32,
+    /// Ratings per query cycle from a boosted node back to each of its
+    /// boosting nodes — only used by MMM (paper: 5).
+    pub reciprocal_rate: u32,
+    /// Number of boosted nodes in MCM/MMM (paper: 7).
+    pub boosted_count: usize,
+    /// Number of compromised pre-trusted nodes joining the collusion
+    /// (paper: 0 or 7).
+    pub compromised_pretrusted: usize,
+    /// Colluders falsify their static social information: exactly one
+    /// relationship per colluding pair and identical declared interests
+    /// (Section 5.8).
+    pub falsified_social_info: bool,
+    /// Social distance between colluding pairs (paper default 1; Figure 20
+    /// sweeps 1–3). Distances 2 and 3 route the pair through intermediary
+    /// nodes instead of a direct clique edge.
+    pub colluder_social_distance: u32,
+    /// Relationship-count range for edges between normal nodes
+    /// (paper: [1, 2]).
+    pub normal_relationships: (usize, usize),
+    /// Relationship-count range for edges between colluders (paper: [3, 5]).
+    pub colluder_relationships: (usize, usize),
+    /// Average social-graph degree for the normal backbone.
+    pub social_avg_degree: f64,
+    /// Overlay fan-out: how many providers of each of its interests a node
+    /// links to in the unstructured overlay. Requests can only be routed to
+    /// these interest neighbors, which is what keeps traffic (and hence
+    /// reputation) spread across the population instead of collapsing onto
+    /// the first nodes to cross `T_R`.
+    pub overlay_per_interest: usize,
+    /// Oscillating colluders (an extension beyond the paper, from its
+    /// future-work list of "other collusion patterns"): when set to
+    /// `Some(k)`, the collusion plan only fires during the *first half* of
+    /// every `k`-simulation-cycle window — colluders alternate between
+    /// quiet, well-behaved phases and collusion bursts, a classic
+    /// detection-evasion strategy.
+    pub oscillation_period: Option<usize>,
+    /// Population churn (an extension beyond the paper): after every
+    /// reputation update, this fraction of *normal* nodes departs and is
+    /// replaced by fresh identities occupying the same slots — the
+    /// reputation engine forgets them (`reset_node`). Classic P2P
+    /// membership turnover; stresses reputation bootstrap.
+    pub churn_rate: f64,
+    /// Whitewashing (an extension beyond the paper): after every
+    /// reputation update, any colluder whose reputation fell below the
+    /// selection threshold abandons its identity and re-enters the system
+    /// fresh — the reputation engine forgets all opinions by and about it.
+    /// The social fingerprint (graph position, interaction history,
+    /// request profile) persists: the same human colludes from the same
+    /// social position, which is exactly what SocialTrust keys on.
+    pub whitewash: bool,
+}
+
+impl ScenarioConfig {
+    /// The paper's default setup (Section 5.1), with no collusion.
+    pub fn paper_default() -> Self {
+        ScenarioConfig {
+            nodes: 200,
+            pretrusted_count: 9,
+            colluder_count: 30,
+            total_interests: 20,
+            interests_per_node: (1, 10),
+            capacity_per_query_cycle: 50,
+            query_cycles: 30,
+            sim_cycles: 50,
+            active_prob: (0.5, 1.0),
+            normal_behavior: 0.8,
+            pretrusted_behavior: 1.0,
+            colluder_behavior: 0.6,
+            colluder_behavior_range: None,
+            selection_reputation_threshold: 0.01,
+            collusion: CollusionModel::None,
+            boost_rate: 20,
+            reciprocal_rate: 5,
+            boosted_count: 7,
+            compromised_pretrusted: 0,
+            falsified_social_info: false,
+            colluder_social_distance: 1,
+            normal_relationships: (1, 2),
+            colluder_relationships: (3, 5),
+            social_avg_degree: 6.0,
+            overlay_per_interest: 10,
+            oscillation_period: None,
+            churn_rate: 0.0,
+            whitewash: false,
+        }
+    }
+
+    /// A small, fast variant for tests and doctests (40 nodes, 8 colluders,
+    /// shorter cycles). Same structure, same dynamics — in particular the
+    /// selection threshold keeps the paper's ratio of 2× the uniform
+    /// reputation share (`0.01` vs `1/200`), which drives the
+    /// winner-take-all request routing.
+    pub fn small() -> Self {
+        ScenarioConfig {
+            nodes: 40,
+            pretrusted_count: 3,
+            colluder_count: 8,
+            boosted_count: 3,
+            query_cycles: 10,
+            sim_cycles: 10,
+            selection_reputation_threshold: 0.05,
+            ..ScenarioConfig::paper_default()
+        }
+    }
+
+    /// Builder: set the collusion model.
+    pub fn with_collusion(mut self, model: CollusionModel) -> Self {
+        self.collusion = model;
+        self
+    }
+
+    /// Builder: set the colluder good-behavior probability `B`.
+    pub fn with_colluder_behavior(mut self, b: f64) -> Self {
+        self.colluder_behavior = b;
+        self
+    }
+
+    /// Builder: draw each colluder's `B` uniformly from `range` (Figure 7's
+    /// malicious-node model).
+    pub fn with_colluder_behavior_range(mut self, range: (f64, f64)) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&range.0) && range.0 <= range.1 && range.1 <= 1.0,
+            "invalid behavior range {range:?}"
+        );
+        self.colluder_behavior_range = Some(range);
+        self
+    }
+
+    /// Builder: set the number of simulation cycles.
+    pub fn with_cycles(mut self, cycles: usize) -> Self {
+        self.sim_cycles = cycles;
+        self
+    }
+
+    /// Builder: compromise `count` pre-trusted nodes into the collusion.
+    pub fn with_compromised_pretrusted(mut self, count: usize) -> Self {
+        self.compromised_pretrusted = count;
+        self
+    }
+
+    /// Builder: enable colluder falsification of static social info.
+    pub fn with_falsified_social_info(mut self, on: bool) -> Self {
+        self.falsified_social_info = on;
+        self
+    }
+
+    /// Builder: make colluders oscillate — collude only during the first
+    /// half of every `period`-cycle window.
+    pub fn with_oscillation(mut self, period: usize) -> Self {
+        assert!(period >= 2, "oscillation period must be at least 2 cycles");
+        self.oscillation_period = Some(period);
+        self
+    }
+
+    /// Builder: set the per-cycle normal-node churn fraction.
+    pub fn with_churn(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "churn rate is a fraction");
+        self.churn_rate = rate;
+        self
+    }
+
+    /// Builder: enable colluder whitewashing (identity reset when their
+    /// reputation collapses).
+    pub fn with_whitewash(mut self, on: bool) -> Self {
+        self.whitewash = on;
+        self
+    }
+
+    /// Is the collusion plan active during simulation cycle `cycle`?
+    pub fn collusion_active_in_cycle(&self, cycle: usize) -> bool {
+        match self.oscillation_period {
+            Some(period) => (cycle % period) < period / 2,
+            None => true,
+        }
+    }
+
+    /// Builder: set the social distance between colluding pairs (1–3).
+    pub fn with_colluder_distance(mut self, hops: u32) -> Self {
+        assert!((1..=3).contains(&hops), "colluder distance must be 1–3");
+        self.colluder_social_distance = hops;
+        self
+    }
+
+    /// The pre-trusted node ids (`0..pretrusted_count`).
+    pub fn pretrusted_ids(&self) -> Vec<NodeId> {
+        (0..self.pretrusted_count).map(NodeId::from).collect()
+    }
+
+    /// The colluder node ids (immediately after the pre-trusted block).
+    pub fn colluder_ids(&self) -> Vec<NodeId> {
+        (self.pretrusted_count..self.pretrusted_count + self.colluder_count)
+            .map(NodeId::from)
+            .collect()
+    }
+
+    /// Normal node ids (everything after pre-trusted and colluders).
+    pub fn normal_ids(&self) -> Vec<NodeId> {
+        (self.pretrusted_count + self.colluder_count..self.nodes)
+            .map(NodeId::from)
+            .collect()
+    }
+
+    /// Is `node` a colluder under this layout?
+    pub fn is_colluder(&self, node: NodeId) -> bool {
+        let i = node.index();
+        i >= self.pretrusted_count && i < self.pretrusted_count + self.colluder_count
+    }
+
+    /// Is `node` pre-trusted?
+    pub fn is_pretrusted(&self, node: NodeId) -> bool {
+        node.index() < self.pretrusted_count
+    }
+
+    /// The authentic-service probability of `node`.
+    pub fn behavior_of(&self, node: NodeId) -> f64 {
+        if self.is_pretrusted(node) {
+            self.pretrusted_behavior
+        } else if self.is_colluder(node) {
+            self.colluder_behavior
+        } else {
+            self.normal_behavior
+        }
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Panics
+    /// Panics on impossible configurations.
+    pub fn validate(&self) {
+        assert!(self.nodes > 0, "need nodes");
+        assert!(
+            self.pretrusted_count + self.colluder_count <= self.nodes,
+            "pretrusted + colluders exceed node count"
+        );
+        assert!(
+            self.compromised_pretrusted <= self.pretrusted_count,
+            "cannot compromise more pretrusted nodes than exist"
+        );
+        assert!(
+            self.boosted_count <= self.colluder_count.max(1),
+            "boosted nodes must be colluders"
+        );
+        assert!(self.total_interests > 0);
+        assert!(
+            self.interests_per_node.0 >= 1
+                && self.interests_per_node.0 <= self.interests_per_node.1
+                && self.interests_per_node.1 <= self.total_interests as usize
+        );
+        for p in [
+            self.normal_behavior,
+            self.pretrusted_behavior,
+            self.colluder_behavior,
+            self.active_prob.0,
+            self.active_prob.1,
+        ] {
+            assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        }
+        assert!(self.active_prob.0 <= self.active_prob.1);
+        assert!((1..=3).contains(&self.colluder_social_distance));
+        assert!(
+            (0.0..=1.0).contains(&self.churn_rate),
+            "churn rate must be a fraction"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_5_1() {
+        let s = ScenarioConfig::paper_default();
+        s.validate();
+        assert_eq!(s.nodes, 200);
+        assert_eq!(s.pretrusted_count, 9);
+        assert_eq!(s.colluder_count, 30);
+        assert_eq!(s.total_interests, 20);
+        assert_eq!(s.capacity_per_query_cycle, 50);
+        assert_eq!(s.query_cycles, 30);
+        assert_eq!(s.sim_cycles, 50);
+        assert_eq!(s.selection_reputation_threshold, 0.01);
+    }
+
+    #[test]
+    fn id_layout_partitions_nodes() {
+        let s = ScenarioConfig::paper_default();
+        let p = s.pretrusted_ids();
+        let c = s.colluder_ids();
+        let n = s.normal_ids();
+        assert_eq!(p.len() + c.len() + n.len(), s.nodes);
+        assert_eq!(p.last(), Some(&NodeId(8)));
+        assert_eq!(c.first(), Some(&NodeId(9)));
+        assert_eq!(c.last(), Some(&NodeId(38)));
+        assert_eq!(n.first(), Some(&NodeId(39)));
+        assert!(s.is_pretrusted(NodeId(0)));
+        assert!(s.is_colluder(NodeId(9)));
+        assert!(s.is_colluder(NodeId(38)));
+        assert!(!s.is_colluder(NodeId(39)));
+        assert!(!s.is_pretrusted(NodeId(9)));
+    }
+
+    #[test]
+    fn behavior_assignment() {
+        let s = ScenarioConfig::paper_default().with_colluder_behavior(0.2);
+        assert_eq!(s.behavior_of(NodeId(0)), 1.0);
+        assert_eq!(s.behavior_of(NodeId(10)), 0.2);
+        assert_eq!(s.behavior_of(NodeId(100)), 0.8);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let s = ScenarioConfig::paper_default()
+            .with_collusion(CollusionModel::MultiMutual)
+            .with_colluder_behavior(0.2)
+            .with_cycles(10)
+            .with_compromised_pretrusted(7)
+            .with_falsified_social_info(true)
+            .with_colluder_distance(2);
+        s.validate();
+        assert_eq!(s.collusion, CollusionModel::MultiMutual);
+        assert_eq!(s.sim_cycles, 10);
+        assert_eq!(s.compromised_pretrusted, 7);
+        assert!(s.falsified_social_info);
+        assert_eq!(s.colluder_social_distance, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "compromise")]
+    fn validate_rejects_too_many_compromised() {
+        ScenarioConfig::paper_default()
+            .with_compromised_pretrusted(10)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "1–3")]
+    fn distance_out_of_range_rejected() {
+        ScenarioConfig::paper_default().with_colluder_distance(4);
+    }
+
+    #[test]
+    fn small_is_consistent() {
+        ScenarioConfig::small().validate();
+    }
+}

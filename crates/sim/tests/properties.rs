@@ -1,0 +1,138 @@
+//! Property-based tests for the simulator crate (world construction and
+//! collusion-plan invariants; the engine-level properties live in the
+//! workspace-level `tests/cross_crate_properties.rs`).
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use socialtrust_sim::build::SimWorld;
+use socialtrust_sim::collusion::{CollusionModel, CollusionPlan};
+use socialtrust_sim::scenario::ScenarioConfig;
+use socialtrust_socnet::distance::distances_from;
+use socialtrust_socnet::NodeId;
+
+fn scenario(model_idx: usize, compromised: usize) -> ScenarioConfig {
+    let model = [
+        CollusionModel::None,
+        CollusionModel::PairWise,
+        CollusionModel::MultiNode,
+        CollusionModel::MultiMutual,
+        CollusionModel::NegativeCampaign,
+    ][model_idx];
+    ScenarioConfig::small()
+        .with_collusion(model)
+        .with_compromised_pretrusted(compromised)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn collusion_plans_are_well_formed(
+        model_idx in 0usize..5,
+        compromised in 0usize..3,
+        seed in 0u64..100,
+    ) {
+        let s = scenario(model_idx, compromised);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let plan = CollusionPlan::build(&s, &mut rng);
+        for e in &plan.edges {
+            prop_assert!(e.rater != e.ratee, "no self-boost edges");
+            prop_assert!(e.rate > 0);
+            prop_assert!(e.value == 1.0 || e.value == -1.0);
+            // Raters are colluders or compromised pretrusted nodes.
+            prop_assert!(
+                s.is_colluder(e.rater) || plan.compromised.contains(&e.rater)
+                    || plan.compromised.contains(&e.ratee),
+                "edge {:?} has an unexpected rater", e
+            );
+        }
+        prop_assert_eq!(plan.compromised.len(), compromised);
+        for &v in &plan.victims {
+            prop_assert!(!s.is_colluder(v) && !s.is_pretrusted(v));
+        }
+        // Negative campaigns only produce negative edges, boosts only
+        // positive ones.
+        match s.collusion {
+            CollusionModel::NegativeCampaign => {
+                prop_assert!(plan
+                    .edges
+                    .iter()
+                    .filter(|e| !plan.compromised.contains(&e.rater)
+                        && !plan.compromised.contains(&e.ratee))
+                    .all(|e| e.value < 0.0));
+            }
+            CollusionModel::None => {
+                prop_assert_eq!(
+                    plan.edges.len(),
+                    compromised * 2,
+                    "only compromised-pretrusted edges"
+                );
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn worlds_are_structurally_consistent(
+        model_idx in 0usize..5,
+        seed in 0u64..60,
+    ) {
+        let s = scenario(model_idx, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w = SimWorld::build(&s, &mut rng);
+        prop_assert_eq!(w.node_count(), s.nodes);
+        // Overlay neighbors only cover interests the node declares, and
+        // all point at actual providers.
+        for i in 0..s.nodes {
+            for (l, neigh) in w.neighbors[i].iter().enumerate() {
+                if !w.interests[i].contains(socialtrust_socnet::interest::InterestId(l as u16)) {
+                    prop_assert!(neigh.is_empty());
+                }
+                for &p in neigh {
+                    prop_assert!(p != NodeId::from(i), "no self-links");
+                    prop_assert!(w.providers[l].contains(&p));
+                    prop_assert!(neigh.len() <= s.overlay_per_interest);
+                }
+            }
+        }
+        // Social graph stays connected enough for closeness to exist:
+        // every node reaches node 0 (builder guarantees a connected
+        // backbone; colluder rewiring never removes backbone edges other
+        // than the pair edge itself).
+        let ctx = w.ctx.read();
+        let d = distances_from(ctx.graph(), NodeId(0), None);
+        let reachable = d.iter().filter(|x| x.is_some()).count();
+        prop_assert!(
+            reachable >= s.nodes - s.colluder_count,
+            "only colluder rewiring may disconnect a handful of nodes: {reachable}"
+        );
+    }
+
+    #[test]
+    fn oscillation_schedule_has_expected_duty_cycle(period in 2usize..12) {
+        let s = ScenarioConfig::small().with_oscillation(period);
+        let active: usize = (0..period).filter(|&c| s.collusion_active_in_cycle(c)).count();
+        prop_assert_eq!(active, period / 2);
+        // And the schedule repeats.
+        for c in 0..period {
+            prop_assert_eq!(
+                s.collusion_active_in_cycle(c),
+                s.collusion_active_in_cycle(c + period)
+            );
+        }
+    }
+
+    #[test]
+    fn behavior_range_draws_stay_in_range(seed in 0u64..30) {
+        let s = ScenarioConfig::small().with_colluder_behavior_range((0.2, 0.6));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w = SimWorld::build(&s, &mut rng);
+        for c in s.colluder_ids() {
+            prop_assert!((0.2..=0.6).contains(&w.behavior[c.index()]));
+        }
+        for n in s.normal_ids() {
+            prop_assert_eq!(w.behavior[n.index()], s.normal_behavior);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Random social-network generators.
+//!
+//! These builders produce the social structures used by the paper's
+//! experimental setup (Section 5.1) and by the synthetic Overstock trace:
+//!
+//! * a connected random backbone in which ordinary node pairs share
+//!   `[1, 2]` relationships,
+//! * colluder cliques whose pairs share `[3, 5]` relationships
+//!   (social distance 1 among colluders),
+//! * random interest assignments: `total_interests` categories, each node
+//!   holding a uniform `[min, max]`-sized subset.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::SocialGraph;
+use crate::interest::InterestSet;
+use crate::relationship::{Relationship, RelationshipKind};
+use crate::NodeId;
+
+/// Draw a random relationship of reasonable kind for generated networks.
+fn random_relationship<R: Rng + ?Sized>(rng: &mut R) -> Relationship {
+    let kind = *RelationshipKind::ALL.choose(rng).expect("non-empty");
+    Relationship::new(kind)
+}
+
+/// Add `count` relationships (uniform in `rel_range`) to the edge `(a, b)`.
+fn add_relationships<R: Rng + ?Sized>(
+    g: &mut SocialGraph,
+    a: NodeId,
+    b: NodeId,
+    rel_range: (usize, usize),
+    rng: &mut R,
+) {
+    let count = rng.gen_range(rel_range.0..=rel_range.1).max(1);
+    for _ in 0..count {
+        g.add_relationship(a, b, random_relationship(rng));
+    }
+}
+
+/// Build a **connected** random social graph over `n` nodes.
+///
+/// Construction: a random spanning tree (guaranteeing connectivity and small
+/// diameter for the sizes used here) plus extra uniform random edges until
+/// the average degree reaches `avg_degree`. Every edge carries a uniform
+/// `rel_range` number of relationships ( `[1, 2]` in the paper's setup).
+///
+/// # Panics
+/// Panics if `n == 0` or `rel_range.0 == 0` or `rel_range.0 > rel_range.1`.
+pub fn connected_random_graph<R: Rng + ?Sized>(
+    n: usize,
+    avg_degree: f64,
+    rel_range: (usize, usize),
+    rng: &mut R,
+) -> SocialGraph {
+    assert!(n > 0, "graph needs at least one node");
+    assert!(
+        rel_range.0 >= 1 && rel_range.0 <= rel_range.1,
+        "invalid relationship range {rel_range:?}"
+    );
+    let mut g = SocialGraph::new(n);
+    if n == 1 {
+        return g;
+    }
+    // Random spanning tree: shuffle nodes, connect each to a random earlier
+    // node. This yields low-diameter trees in expectation (random recursive
+    // tree: O(log n) expected depth).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    for idx in 1..n {
+        let parent = order[rng.gen_range(0..idx)];
+        add_relationships(
+            &mut g,
+            NodeId::from(order[idx]),
+            NodeId::from(parent),
+            rel_range,
+            rng,
+        );
+    }
+    // Extra edges to reach the target average degree (2·E/n).
+    let target_edges = ((avg_degree * n as f64) / 2.0).round() as usize;
+    let mut guard = 0usize;
+    while g.edge_count() < target_edges && guard < 50 * target_edges {
+        guard += 1;
+        let a = NodeId::from(rng.gen_range(0..n));
+        let b = NodeId::from(rng.gen_range(0..n));
+        if a == b || g.are_adjacent(a, b) {
+            continue;
+        }
+        add_relationships(&mut g, a, b, rel_range, rng);
+    }
+    g
+}
+
+/// Turn `members` into a clique: every pair becomes adjacent with a uniform
+/// `rel_range` number of relationships (the paper gives colluders `[3, 5]`
+/// relationships and social distance 1).
+///
+/// Existing edges between members are kept; the clique relationships are
+/// added on top only for pairs that were not yet adjacent.
+pub fn add_clique<R: Rng + ?Sized>(
+    g: &mut SocialGraph,
+    members: &[NodeId],
+    rel_range: (usize, usize),
+    rng: &mut R,
+) {
+    for (idx, &a) in members.iter().enumerate() {
+        for &b in &members[idx + 1..] {
+            if !g.are_adjacent(a, b) {
+                add_relationships(g, a, b, rel_range, rng);
+            }
+        }
+    }
+}
+
+/// Randomly assign interest sets: `total_interests` categories exist; each
+/// node gets a uniform `[per_node.0, per_node.1]`-sized random subset.
+///
+/// This matches the paper's setup: *"the number of total interests in the
+/// P2P network was set to 20, and the number of interests for each node was
+/// randomly chosen from \[1,10\]"*.
+pub fn random_interests<R: Rng + ?Sized>(
+    n: usize,
+    total_interests: u16,
+    per_node: (usize, usize),
+    rng: &mut R,
+) -> Vec<InterestSet> {
+    assert!(total_interests > 0, "need at least one interest category");
+    assert!(
+        per_node.0 >= 1 && per_node.1 <= total_interests as usize && per_node.0 <= per_node.1,
+        "invalid per-node interest range {per_node:?} for {total_interests} categories"
+    );
+    let all: Vec<u16> = (0..total_interests).collect();
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(per_node.0..=per_node.1);
+            let chosen: Vec<u16> = all.choose_multiple(rng, k).copied().collect();
+            InterestSet::from_ids(chosen)
+        })
+        .collect()
+}
+
+/// Pick a random set of `count` distinct node ids out of `0..n`, excluding
+/// any node in `exclude`.
+pub fn pick_distinct_nodes<R: Rng + ?Sized>(
+    n: usize,
+    count: usize,
+    exclude: &[NodeId],
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let pool: Vec<NodeId> = (0..n)
+        .map(NodeId::from)
+        .filter(|v| !exclude.contains(v))
+        .collect();
+    assert!(
+        count <= pool.len(),
+        "cannot pick {count} nodes from a pool of {}",
+        pool.len()
+    );
+    pool.choose_multiple(rng, count).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::distances_from;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn connected_graph_is_connected() {
+        let mut r = rng(1);
+        let g = connected_random_graph(100, 6.0, (1, 2), &mut r);
+        let d = distances_from(&g, NodeId(0), None);
+        assert!(d.iter().all(|x| x.is_some()), "graph must be connected");
+    }
+
+    #[test]
+    fn connected_graph_hits_target_degree() {
+        let mut r = rng(2);
+        let g = connected_random_graph(200, 8.0, (1, 2), &mut r);
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            (avg - 8.0).abs() < 1.0,
+            "average degree {avg} too far from target 8"
+        );
+    }
+
+    #[test]
+    fn relationship_counts_respect_range() {
+        let mut r = rng(3);
+        let g = connected_random_graph(50, 4.0, (1, 2), &mut r);
+        for (a, b, rels) in g.edges() {
+            assert!(
+                (1..=2).contains(&rels.len()),
+                "edge ({a},{b}) has {} relationships",
+                rels.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut r = rng(4);
+        let g = connected_random_graph(1, 4.0, (1, 2), &mut r);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn clique_makes_all_pairs_adjacent_with_heavy_relationships() {
+        let mut r = rng(5);
+        let mut g = SocialGraph::new(10);
+        let members: Vec<NodeId> = (0..5u32).map(NodeId).collect();
+        add_clique(&mut g, &members, (3, 5), &mut r);
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                assert!(g.are_adjacent(a, b));
+                let m = g.relationship_count(a, b);
+                assert!((3..=5).contains(&m), "m({a},{b}) = {m}");
+            }
+        }
+        // Non-members untouched.
+        assert_eq!(g.degree(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn clique_preserves_existing_edges() {
+        let mut r = rng(6);
+        let mut g = SocialGraph::new(3);
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        let members = [NodeId(0), NodeId(1), NodeId(2)];
+        add_clique(&mut g, &members, (3, 5), &mut r);
+        // Pre-existing edge keeps its single relationship.
+        assert_eq!(g.relationship_count(NodeId(0), NodeId(1)), 1);
+        assert!(g.relationship_count(NodeId(0), NodeId(2)) >= 3);
+    }
+
+    #[test]
+    fn interests_respect_ranges() {
+        let mut r = rng(7);
+        let sets = random_interests(200, 20, (1, 10), &mut r);
+        assert_eq!(sets.len(), 200);
+        for s in &sets {
+            assert!((1..=10).contains(&s.len()));
+            assert!(s.as_slice().iter().all(|c| c.0 < 20));
+        }
+    }
+
+    #[test]
+    fn interests_are_diverse() {
+        let mut r = rng(8);
+        let sets = random_interests(100, 20, (1, 10), &mut r);
+        let distinct: std::collections::HashSet<Vec<u16>> = sets
+            .iter()
+            .map(|s| s.as_slice().iter().map(|c| c.0).collect())
+            .collect();
+        assert!(distinct.len() > 50, "interest sets should vary across nodes");
+    }
+
+    #[test]
+    fn pick_distinct_excludes_and_dedups() {
+        let mut r = rng(9);
+        let exclude = [NodeId(0), NodeId(1)];
+        let picked = pick_distinct_nodes(10, 5, &exclude, &mut r);
+        assert_eq!(picked.len(), 5);
+        let mut sorted = picked.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5, "picked nodes must be distinct");
+        assert!(picked.iter().all(|v| !exclude.contains(v)));
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let g1 = connected_random_graph(50, 5.0, (1, 2), &mut rng(42));
+        let g2 = connected_random_graph(50, 5.0, (1, 2), &mut rng(42));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let mut e1: Vec<(NodeId, NodeId, usize)> =
+            g1.edges().map(|(a, b, r)| (a, b, r.len())).collect();
+        let mut e2: Vec<(NodeId, NodeId, usize)> =
+            g2.edges().map(|(a, b, r)| (a, b, r.len())).collect();
+        e1.sort();
+        e2.sort();
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,258 @@
+//! Community structure analysis of the social graph.
+//!
+//! The paper's related work surveys structure-based Sybil/collusion
+//! defenses (SybilGuard, SybilLimit, SumUp, …) which exploit the
+//! *"disproportionately-small cut"* between a colluding/Sybil region and
+//! the honest region, and notes that community-detection algorithms can
+//! serve as such defenses. This module provides the structural toolkit:
+//!
+//! * [`label_propagation`] — near-linear-time community detection;
+//! * [`conductance`] — the cut metric those defenses threshold on;
+//! * [`modularity`] — partition quality.
+//!
+//! These complement SocialTrust (the `ext_community` experiment compares
+//! what pure structure sees against what the behavioral detector sees).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+use crate::graph::SocialGraph;
+use crate::NodeId;
+
+/// Asynchronous label propagation (Raghavan et al., 2007): every node
+/// starts in its own community and repeatedly adopts the most common label
+/// among its neighbors (ties broken toward the smallest label for
+/// determinism), visiting nodes in an `rng`-shuffled order each round.
+///
+/// Returns a label per node; nodes sharing a label are one community.
+/// Isolated nodes keep their own label. Runs at most `max_rounds` rounds
+/// or until no label changes.
+pub fn label_propagation<R: Rng + ?Sized>(
+    g: &SocialGraph,
+    max_rounds: usize,
+    rng: &mut R,
+) -> Vec<u32> {
+    let n = g.node_count();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..max_rounds {
+        order.shuffle(rng);
+        let mut changed = false;
+        for &v in &order {
+            let neighbors = g.neighbors(NodeId::from(v));
+            if neighbors.is_empty() {
+                continue;
+            }
+            // Count neighbor labels; weight by relationship count so that
+            // heavily-linked pairs (colluder cliques!) pull harder.
+            let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+            for &w in neighbors {
+                let weight = g.relationship_count(NodeId::from(v), w).max(1);
+                *counts.entry(labels[w.index()]).or_insert(0) += weight;
+            }
+            // Most common label, smallest label on ties (BTreeMap order).
+            let (&best, _) = counts
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+                .expect("non-empty");
+            if labels[v] != best {
+                labels[v] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    labels
+}
+
+/// Group nodes by label into communities, sorted by size descending.
+pub fn communities(labels: &[u32]) -> Vec<Vec<NodeId>> {
+    let mut map: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    for (v, &l) in labels.iter().enumerate() {
+        map.entry(l).or_default().push(NodeId::from(v));
+    }
+    let mut out: Vec<Vec<NodeId>> = map.into_values().collect();
+    out.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    out
+}
+
+/// Conductance of a node set `s`: `cut(S, V∖S) / min(vol(S), vol(V∖S))`,
+/// where volumes are edge-endpoint counts. Low conductance = the set is
+/// separated from the rest by a disproportionately small cut — the Sybil /
+/// colluding-collective signature.
+///
+/// Returns `1.0` for empty or full sets (no meaningful cut).
+pub fn conductance(g: &SocialGraph, s: &[NodeId]) -> f64 {
+    let n = g.node_count();
+    if s.is_empty() || s.len() >= n {
+        return 1.0;
+    }
+    let mut in_set = vec![false; n];
+    for &v in s {
+        in_set[v.index()] = true;
+    }
+    let mut cut = 0usize;
+    let mut vol_s = 0usize;
+    let mut vol_rest = 0usize;
+    for v in g.nodes() {
+        let deg = g.degree(v);
+        if in_set[v.index()] {
+            vol_s += deg;
+            for &w in g.neighbors(v) {
+                if !in_set[w.index()] {
+                    cut += 1;
+                }
+            }
+        } else {
+            vol_rest += deg;
+        }
+    }
+    let denom = vol_s.min(vol_rest);
+    if denom == 0 {
+        return 1.0;
+    }
+    cut as f64 / denom as f64
+}
+
+/// Newman modularity `Q` of a labeling:
+/// `Q = Σ_c (e_c/m − (d_c/2m)²)` with `e_c` intra-community edges, `d_c`
+/// total degree of community `c`, `m` total edges. Higher = stronger
+/// community structure.
+pub fn modularity(g: &SocialGraph, labels: &[u32]) -> f64 {
+    let m = g.edge_count();
+    if m == 0 {
+        return 0.0;
+    }
+    let mut intra: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut degree: BTreeMap<u32, usize> = BTreeMap::new();
+    for (a, b, _) in g.edges() {
+        if labels[a.index()] == labels[b.index()] {
+            *intra.entry(labels[a.index()]).or_insert(0) += 1;
+        }
+    }
+    for v in g.nodes() {
+        *degree.entry(labels[v.index()]).or_insert(0) += g.degree(v);
+    }
+    let m = m as f64;
+    degree
+        .iter()
+        .map(|(c, &d)| {
+            let e_c = intra.get(c).copied().unwrap_or(0) as f64;
+            e_c / m - (d as f64 / (2.0 * m)).powi(2)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{add_clique, connected_random_graph};
+    use crate::relationship::Relationship;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// Two 6-cliques joined by a single bridge edge.
+    fn barbell() -> SocialGraph {
+        let mut g = SocialGraph::new(12);
+        let mut r = rng(1);
+        let left: Vec<NodeId> = (0..6u32).map(NodeId).collect();
+        let right: Vec<NodeId> = (6..12u32).map(NodeId).collect();
+        add_clique(&mut g, &left, (1, 1), &mut r);
+        add_clique(&mut g, &right, (1, 1), &mut r);
+        g.add_relationship(NodeId(5), NodeId(6), Relationship::friendship());
+        g
+    }
+
+    #[test]
+    fn label_propagation_splits_the_barbell() {
+        let g = barbell();
+        let labels = label_propagation(&g, 20, &mut rng(2));
+        let comms = communities(&labels);
+        assert_eq!(comms.len(), 2, "two cliques ⇒ two communities: {comms:?}");
+        assert_eq!(comms[0].len(), 6);
+        assert_eq!(comms[1].len(), 6);
+        // The cliques are intact.
+        let l0 = labels[0];
+        assert!((0..6).all(|v| labels[v] == l0));
+        assert!((6..12).all(|v| labels[v] == labels[6]));
+        assert_ne!(l0, labels[6]);
+    }
+
+    #[test]
+    fn clique_set_has_low_conductance() {
+        let g = barbell();
+        let left: Vec<NodeId> = (0..6u32).map(NodeId).collect();
+        let phi = conductance(&g, &left);
+        // One cut edge over volume 2·15+1: far below 0.1.
+        assert!(phi < 0.1, "φ = {phi}");
+        // A random split of the same size cuts much more.
+        let mixed: Vec<NodeId> = [0u32, 1, 2, 6, 7, 8].map(NodeId).to_vec();
+        assert!(conductance(&g, &mixed) > phi * 3.0);
+    }
+
+    #[test]
+    fn conductance_degenerate_cases() {
+        let g = barbell();
+        assert_eq!(conductance(&g, &[]), 1.0);
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(conductance(&g, &all), 1.0);
+        // Isolated node set in an empty graph.
+        let empty = SocialGraph::new(3);
+        assert_eq!(conductance(&empty, &[NodeId(0)]), 1.0);
+    }
+
+    #[test]
+    fn modularity_favors_the_true_partition() {
+        let g = barbell();
+        let good: Vec<u32> = (0..12).map(|v| if v < 6 { 0 } else { 1 }).collect();
+        let bad: Vec<u32> = (0..12).map(|v| (v % 2) as u32).collect();
+        let single: Vec<u32> = vec![0; 12];
+        assert!(modularity(&g, &good) > modularity(&g, &bad));
+        assert!(modularity(&g, &good) > modularity(&g, &single));
+    }
+
+    #[test]
+    fn modularity_empty_graph_is_zero() {
+        let g = SocialGraph::new(4);
+        assert_eq!(modularity(&g, &[0, 0, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn label_propagation_is_total_and_terminates() {
+        let mut r = rng(3);
+        let g = connected_random_graph(80, 5.0, (1, 2), &mut r);
+        let labels = label_propagation(&g, 30, &mut r);
+        assert_eq!(labels.len(), 80);
+        let comms = communities(&labels);
+        let total: usize = comms.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 80, "every node belongs to exactly one community");
+    }
+
+    #[test]
+    fn isolated_nodes_keep_their_own_label() {
+        let g = SocialGraph::new(3);
+        let labels = label_propagation(&g, 10, &mut rng(4));
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn heavy_clique_relationships_pull_harder() {
+        // A node bridging a multi-relationship pair and a single-edge pair
+        // joins the heavier side.
+        let mut g = SocialGraph::new(4);
+        for _ in 0..4 {
+            g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        }
+        g.add_relationship(NodeId(1), NodeId(2), Relationship::friendship());
+        g.add_relationship(NodeId(2), NodeId(3), Relationship::friendship());
+        let labels = label_propagation(&g, 20, &mut rng(5));
+        assert_eq!(labels[0], labels[1], "the 4-relationship pair must merge");
+    }
+}

@@ -1,0 +1,214 @@
+//! Social distance: breadth-first search over the social graph.
+//!
+//! The paper defines social distance as *"the number of hops in the shortest
+//! path between them in the personal network"*. Overstock users transact
+//! mostly within 3 hops (Observation O3), so most callers pass a small hop
+//! cap to keep searches cheap on large graphs.
+
+use std::collections::VecDeque;
+
+use crate::graph::SocialGraph;
+use crate::NodeId;
+
+/// Shortest-path hop distance from `src` to `dst`, or `None` if unreachable
+/// (or further than `cap` hops when a cap is given).
+///
+/// `bfs_distance(g, v, v, _)` is `Some(0)`.
+pub fn bfs_distance(g: &SocialGraph, src: NodeId, dst: NodeId, cap: Option<u32>) -> Option<u32> {
+    if src == dst {
+        return Some(0);
+    }
+    let n = g.node_count();
+    let mut dist: Vec<u32> = vec![u32::MAX; n];
+    dist[src.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        if let Some(c) = cap {
+            if d >= c {
+                continue;
+            }
+        }
+        for &w in g.neighbors(v) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = d + 1;
+                if w == dst {
+                    return Some(d + 1);
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// Hop distances from `src` to every node, capped at `cap` hops if given.
+/// Unreachable (or beyond-cap) nodes get `None`.
+pub fn distances_from(g: &SocialGraph, src: NodeId, cap: Option<u32>) -> Vec<Option<u32>> {
+    let n = g.node_count();
+    let mut dist: Vec<u32> = vec![u32::MAX; n];
+    dist[src.index()] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        if let Some(c) = cap {
+            if d >= c {
+                continue;
+            }
+        }
+        for &w in g.neighbors(v) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist.into_iter()
+        .map(|d| if d == u32::MAX { None } else { Some(d) })
+        .collect()
+}
+
+/// One shortest path from `src` to `dst` (inclusive of both endpoints),
+/// or `None` if unreachable. Used by the Equation (4) fallback, which takes
+/// the minimum closeness along the social path between two nodes that share
+/// no common friend.
+pub fn shortest_path(g: &SocialGraph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let n = g.node_count();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[src.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    'bfs: while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                parent[w.index()] = Some(v);
+                if w == dst {
+                    break 'bfs;
+                }
+                queue.push_back(w);
+            }
+        }
+    }
+    if !seen[dst.index()] {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = parent[cur.index()] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    debug_assert_eq!(path[0], src);
+    Some(path)
+}
+
+/// Eccentricity-free diameter estimate: the maximum finite BFS distance over
+/// the given sample of source nodes. Exact when `sources` covers all nodes.
+pub fn max_distance_from_sources(g: &SocialGraph, sources: &[NodeId]) -> Option<u32> {
+    sources
+        .iter()
+        .flat_map(|&s| distances_from(g, s, None).into_iter().flatten())
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relationship::Relationship;
+
+    /// 0 - 1 - 2 - 3 path plus isolated node 4.
+    fn path_graph() -> SocialGraph {
+        let mut g = SocialGraph::new(5);
+        for i in 0..3u32 {
+            g.add_relationship(NodeId(i), NodeId(i + 1), Relationship::friendship());
+        }
+        g
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let g = path_graph();
+        assert_eq!(bfs_distance(&g, NodeId(2), NodeId(2), None), Some(0));
+    }
+
+    #[test]
+    fn path_distances() {
+        let g = path_graph();
+        assert_eq!(bfs_distance(&g, NodeId(0), NodeId(1), None), Some(1));
+        assert_eq!(bfs_distance(&g, NodeId(0), NodeId(2), None), Some(2));
+        assert_eq!(bfs_distance(&g, NodeId(0), NodeId(3), None), Some(3));
+        assert_eq!(bfs_distance(&g, NodeId(3), NodeId(0), None), Some(3));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = path_graph();
+        assert_eq!(bfs_distance(&g, NodeId(0), NodeId(4), None), None);
+    }
+
+    #[test]
+    fn cap_truncates_search() {
+        let g = path_graph();
+        assert_eq!(bfs_distance(&g, NodeId(0), NodeId(3), Some(2)), None);
+        assert_eq!(bfs_distance(&g, NodeId(0), NodeId(3), Some(3)), Some(3));
+        assert_eq!(bfs_distance(&g, NodeId(0), NodeId(2), Some(2)), Some(2));
+    }
+
+    #[test]
+    fn distances_from_matches_pairwise() {
+        let g = path_graph();
+        let d = distances_from(&g, NodeId(0), None);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), None]);
+        for v in 0..5u32 {
+            assert_eq!(d[v as usize], bfs_distance(&g, NodeId(0), NodeId(v), None));
+        }
+    }
+
+    #[test]
+    fn distances_from_with_cap() {
+        let g = path_graph();
+        let d = distances_from(&g, NodeId(0), Some(1));
+        assert_eq!(d, vec![Some(0), Some(1), None, None, None]);
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let g = path_graph();
+        let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(shortest_path(&g, NodeId(1), NodeId(1)).unwrap(), vec![NodeId(1)]);
+        assert!(shortest_path(&g, NodeId(0), NodeId(4)).is_none());
+    }
+
+    #[test]
+    fn shortest_path_prefers_minimum_hops() {
+        // Square with a diagonal: 0-1, 1-2, 2-3, 3-0, 0-2. Path 1→3 has two
+        // 2-hop routes; length must be 2.
+        let mut g = SocialGraph::new(4);
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        g.add_relationship(NodeId(1), NodeId(2), Relationship::friendship());
+        g.add_relationship(NodeId(2), NodeId(3), Relationship::friendship());
+        g.add_relationship(NodeId(3), NodeId(0), Relationship::friendship());
+        g.add_relationship(NodeId(0), NodeId(2), Relationship::friendship());
+        let p = shortest_path(&g, NodeId(1), NodeId(3)).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], NodeId(1));
+        assert_eq!(p[2], NodeId(3));
+    }
+
+    #[test]
+    fn max_distance_over_sources() {
+        let g = path_graph();
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(max_distance_from_sources(&g, &all), Some(3));
+        assert_eq!(max_distance_from_sources(&g, &[]), None);
+    }
+}

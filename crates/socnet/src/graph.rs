@@ -1,0 +1,347 @@
+//! The undirected, multi-relationship social graph (the paper's "personal
+//! network").
+//!
+//! Each edge carries a list of [`Relationship`]s; `m(i,j)` in Equation (2)
+//! is the length of that list. Neighbor lists are kept sorted so that common
+//! friends (needed by Equation (3)) can be computed by a linear merge.
+
+use std::collections::HashMap;
+
+use crate::relationship::Relationship;
+use crate::NodeId;
+
+/// Canonical (unordered) edge key: the smaller node id first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct EdgeKey(NodeId, NodeId);
+
+impl EdgeKey {
+    fn new(a: NodeId, b: NodeId) -> Self {
+        if a <= b {
+            EdgeKey(a, b)
+        } else {
+            EdgeKey(b, a)
+        }
+    }
+}
+
+/// An undirected social graph over dense node ids `0..n`.
+///
+/// The graph stores, per edge, the list of declared social relationships.
+/// It supports the queries SocialTrust needs:
+///
+/// * adjacency and sorted neighbor lists,
+/// * the relationship multiset of an edge (`m(i,j)` and Eq. (10) weights),
+/// * common friends of two nodes (`S_i ∩ S_j` in Eq. (3)).
+///
+/// Self-loops are rejected; parallel *edges* do not exist (adding another
+/// relationship to an existing edge extends that edge's relationship list).
+#[derive(Debug, Clone, Default)]
+pub struct SocialGraph {
+    adj: Vec<Vec<NodeId>>,
+    rels: HashMap<EdgeKey, Vec<Relationship>>,
+    edge_count: usize,
+}
+
+impl SocialGraph {
+    /// An empty graph with `n` isolated nodes (`0..n`).
+    pub fn new(n: usize) -> Self {
+        SocialGraph {
+            adj: vec![Vec::new(); n],
+            rels: HashMap::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Append a new isolated node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from(self.adj.len());
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::from)
+    }
+
+    #[inline]
+    fn check_node(&self, v: NodeId) {
+        assert!(
+            v.index() < self.adj.len(),
+            "node {v} out of range (graph has {} nodes)",
+            self.adj.len()
+        );
+    }
+
+    /// Add one relationship between `a` and `b`, creating the edge if it
+    /// does not exist yet.
+    ///
+    /// # Panics
+    /// Panics if `a == b` (self-relationships are meaningless) or either
+    /// node is out of range.
+    pub fn add_relationship(&mut self, a: NodeId, b: NodeId, rel: Relationship) {
+        assert!(a != b, "self-relationship on {a} is not allowed");
+        self.check_node(a);
+        self.check_node(b);
+        let key = EdgeKey::new(a, b);
+        let list = self.rels.entry(key).or_default();
+        if list.is_empty() {
+            // New edge: insert into both sorted neighbor lists.
+            let insert_sorted = |v: &mut Vec<NodeId>, x: NodeId| {
+                if let Err(pos) = v.binary_search(&x) {
+                    v.insert(pos, x);
+                }
+            };
+            insert_sorted(&mut self.adj[a.index()], b);
+            insert_sorted(&mut self.adj[b.index()], a);
+            self.edge_count += 1;
+        }
+        list.push(rel);
+    }
+
+    /// Remove the edge between `a` and `b` entirely (all relationships).
+    /// Returns the removed relationships, or an empty vector if the edge did
+    /// not exist.
+    pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Vec<Relationship> {
+        self.check_node(a);
+        self.check_node(b);
+        let key = EdgeKey::new(a, b);
+        match self.rels.remove(&key) {
+            Some(list) => {
+                let remove_sorted = |v: &mut Vec<NodeId>, x: NodeId| {
+                    if let Ok(pos) = v.binary_search(&x) {
+                        v.remove(pos);
+                    }
+                };
+                remove_sorted(&mut self.adj[a.index()], b);
+                remove_sorted(&mut self.adj[b.index()], a);
+                self.edge_count -= 1;
+                list
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Are `a` and `b` directly connected (social distance 1)?
+    #[inline]
+    pub fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        self.check_node(a);
+        self.check_node(b);
+        if a == b {
+            return false;
+        }
+        self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// The sorted neighbor list of `v` (the friend set `S_v`).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.check_node(v);
+        &self.adj[v.index()]
+    }
+
+    /// Degree (number of friends, `|S_v|`).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// The relationships declared on edge `(a, b)`; empty if not adjacent.
+    pub fn relationships(&self, a: NodeId, b: NodeId) -> &[Relationship] {
+        self.check_node(a);
+        self.check_node(b);
+        self.rels
+            .get(&EdgeKey::new(a, b))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// `m(i,j)`: the number of social relationships between `a` and `b`
+    /// (0 if not adjacent).
+    #[inline]
+    pub fn relationship_count(&self, a: NodeId, b: NodeId) -> usize {
+        self.relationships(a, b).len()
+    }
+
+    /// The common friends `S_a ∩ S_b`, by linear merge of the sorted
+    /// neighbor lists. Excludes `a` and `b` themselves (they cannot appear:
+    /// no self-loops).
+    pub fn common_friends(&self, a: NodeId, b: NodeId) -> Vec<NodeId> {
+        self.check_node(a);
+        self.check_node(b);
+        let (sa, sb) = (&self.adj[a.index()], &self.adj[b.index()]);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < sa.len() && j < sb.len() {
+            match sa[i].cmp(&sb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(sa[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterator over all edges as `(a, b, relationships)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, &[Relationship])> + '_ {
+        self.rels
+            .iter()
+            .map(|(k, v)| (k.0, k.1, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relationship::RelationshipKind;
+
+    fn triangle() -> SocialGraph {
+        let mut g = SocialGraph::new(3);
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        g.add_relationship(NodeId(1), NodeId(2), Relationship::friendship());
+        g.add_relationship(NodeId(0), NodeId(2), Relationship::kinship());
+        g
+    }
+
+    #[test]
+    fn new_graph_is_empty() {
+        let g = SocialGraph::new(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn add_node_extends_graph() {
+        let mut g = SocialGraph::new(2);
+        let v = g.add_node();
+        assert_eq!(v, NodeId(2));
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = triangle();
+        for (a, b, _) in g.edges() {
+            assert!(g.are_adjacent(a, b));
+            assert!(g.are_adjacent(b, a));
+        }
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let mut g = SocialGraph::new(4);
+        g.add_relationship(NodeId(2), NodeId(3), Relationship::friendship());
+        g.add_relationship(NodeId(2), NodeId(0), Relationship::friendship());
+        g.add_relationship(NodeId(2), NodeId(1), Relationship::friendship());
+        assert_eq!(g.neighbors(NodeId(2)), &[NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn multiple_relationships_share_one_edge() {
+        let mut g = SocialGraph::new(2);
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::colleague());
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.relationship_count(NodeId(0), NodeId(1)), 2);
+        assert_eq!(g.relationship_count(NodeId(1), NodeId(0)), 2);
+        let kinds: Vec<RelationshipKind> = g
+            .relationships(NodeId(0), NodeId(1))
+            .iter()
+            .map(|r| r.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![RelationshipKind::Friendship, RelationshipKind::Colleague]
+        );
+    }
+
+    #[test]
+    fn relationship_count_zero_for_non_adjacent() {
+        let g = SocialGraph::new(3);
+        assert_eq!(g.relationship_count(NodeId(0), NodeId(2)), 0);
+        assert!(!g.are_adjacent(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn common_friends_merge() {
+        // 0-1, 0-2, 3-1, 3-2, plus 0-4: common friends of 0 and 3 are {1, 2}.
+        let mut g = SocialGraph::new(5);
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        g.add_relationship(NodeId(0), NodeId(2), Relationship::friendship());
+        g.add_relationship(NodeId(3), NodeId(1), Relationship::friendship());
+        g.add_relationship(NodeId(3), NodeId(2), Relationship::friendship());
+        g.add_relationship(NodeId(0), NodeId(4), Relationship::friendship());
+        assert_eq!(g.common_friends(NodeId(0), NodeId(3)), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(g.common_friends(NodeId(3), NodeId(0)), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn common_friends_empty_when_none() {
+        let g = triangle();
+        // In a triangle, 0 and 1 have exactly one common friend: 2.
+        assert_eq!(g.common_friends(NodeId(0), NodeId(1)), vec![NodeId(2)]);
+        let g2 = SocialGraph::new(3);
+        assert!(g2.common_friends(NodeId(0), NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn remove_edge_returns_relationships() {
+        let mut g = triangle();
+        let removed = g.remove_edge(NodeId(0), NodeId(2));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].kind, RelationshipKind::Kinship);
+        assert!(!g.are_adjacent(NodeId(0), NodeId(2)));
+        assert_eq!(g.edge_count(), 2);
+        // Removing again is a no-op.
+        assert!(g.remove_edge(NodeId(0), NodeId(2)).is_empty());
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-relationship")]
+    fn self_loop_rejected() {
+        let mut g = SocialGraph::new(2);
+        g.add_relationship(NodeId(1), NodeId(1), Relationship::friendship());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        let mut g = SocialGraph::new(2);
+        g.add_relationship(NodeId(0), NodeId(5), Relationship::friendship());
+    }
+
+    #[test]
+    fn edges_iterator_covers_all() {
+        let g = triangle();
+        let mut edges: Vec<(NodeId, NodeId)> = g.edges().map(|(a, b, _)| (a, b)).collect();
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(0), NodeId(2)),
+                (NodeId(1), NodeId(2))
+            ]
+        );
+    }
+}

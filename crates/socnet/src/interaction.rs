@@ -1,0 +1,200 @@
+//! Pairwise interaction-frequency tracking.
+//!
+//! In a P2P network integrated with a social network, *"an interaction can
+//! be regarded as an action that a peer requests a resource from another
+//! peer"* (Section 4.1). The closeness Equations (2) and (10) normalize the
+//! directed interaction frequency `f(i,j)` by node `i`'s total outgoing
+//! interactions `Σ_k f(i,k)`; this makes closeness expensive to fake —
+//! inflating one edge deflates every other edge of the same rater.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// Tracks directed interaction frequencies `f(i,j)` between nodes.
+///
+/// Frequencies are `f64` so callers can record either raw counts or
+/// rates (e.g. interactions per month, as in the Overstock trace).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InteractionTracker {
+    /// `counts[i][j] = f(i, j)`.
+    counts: Vec<BTreeMap<NodeId, f64>>,
+    /// `totals[i] = Σ_k f(i, k)` (kept incrementally to avoid rescans).
+    totals: Vec<f64>,
+}
+
+impl InteractionTracker {
+    /// A tracker for `n` nodes with all frequencies zero.
+    pub fn new(n: usize) -> Self {
+        InteractionTracker {
+            counts: vec![BTreeMap::new(); n],
+            totals: vec![0.0; n],
+        }
+    }
+
+    /// Number of nodes tracked.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Grow the tracker to cover at least `n` nodes.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if n > self.totals.len() {
+            self.counts.resize(n, BTreeMap::new());
+            self.totals.resize(n, 0.0);
+        }
+    }
+
+    /// Record `amount` additional interactions initiated by `from` toward
+    /// `to`.
+    ///
+    /// # Panics
+    /// Panics if `amount` is negative/non-finite or a node is out of range.
+    pub fn record(&mut self, from: NodeId, to: NodeId, amount: f64) {
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "interaction amount must be a finite non-negative number, got {amount}"
+        );
+        assert!(
+            from.index() < self.totals.len() && to.index() < self.totals.len(),
+            "node out of range"
+        );
+        *self.counts[from.index()].entry(to).or_insert(0.0) += amount;
+        self.totals[from.index()] += amount;
+    }
+
+    /// The directed frequency `f(from, to)`.
+    #[inline]
+    pub fn frequency(&self, from: NodeId, to: NodeId) -> f64 {
+        self.counts
+            .get(from.index())
+            .and_then(|m| m.get(&to))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// `Σ_k f(from, k)` — the total outgoing interactions of `from`.
+    #[inline]
+    pub fn total_outgoing(&self, from: NodeId) -> f64 {
+        self.totals.get(from.index()).copied().unwrap_or(0.0)
+    }
+
+    /// The share `f(from,to) / Σ_k f(from,k)` of `from`'s interactions that
+    /// go to `to`; `0.0` when `from` has no interactions at all.
+    pub fn normalized_frequency(&self, from: NodeId, to: NodeId) -> f64 {
+        let total = self.total_outgoing(from);
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.frequency(from, to) / total
+        }
+    }
+
+    /// Iterate over `(to, f(from,to))` pairs for a given `from` node, in
+    /// unspecified order.
+    pub fn outgoing(&self, from: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.counts
+            .get(from.index())
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(&k, &v)| (k, v)))
+    }
+
+    /// Reset all frequencies to zero, keeping the node count.
+    pub fn clear(&mut self) {
+        for m in &mut self.counts {
+            m.clear();
+        }
+        for t in &mut self.totals {
+            *t = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tracker_is_zero() {
+        let t = InteractionTracker::new(3);
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.frequency(NodeId(0), NodeId(1)), 0.0);
+        assert_eq!(t.total_outgoing(NodeId(0)), 0.0);
+        assert_eq!(t.normalized_frequency(NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut t = InteractionTracker::new(3);
+        t.record(NodeId(0), NodeId(1), 2.0);
+        t.record(NodeId(0), NodeId(1), 3.0);
+        t.record(NodeId(0), NodeId(2), 5.0);
+        assert_eq!(t.frequency(NodeId(0), NodeId(1)), 5.0);
+        assert_eq!(t.frequency(NodeId(0), NodeId(2)), 5.0);
+        assert_eq!(t.total_outgoing(NodeId(0)), 10.0);
+        assert_eq!(t.normalized_frequency(NodeId(0), NodeId(1)), 0.5);
+    }
+
+    #[test]
+    fn frequencies_are_directed() {
+        let mut t = InteractionTracker::new(2);
+        t.record(NodeId(0), NodeId(1), 4.0);
+        assert_eq!(t.frequency(NodeId(0), NodeId(1)), 4.0);
+        assert_eq!(t.frequency(NodeId(1), NodeId(0)), 0.0);
+        assert_eq!(t.total_outgoing(NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn normalized_shares_sum_to_one() {
+        let mut t = InteractionTracker::new(4);
+        t.record(NodeId(0), NodeId(1), 1.0);
+        t.record(NodeId(0), NodeId(2), 2.0);
+        t.record(NodeId(0), NodeId(3), 7.0);
+        let sum: f64 = (1..4)
+            .map(|j| t.normalized_frequency(NodeId(0), NodeId(j)))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensure_nodes_grows() {
+        let mut t = InteractionTracker::new(1);
+        t.ensure_nodes(5);
+        assert_eq!(t.node_count(), 5);
+        t.record(NodeId(4), NodeId(0), 1.0);
+        assert_eq!(t.frequency(NodeId(4), NodeId(0)), 1.0);
+        // Shrinking is a no-op.
+        t.ensure_nodes(2);
+        assert_eq!(t.node_count(), 5);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_size() {
+        let mut t = InteractionTracker::new(2);
+        t.record(NodeId(0), NodeId(1), 3.0);
+        t.clear();
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.frequency(NodeId(0), NodeId(1)), 0.0);
+        assert_eq!(t.total_outgoing(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn outgoing_iterates_pairs() {
+        let mut t = InteractionTracker::new(3);
+        t.record(NodeId(0), NodeId(1), 1.0);
+        t.record(NodeId(0), NodeId(2), 2.0);
+        let mut pairs: Vec<(NodeId, f64)> = t.outgoing(NodeId(0)).collect();
+        pairs.sort_by_key(|(n, _)| *n);
+        assert_eq!(pairs, vec![(NodeId(1), 1.0), (NodeId(2), 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_amount_rejected() {
+        let mut t = InteractionTracker::new(2);
+        t.record(NodeId(0), NodeId(1), -1.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Social relationship kinds and weights.
+//!
+//! The paper's Section 4.4 strengthens the closeness metric against falsified
+//! profiles by weighting relationship kinds differently: *"kinship
+//! relationship should have higher weight than the friendship relationship"*.
+//! Each edge in a [`crate::graph::SocialGraph`] carries one or more
+//! [`Relationship`]s; Equation (10) combines their weights with a geometric
+//! decay `λ^(l-1)` over the list sorted by descending weight.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a social relationship between two users.
+///
+/// Kinds are ordered roughly by the strength of the real-world tie they
+/// represent; [`RelationshipKind::default_weight`] encodes that ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelationshipKind {
+    /// Family tie — the strongest relationship kind.
+    Kinship,
+    /// Explicit friendship link (accepted friend invitation).
+    Friendship,
+    /// Work colleagues.
+    Colleague,
+    /// Classmates (current or former).
+    Classmate,
+    /// Physical-world neighbours.
+    Neighbor,
+    /// Members of the same club / team / online community.
+    Community,
+    /// Any other declared relationship; carries its own weight.
+    Other,
+}
+
+impl RelationshipKind {
+    /// The default weight `w_d` of this relationship kind, in `(0, 1]`.
+    ///
+    /// Stronger real-world ties get larger weights, per Section 4.4 of the
+    /// paper. These values are configuration defaults, not constants of the
+    /// algorithm; callers can override the weight per relationship.
+    pub fn default_weight(self) -> f64 {
+        match self {
+            RelationshipKind::Kinship => 1.0,
+            RelationshipKind::Friendship => 0.8,
+            RelationshipKind::Colleague => 0.7,
+            RelationshipKind::Classmate => 0.6,
+            RelationshipKind::Neighbor => 0.5,
+            RelationshipKind::Community => 0.4,
+            RelationshipKind::Other => 0.3,
+        }
+    }
+
+    /// All concrete kinds, strongest first. Useful for enumeration in tests
+    /// and random generation.
+    pub const ALL: [RelationshipKind; 7] = [
+        RelationshipKind::Kinship,
+        RelationshipKind::Friendship,
+        RelationshipKind::Colleague,
+        RelationshipKind::Classmate,
+        RelationshipKind::Neighbor,
+        RelationshipKind::Community,
+        RelationshipKind::Other,
+    ];
+}
+
+/// One declared social relationship on an edge of the social graph.
+///
+/// An edge may carry several relationships (two users can be both kin and
+/// colleagues); `m(i,j)` in Equation (2) is the number of relationships on
+/// the edge, and Equation (10) replaces that count with a weighted sum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Relationship {
+    /// What kind of tie this is.
+    pub kind: RelationshipKind,
+    /// The weight `w_d ∈ (0, 1]` of this tie. Usually
+    /// [`RelationshipKind::default_weight`], but it can be overridden.
+    pub weight: f64,
+}
+
+impl Relationship {
+    /// A relationship of `kind` with that kind's default weight.
+    pub fn new(kind: RelationshipKind) -> Self {
+        Relationship {
+            kind,
+            weight: kind.default_weight(),
+        }
+    }
+
+    /// A relationship of `kind` with an explicit weight.
+    ///
+    /// # Panics
+    /// Panics if `weight` is not finite or not in `(0, 1]`.
+    pub fn with_weight(kind: RelationshipKind, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0 && weight <= 1.0,
+            "relationship weight must be in (0, 1], got {weight}"
+        );
+        Relationship { kind, weight }
+    }
+
+    /// Shorthand for a default-weight kinship tie.
+    pub fn kinship() -> Self {
+        Relationship::new(RelationshipKind::Kinship)
+    }
+
+    /// Shorthand for a default-weight friendship tie.
+    pub fn friendship() -> Self {
+        Relationship::new(RelationshipKind::Friendship)
+    }
+
+    /// Shorthand for a default-weight colleague tie.
+    pub fn colleague() -> Self {
+        Relationship::new(RelationshipKind::Colleague)
+    }
+}
+
+/// Combine the relationship weights of one edge per Equation (10):
+/// `Σ_l λ^(l-1) · w_{d_l}` with the list sorted by descending weight.
+///
+/// `λ ∈ [0.5, 1]` is the relationship scaling weight; larger `λ` lets
+/// additional (weaker) relationships contribute more. With `λ = 1` and all
+/// weights `1.0` this degenerates to the plain count `m(i,j)` of Eq. (2).
+///
+/// Returns `0.0` for an empty list (no relationship ⇒ no adjacency).
+pub fn weighted_relationship_sum(relationships: &[Relationship], lambda: f64) -> f64 {
+    debug_assert!(
+        (0.5..=1.0).contains(&lambda),
+        "λ must be in [0.5, 1], got {lambda}"
+    );
+    if relationships.is_empty() {
+        return 0.0;
+    }
+    let mut weights: Vec<f64> = relationships.iter().map(|r| r.weight).collect();
+    // Descending by weight, as the paper sorts the relationship list.
+    weights.sort_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
+    let mut scale = 1.0;
+    let mut sum = 0.0;
+    for w in weights {
+        sum += scale * w;
+        scale *= lambda;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_are_ordered_by_tie_strength() {
+        let weights: Vec<f64> = RelationshipKind::ALL
+            .iter()
+            .map(|k| k.default_weight())
+            .collect();
+        for pair in weights.windows(2) {
+            assert!(pair[0] >= pair[1], "weights must be non-increasing");
+        }
+        assert!(weights.iter().all(|w| *w > 0.0 && *w <= 1.0));
+    }
+
+    #[test]
+    fn with_weight_accepts_valid_range() {
+        let r = Relationship::with_weight(RelationshipKind::Other, 0.25);
+        assert_eq!(r.weight, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "relationship weight")]
+    fn with_weight_rejects_zero() {
+        Relationship::with_weight(RelationshipKind::Other, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "relationship weight")]
+    fn with_weight_rejects_above_one() {
+        Relationship::with_weight(RelationshipKind::Other, 1.5);
+    }
+
+    #[test]
+    fn weighted_sum_empty_is_zero() {
+        assert_eq!(weighted_relationship_sum(&[], 0.8), 0.0);
+    }
+
+    #[test]
+    fn weighted_sum_single_equals_weight() {
+        let r = [Relationship::kinship()];
+        assert_eq!(weighted_relationship_sum(&r, 0.5), 1.0);
+    }
+
+    #[test]
+    fn weighted_sum_sorts_descending_before_decaying() {
+        // weights 0.5 then 1.0 in storage order; sorted descending the sum is
+        // 1.0 + λ·0.5 regardless of insertion order.
+        let rels = [
+            Relationship::with_weight(RelationshipKind::Neighbor, 0.5),
+            Relationship::with_weight(RelationshipKind::Kinship, 1.0),
+        ];
+        let lambda = 0.6;
+        let sum = weighted_relationship_sum(&rels, lambda);
+        assert!((sum - (1.0 + lambda * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_sum_with_lambda_one_and_unit_weights_is_count() {
+        let rels = vec![Relationship::with_weight(RelationshipKind::Other, 1.0); 5];
+        assert!((weighted_relationship_sum(&rels, 1.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_sum_decays_geometrically() {
+        let rels = vec![Relationship::with_weight(RelationshipKind::Other, 1.0); 3];
+        let lambda = 0.5;
+        let expected = 1.0 + 0.5 + 0.25;
+        assert!((weighted_relationship_sum(&rels, lambda) - expected).abs() < 1e-12);
+    }
+}

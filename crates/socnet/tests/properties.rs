@@ -1,0 +1,188 @@
+//! Property-based tests for the social-network substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use socialtrust_socnet::builder::{connected_random_graph, random_interests};
+use socialtrust_socnet::closeness::{ClosenessConfig, ClosenessModel};
+use socialtrust_socnet::distance::{bfs_distance, distances_from};
+use socialtrust_socnet::interaction::InteractionTracker;
+use socialtrust_socnet::interest::{
+    similarity, weighted_similarity, InterestId, InterestProfile, InterestSet,
+};
+use socialtrust_socnet::relationship::{weighted_relationship_sum, Relationship, RelationshipKind};
+use socialtrust_socnet::NodeId;
+
+fn interest_set_strategy() -> impl Strategy<Value = InterestSet> {
+    proptest::collection::vec(0u16..30, 0..12).prop_map(InterestSet::from_ids)
+}
+
+fn profile_strategy() -> impl Strategy<Value = InterestProfile> {
+    (
+        interest_set_strategy(),
+        proptest::collection::vec((0u16..30, 1u64..50), 0..10),
+    )
+        .prop_map(|(set, reqs)| {
+            let mut p = InterestProfile::new(set);
+            for (cat, count) in reqs {
+                p.record_requests(InterestId(cat), count);
+            }
+            p
+        })
+}
+
+/// A random graph + interaction environment generated from a seed, so that
+/// proptest shrinks over a single u64.
+fn env(seed: u64, n: usize) -> (socialtrust_socnet::graph::SocialGraph, InteractionTracker) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = connected_random_graph(n, 4.0, (1, 2), &mut rng);
+    let mut t = InteractionTracker::new(n);
+    use rand::Rng;
+    for _ in 0..(n * 4) {
+        let a = NodeId::from(rng.gen_range(0..n));
+        let b = NodeId::from(rng.gen_range(0..n));
+        if a != b {
+            t.record(a, b, rng.gen_range(1..10) as f64);
+        }
+    }
+    (g, t)
+}
+
+proptest! {
+    #[test]
+    fn similarity_is_bounded_and_symmetric(a in interest_set_strategy(), b in interest_set_strategy()) {
+        let s = similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(s, similarity(&b, &a));
+    }
+
+    #[test]
+    fn similarity_with_self_is_one_or_zero(a in interest_set_strategy()) {
+        let s = similarity(&a, &a);
+        if a.is_empty() {
+            prop_assert_eq!(s, 0.0);
+        } else {
+            prop_assert_eq!(s, 1.0);
+        }
+    }
+
+    #[test]
+    fn weighted_similarity_is_bounded(a in profile_strategy(), b in profile_strategy()) {
+        let s = weighted_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s), "out of bounds: {}", s);
+    }
+
+    #[test]
+    fn intersection_size_bounded_by_min(a in interest_set_strategy(), b in interest_set_strategy()) {
+        let i = a.intersection_size(&b);
+        prop_assert!(i <= a.len().min(b.len()));
+        prop_assert_eq!(i, b.intersection_size(&a));
+    }
+
+    #[test]
+    fn union_size_is_inclusion_exclusion(a in interest_set_strategy(), b in interest_set_strategy()) {
+        let u = a.union(&b);
+        prop_assert_eq!(u.len(), a.len() + b.len() - a.intersection_size(&b));
+    }
+
+    #[test]
+    fn weighted_rel_sum_bounded_by_count(
+        weights in proptest::collection::vec(0.01f64..=1.0, 0..8),
+        lambda in 0.5f64..=1.0,
+    ) {
+        let rels: Vec<Relationship> = weights
+            .iter()
+            .map(|&w| Relationship::with_weight(RelationshipKind::Other, w))
+            .collect();
+        let s = weighted_relationship_sum(&rels, lambda);
+        prop_assert!(s >= 0.0);
+        prop_assert!(s <= rels.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn weighted_rel_sum_monotone_in_lambda(
+        weights in proptest::collection::vec(0.01f64..=1.0, 1..8),
+    ) {
+        let rels: Vec<Relationship> = weights
+            .iter()
+            .map(|&w| Relationship::with_weight(RelationshipKind::Other, w))
+            .collect();
+        let lo = weighted_relationship_sum(&rels, 0.5);
+        let hi = weighted_relationship_sum(&rels, 1.0);
+        prop_assert!(hi >= lo - 1e-12);
+    }
+
+    #[test]
+    fn bfs_distance_is_a_metric_on_connected_graphs(seed in 0u64..500, n in 2usize..40) {
+        let (g, _) = env(seed, n);
+        let a = NodeId(0);
+        let b = NodeId((n as u32) / 2);
+        let c = NodeId(n as u32 - 1);
+        let dab = bfs_distance(&g, a, b, None).expect("connected");
+        let dba = bfs_distance(&g, b, a, None).expect("connected");
+        prop_assert_eq!(dab, dba, "symmetry");
+        let dac = bfs_distance(&g, a, c, None).expect("connected");
+        let dbc = bfs_distance(&g, b, c, None).expect("connected");
+        prop_assert!(dac <= dab + dbc, "triangle inequality");
+        prop_assert_eq!(bfs_distance(&g, a, a, None), Some(0));
+    }
+
+    #[test]
+    fn distances_from_consistent_with_pairwise(seed in 0u64..200, n in 2usize..25) {
+        let (g, _) = env(seed, n);
+        let d = distances_from(&g, NodeId(0), None);
+        for (v, &dist) in d.iter().enumerate().take(n) {
+            prop_assert_eq!(dist, bfs_distance(&g, NodeId(0), NodeId::from(v), None));
+        }
+    }
+
+    #[test]
+    fn closeness_is_nonnegative_and_finite(seed in 0u64..300, n in 2usize..30) {
+        let (g, t) = env(seed, n);
+        let m = ClosenessModel::new(&g, &t, ClosenessConfig::default());
+        for i in 0..n.min(6) {
+            for j in 0..n.min(6) {
+                let c = m.closeness(NodeId::from(i), NodeId::from(j));
+                prop_assert!(c.is_finite());
+                prop_assert!(c >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_closeness_never_exceeds_unweighted(seed in 0u64..200, n in 2usize..25) {
+        // Eq. (10) numerator ≤ m(i,j) because every w ≤ 1 and λ ≤ 1.
+        let (g, t) = env(seed, n);
+        let plain = ClosenessModel::new(&g, &t, ClosenessConfig::default());
+        let weighted = ClosenessModel::new(&g, &t, ClosenessConfig::weighted(0.8));
+        for i in 0..n.min(5) {
+            for j in 0..n.min(5) {
+                if i == j { continue; }
+                let (a, b) = (NodeId::from(i), NodeId::from(j));
+                if g.are_adjacent(a, b) {
+                    prop_assert!(
+                        weighted.adjacent_closeness(a, b) <= plain.adjacent_closeness(a, b) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_interests_within_bounds(seed in 0u64..100) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sets = random_interests(50, 20, (1, 10), &mut rng);
+        for s in sets {
+            prop_assert!((1..=10).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn builder_graphs_are_connected(seed in 0u64..100, n in 1usize..60) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = connected_random_graph(n, 4.0, (1, 2), &mut rng);
+        let d = distances_from(&g, NodeId(0), None);
+        prop_assert!(d.iter().all(|x| x.is_some()));
+    }
+}

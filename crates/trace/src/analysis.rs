@@ -1,0 +1,497 @@
+//! The Section-3 analysis toolkit: everything the paper measures on the
+//! Overstock trace, producing the series behind Figures 1–4 and
+//! observations O1–O6.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use socialtrust_socnet::distance::distances_from;
+use socialtrust_socnet::interest::similarity;
+use socialtrust_socnet::NodeId;
+
+use crate::model::Platform;
+
+/// The paper's correlation coefficient:
+/// `C = s_xy² / (s_xx · s_yy)` with `s_xy = Σ(x−x̄)(y−ȳ)`,
+/// `s_xx = Σ(x−x̄)²`, `s_yy = Σ(y−ȳ)²`.
+///
+/// (This is the square of Pearson's r, i.e. R²; we follow the paper's
+/// definition so the reported numbers are comparable to its C = 0.996 and
+/// C = 0.092.)
+pub fn correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series must have equal length");
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let n = x.len() as f64;
+    let (mx, my) = (x.iter().sum::<f64>() / n, y.iter().sum::<f64>() / n);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx).powi(2);
+        syy += (b - my).powi(2);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    (sxy * sxy) / (sxx * syy)
+}
+
+/// Mean rating value and rating count per social distance (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistanceStats {
+    /// Social distance in hops (1–4).
+    pub distance: u32,
+    /// Average buyer→seller rating value at this distance.
+    pub avg_rating_value: f64,
+    /// Average number of ratings per (buyer, seller) pair at this distance.
+    pub avg_rating_count: f64,
+}
+
+/// Per-month rating-frequency statistics — the empirical basis for the
+/// `T⁺_t` / `T⁻_t` detection thresholds of Section 4.3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonthlyRatingStats {
+    /// Mean issued ratings per active (user, month) cell — the paper's F̄.
+    pub overall_mean: f64,
+    /// Mean positive ratings per active positive cell.
+    pub positive_mean: f64,
+    /// Maximum positive ratings any user issued in one month.
+    pub positive_max: u64,
+    /// Minimum (non-zero) positive ratings in an active cell.
+    pub positive_min: u64,
+    /// Number of (user, month) cells with at least one positive rating.
+    pub positive_cells: u64,
+    /// Mean negative ratings per active negative cell.
+    pub negative_mean: f64,
+    /// Maximum negative ratings any user issued in one month.
+    pub negative_max: u64,
+    /// Minimum (non-zero) negative ratings in an active cell.
+    pub negative_min: u64,
+    /// Number of (user, month) cells with at least one negative rating.
+    pub negative_cells: u64,
+}
+
+impl Default for MonthlyRatingStats {
+    fn default() -> Self {
+        MonthlyRatingStats {
+            overall_mean: 0.0,
+            positive_mean: 0.0,
+            positive_max: 0,
+            positive_min: u64::MAX,
+            positive_cells: 0,
+            negative_mean: 0.0,
+            negative_max: 0,
+            negative_min: u64::MAX,
+            negative_cells: 0,
+        }
+    }
+}
+
+/// Analysis over a generated (or crawled) platform.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceAnalysis<'a> {
+    platform: &'a Platform,
+}
+
+impl<'a> TraceAnalysis<'a> {
+    /// Analyze `platform`.
+    pub fn new(platform: &'a Platform) -> Self {
+        TraceAnalysis { platform }
+    }
+
+    /// Per-user `(reputation, business-network size)` pairs — Figure 1(a).
+    pub fn business_network_vs_reputation(&self) -> Vec<(f64, f64)> {
+        (0..self.platform.user_count())
+            .map(|u| {
+                let id = NodeId::from(u);
+                (
+                    self.platform.reputation(id) as f64,
+                    self.platform.business_network_size(id) as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// The paper's C for reputation vs business-network size (≈ 0.996).
+    pub fn business_reputation_correlation(&self) -> f64 {
+        let pairs = self.business_network_vs_reputation();
+        let (x, y): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        correlation(&x, &y)
+    }
+
+    /// Per-user `(reputation, received-transaction count)` — Figure 1(b).
+    pub fn transactions_vs_reputation(&self) -> Vec<(f64, f64)> {
+        let mut sales = vec![0u64; self.platform.user_count()];
+        for t in self.platform.transactions() {
+            sales[t.seller.index()] += 1;
+        }
+        (0..self.platform.user_count())
+            .map(|u| {
+                (
+                    self.platform.reputation(NodeId::from(u)) as f64,
+                    sales[u] as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// Per-user `(reputation, personal-network size)` — Figure 2.
+    pub fn personal_network_vs_reputation(&self) -> Vec<(f64, f64)> {
+        (0..self.platform.user_count())
+            .map(|u| {
+                let id = NodeId::from(u);
+                (
+                    self.platform.reputation(id) as f64,
+                    self.platform.personal_network_size(id) as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// The paper's C for reputation vs personal-network size (≈ 0.092).
+    pub fn personal_reputation_correlation(&self) -> f64 {
+        let pairs = self.personal_network_vs_reputation();
+        let (x, y): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        correlation(&x, &y)
+    }
+
+    /// Figure 3: average rating value and rating frequency per social
+    /// distance 1–4 between transaction partners.
+    pub fn rating_stats_by_distance(&self) -> Vec<DistanceStats> {
+        // Aggregate transactions per (buyer, seller) pair first.
+        let mut per_pair: BTreeMap<(NodeId, NodeId), (f64, u64)> = BTreeMap::new();
+        for t in self.platform.transactions() {
+            let e = per_pair.entry((t.buyer, t.seller)).or_insert((0.0, 0));
+            e.0 += t.buyer_rating as f64;
+            e.1 += 1;
+        }
+        // Cache BFS distances per distinct buyer (cap 4 hops).
+        let mut distance_cache: BTreeMap<NodeId, Vec<Option<u32>>> = BTreeMap::new();
+        let mut sums: BTreeMap<u32, (f64, u64, u64)> = BTreeMap::new(); // d → (Σvalue, Σcount, pairs)
+        for (&(buyer, seller), &(value_sum, count)) in &per_pair {
+            let distances = distance_cache.entry(buyer).or_insert_with(|| {
+                distances_from(self.platform.personal_network(), buyer, Some(4))
+            });
+            let Some(d) = distances[seller.index()] else {
+                continue; // beyond 4 hops: off the figure's x-axis
+            };
+            if d == 0 {
+                continue;
+            }
+            let e = sums.entry(d).or_insert((0.0, 0, 0));
+            e.0 += value_sum;
+            e.1 += count;
+            e.2 += 1;
+        }
+        (1..=4)
+            .filter_map(|d| {
+                sums.get(&d).map(|&(value_sum, count, pairs)| DistanceStats {
+                    distance: d,
+                    avg_rating_value: value_sum / count as f64,
+                    avg_rating_count: count as f64 / pairs as f64,
+                })
+            })
+            .collect()
+    }
+
+    /// Figure 4(a): the share of purchases per category *rank*. Element `k`
+    /// is the fraction of an average user's purchases that fall in its
+    /// `(k+1)`-th most-purchased category.
+    pub fn category_rank_shares(&self, max_rank: usize) -> Vec<f64> {
+        let n = self.platform.user_count();
+        let mut per_user: Vec<BTreeMap<u16, u64>> = vec![BTreeMap::new(); n];
+        for t in self.platform.transactions() {
+            *per_user[t.buyer.index()].entry(t.category.0).or_insert(0) += 1;
+        }
+        let mut rank_totals = vec![0u64; max_rank];
+        let mut grand_total = 0u64;
+        for counts in &per_user {
+            let mut sorted: Vec<u64> = counts.values().copied().collect();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            for (k, &c) in sorted.iter().enumerate() {
+                if k < max_rank {
+                    rank_totals[k] += c;
+                }
+                grand_total += c;
+            }
+        }
+        if grand_total == 0 {
+            return vec![0.0; max_rank];
+        }
+        rank_totals
+            .iter()
+            .map(|&c| c as f64 / grand_total as f64)
+            .collect()
+    }
+
+    /// CDF over category ranks (Figure 4(a) plots this cumulative form).
+    pub fn category_rank_cdf(&self, max_rank: usize) -> Vec<f64> {
+        let shares = self.category_rank_shares(max_rank);
+        shares
+            .iter()
+            .scan(0.0, |acc, &s| {
+                *acc += s;
+                Some(*acc)
+            })
+            .collect()
+    }
+
+    /// O5: the fraction of purchases falling in each buyer's top 3
+    /// categories (the paper reports ≈ 88%).
+    pub fn top3_category_share(&self) -> f64 {
+        self.category_rank_cdf(3).last().copied().unwrap_or(0.0)
+    }
+
+    /// Figure 4(b): CDF of transaction volume over buyer–seller interest
+    /// similarity. Returns `(similarity_upper_bound, cdf)` per bin.
+    pub fn similarity_transaction_cdf(&self, bins: usize) -> Vec<(f64, f64)> {
+        assert!(bins > 0);
+        let mut counts = vec![0u64; bins];
+        let mut total = 0u64;
+        for t in self.platform.transactions() {
+            let s = similarity(
+                self.platform.interests(t.buyer),
+                self.platform.interests(t.seller),
+            );
+            let bin = ((s * bins as f64) as usize).min(bins - 1);
+            counts[bin] += 1;
+            total += 1;
+        }
+        let mut acc = 0u64;
+        counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                acc += c;
+                (
+                    (i + 1) as f64 / bins as f64,
+                    if total == 0 {
+                        0.0
+                    } else {
+                        acc as f64 / total as f64
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// The paper's Section 4.3 empirical numbers come from per-month
+    /// rating-frequency statistics of the trace: *"in Overstock,
+    /// F̄ = 2.2/month"* and *"the average, maximum and minimum numbers of
+    /// positive ratings of a node per month are 1.75, 21 and 1, while
+    /// those of negative ratings are 1.84, 2 and 1"*. This computes the
+    /// same statistics from the platform.
+    pub fn monthly_rating_stats(&self) -> MonthlyRatingStats {
+        // Per (rater, month): positive / negative counts, over buyer
+        // ratings (the paper counts a user's issued ratings per month).
+        let mut per: BTreeMap<(NodeId, u32), (u64, u64)> = BTreeMap::new();
+        for t in self.platform.transactions() {
+            let e = per.entry((t.buyer, t.month)).or_insert((0, 0));
+            if t.buyer_rating > 0 {
+                e.0 += 1;
+            } else if t.buyer_rating < 0 {
+                e.1 += 1;
+            }
+        }
+        let mut stats = MonthlyRatingStats::default();
+        let mut total: u64 = 0;
+        let mut active_cells: u64 = 0;
+        for &(pos, neg) in per.values() {
+            total += pos + neg;
+            active_cells += 1;
+            if pos > 0 {
+                stats.positive_mean += pos as f64;
+                stats.positive_max = stats.positive_max.max(pos);
+                stats.positive_min = stats.positive_min.min(pos);
+                stats.positive_cells += 1;
+            }
+            if neg > 0 {
+                stats.negative_mean += neg as f64;
+                stats.negative_max = stats.negative_max.max(neg);
+                stats.negative_min = stats.negative_min.min(neg);
+                stats.negative_cells += 1;
+            }
+        }
+        if stats.positive_cells > 0 {
+            stats.positive_mean /= stats.positive_cells as f64;
+        } else {
+            stats.positive_min = 0;
+        }
+        if stats.negative_cells > 0 {
+            stats.negative_mean /= stats.negative_cells as f64;
+        } else {
+            stats.negative_min = 0;
+        }
+        stats.overall_mean = if active_cells == 0 {
+            0.0
+        } else {
+            total as f64 / active_cells as f64
+        };
+        stats
+    }
+
+    /// O6: the fraction of transactions between pairs with interest
+    /// similarity strictly above `threshold` (the paper reports 60% above
+    /// 0.3).
+    pub fn share_transactions_above_similarity(&self, threshold: f64) -> f64 {
+        let txs = self.platform.transactions();
+        if txs.is_empty() {
+            return 0.0;
+        }
+        let above = txs
+            .iter()
+            .filter(|t| {
+                similarity(
+                    self.platform.interests(t.buyer),
+                    self.platform.interests(t.seller),
+                ) > threshold
+            })
+            .count();
+        above as f64 / txs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TraceConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn platform() -> Platform {
+        generate(&TraceConfig::small(), &mut ChaCha8Rng::seed_from_u64(7))
+    }
+
+    #[test]
+    fn correlation_definition_matches_paper() {
+        // Perfectly linear → C = 1 (R² of 1).
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((correlation(&x, &y) - 1.0).abs() < 1e-12);
+        // Perfect anti-correlation also gives C = 1 under the paper's
+        // squared definition.
+        let yneg = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&x, &yneg) - 1.0).abs() < 1e-12);
+        // Constant series → 0.
+        assert_eq!(correlation(&x, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn o1_business_network_strongly_correlates_with_reputation() {
+        let p = platform();
+        let c = TraceAnalysis::new(&p).business_reputation_correlation();
+        assert!(c > 0.8, "C = {c}, paper reports 0.996");
+    }
+
+    #[test]
+    fn o2_personal_network_weakly_correlates_with_reputation() {
+        let p = platform();
+        let a = TraceAnalysis::new(&p);
+        let weak = a.personal_reputation_correlation();
+        let strong = a.business_reputation_correlation();
+        assert!(weak < 0.3, "C = {weak}, paper reports 0.092");
+        assert!(weak < strong / 2.0, "personal must be far weaker");
+    }
+
+    #[test]
+    fn o3_o4_ratings_fall_with_social_distance() {
+        let p = platform();
+        let stats = TraceAnalysis::new(&p).rating_stats_by_distance();
+        assert!(stats.len() >= 3, "need distances 1-3 populated: {stats:?}");
+        // Value decreases from distance 1 to the farthest measured.
+        let first = stats.first().unwrap();
+        let last = stats.last().unwrap();
+        assert_eq!(first.distance, 1);
+        assert!(
+            first.avg_rating_value > last.avg_rating_value,
+            "{first:?} vs {last:?}"
+        );
+        assert!(
+            first.avg_rating_count > last.avg_rating_count,
+            "closer pairs rate more often"
+        );
+    }
+
+    #[test]
+    fn o5_purchases_concentrate_in_top_categories() {
+        let p = platform();
+        let a = TraceAnalysis::new(&p);
+        let top3 = a.top3_category_share();
+        assert!(
+            (0.75..=1.0).contains(&top3),
+            "top-3 share {top3}, paper reports ≈ 0.88"
+        );
+        let cdf = a.category_rank_cdf(7);
+        // CDF must be monotone and end ≈ 1.
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(*cdf.last().unwrap() > 0.97);
+    }
+
+    #[test]
+    fn o6_transactions_concentrate_on_similar_pairs() {
+        let p = platform();
+        let a = TraceAnalysis::new(&p);
+        let above_30 = a.share_transactions_above_similarity(0.3);
+        assert!(
+            above_30 > 0.5,
+            "share above 0.3 similarity = {above_30}, paper reports 0.6"
+        );
+        let cdf = a.similarity_transaction_cdf(10);
+        assert_eq!(cdf.len(), 10);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+        }
+    }
+
+    #[test]
+    fn transactions_vs_reputation_is_increasing() {
+        let p = platform();
+        let pairs = TraceAnalysis::new(&p).transactions_vs_reputation();
+        let (x, y): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        assert!(correlation(&x, &y) > 0.6, "O1: sales track reputation");
+    }
+
+    #[test]
+    fn monthly_rating_stats_match_paper_shape() {
+        let p = platform();
+        let stats = TraceAnalysis::new(&p).monthly_rating_stats();
+        // F̄ in a plausible band (paper: 2.2/month); positivity bias means
+        // many more positive than negative cells, and the positive maximum
+        // dwarfs the negative one (paper: 21 vs 2).
+        assert!(stats.overall_mean >= 1.0, "F̄ = {}", stats.overall_mean);
+        assert!(stats.positive_cells > stats.negative_cells * 3);
+        assert!(stats.positive_max >= stats.negative_max);
+        assert!(stats.positive_min >= 1);
+        assert!(stats.positive_mean >= 1.0);
+    }
+
+    #[test]
+    fn monthly_rating_stats_empty_platform() {
+        use socialtrust_socnet::graph::SocialGraph;
+        use socialtrust_socnet::interest::InterestSet;
+        let p = Platform::new(SocialGraph::new(3), vec![InterestSet::new(); 3]);
+        let stats = TraceAnalysis::new(&p).monthly_rating_stats();
+        assert_eq!(stats.overall_mean, 0.0);
+        assert_eq!(stats.positive_cells, 0);
+        assert_eq!(stats.positive_min, 0);
+        assert_eq!(stats.negative_min, 0);
+    }
+
+    #[test]
+    fn empty_platform_degenerates_gracefully() {
+        use socialtrust_socnet::graph::SocialGraph;
+        use socialtrust_socnet::interest::InterestSet;
+        let p = Platform::new(SocialGraph::new(5), vec![InterestSet::new(); 5]);
+        let a = TraceAnalysis::new(&p);
+        assert_eq!(a.top3_category_share(), 0.0);
+        assert_eq!(a.share_transactions_above_similarity(0.3), 0.0);
+        assert!(a.rating_stats_by_distance().is_empty());
+        assert_eq!(a.business_reputation_correlation(), 0.0);
+    }
+}

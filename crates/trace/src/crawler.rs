@@ -1,0 +1,119 @@
+//! The BFS crawler over the platform, mimicking the paper's data-collection
+//! methodology:
+//!
+//! *"To crawl the data, we first selected a user in the Overstock as a seed
+//! node, and then used the breadth first search method to search through
+//! each node in the friend list in the personal network and business
+//! contact list in the business network."*
+
+use std::collections::VecDeque;
+
+use crate::model::{Platform, UserId};
+
+/// Crawl the platform from `seed`, breadth-first over both the friend list
+/// and the business contact list, visiting at most `limit` users (or
+/// everything reachable when `limit` is `None`).
+///
+/// Returns the discovered users in visit order (seed first).
+pub fn crawl(platform: &Platform, seed: UserId, limit: Option<usize>) -> Vec<UserId> {
+    let n = platform.user_count();
+    assert!(seed.index() < n, "seed out of range");
+    let cap = limit.unwrap_or(n);
+    let mut seen = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[seed.index()] = true;
+    queue.push_back(seed);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        if order.len() >= cap {
+            break;
+        }
+        // Friend list first, then business contacts — both sorted, so the
+        // crawl order is deterministic.
+        let friends = platform.personal_network().neighbors(u).iter().copied();
+        let partners = platform.business_network(u).iter().copied();
+        for v in friends.chain(partners) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// The fraction of all users a crawl from `seed` discovers — the coverage
+/// the paper's crawl achieved depends on the platform's connectivity.
+pub fn coverage(platform: &Platform, seed: UserId) -> f64 {
+    crawl(platform, seed, None).len() as f64 / platform.user_count() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TraceConfig};
+    use crate::model::Transaction;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use socialtrust_socnet::graph::SocialGraph;
+    use socialtrust_socnet::interest::{InterestId, InterestSet};
+    use socialtrust_socnet::relationship::Relationship;
+    use socialtrust_socnet::NodeId;
+
+    #[test]
+    fn crawl_covers_connected_platform() {
+        let p = generate(&TraceConfig::small(), &mut ChaCha8Rng::seed_from_u64(1));
+        // The personal network is generated connected, so coverage is 1.
+        assert_eq!(coverage(&p, NodeId(0)), 1.0);
+    }
+
+    #[test]
+    fn crawl_respects_limit() {
+        let p = generate(&TraceConfig::small(), &mut ChaCha8Rng::seed_from_u64(2));
+        let found = crawl(&p, NodeId(0), Some(50));
+        assert_eq!(found.len(), 50);
+        assert_eq!(found[0], NodeId(0));
+        // No duplicates.
+        let mut sorted = found.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50);
+    }
+
+    #[test]
+    fn crawl_traverses_business_links_too() {
+        // Two users with no friendship but one transaction: the business
+        // network carries the crawl across.
+        let g = SocialGraph::new(3);
+        let interests = vec![InterestSet::from_ids([0u16]); 3];
+        let mut p = Platform::new(g, interests);
+        p.record_transaction(Transaction {
+            buyer: NodeId(0),
+            seller: NodeId(1),
+            category: InterestId(0),
+            buyer_rating: 1,
+            seller_rating: 1,
+            month: 0,
+        });
+        let found = crawl(&p, NodeId(0), None);
+        assert_eq!(found, vec![NodeId(0), NodeId(1)]);
+        assert!((coverage(&p, NodeId(0)) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crawl_traverses_friend_links() {
+        let mut g = SocialGraph::new(3);
+        g.add_relationship(NodeId(0), NodeId(2), Relationship::friendship());
+        let interests = vec![InterestSet::from_ids([0u16]); 3];
+        let p = Platform::new(g, interests);
+        let found = crawl(&p, NodeId(0), None);
+        assert_eq!(found, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn crawl_is_deterministic() {
+        let p = generate(&TraceConfig::small(), &mut ChaCha8Rng::seed_from_u64(3));
+        assert_eq!(crawl(&p, NodeId(5), Some(100)), crawl(&p, NodeId(5), Some(100)));
+    }
+}

@@ -1,0 +1,360 @@
+//! Synthetic Overstock trace generation, calibrated to the paper's
+//! reported statistics.
+//!
+//! What the generator reproduces (and where the paper reports it):
+//!
+//! * **O1 / Fig 1** — buyers prefer high-reputed sellers, so reputation,
+//!   transaction count and business-network size grow together
+//!   (C ≈ 0.996).
+//! * **O2 / Fig 2** — personal-network size is assigned independently of
+//!   seller quality (C ≈ 0.092).
+//! * **O3–O4 / Fig 3** — a configurable fraction of purchases go to
+//!   socially-close sellers (≤ 3 hops), which are rated higher and more
+//!   often; rating value and frequency fall with social distance.
+//! * **O5 / Fig 4(a)** — each buyer's purchases across its interest
+//!   categories follow a steep power law (top-3 categories ≈ 88%).
+//! * **O6 / Fig 4(b)** — buyers buy within their interests, so transaction
+//!   volume concentrates on pairs with high interest similarity.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use socialtrust_socnet::builder::{connected_random_graph, random_interests};
+use socialtrust_socnet::distance::distances_from;
+use socialtrust_socnet::interest::InterestId;
+use socialtrust_socnet::NodeId;
+
+use crate::model::{Platform, Transaction, UserId};
+
+/// Generator configuration. Defaults are a 1/10-scale Overstock (the paper
+/// crawled 450k ratings over 200k+ users; the full scale runs too, it just
+/// takes longer than a unit test should).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of product categories.
+    pub categories: u16,
+    /// Interest categories per user (uniform range).
+    pub interests_per_user: (usize, usize),
+    /// Number of transactions to generate.
+    pub transactions: usize,
+    /// Trace length in months (the paper's crawl spans 24).
+    pub months: u32,
+    /// Average personal-network degree.
+    pub avg_personal_degree: f64,
+    /// Power-law exponent for per-buyer category preference. 2.2 puts
+    /// ≈ 88% of purchases in the top 3 categories, matching Fig 4(a).
+    pub category_exponent: f64,
+    /// Probability that a purchase goes to a socially-close (≤ 3 hops)
+    /// seller instead of a reputation-weighted random one.
+    pub social_purchase_prob: f64,
+    /// Repeat-transaction multiplier for close partners: a distance-1
+    /// partner pair transacts up to this many extra times.
+    pub max_repeat_close: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            users: 2_000,
+            categories: 30,
+            interests_per_user: (1, 8),
+            transactions: 45_000,
+            months: 24,
+            avg_personal_degree: 6.0,
+            category_exponent: 2.2,
+            social_purchase_prob: 0.45,
+            max_repeat_close: 4,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A small configuration for fast unit tests.
+    pub fn small() -> Self {
+        TraceConfig {
+            users: 300,
+            transactions: 4_000,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// Per-buyer category preference: its interests in a random order, sampled
+/// with power-law weights `1/rank^s`.
+fn sample_category<R: Rng + ?Sized>(
+    prefs: &[InterestId],
+    exponent: f64,
+    rng: &mut R,
+) -> Option<InterestId> {
+    if prefs.is_empty() {
+        return None;
+    }
+    let total: f64 = (1..=prefs.len())
+        .map(|k| 1.0 / (k as f64).powf(exponent))
+        .sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (k, &cat) in prefs.iter().enumerate() {
+        let w = 1.0 / ((k + 1) as f64).powf(exponent);
+        if x < w {
+            return Some(cat);
+        }
+        x -= w;
+    }
+    prefs.last().copied()
+}
+
+/// Rating for a transaction: seller quality sets the base; social closeness
+/// adds the bonus the trace shows (Fig 3(a)); noise rounds it off. Clamped
+/// to Overstock's `[-2, +2]`.
+fn draw_rating<R: Rng + ?Sized>(quality: f64, distance: Option<u32>, rng: &mut R) -> i8 {
+    let base = 4.0 * quality - 2.0; // quality 0 → −2, quality 1 → +2
+    let bonus = match distance {
+        Some(1) => 1.2,
+        Some(2) => 0.7,
+        Some(3) => 0.3,
+        _ => 0.0,
+    };
+    let noise = rng.gen_range(-0.8..0.8);
+    (base + bonus + noise).round().clamp(-2.0, 2.0) as i8
+}
+
+/// Generate a platform and its transaction trace.
+pub fn generate<R: Rng + ?Sized>(config: &TraceConfig, rng: &mut R) -> Platform {
+    assert!(config.users >= 10, "need at least a handful of users");
+    let n = config.users;
+
+    // Personal network: independent of seller quality (O2).
+    let personal = connected_random_graph(n, config.avg_personal_degree, (1, 2), rng);
+    // Interests.
+    let interests = random_interests(n, config.categories, config.interests_per_user, rng);
+
+    // Per-user latent seller quality and activity. Quality is skewed high
+    // (most mass near 1): e-commerce feedback has a strong positivity
+    // bias — almost every Overstock rating is +2 — and that bias is what
+    // makes reputation track transaction volume at C ≈ 0.996 (Fig 1).
+    let quality: Vec<f64> = (0..n)
+        .map(|_| 1.0 - 0.35 * rng.gen::<f64>().powi(3))
+        .collect();
+    let buyer_activity: Vec<f64> = (0..n).map(|_| rng.gen::<f64>().powi(2) + 0.05).collect();
+
+    // Category → sellers index.
+    let mut sellers_of: Vec<Vec<UserId>> = vec![Vec::new(); config.categories as usize];
+    for (u, set) in interests.iter().enumerate() {
+        for cat in set.as_slice() {
+            sellers_of[cat.0 as usize].push(NodeId::from(u));
+        }
+    }
+
+    // Per-buyer category preference order (power-law sampled at purchase
+    // time).
+    let prefs: Vec<Vec<InterestId>> = interests
+        .iter()
+        .map(|set| {
+            let mut order: Vec<InterestId> = set.as_slice().to_vec();
+            order.shuffle(rng);
+            order
+        })
+        .collect();
+
+    // Socially-close seller pool per buyer: users within 3 hops.
+    let close_pool: Vec<Vec<UserId>> = (0..n)
+        .map(|u| {
+            distances_from(&personal, NodeId::from(u), Some(3))
+                .into_iter()
+                .enumerate()
+                .filter_map(|(v, d)| match d {
+                    Some(d) if d >= 1 => Some(NodeId::from(v)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut platform = Platform::new(personal, interests);
+
+    // Buyer sampling: cumulative activity weights.
+    let total_activity: f64 = buyer_activity.iter().sum();
+
+    let mut produced = 0usize;
+    let mut guard = 0usize;
+    while produced < config.transactions && guard < config.transactions * 20 {
+        guard += 1;
+        // Weighted buyer pick.
+        let mut x = rng.gen::<f64>() * total_activity;
+        let mut buyer = 0usize;
+        for (u, &a) in buyer_activity.iter().enumerate() {
+            if x < a {
+                buyer = u;
+                break;
+            }
+            x -= a;
+        }
+        let buyer_id = NodeId::from(buyer);
+        let Some(category) = sample_category(&prefs[buyer], config.category_exponent, rng) else {
+            continue;
+        };
+
+        // Seller pick: socially-close with probability p, else
+        // reputation-weighted among the category's sellers (O1).
+        let seller_id = if rng.gen::<f64>() < config.social_purchase_prob {
+            let pool: Vec<UserId> = close_pool[buyer]
+                .iter()
+                .copied()
+                .filter(|s| platform.interests(*s).contains(category))
+                .collect();
+            match pool.choose(rng) {
+                Some(&s) => s,
+                None => continue,
+            }
+        } else {
+            let pool = &sellers_of[category.0 as usize];
+            // Reputation-weighted: weight = reputation clamped at ≥ 1 so
+            // newcomers remain reachable.
+            let weights: Vec<f64> = pool
+                .iter()
+                .map(|&s| (platform.reputation(s).max(0) as f64) + 1.0)
+                .collect();
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 || pool.is_empty() {
+                continue;
+            }
+            let mut y = rng.gen::<f64>() * total;
+            let mut pick = pool[0];
+            for (idx, &s) in pool.iter().enumerate() {
+                if y < weights[idx] {
+                    pick = s;
+                    break;
+                }
+                y -= weights[idx];
+            }
+            pick
+        };
+        if seller_id == buyer_id {
+            continue;
+        }
+
+        let distance = socialtrust_socnet::distance::bfs_distance(
+            platform.personal_network(),
+            buyer_id,
+            seller_id,
+            Some(4),
+        );
+        // Closer partners repeat-transact more (Fig 3(b)).
+        let repeats = match distance {
+            Some(1) => rng.gen_range(1..=config.max_repeat_close),
+            Some(2) => rng.gen_range(1..=(config.max_repeat_close / 2).max(1)),
+            _ => 1,
+        };
+        let month = rng.gen_range(0..config.months);
+        for _ in 0..repeats {
+            if produced >= config.transactions {
+                break;
+            }
+            let buyer_rating = draw_rating(quality[seller_id.index()], distance, rng);
+            let seller_rating = draw_rating(quality[buyer], distance, rng);
+            platform.record_transaction(Transaction {
+                buyer: buyer_id,
+                seller: seller_id,
+                category,
+                buyer_rating,
+                seller_rating,
+                month,
+            });
+            produced += 1;
+        }
+    }
+    platform
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn generates_requested_volume() {
+        let cfg = TraceConfig::small();
+        let p = generate(&cfg, &mut rng(1));
+        assert_eq!(p.transactions().len(), cfg.transactions);
+        assert_eq!(p.user_count(), cfg.users);
+    }
+
+    #[test]
+    fn ratings_in_overstock_range() {
+        let p = generate(&TraceConfig::small(), &mut rng(2));
+        for t in p.transactions() {
+            assert!((-2..=2).contains(&t.buyer_rating));
+            assert!((-2..=2).contains(&t.seller_rating));
+            assert!(t.month < 24);
+        }
+    }
+
+    #[test]
+    fn buyers_buy_within_their_interests() {
+        let p = generate(&TraceConfig::small(), &mut rng(3));
+        for t in p.transactions().iter().take(500) {
+            assert!(
+                p.interests(t.buyer).contains(t.category),
+                "buyer must purchase in an interest category"
+            );
+            assert!(
+                p.interests(t.seller).contains(t.category),
+                "seller must sell in an interest category"
+            );
+        }
+    }
+
+    #[test]
+    fn category_sampling_is_power_law() {
+        let prefs: Vec<InterestId> = (0..6u16).map(InterestId).collect::<Vec<_>>();
+        let mut r = rng(4);
+        let mut counts = [0u32; 6];
+        for _ in 0..20_000 {
+            let c = sample_category(&prefs, 2.2, &mut r).unwrap();
+            counts[c.0 as usize] += 1;
+        }
+        let total: u32 = counts.iter().sum();
+        let top3 = (counts[0] + counts[1] + counts[2]) as f64 / total as f64;
+        assert!(
+            (0.82..0.95).contains(&top3),
+            "top-3 share {top3} should be ≈ 0.88"
+        );
+    }
+
+    #[test]
+    fn rating_grows_with_quality_and_closeness() {
+        let mut r = rng(5);
+        let avg = |quality: f64, distance: Option<u32>, r: &mut ChaCha8Rng| -> f64 {
+            (0..2000)
+                .map(|_| draw_rating(quality, distance, r) as f64)
+                .sum::<f64>()
+                / 2000.0
+        };
+        let close_good = avg(0.9, Some(1), &mut r);
+        let far_good = avg(0.9, None, &mut r);
+        let far_bad = avg(0.2, None, &mut r);
+        assert!(close_good > far_good, "{close_good} vs {far_good}");
+        assert!(far_good > far_bad);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TraceConfig::small();
+        let p1 = generate(&cfg, &mut rng(9));
+        let p2 = generate(&cfg, &mut rng(9));
+        assert_eq!(p1.transactions().len(), p2.transactions().len());
+        assert_eq!(p1.transactions()[100], p2.transactions()[100]);
+    }
+
+    #[test]
+    fn empty_interest_users_never_buy() {
+        assert_eq!(sample_category(&[], 2.0, &mut rng(10)), None);
+    }
+}

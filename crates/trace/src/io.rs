@@ -1,0 +1,243 @@
+//! Trace import/export.
+//!
+//! The synthetic platform stands in for the paper's crawled Overstock
+//! trace, but the analysis pipeline is trace-agnostic: this module
+//! serializes a platform to a portable dump (and a flat CSV of
+//! transactions) and rebuilds a [`Platform`] from one — so a real crawled
+//! dataset can be plugged into the Section-3 analysis unchanged.
+
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+use socialtrust_socnet::graph::SocialGraph;
+use socialtrust_socnet::interest::{InterestId, InterestSet};
+use socialtrust_socnet::relationship::{Relationship, RelationshipKind};
+use socialtrust_socnet::NodeId;
+
+use crate::model::{Platform, Transaction};
+
+/// A self-contained, serializable snapshot of a platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlatformDump {
+    /// Number of users.
+    pub users: usize,
+    /// Friendship edges `(a, b, relationship count)` of the personal
+    /// network (relationship kinds are normalized to `Friendship` — the
+    /// trace analysis only uses adjacency and counts).
+    pub friendships: Vec<(u32, u32, u32)>,
+    /// Declared interest categories per user.
+    pub interests: Vec<Vec<u16>>,
+    /// All transactions.
+    pub transactions: Vec<Transaction>,
+}
+
+/// Snapshot a platform into a dump.
+pub fn export_platform(platform: &Platform) -> PlatformDump {
+    let g = platform.personal_network();
+    let friendships: Vec<(u32, u32, u32)> = g
+        .edges()
+        .map(|(a, b, rels)| (a.0, b.0, rels.len() as u32))
+        .collect();
+    let interests: Vec<Vec<u16>> = (0..platform.user_count())
+        .map(|u| {
+            platform
+                .interests(NodeId::from(u))
+                .as_slice()
+                .iter()
+                .map(|c| c.0)
+                .collect()
+        })
+        .collect();
+    PlatformDump {
+        users: platform.user_count(),
+        friendships,
+        interests,
+        transactions: platform.transactions().to_vec(),
+    }
+}
+
+/// Rebuild a platform from a dump (replays every transaction, so business
+/// networks and reputations are reconstructed exactly).
+///
+/// # Panics
+/// Panics on inconsistent dumps (out-of-range users, bad ratings).
+pub fn import_platform(dump: &PlatformDump) -> Platform {
+    assert_eq!(
+        dump.interests.len(),
+        dump.users,
+        "interest rows must match user count"
+    );
+    let mut g = SocialGraph::new(dump.users);
+    for &(a, b, count) in &dump.friendships {
+        for _ in 0..count.max(1) {
+            g.add_relationship(
+                NodeId(a),
+                NodeId(b),
+                Relationship::new(RelationshipKind::Friendship),
+            );
+        }
+    }
+    let interests: Vec<InterestSet> = dump
+        .interests
+        .iter()
+        .map(|ids| InterestSet::from_ids(ids.iter().copied()))
+        .collect();
+    let mut platform = Platform::new(g, interests);
+    for tx in &dump.transactions {
+        platform.record_transaction(*tx);
+    }
+    platform
+}
+
+/// CSV header for the transaction export.
+pub const CSV_HEADER: &str = "buyer,seller,category,buyer_rating,seller_rating,month";
+
+/// Write all transactions as CSV (with header).
+pub fn write_transactions_csv<W: Write>(platform: &Platform, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "{CSV_HEADER}")?;
+    for t in platform.transactions() {
+        writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            t.buyer.0, t.seller.0, t.category.0, t.buyer_rating, t.seller_rating, t.month
+        )?;
+    }
+    Ok(())
+}
+
+/// Error produced when parsing a transaction CSV.
+#[derive(Debug)]
+pub struct CsvError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse transactions from CSV (header optional).
+pub fn read_transactions_csv<R: BufRead>(input: R) -> Result<Vec<Transaction>, CsvError> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| CsvError {
+            line: idx + 1,
+            message: e.to_string(),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed == CSV_HEADER {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 6 {
+            return Err(CsvError {
+                line: idx + 1,
+                message: format!("expected 6 fields, got {}", fields.len()),
+            });
+        }
+        let parse = |f: &str, what: &str| -> Result<i64, CsvError> {
+            f.trim().parse().map_err(|_| CsvError {
+                line: idx + 1,
+                message: format!("bad {what}: {f:?}"),
+            })
+        };
+        let tx = Transaction {
+            buyer: NodeId(parse(fields[0], "buyer")? as u32),
+            seller: NodeId(parse(fields[1], "seller")? as u32),
+            category: InterestId(parse(fields[2], "category")? as u16),
+            buyer_rating: parse(fields[3], "buyer_rating")? as i8,
+            seller_rating: parse(fields[4], "seller_rating")? as i8,
+            month: parse(fields[5], "month")? as u32,
+        };
+        out.push(tx);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::TraceAnalysis;
+    use crate::generator::{generate, TraceConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn platform() -> Platform {
+        generate(&TraceConfig::small(), &mut ChaCha8Rng::seed_from_u64(5))
+    }
+
+    #[test]
+    fn dump_roundtrip_preserves_everything_the_analysis_uses() {
+        let original = platform();
+        let dump = export_platform(&original);
+        let rebuilt = import_platform(&dump);
+        assert_eq!(rebuilt.user_count(), original.user_count());
+        assert_eq!(rebuilt.transactions(), original.transactions());
+        for u in 0..original.user_count() {
+            let id = NodeId::from(u);
+            assert_eq!(rebuilt.reputation(id), original.reputation(id));
+            assert_eq!(
+                rebuilt.business_network_size(id),
+                original.business_network_size(id)
+            );
+            assert_eq!(
+                rebuilt.personal_network_size(id),
+                original.personal_network_size(id)
+            );
+            assert_eq!(rebuilt.interests(id), original.interests(id));
+        }
+        // The analysis gives identical answers.
+        let a = TraceAnalysis::new(&original);
+        let b = TraceAnalysis::new(&rebuilt);
+        assert_eq!(
+            a.business_reputation_correlation(),
+            b.business_reputation_correlation()
+        );
+        assert_eq!(a.top3_category_share(), b.top3_category_share());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dump = export_platform(&platform());
+        let json = serde_json::to_string(&dump).expect("serialize");
+        let back: PlatformDump = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.transactions, dump.transactions);
+        assert_eq!(back.friendships.len(), dump.friendships.len());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let original = platform();
+        let mut buf = Vec::new();
+        write_transactions_csv(&original, &mut buf).expect("write");
+        let parsed = read_transactions_csv(&buf[..]).expect("parse");
+        assert_eq!(parsed, original.transactions());
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows() {
+        let bad = "1,2,3,4,5\n";
+        let err = read_transactions_csv(bad.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected 6 fields"));
+        let bad2 = "a,2,3,1,1,0\n";
+        let err2 = read_transactions_csv(bad2.as_bytes()).unwrap_err();
+        assert!(err2.message.contains("bad buyer"));
+        assert!(err2.to_string().contains("csv line 1"));
+    }
+
+    #[test]
+    fn csv_skips_header_and_blank_lines() {
+        let text = format!("{CSV_HEADER}\n\n0,1,2,1,-1,3\n");
+        let parsed = read_transactions_csv(text.as_bytes()).expect("parse");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].buyer, NodeId(0));
+        assert_eq!(parsed[0].seller_rating, -1);
+    }
+}

@@ -1,0 +1,220 @@
+//! The Overstock-style platform model: users, personal and business
+//! networks, categories, transactions, ratings.
+//!
+//! Overstock Auctions (as described in Section 3 of the paper) pairs an
+//! auction market with a social network: each user has a **personal
+//! network** of accepted friendships and a **business network** recording
+//! every transaction partner. After a transaction, buyer and seller rate
+//! each other in `[-2, +2]`; a user's reputation is the aggregate of the
+//! ratings it received.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+use socialtrust_socnet::graph::SocialGraph;
+use socialtrust_socnet::interest::{InterestId, InterestSet};
+use socialtrust_socnet::NodeId;
+
+/// Identifier of a platform user. Interchangeable with
+/// [`NodeId`] (same dense index space); a separate alias keeps
+/// trace-analysis code readable.
+pub type UserId = NodeId;
+
+/// One completed transaction with its mutual ratings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// The purchasing user.
+    pub buyer: UserId,
+    /// The selling user.
+    pub seller: UserId,
+    /// Product category.
+    pub category: InterestId,
+    /// The buyer's rating of the seller, in `[-2, +2]`.
+    pub buyer_rating: i8,
+    /// The seller's rating of the buyer, in `[-2, +2]`.
+    pub seller_rating: i8,
+    /// Month index since the start of the trace (the paper's trace spans
+    /// 24 months).
+    pub month: u32,
+}
+
+impl Transaction {
+    /// Validate rating bounds.
+    pub fn validate(&self) {
+        assert!(
+            (-2..=2).contains(&self.buyer_rating) && (-2..=2).contains(&self.seller_rating),
+            "Overstock ratings live in [-2, +2]"
+        );
+        assert!(self.buyer != self.seller, "self-trade is not a transaction");
+    }
+}
+
+/// The synthetic auction platform.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    /// The personal (friendship) network.
+    personal: SocialGraph,
+    /// `business[u]` = the distinct transaction partners of `u`.
+    business: Vec<BTreeSet<UserId>>,
+    /// Declared product-interest categories per user.
+    interests: Vec<InterestSet>,
+    /// All transactions, in generation order.
+    transactions: Vec<Transaction>,
+    /// Cached reputation (sum of ratings received) per user.
+    reputation: Vec<i64>,
+}
+
+impl Platform {
+    /// An empty platform over `n` users with the given personal network and
+    /// interests.
+    pub fn new(personal: SocialGraph, interests: Vec<InterestSet>) -> Self {
+        let n = personal.node_count();
+        assert_eq!(n, interests.len(), "user count mismatch");
+        Platform {
+            personal,
+            business: vec![BTreeSet::new(); n],
+            interests,
+            transactions: Vec::new(),
+            reputation: vec![0; n],
+        }
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.reputation.len()
+    }
+
+    /// The personal (friendship) network.
+    pub fn personal_network(&self) -> &SocialGraph {
+        &self.personal
+    }
+
+    /// The distinct business partners of `user`.
+    pub fn business_network(&self, user: UserId) -> &BTreeSet<UserId> {
+        &self.business[user.index()]
+    }
+
+    /// Size of `user`'s business network.
+    pub fn business_network_size(&self, user: UserId) -> usize {
+        self.business[user.index()].len()
+    }
+
+    /// Size of `user`'s personal network (friend count).
+    pub fn personal_network_size(&self, user: UserId) -> usize {
+        self.personal.degree(user)
+    }
+
+    /// Declared interest categories of `user`.
+    pub fn interests(&self, user: UserId) -> &InterestSet {
+        &self.interests[user.index()]
+    }
+
+    /// Aggregate reputation of `user`: the sum of all ratings it received
+    /// (as seller and as buyer), per the Overstock model.
+    pub fn reputation(&self, user: UserId) -> i64 {
+        self.reputation[user.index()]
+    }
+
+    /// All transactions so far.
+    pub fn transactions(&self) -> &[Transaction] {
+        &self.transactions
+    }
+
+    /// Record a completed transaction: appends it, updates both business
+    /// networks and both reputations.
+    pub fn record_transaction(&mut self, tx: Transaction) {
+        tx.validate();
+        self.business[tx.buyer.index()].insert(tx.seller);
+        self.business[tx.seller.index()].insert(tx.buyer);
+        self.reputation[tx.seller.index()] += tx.buyer_rating as i64;
+        self.reputation[tx.buyer.index()] += tx.seller_rating as i64;
+        self.transactions.push(tx);
+    }
+
+    /// Number of transactions in which `user` was the seller.
+    pub fn sales_count(&self, user: UserId) -> usize {
+        self.transactions
+            .iter()
+            .filter(|t| t.seller == user)
+            .count()
+    }
+
+    /// Number of transactions in which `user` was the buyer.
+    pub fn purchase_count(&self, user: UserId) -> usize {
+        self.transactions
+            .iter()
+            .filter(|t| t.buyer == user)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socialtrust_socnet::relationship::Relationship;
+
+    fn platform() -> Platform {
+        let mut g = SocialGraph::new(4);
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        let interests = vec![InterestSet::from_ids([0u16, 1]); 4];
+        Platform::new(g, interests)
+    }
+
+    fn tx(buyer: u32, seller: u32, br: i8, sr: i8) -> Transaction {
+        Transaction {
+            buyer: NodeId(buyer),
+            seller: NodeId(seller),
+            category: InterestId(0),
+            buyer_rating: br,
+            seller_rating: sr,
+            month: 0,
+        }
+    }
+
+    #[test]
+    fn recording_updates_business_and_reputation() {
+        let mut p = platform();
+        p.record_transaction(tx(0, 1, 2, 1));
+        p.record_transaction(tx(2, 1, -1, 0));
+        assert_eq!(p.business_network_size(NodeId(1)), 2);
+        assert_eq!(p.business_network_size(NodeId(0)), 1);
+        assert_eq!(p.reputation(NodeId(1)), 1, "2 + (-1)");
+        assert_eq!(p.reputation(NodeId(0)), 1, "seller's rating of buyer");
+        assert_eq!(p.sales_count(NodeId(1)), 2);
+        assert_eq!(p.purchase_count(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn repeat_partners_count_once_in_business_network() {
+        let mut p = platform();
+        for _ in 0..5 {
+            p.record_transaction(tx(0, 1, 1, 1));
+        }
+        assert_eq!(p.business_network_size(NodeId(1)), 1);
+        assert_eq!(p.reputation(NodeId(1)), 5);
+        assert_eq!(p.transactions().len(), 5);
+    }
+
+    #[test]
+    fn personal_and_business_networks_are_independent() {
+        let mut p = platform();
+        // 2 and 3 are strangers in the personal network but can transact.
+        p.record_transaction(tx(2, 3, 2, 2));
+        assert_eq!(p.personal_network_size(NodeId(2)), 0);
+        assert_eq!(p.business_network_size(NodeId(2)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "[-2, +2]")]
+    fn out_of_range_ratings_rejected() {
+        let mut p = platform();
+        p.record_transaction(tx(0, 1, 3, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-trade")]
+    fn self_trade_rejected() {
+        let mut p = platform();
+        p.record_transaction(tx(1, 1, 1, 1));
+    }
+}

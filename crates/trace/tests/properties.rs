@@ -1,0 +1,127 @@
+//! Property-based tests for the trace substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use socialtrust_trace::analysis::{correlation, TraceAnalysis};
+use socialtrust_trace::crawler::crawl;
+use socialtrust_trace::generator::{generate, TraceConfig};
+use socialtrust_trace::io::{
+    export_platform, import_platform, read_transactions_csv, write_transactions_csv,
+};
+use socialtrust_socnet::NodeId;
+
+fn tiny_config(users: usize, txs: usize) -> TraceConfig {
+    TraceConfig {
+        users,
+        transactions: txs,
+        ..TraceConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn correlation_is_bounded_and_symmetric(
+        pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..50)
+    ) {
+        let (x, y): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let c = correlation(&x, &y);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&c), "C = {}", c);
+        prop_assert!((c - correlation(&y, &x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_invariant_under_affine_transform(
+        pairs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 3..30),
+        a in 0.1f64..5.0,
+        b in -10.0f64..10.0,
+    ) {
+        let (x, y): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let scaled: Vec<f64> = x.iter().map(|v| a * v + b).collect();
+        let c1 = correlation(&x, &y);
+        let c2 = correlation(&scaled, &y);
+        prop_assert!((c1 - c2).abs() < 1e-6, "{} vs {}", c1, c2);
+    }
+
+    #[test]
+    fn generated_traces_satisfy_model_invariants(seed in 0u64..30) {
+        let cfg = tiny_config(120, 1500);
+        let p = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(p.transactions().len(), cfg.transactions);
+        let mut rating_sum = 0i64;
+        for t in p.transactions() {
+            prop_assert!(t.buyer != t.seller);
+            prop_assert!((-2..=2).contains(&t.buyer_rating));
+            prop_assert!((-2..=2).contains(&t.seller_rating));
+            prop_assert!(t.month < cfg.months);
+            rating_sum += t.buyer_rating as i64 + t.seller_rating as i64;
+        }
+        // Reputation conservation: total reputation equals total ratings.
+        let total_rep: i64 = (0..p.user_count())
+            .map(|u| p.reputation(NodeId::from(u)))
+            .sum();
+        prop_assert_eq!(total_rep, rating_sum);
+        // Business networks are symmetric.
+        for t in p.transactions().iter().take(100) {
+            prop_assert!(p.business_network(t.buyer).contains(&t.seller));
+            prop_assert!(p.business_network(t.seller).contains(&t.buyer));
+        }
+    }
+
+    #[test]
+    fn crawl_from_any_seed_is_duplicate_free(seed in 0u64..20, start in 0u32..120) {
+        let cfg = tiny_config(120, 800);
+        let p = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(seed));
+        let found = crawl(&p, NodeId(start), None);
+        let mut sorted: Vec<NodeId> = found.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), found.len());
+        prop_assert_eq!(found[0], NodeId(start));
+        // Personal network is generated connected ⇒ full coverage.
+        prop_assert_eq!(found.len(), p.user_count());
+    }
+
+    #[test]
+    fn io_roundtrips_any_generated_trace(seed in 0u64..15) {
+        let cfg = tiny_config(80, 600);
+        let p = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(seed));
+        // Dump roundtrip.
+        let rebuilt = import_platform(&export_platform(&p));
+        prop_assert_eq!(rebuilt.transactions(), p.transactions());
+        for u in 0..p.user_count() {
+            prop_assert_eq!(
+                rebuilt.reputation(NodeId::from(u)),
+                p.reputation(NodeId::from(u))
+            );
+        }
+        // CSV roundtrip.
+        let mut buf = Vec::new();
+        write_transactions_csv(&p, &mut buf).expect("write");
+        let parsed = read_transactions_csv(&buf[..]).expect("parse");
+        prop_assert_eq!(parsed, p.transactions());
+    }
+
+    #[test]
+    fn analysis_outputs_are_well_formed(seed in 0u64..10) {
+        let cfg = tiny_config(150, 2000);
+        let p = generate(&cfg, &mut ChaCha8Rng::seed_from_u64(seed));
+        let a = TraceAnalysis::new(&p);
+        let cdf = a.category_rank_cdf(7);
+        for w in cdf.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12, "CDF must be monotone");
+        }
+        prop_assert!(cdf.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+        let sim_cdf = a.similarity_transaction_cdf(10);
+        prop_assert!((sim_cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        let share = a.share_transactions_above_similarity(0.3);
+        prop_assert!((0.0..=1.0).contains(&share));
+        for s in a.rating_stats_by_distance() {
+            prop_assert!((1..=4).contains(&s.distance));
+            prop_assert!((-2.0..=2.0).contains(&s.avg_rating_value));
+            prop_assert!(s.avg_rating_count >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Play the attacker: try every collusion strategy from the paper against
+//! a SocialTrust-protected network and watch each one fail.
+//!
+//! ```text
+//! cargo run --release --example collusion_attack
+//! ```
+
+use socialtrust::prelude::*;
+
+fn attack(label: &str, scenario: &ScenarioConfig) {
+    let colluders = scenario.colluder_ids();
+    let normals = scenario.normal_ids();
+    let unprotected = run_scenario(scenario, ReputationKind::EigenTrust, 7);
+    let protected = run_scenario(scenario, ReputationKind::EigenTrustWithSocialTrust, 7);
+    println!("--- {label} ---");
+    println!(
+        "  plain EigenTrust:      colluders {:.5}  (normals {:.5}), {:>5.1}% of requests",
+        unprotected.final_summary.mean_reputation(&colluders),
+        unprotected.final_summary.mean_reputation(&normals),
+        unprotected.percent_requests_to_colluders(),
+    );
+    println!(
+        "  with SocialTrust:      colluders {:.5}  (normals {:.5}), {:>5.1}% of requests",
+        protected.final_summary.mean_reputation(&colluders),
+        protected.final_summary.mean_reputation(&normals),
+        protected.percent_requests_to_colluders(),
+    );
+    println!(
+        "  -> attack {}\n",
+        if protected.final_summary.mean_reputation(&colluders)
+            < protected.final_summary.mean_reputation(&normals)
+        {
+            "DEFEATED"
+        } else {
+            "SUCCEEDED"
+        }
+    );
+}
+
+fn main() {
+    println!("== the attacker's playbook vs SocialTrust ==\n");
+    let base = ScenarioConfig::small()
+        .with_colluder_behavior(0.6)
+        .with_cycles(15);
+
+    // 1. Pair up and praise each other at high frequency.
+    attack(
+        "PCM: pair-wise mutual praise (20 ratings/query cycle)",
+        &base.clone().with_collusion(CollusionModel::PairWise),
+    );
+
+    // 2. Organize a boost ring around a few figureheads.
+    attack(
+        "MCM: boosters pump a few boosted figureheads",
+        &base.clone().with_collusion(CollusionModel::MultiNode),
+    );
+
+    // 3. Have the figureheads rate the boosters back to launder trust.
+    attack(
+        "MMM: mutual amplification loop",
+        &base.clone().with_collusion(CollusionModel::MultiMutual),
+    );
+
+    // 4. Bribe the pre-trusted nodes.
+    attack(
+        "PCM + compromised pre-trusted nodes",
+        &base
+            .clone()
+            .with_collusion(CollusionModel::PairWise)
+            .with_compromised_pretrusted(2),
+    );
+
+    // 5. Falsify the social profile to look like a normal pair.
+    attack(
+        "PCM + falsified relationships and interests (Section 5.8)",
+        &base
+            .clone()
+            .with_collusion(CollusionModel::PairWise)
+            .with_falsified_social_info(true),
+    );
+
+    // 6. Keep a "moderate" social distance to dodge the closeness extremes.
+    attack(
+        "PCM at engineered social distance 2 (Figure 20)",
+        &base
+            .clone()
+            .with_collusion(CollusionModel::PairWise)
+            .with_colluder_distance(2),
+    );
+}

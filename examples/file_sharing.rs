@@ -1,0 +1,107 @@
+//! A file-sharing community built directly on the public API — no
+//! simulator, just the library primitives.
+//!
+//! Five friends share files; two outsiders set up a rating-spam clique.
+//! We wire the social graph, interest profiles, and interaction tracking by
+//! hand, wrap an EigenTrust engine with SocialTrust, and watch the
+//! detector flag the clique while the honest community stays untouched.
+//!
+//! ```text
+//! cargo run --release --example file_sharing
+//! ```
+
+use socialtrust::prelude::*;
+use socialtrust::core::context::{SharedSocialContext, SocialContext};
+
+const ALICE: NodeId = NodeId(0);
+const BOB: NodeId = NodeId(1);
+const CAROL: NodeId = NodeId(2);
+const DAVE: NodeId = NodeId(3);
+const ERIN: NodeId = NodeId(4);
+const MALLORY: NodeId = NodeId(5);
+const MALLET: NodeId = NodeId(6);
+
+fn name(n: NodeId) -> &'static str {
+    ["alice", "bob", "carol", "dave", "erin", "mallory", "mallet"][n.index()]
+}
+
+fn main() {
+    // --- Social context -------------------------------------------------
+    let mut ctx = SocialContext::new(7, 8);
+    // The honest community is a friendship ring with shared music/movie
+    // interests and steady interaction.
+    let honest = [ALICE, BOB, CAROL, DAVE, ERIN];
+    for w in honest.windows(2) {
+        ctx.graph_mut()
+            .add_relationship(w[0], w[1], Relationship::friendship());
+    }
+    for &member in &honest {
+        let p = ctx.profile_mut(member).declared_mut();
+        p.insert(InterestId(0)); // music
+        p.insert(InterestId(1)); // movies
+    }
+    // Mallory and Mallet pose as heavily-connected buddies with no real
+    // shared interests.
+    for _ in 0..4 {
+        ctx.graph_mut()
+            .add_relationship(MALLORY, MALLET, Relationship::friendship());
+    }
+    ctx.profile_mut(MALLORY).declared_mut().insert(InterestId(6));
+    ctx.profile_mut(MALLET).declared_mut().insert(InterestId(7));
+    let ctx = SharedSocialContext::new(ctx);
+
+    // --- Reputation system ----------------------------------------------
+    let mut system = WithSocialTrust::new(
+        EigenTrust::with_defaults(7, &[ALICE]),
+        ctx.clone(),
+        SocialTrustConfig::default(),
+    );
+
+    // --- A week of file sharing ------------------------------------------
+    for _day in 0..7 {
+        // Honest downloads: each member fetches from the next and rates
+        // the service honestly.
+        for w in honest.windows(2) {
+            let (client, server) = (w[0], w[1]);
+            system.record(Rating::with_interest(client, server, 1.0, InterestId(0)));
+            ctx.write().record_request(client, server, InterestId(0));
+        }
+        // The spam clique: Mallory and Mallet rate each other 40 times a
+        // day on "their" categories.
+        for _ in 0..40 {
+            system.record(
+                Rating::with_interest(MALLORY, MALLET, 1.0, InterestId(7)).non_transactional(),
+            );
+            system.record(
+                Rating::with_interest(MALLET, MALLORY, 1.0, InterestId(6)).non_transactional(),
+            );
+            ctx.write().record_request(MALLORY, MALLET, InterestId(7));
+            ctx.write().record_request(MALLET, MALLORY, InterestId(6));
+        }
+    }
+    system.end_cycle();
+
+    // --- What did SocialTrust see? ----------------------------------------
+    println!("== file-sharing community after one reputation cycle ==\n");
+    println!("{}", CycleReport::from_decorator(&system));
+    println!("by name:");
+    for &((rater, ratee), w) in system.last_weights() {
+        println!("  {} -> {}: x{:.6}", name(rater), name(ratee), w);
+    }
+    println!("\nfinal reputations:");
+    let mut ranked: Vec<NodeId> = (0..7u32).map(NodeId).collect();
+    ranked.sort_by(|a, b| {
+        system
+            .reputation(*b)
+            .partial_cmp(&system.reputation(*a))
+            .expect("finite")
+    });
+    for n in ranked {
+        println!("  {:<8} {:.5}", name(n), system.reputation(n));
+    }
+    assert!(
+        system.reputation(MALLET) < system.reputation(BOB),
+        "the spam clique must not outrank honest members"
+    );
+    println!("\nThe clique's mutual praise was flagged (B1/B3) and damped to ~0.");
+}

@@ -1,0 +1,77 @@
+//! Reproduce the paper's Section-3 trace study on a synthetic Overstock:
+//! crawl the platform, measure, and re-derive observations O1–O6 — the
+//! empirical basis for the suspicious behaviors B1–B4.
+//!
+//! ```text
+//! cargo run --release --example trace_analysis
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use socialtrust::prelude::*;
+use socialtrust::trace::analysis::TraceAnalysis;
+use socialtrust::trace::crawler;
+
+fn main() {
+    let config = TraceConfig {
+        users: 1_500,
+        transactions: 30_000,
+        ..TraceConfig::default()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(2008);
+    println!(
+        "generating a synthetic Overstock: {} users, {} transactions over {} months…",
+        config.users, config.transactions, config.months
+    );
+    let platform = generate(&config, &mut rng);
+
+    // Crawl it the way the paper did: BFS from a seed over friend lists
+    // and business contact lists.
+    let discovered = crawl(&platform, UserId::from(0u32), None);
+    println!(
+        "crawl from seed user: discovered {}/{} users ({:.0}% coverage)\n",
+        discovered.len(),
+        platform.user_count(),
+        100.0 * crawler::coverage(&platform, UserId::from(0u32))
+    );
+
+    let analysis = TraceAnalysis::new(&platform);
+
+    println!("O1: reputation ↔ business-network size");
+    println!(
+        "    C = {:.3}   (paper: 0.996 — high-reputed users attract more buyers)",
+        analysis.business_reputation_correlation()
+    );
+
+    println!("O2: reputation ↔ personal-network size");
+    println!(
+        "    C = {:.3}   (paper: 0.092 — a low-reputed user can still have many friends)",
+        analysis.personal_reputation_correlation()
+    );
+
+    println!("O3/O4: ratings by social distance");
+    for s in analysis.rating_stats_by_distance() {
+        println!(
+            "    {} hop(s): avg value {:+.2}, avg frequency {:.2}",
+            s.distance, s.avg_rating_value, s.avg_rating_count
+        );
+    }
+
+    println!("O5: purchases by category rank");
+    println!(
+        "    top-3 categories hold {:.0}% of purchases   (paper: ≈ 88%)",
+        100.0 * analysis.top3_category_share()
+    );
+
+    println!("O6: transactions by interest similarity");
+    println!(
+        "    {:.0}% of transactions between pairs with > 30% similarity   (paper: 60%)",
+        100.0 * analysis.share_transactions_above_similarity(0.3)
+    );
+
+    println!("\nFrom these, the paper derives the suspicious behaviors:");
+    println!("  B1: distant pairs exchanging frequent high ratings");
+    println!("  B2: frequent high ratings to a low-reputed, socially-close node");
+    println!("  B3: frequent high ratings despite near-zero interest overlap");
+    println!("  B4: frequent LOW ratings to a high-overlap competitor");
+}

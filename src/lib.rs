@@ -1,0 +1,56 @@
+//! # socialtrust
+//!
+//! Facade crate for the SocialTrust reproduction — *Leveraging Social
+//! Networks to Combat Collusion in Reputation Systems for Peer-to-Peer
+//! Networks* (Li, Shen & Sapra, IEEE TC 2012 / IPPS 2011).
+//!
+//! This crate re-exports the whole workspace under one roof:
+//!
+//! * [`socnet`] — social graph, distance, closeness Ωc, interests Ωs.
+//! * [`reputation`] — rating ledger, EigenTrust, eBay-style accumulation.
+//! * [`core`] — the SocialTrust mechanism itself: Gaussian rating
+//!   adjustment, suspicious-behavior detection (B1–B4), the
+//!   `WithSocialTrust` decorator, and the distributed-manager model.
+//! * [`sim`] — the P2P simulator with PCM/MCM/MMM collusion models used to
+//!   regenerate the paper's evaluation.
+//! * [`trace`] — the synthetic Overstock-style trace substrate and the
+//!   Section-3 analysis toolkit.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use socialtrust::prelude::*;
+//!
+//! // Run the paper's pair-wise collusion scenario with and without
+//! // SocialTrust protecting EigenTrust.
+//! let scenario = ScenarioConfig::paper_default()
+//!     .with_collusion(CollusionModel::PairWise)
+//!     .with_colluder_behavior(0.6)
+//!     .with_cycles(5); // keep the doctest fast; the paper uses 50
+//! let unprotected = run_scenario(&scenario, ReputationKind::EigenTrust, 42);
+//! let protected = run_scenario(
+//!     &scenario,
+//!     ReputationKind::EigenTrustWithSocialTrust,
+//!     42,
+//! );
+//! let colluders = scenario.colluder_ids();
+//! assert!(
+//!     protected.final_summary.mean_reputation(&colluders)
+//!         <= unprotected.final_summary.mean_reputation(&colluders)
+//! );
+//! ```
+
+pub use socialtrust_core as core;
+pub use socialtrust_reputation as reputation;
+pub use socialtrust_sim as sim;
+pub use socialtrust_socnet as socnet;
+pub use socialtrust_trace as trace;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use socialtrust_core::prelude::*;
+    pub use socialtrust_reputation::prelude::*;
+    pub use socialtrust_sim::prelude::*;
+    pub use socialtrust_socnet::prelude::*;
+    pub use socialtrust_trace::prelude::*;
+}

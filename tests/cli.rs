@@ -1,0 +1,104 @@
+//! Integration tests driving the `socialtrust-cli` binary end-to-end.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_socialtrust-cli"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = cli().arg("help").output().expect("run cli");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("simulate"));
+    assert!(text.contains("trace"));
+}
+
+#[test]
+fn no_args_also_prints_usage() {
+    let out = cli().output().expect("run cli");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = cli().arg("bogus").output().expect("run cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn unknown_flag_fails_with_message() {
+    let out = cli()
+        .args(["simulate", "--frobnicate", "1"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--frobnicate"));
+}
+
+#[test]
+fn simulate_small_run_reports_metrics() {
+    let out = cli()
+        .args([
+            "simulate", "--model", "pcm", "--system", "ebay", "--nodes", "40", "--cycles", "3",
+            "--runs", "1", "--seed", "5",
+        ])
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("colluder mean reputation"));
+    assert!(text.contains("requests to colluders"));
+}
+
+#[test]
+fn simulate_writes_json() {
+    let dir = std::env::temp_dir().join("socialtrust_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("run.json");
+    let out = cli()
+        .args([
+            "simulate", "--model", "none", "--system", "avg", "--nodes", "40", "--cycles", "2",
+            "--runs", "1", "--json",
+        ])
+        .arg(&path)
+        .output()
+        .expect("run cli");
+    assert!(out.status.success());
+    let data = std::fs::read_to_string(&path).expect("json written");
+    let parsed: serde_json::Value = serde_json::from_str(&data).expect("valid json");
+    assert!(parsed.is_array(), "per-run results array");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_writes_csv_roundtrippable_by_the_library() {
+    let dir = std::env::temp_dir().join("socialtrust_cli_test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("trace.csv");
+    let out = cli()
+        .args([
+            "trace", "--users", "120", "--transactions", "800", "--seed", "3", "--csv",
+        ])
+        .arg(&path)
+        .output()
+        .expect("run cli");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let file = std::fs::File::open(&path).expect("csv written");
+    let txs = socialtrust::trace::io::read_transactions_csv(std::io::BufReader::new(file))
+        .expect("parseable csv");
+    assert_eq!(txs.len(), 800);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,95 @@
+//! Cross-crate property tests: invariants that only hold when all the
+//! pieces cooperate (world building, engine, reputation engines, the
+//! SocialTrust layer).
+
+use proptest::prelude::*;
+use socialtrust::prelude::*;
+
+fn tiny_scenario(model_idx: usize, b: f64, cycles: usize) -> ScenarioConfig {
+    let model = [
+        CollusionModel::None,
+        CollusionModel::PairWise,
+        CollusionModel::MultiNode,
+        CollusionModel::MultiMutual,
+        CollusionModel::NegativeCampaign,
+    ][model_idx];
+    let mut s = ScenarioConfig::small()
+        .with_collusion(model)
+        .with_colluder_behavior(b)
+        .with_cycles(cycles);
+    s.query_cycles = 5;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any scenario, any system: reputations stay a sub-distribution
+    /// (non-negative, finite, summing to ~1 or 0) and request accounting
+    /// is consistent.
+    #[test]
+    fn reputations_and_accounting_stay_sane(
+        model_idx in 0usize..5,
+        b in prop_oneof![Just(0.2), Just(0.6)],
+        kind_idx in 0usize..7,
+        whitewash in proptest::bool::ANY,
+        seed in 0u64..50,
+    ) {
+        let kind = [
+            ReputationKind::EigenTrust,
+            ReputationKind::EBay,
+            ReputationKind::SimpleAverage,
+            ReputationKind::FeedbackSimilarity,
+            ReputationKind::PowerTrust,
+            ReputationKind::EigenTrustWithSocialTrust,
+            ReputationKind::EBayWithSocialTrust,
+        ][kind_idx];
+        let scenario = tiny_scenario(model_idx, b, 4).with_whitewash(whitewash);
+        let r = run_scenario(&scenario, kind, seed);
+        let reps = r.final_summary.values();
+        prop_assert_eq!(reps.len(), scenario.nodes);
+        prop_assert!(reps.iter().all(|&v| v.is_finite() && v >= -1e-12));
+        let sum: f64 = reps.iter().sum();
+        prop_assert!(sum.abs() < 1e-9 || (sum - 1.0).abs() < 1e-6, "sum = {}", sum);
+        prop_assert!(r.requests_to_colluders <= r.requests_total);
+        prop_assert_eq!(r.per_cycle_colluder_mean.len(), scenario.sim_cycles);
+    }
+
+    /// SocialTrust never flags anybody in a collusion-free world with
+    /// this scenario's organic traffic volume (false-positive guard).
+    #[test]
+    fn no_collusion_means_no_adjustments(seed in 0u64..30) {
+        let scenario = tiny_scenario(0, 0.6, 4);
+        let r = run_scenario(&scenario, ReputationKind::EigenTrustWithSocialTrust, seed);
+        prop_assert_eq!(r.ratings_adjusted, 0, "adjusted {} organic ratings", r.ratings_adjusted);
+    }
+
+    /// The distributed deployment is result-identical to the centralized
+    /// one for every scenario and seed.
+    #[test]
+    fn distributed_centralized_equivalence(
+        model_idx in 0usize..4,
+        seed in 0u64..30,
+    ) {
+        let scenario = tiny_scenario(model_idx, 0.6, 3);
+        let central = run_scenario(&scenario, ReputationKind::EigenTrustWithSocialTrust, seed);
+        let distributed = run_scenario(
+            &scenario,
+            ReputationKind::EigenTrustWithSocialTrustDistributed,
+            seed,
+        );
+        prop_assert_eq!(central.final_summary, distributed.final_summary);
+    }
+
+    /// Determinism holds across the whole pipeline for every system kind.
+    #[test]
+    fn pipeline_is_deterministic(kind_idx in 0usize..6, seed in 0u64..20) {
+        let kind = ReputationKind::ALL[kind_idx];
+        let scenario = tiny_scenario(1, 0.6, 3);
+        let a = run_scenario(&scenario, kind, seed);
+        let b = run_scenario(&scenario, kind, seed);
+        prop_assert_eq!(a.final_summary, b.final_summary);
+        prop_assert_eq!(a.requests_total, b.requests_total);
+        prop_assert_eq!(a.suspicions_flagged, b.suspicions_flagged);
+    }
+}

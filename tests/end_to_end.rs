@@ -1,0 +1,184 @@
+//! End-to-end integration tests spanning every crate: scenario → world →
+//! engine → reputation system → SocialTrust → metrics.
+
+use socialtrust::prelude::*;
+
+fn small(model: CollusionModel, b: f64) -> ScenarioConfig {
+    ScenarioConfig::small()
+        .with_collusion(model)
+        .with_colluder_behavior(b)
+        .with_cycles(12)
+}
+
+/// Average a metric over a few seeds so assertions don't hinge on one
+/// random draw.
+fn mean_over_seeds(
+    scenario: &ScenarioConfig,
+    kind: ReputationKind,
+    f: impl Fn(&RunResult) -> f64,
+) -> f64 {
+    let seeds = [11u64, 22, 33];
+    seeds
+        .iter()
+        .map(|&s| f(&run_scenario(scenario, kind, s)))
+        .sum::<f64>()
+        / seeds.len() as f64
+}
+
+#[test]
+fn socialtrust_suppresses_pcm_collusion() {
+    let scenario = small(CollusionModel::PairWise, 0.6);
+    let colluders = scenario.colluder_ids();
+    let coll_mean = |r: &RunResult| r.final_summary.mean_reputation(&colluders);
+    let plain = mean_over_seeds(&scenario, ReputationKind::EigenTrust, coll_mean);
+    let guarded = mean_over_seeds(
+        &scenario,
+        ReputationKind::EigenTrustWithSocialTrust,
+        coll_mean,
+    );
+    assert!(
+        guarded < plain / 2.0,
+        "SocialTrust must at least halve colluder reputation: {guarded} vs {plain}"
+    );
+}
+
+#[test]
+fn socialtrust_reduces_requests_to_colluders() {
+    let scenario = small(CollusionModel::PairWise, 0.6);
+    let pct = |r: &RunResult| r.percent_requests_to_colluders();
+    let plain = mean_over_seeds(&scenario, ReputationKind::EigenTrust, pct);
+    let guarded = mean_over_seeds(&scenario, ReputationKind::EigenTrustWithSocialTrust, pct);
+    assert!(
+        guarded < plain,
+        "traffic to colluders must drop: {guarded}% vs {plain}%"
+    );
+}
+
+#[test]
+fn socialtrust_works_over_ebay_too() {
+    let scenario = small(CollusionModel::PairWise, 0.6);
+    let colluders = scenario.colluder_ids();
+    let coll_mean = |r: &RunResult| r.final_summary.mean_reputation(&colluders);
+    let plain = mean_over_seeds(&scenario, ReputationKind::EBay, coll_mean);
+    let guarded = mean_over_seeds(&scenario, ReputationKind::EBayWithSocialTrust, coll_mean);
+    assert!(guarded < plain, "{guarded} vs {plain}");
+}
+
+#[test]
+fn honest_nodes_keep_their_reputation_under_socialtrust() {
+    // With no collusion at all, the SocialTrust layer must not punish the
+    // honest population: normal nodes keep reputations comparable to the
+    // unprotected run.
+    let scenario = small(CollusionModel::None, 0.6);
+    let normals = scenario.normal_ids();
+    let norm_mean = |r: &RunResult| r.final_summary.mean_reputation(&normals);
+    let plain = mean_over_seeds(&scenario, ReputationKind::EigenTrust, norm_mean);
+    let guarded = mean_over_seeds(
+        &scenario,
+        ReputationKind::EigenTrustWithSocialTrust,
+        norm_mean,
+    );
+    assert!(
+        (guarded - plain).abs() < plain * 0.5,
+        "normal reputations should be roughly unchanged: {guarded} vs {plain}"
+    );
+}
+
+#[test]
+fn mmm_is_harder_than_mcm_for_plain_eigentrust() {
+    // The paper's Figures 11 vs 13: the mutual loop (MMM) lifts colluders
+    // more than one-directional boosting (MCM) at B=0.6.
+    let mcm = small(CollusionModel::MultiNode, 0.6);
+    let mmm = small(CollusionModel::MultiMutual, 0.6);
+    let colluders = mcm.colluder_ids();
+    let coll_mean = |r: &RunResult| r.final_summary.mean_reputation(&colluders);
+    let mcm_rep = mean_over_seeds(&mcm, ReputationKind::EigenTrust, coll_mean);
+    let mmm_rep = mean_over_seeds(&mmm, ReputationKind::EigenTrust, coll_mean);
+    assert!(
+        mmm_rep > mcm_rep,
+        "MMM ({mmm_rep}) should beat MCM ({mcm_rep}) against plain EigenTrust"
+    );
+}
+
+#[test]
+fn falsified_social_info_does_not_break_socialtrust() {
+    let scenario = small(CollusionModel::PairWise, 0.6).with_falsified_social_info(true);
+    let colluders = scenario.colluder_ids();
+    let normals = scenario.normal_ids();
+    let seeds = [5u64, 6, 7];
+    let mut wins = 0;
+    for &s in &seeds {
+        let r = run_scenario(&scenario, ReputationKind::EigenTrustWithSocialTrust, s);
+        if r.final_summary.mean_reputation(&colluders)
+            < r.final_summary.mean_reputation(&normals)
+        {
+            wins += 1;
+        }
+    }
+    assert!(
+        wins >= 2,
+        "colluders must stay below normals in most falsified runs ({wins}/3)"
+    );
+}
+
+#[test]
+fn compromised_pretrusted_nodes_help_colluders_in_plain_eigentrust() {
+    let clean = small(CollusionModel::PairWise, 0.2);
+    let compromised = small(CollusionModel::PairWise, 0.2).with_compromised_pretrusted(2);
+    let colluders = clean.colluder_ids();
+    let coll_mean = |r: &RunResult| r.final_summary.mean_reputation(&colluders);
+    let base = mean_over_seeds(&clean, ReputationKind::EigenTrust, coll_mean);
+    let boosted = mean_over_seeds(&compromised, ReputationKind::EigenTrust, coll_mean);
+    assert!(
+        boosted > base,
+        "compromised pretrusted endorsements must lift colluders: {boosted} vs {base}"
+    );
+}
+
+#[test]
+fn socialtrust_handles_compromised_pretrusted() {
+    let scenario = small(CollusionModel::PairWise, 0.2).with_compromised_pretrusted(2);
+    let colluders = scenario.colluder_ids();
+    let coll_mean = |r: &RunResult| r.final_summary.mean_reputation(&colluders);
+    let plain = mean_over_seeds(&scenario, ReputationKind::EigenTrust, coll_mean);
+    let guarded = mean_over_seeds(
+        &scenario,
+        ReputationKind::EigenTrustWithSocialTrust,
+        coll_mean,
+    );
+    assert!(guarded < plain, "{guarded} vs {plain}");
+}
+
+#[test]
+fn full_runs_are_reproducible_across_all_kinds() {
+    let scenario = small(CollusionModel::MultiMutual, 0.6);
+    for kind in ReputationKind::ALL {
+        let a = run_scenario(&scenario, kind, 77);
+        let b = run_scenario(&scenario, kind, 77);
+        assert_eq!(a.final_summary, b.final_summary, "{kind} not reproducible");
+        assert_eq!(a.requests_total, b.requests_total);
+    }
+}
+
+#[test]
+fn multi_run_confidence_intervals_are_finite() {
+    let scenario = small(CollusionModel::PairWise, 0.6);
+    let m = run_scenario_multi(&scenario, ReputationKind::EigenTrustWithSocialTrust, 1, 3);
+    assert_eq!(m.runs.len(), 3);
+    for (&mean, &ci) in m.mean_reputation.iter().zip(&m.ci95_reputation) {
+        assert!(mean.is_finite() && mean >= 0.0);
+        assert!(ci.is_finite() && ci >= 0.0);
+    }
+    let (pct, ci) = m.percent_requests_to_colluders();
+    assert!((0.0..=100.0).contains(&pct));
+    assert!(ci >= 0.0);
+}
+
+#[test]
+fn convergence_metric_reports_suppression() {
+    let scenario = small(CollusionModel::PairWise, 0.2).with_cycles(20);
+    let m = run_scenario_multi(&scenario, ReputationKind::EigenTrustWithSocialTrust, 1, 3);
+    let (p1, median, p99) = m.convergence_percentiles(0.001);
+    assert!(p1 <= median && median <= p99);
+    assert!(p99 <= 20.0, "must converge within the run: p99 = {p99}");
+}

@@ -1,0 +1,88 @@
+//! Facade-level tests: the `socialtrust` crate's public surface is usable
+//! on its own — the way a downstream application would consume it.
+
+use socialtrust::core::context::{SharedSocialContext, SocialContext};
+use socialtrust::prelude::*;
+
+#[test]
+fn prelude_exposes_the_working_set() {
+    // Social substrate.
+    let mut g = SocialGraph::new(3);
+    g.add_relationship(NodeId(0), NodeId(1), Relationship::kinship());
+    assert!(g.are_adjacent(NodeId(0), NodeId(1)));
+    let mut t = InteractionTracker::new(3);
+    t.record(NodeId(0), NodeId(1), 2.0);
+    let model = ClosenessModel::new(&g, &t, ClosenessConfig::default());
+    assert!(model.closeness(NodeId(0), NodeId(1)) > 0.0);
+    // Interests.
+    let a = InterestSet::from_ids([1u16, 2]);
+    let b = InterestSet::from_ids([2u16, 3]);
+    assert!(socialtrust::socnet::interest::similarity(&a, &b) > 0.0);
+    // Reputation systems.
+    let mut et = EigenTrust::with_defaults(3, &[NodeId(0)]);
+    et.record(Rating::new(NodeId(0), NodeId(1), 1.0));
+    et.end_cycle();
+    assert!(et.reputation(NodeId(1)) > 0.0);
+    let mut ebay = EBayModel::new(3);
+    ebay.record(Rating::new(NodeId(0), NodeId(1), 1.0));
+    ebay.end_cycle();
+    assert!(ebay.reputation(NodeId(1)) > 0.0);
+}
+
+#[test]
+fn decorator_composes_via_facade() {
+    let ctx = SharedSocialContext::new(SocialContext::new(4, 8));
+    let mut sys = WithSocialTrust::new(
+        EigenTrust::with_defaults(4, &[NodeId(0)]),
+        ctx,
+        SocialTrustConfig::default(),
+    );
+    for _ in 0..3 {
+        sys.record(Rating::new(NodeId(0), NodeId(1), 1.0));
+        sys.end_cycle();
+    }
+    assert_eq!(sys.name(), "EigenTrust+SocialTrust");
+    assert!(sys.reputation(NodeId(1)) > 0.0);
+}
+
+#[test]
+fn trace_pipeline_via_facade() {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    let platform = generate(
+        &TraceConfig {
+            users: 200,
+            transactions: 2_000,
+            ..TraceConfig::default()
+        },
+        &mut rng,
+    );
+    assert_eq!(platform.transactions().len(), 2_000);
+    let discovered = crawl(&platform, UserId::from(0u32), Some(50));
+    assert_eq!(discovered.len(), 50);
+    let analysis = TraceAnalysis::new(&platform);
+    assert!(analysis.business_reputation_correlation() > 0.0);
+}
+
+#[test]
+fn scenario_runner_via_facade() {
+    let scenario = ScenarioConfig::small().with_cycles(3);
+    let result = run_scenario(&scenario, ReputationKind::SimpleAverage, 5);
+    assert_eq!(result.final_summary.values().len(), scenario.nodes);
+    assert_eq!(result.system_name, "SimpleAverage");
+}
+
+#[test]
+fn module_paths_are_reachable() {
+    // The facade re-exports whole crates under stable names.
+    let _ = socialtrust::socnet::distance::bfs_distance(
+        &SocialGraph::new(2),
+        NodeId(0),
+        NodeId(1),
+        None,
+    );
+    let _ = socialtrust::reputation::normalize::normalize_to_simplex(&[1.0, 1.0]);
+    let _ = socialtrust::core::gaussian::gaussian(0.0, 1.0, 0.0, 1.0);
+    let _ = socialtrust::sim::collusion::CollusionModel::PairWise;
+    let _ = socialtrust::trace::generator::TraceConfig::default();
+}
