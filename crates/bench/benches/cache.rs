@@ -1,0 +1,118 @@
+//! Criterion bench — the per-cycle social-coefficient cache.
+//!
+//! Compares the uncached closeness path (fresh recomputation per query, as
+//! the pre-cache pipeline did) against [`SocialCoefficientCache`] with a
+//! warm memo, on a 10k-node social network, and measures `detect_all` over
+//! a full rating cycle cold (cache just invalidated) vs warm (second run
+//! on an unchanged graph).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use socialtrust_core::config::SocialTrustConfig;
+use socialtrust_core::context::SocialContext;
+use socialtrust_core::detector::Detector;
+use socialtrust_reputation::rating::{Rating, RatingLedger};
+use socialtrust_socnet::builder::connected_random_graph;
+use socialtrust_socnet::cache::SocialCoefficientCache;
+use socialtrust_socnet::closeness::{closeness_for_pairs, ClosenessConfig};
+use socialtrust_socnet::interaction::InteractionTracker;
+use socialtrust_socnet::NodeId;
+
+const N: usize = 10_000;
+
+fn env(seed: u64) -> (socialtrust_socnet::graph::SocialGraph, InteractionTracker) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let g = connected_random_graph(N, 6.0, (1, 2), &mut rng);
+    let mut t = InteractionTracker::new(N);
+    for _ in 0..N * 4 {
+        let a = rng.gen_range(0..N);
+        let b = rng.gen_range(0..N);
+        if a != b {
+            t.record(NodeId::from(a), NodeId::from(b), rng.gen_range(1.0..5.0));
+        }
+    }
+    (g, t)
+}
+
+fn rated_pairs(rng: &mut ChaCha8Rng, count: usize) -> Vec<(NodeId, NodeId)> {
+    (0..count)
+        .map(|_| {
+            let a = rng.gen_range(0..N);
+            let mut b = rng.gen_range(0..N);
+            if b == a {
+                b = (b + 1) % N;
+            }
+            (NodeId::from(a), NodeId::from(b))
+        })
+        .collect()
+}
+
+fn bench_bulk_closeness(c: &mut Criterion) {
+    let (g, t) = env(11);
+    let config = ClosenessConfig::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let mut group = c.benchmark_group("coefficient_cache");
+    for &pairs_n in &[500usize, 2000] {
+        let pairs = rated_pairs(&mut rng, pairs_n);
+        group.bench_with_input(
+            BenchmarkId::new("bulk_uncached", pairs_n),
+            &pairs_n,
+            |bench, _| {
+                bench.iter(|| std::hint::black_box(closeness_for_pairs(&g, &t, config, &pairs)));
+            },
+        );
+        let cache = SocialCoefficientCache::new();
+        // Warm the memo once; repeat queries on the unchanged graph are the
+        // steady state of the per-cycle pipeline.
+        let _ = cache.closeness_for_pairs(&g, &t, config, &pairs);
+        group.bench_with_input(
+            BenchmarkId::new("bulk_cached_warm", pairs_n),
+            &pairs_n,
+            |bench, _| {
+                bench.iter(|| {
+                    std::hint::black_box(cache.closeness_for_pairs(&g, &t, config, &pairs))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_detection_cycle(c: &mut Criterion) {
+    let (g, t) = env(17);
+    let mut ctx = SocialContext::new(N, 32);
+    *ctx.graph_mut() = g;
+    *ctx.interactions_mut() = t;
+    let mut rng = ChaCha8Rng::seed_from_u64(19);
+    let mut ledger = RatingLedger::new();
+    // One cycle's rating traffic with a heavy tail: most pairs rate once or
+    // twice (background), one in ten floods well past θ·F̄, so the
+    // frequency gate passes and the social coefficients are actually
+    // computed for a realistic share of the interval pairs.
+    for (i, (a, b)) in rated_pairs(&mut rng, 2000).into_iter().enumerate() {
+        let count = if i % 10 == 0 { 15 } else { rng.gen_range(1..3) };
+        for _ in 0..count {
+            ledger.record(&Rating::new(a, b, 1.0));
+        }
+    }
+    let reputations: Vec<f64> = (0..N).map(|i| (i % 100) as f64 / 100.0).collect();
+    let detector = Detector::new(SocialTrustConfig::default());
+    // Warm-up also forces the lazy cache fill outside the timed region.
+    let _ = detector.detect_all(&ctx, &ledger, &reputations);
+
+    let mut group = c.benchmark_group("detect_all_10k");
+    group.bench_function("cold_cache", |bench| {
+        bench.iter(|| {
+            ctx.coefficient_cache().invalidate();
+            std::hint::black_box(detector.detect_all(&ctx, &ledger, &reputations))
+        });
+    });
+    group.bench_function("warm_cache", |bench| {
+        bench.iter(|| std::hint::black_box(detector.detect_all(&ctx, &ledger, &reputations)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_closeness, bench_detection_cycle);
+criterion_main!(benches);

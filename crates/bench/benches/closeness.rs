@@ -52,7 +52,8 @@ fn bench_closeness(c: &mut Criterion) {
         });
         let weighted = ClosenessModel::new(&g, &t, ClosenessConfig::weighted(0.8));
         group.bench_with_input(BenchmarkId::new("weighted_eq10", n), &n, |bench, _| {
-            bench.iter(|| std::hint::black_box(weighted.closeness(NodeId(0), NodeId(n as u32 / 2))));
+            bench
+                .iter(|| std::hint::black_box(weighted.closeness(NodeId(0), NodeId(n as u32 / 2))));
         });
     }
     group.finish();

@@ -4,9 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use socialtrust_core::prelude::*;
 use socialtrust_core::config::SocialTrustConfig;
 use socialtrust_core::gaussian::{adjustment_weight, combined_weight};
+use socialtrust_core::prelude::*;
 use socialtrust_core::stats::OmegaStats;
 use socialtrust_reputation::prelude::*;
 use socialtrust_socnet::NodeId;
@@ -21,11 +21,7 @@ fn bench_kernels(c: &mut Criterion) {
     });
 }
 
-fn loaded_decorator(
-    n: usize,
-    ratings: usize,
-    seed: u64,
-) -> WithSocialTrust<EigenTrust> {
+fn loaded_decorator(n: usize, ratings: usize, seed: u64) -> WithSocialTrust<EigenTrust> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let ctx = SharedSocialContext::new(SocialContext::new(n, 20));
     let mut sys = WithSocialTrust::new(

@@ -15,8 +15,16 @@ fn bench_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulation/3_cycles");
     group.sample_size(10);
     let cases = [
-        (CollusionModel::None, ReputationKind::EigenTrust, "none_eigentrust"),
-        (CollusionModel::PairWise, ReputationKind::EigenTrust, "pcm_eigentrust"),
+        (
+            CollusionModel::None,
+            ReputationKind::EigenTrust,
+            "none_eigentrust",
+        ),
+        (
+            CollusionModel::PairWise,
+            ReputationKind::EigenTrust,
+            "pcm_eigentrust",
+        ),
         (CollusionModel::PairWise, ReputationKind::EBay, "pcm_ebay"),
         (
             CollusionModel::PairWise,

@@ -4,10 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use socialtrust_socnet::NodeId;
 use socialtrust_trace::analysis::TraceAnalysis;
 use socialtrust_trace::crawler::crawl;
 use socialtrust_trace::generator::{generate, TraceConfig};
-use socialtrust_socnet::NodeId;
 
 fn config(users: usize) -> TraceConfig {
     TraceConfig {

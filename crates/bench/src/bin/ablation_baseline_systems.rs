@@ -73,7 +73,10 @@ fn main() {
             pct_requests_to_colluders: cell.pct_requests_to_colluders.0,
         });
     }
-    let st_rows: Vec<&Row> = rows.iter().filter(|r| r.system.contains("SocialTrust")).collect();
+    let st_rows: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.system.contains("SocialTrust"))
+        .collect();
     let best_baseline = rows
         .iter()
         .filter(|r| !r.system.contains("SocialTrust"))

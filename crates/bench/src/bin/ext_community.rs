@@ -106,8 +106,14 @@ fn main() {
         .with_colluder_behavior(0.6);
     let variants = [
         ("clique (distance 1)", base.clone()),
-        ("moderate distance 2", base.clone().with_colluder_distance(2)),
-        ("falsified sparse link", base.clone().with_falsified_social_info(true)),
+        (
+            "moderate distance 2",
+            base.clone().with_colluder_distance(2),
+        ),
+        (
+            "falsified sparse link",
+            base.clone().with_falsified_social_info(true),
+        ),
     ];
     println!(
         "{:<24} {:>14} {:>20} {:>22}",

@@ -62,8 +62,9 @@ fn main() {
         let per_1k = 1000.0 * stats.info_request_messages as f64 / stats.ratings_routed as f64;
         // DHT cost of reaching a manager: average Chord finger-routing hops
         // on a ring of this many managers.
-        let ring_members: Vec<socialtrust_socnet::NodeId> =
-            (0..managers as u32).map(socialtrust_socnet::NodeId).collect();
+        let ring_members: Vec<socialtrust_socnet::NodeId> = (0..managers as u32)
+            .map(socialtrust_socnet::NodeId)
+            .collect();
         let ring = ChordRing::new(&ring_members);
         let sample: Vec<socialtrust_socnet::NodeId> = (0..scenario.nodes as u32)
             .step_by(7)

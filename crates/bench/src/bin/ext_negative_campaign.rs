@@ -16,13 +16,13 @@
 //!   similarity) and damps the spam, restoring most of the victims'
 //!   reputation.
 
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use socialtrust_bench as bench;
 use socialtrust_sim::build::SimWorld;
 use socialtrust_sim::prelude::*;
 use socialtrust_sim::runner::make_system;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use socialtrust_socnet::NodeId;
 
 #[derive(Serialize)]
@@ -91,7 +91,11 @@ fn main() {
     println!(
         "\nbadmouthing hurts eBay victims ({ebay_deficit:.0}% deficit); SocialTrust restores them \
          ({ebay_st_deficit:.0}%): {}",
-        if ebay_st_deficit < ebay_deficit { "HOLDS" } else { "FAILS" }
+        if ebay_st_deficit < ebay_deficit {
+            "HOLDS"
+        } else {
+            "FAILS"
+        }
     );
     bench::write_json("ext_negative_campaign", &Result { rows });
 }

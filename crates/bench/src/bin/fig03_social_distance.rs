@@ -32,7 +32,10 @@ fn main() {
     let stats = TraceAnalysis::new(&platform).rating_stats_by_distance();
 
     println!("Figure 3 — impact of social distance on ratings");
-    println!("{:>9} {:>18} {:>18}", "distance", "avg rating value", "avg #ratings/pair");
+    println!(
+        "{:>9} {:>18} {:>18}",
+        "distance", "avg rating value", "avg #ratings/pair"
+    );
     for s in &stats {
         println!(
             "{:>9} {:>18.3} {:>18.3}",

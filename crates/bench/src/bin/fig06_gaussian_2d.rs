@@ -23,7 +23,10 @@ struct Fig6Result {
 fn main() {
     let sc = OmegaStats::new(0.3, 1.0, 0.0);
     let ss = OmegaStats::overstock_similarity();
-    println!("Figure 6 — 2-D adjustment surface (Ω̄c = {:.2}, Ω̄s = {:.2})", sc.mean, ss.mean);
+    println!(
+        "Figure 6 — 2-D adjustment surface (Ω̄c = {:.2}, Ω̄s = {:.2})",
+        sc.mean, ss.mean
+    );
 
     let omega_c_axis: Vec<f64> = (0..=10).map(|i| i as f64 * 0.1).collect();
     let omega_s_axis: Vec<f64> = (0..=10).map(|i| i as f64 * 0.1).collect();

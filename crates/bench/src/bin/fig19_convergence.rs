@@ -96,7 +96,11 @@ fn main() {
     let ebay_median = b02[2].median;
     println!(
         "\npaper's claim (eBay converges several times slower than SocialTrust at B=0.2): {}",
-        if ebay_median > st_median { "HOLDS" } else { "FAILS" }
+        if ebay_median > st_median {
+            "HOLDS"
+        } else {
+            "FAILS"
+        }
     );
     bench::write_json("fig19_convergence", &Result { b02, b06 });
 }

@@ -76,7 +76,11 @@ fn main() {
         .fold(0.0, f64::max);
     println!(
         "\nworst SocialTrust cell: {worst_protected:.1}% (paper: 2-4%) — {}",
-        if worst_protected < 10.0 { "HOLDS" } else { "FAILS" }
+        if worst_protected < 10.0 {
+            "HOLDS"
+        } else {
+            "FAILS"
+        }
     );
     bench::write_json("table1_request_percentage", &Result { cells });
 }

@@ -255,5 +255,9 @@ pub fn run_custom_socialtrust(
         })
         .collect();
     let summary = MultiRunSummary::from_runs(results);
-    summarize(scenario, ReputationKind::EigenTrustWithSocialTrust, &summary)
+    summarize(
+        scenario,
+        ReputationKind::EigenTrustWithSocialTrust,
+        &summary,
+    )
 }

@@ -263,13 +263,12 @@ mod tests {
             .add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
         ctx.record_interaction(NodeId(0), NodeId(1), 4.0);
         for n in [0u32, 1, 2] {
-            ctx.profile_mut(NodeId(n)).declared_mut().insert(InterestId(1));
+            ctx.profile_mut(NodeId(n))
+                .declared_mut()
+                .insert(InterestId(1));
         }
         let mut cfg = SocialTrustConfig::default();
-        let used = cfg.calibrate_empirical(
-            &ctx,
-            &[(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))],
-        );
+        let used = cfg.calibrate_empirical(&ctx, &[(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2))]);
         assert_eq!(used, 2);
         // Closeness observations: Ωc(0,1)=1 (adjacent), Ωc(0,2)=0.
         assert!((cfg.empirical_closeness.mean - 0.5).abs() < 1e-9);

@@ -15,7 +15,8 @@
 use std::sync::Arc;
 
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
-use socialtrust_socnet::closeness::{ClosenessConfig, ClosenessModel};
+use socialtrust_socnet::cache::SocialCoefficientCache;
+use socialtrust_socnet::closeness::ClosenessConfig;
 use socialtrust_socnet::graph::SocialGraph;
 use socialtrust_socnet::interaction::InteractionTracker;
 use socialtrust_socnet::interest::{
@@ -24,12 +25,20 @@ use socialtrust_socnet::interest::{
 use socialtrust_socnet::NodeId;
 
 /// The bundled social state of the network.
+///
+/// Closeness queries are served through an internal
+/// [`SocialCoefficientCache`]: the graph and the interaction tracker carry
+/// generation counters that every mutator bumps, so the cache flushes
+/// itself on the first query after any mutation and answers repeat queries
+/// on an unchanged context in O(1). Cloning a context starts with an empty
+/// cache (memoization is semantically transparent).
 #[derive(Debug, Clone)]
 pub struct SocialContext {
     graph: SocialGraph,
     interactions: InteractionTracker,
     profiles: Vec<InterestProfile>,
     total_interests: u16,
+    cache: SocialCoefficientCache,
 }
 
 impl SocialContext {
@@ -42,6 +51,7 @@ impl SocialContext {
             interactions: InteractionTracker::new(n),
             profiles: vec![InterestProfile::new(InterestSet::new()); n],
             total_interests,
+            cache: SocialCoefficientCache::new(),
         }
     }
 
@@ -67,6 +77,7 @@ impl SocialContext {
             interactions,
             profiles,
             total_interests,
+            cache: SocialCoefficientCache::new(),
         }
     }
 
@@ -96,6 +107,13 @@ impl SocialContext {
         &self.interactions
     }
 
+    /// Mutable access to the interaction tracker (e.g. for bulk-loading a
+    /// pre-built tracker in benches and tests). The tracker's generation
+    /// counter keeps the coefficient cache coherent across such edits.
+    pub fn interactions_mut(&mut self) -> &mut InteractionTracker {
+        &mut self.interactions
+    }
+
     /// The interest profile of `node`.
     pub fn profile(&self, node: NodeId) -> &InterestProfile {
         &self.profiles[node.index()]
@@ -120,8 +138,31 @@ impl SocialContext {
     }
 
     /// Social closeness `Ωc(i,j)` under the given closeness configuration.
+    ///
+    /// Served through the internal [`SocialCoefficientCache`]; equal
+    /// bit-for-bit to a fresh
+    /// [`ClosenessModel`](socialtrust_socnet::closeness::ClosenessModel)
+    /// computation.
     pub fn closeness(&self, i: NodeId, j: NodeId, config: ClosenessConfig) -> f64 {
-        ClosenessModel::new(&self.graph, &self.interactions, config).closeness(i, j)
+        self.cache
+            .closeness(&self.graph, &self.interactions, config, i, j)
+    }
+
+    /// Cached bulk closeness for many `(rater, ratee)` pairs, computed in
+    /// parallel. Results are in input order.
+    pub fn closeness_for_pairs(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        config: ClosenessConfig,
+    ) -> Vec<f64> {
+        self.cache
+            .closeness_for_pairs(&self.graph, &self.interactions, config, pairs)
+    }
+
+    /// The internal social-coefficient cache (read access, for diagnostics
+    /// and tests).
+    pub fn coefficient_cache(&self) -> &SocialCoefficientCache {
+        &self.cache
     }
 
     /// Interest similarity `Ωs(i,j)`: request-weighted Eq. (11) when
@@ -200,12 +241,70 @@ mod tests {
     #[test]
     fn similarity_modes_differ_under_falsification() {
         let mut ctx = SocialContext::new(2, 4);
-        ctx.profile_mut(NodeId(0)).declared_mut().insert(InterestId(1));
-        ctx.profile_mut(NodeId(1)).declared_mut().insert(InterestId(1));
+        ctx.profile_mut(NodeId(0))
+            .declared_mut()
+            .insert(InterestId(1));
+        ctx.profile_mut(NodeId(1))
+            .declared_mut()
+            .insert(InterestId(1));
         // Declared profiles overlap fully…
         assert_eq!(ctx.similarity(NodeId(0), NodeId(1), false), 1.0);
         // …but nobody ever requested category 1, so Eq. (11) sees nothing.
         assert_eq!(ctx.similarity(NodeId(0), NodeId(1), true), 0.0);
+    }
+
+    #[test]
+    fn cached_closeness_refreshes_after_mutation_through_context() {
+        let mut ctx = SocialContext::new(3, 4);
+        ctx.graph_mut()
+            .add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        ctx.record_interaction(NodeId(0), NodeId(1), 3.0);
+        let cfg = ClosenessConfig::default();
+        assert!((ctx.closeness(NodeId(0), NodeId(1), cfg) - 1.0).abs() < 1e-12);
+        assert!(!ctx.coefficient_cache().is_empty());
+        // Mutating through graph_mut() bumps the graph generation, so the
+        // next query sees m(0,1) = 2.
+        ctx.graph_mut()
+            .add_relationship(NodeId(0), NodeId(1), Relationship::colleague());
+        assert!((ctx.closeness(NodeId(0), NodeId(1), cfg) - 2.0).abs() < 1e-12);
+        // Mutating interactions through record_request also invalidates:
+        // f(0,2) = 1 with an 0-2 edge shifts the denominator.
+        ctx.graph_mut()
+            .add_relationship(NodeId(0), NodeId(2), Relationship::friendship());
+        ctx.record_request(NodeId(0), NodeId(2), InterestId(1));
+        let c = ctx.closeness(NodeId(0), NodeId(1), cfg);
+        assert!((c - 2.0 * 3.0 / 4.0).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn bulk_closeness_matches_singles_and_refreshes() {
+        let mut ctx = SocialContext::new(4, 4);
+        ctx.graph_mut()
+            .add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        ctx.graph_mut()
+            .add_relationship(NodeId(1), NodeId(2), Relationship::friendship());
+        ctx.record_interaction(NodeId(0), NodeId(1), 2.0);
+        ctx.record_interaction(NodeId(1), NodeId(2), 5.0);
+        let cfg = ClosenessConfig::default();
+        let pairs = [
+            (NodeId(0), NodeId(1)),
+            (NodeId(0), NodeId(2)),
+            (NodeId(1), NodeId(2)),
+            (NodeId(0), NodeId(3)),
+        ];
+        let bulk = ctx.closeness_for_pairs(&pairs, cfg);
+        for (idx, &(i, j)) in pairs.iter().enumerate() {
+            assert_eq!(bulk[idx].to_bits(), ctx.closeness(i, j, cfg).to_bits());
+        }
+        ctx.record_interaction(NodeId(1), NodeId(0), 1.0);
+        let bulk2 = ctx.closeness_for_pairs(&pairs, cfg);
+        assert_ne!(
+            bulk, bulk2,
+            "new interaction must show through the bulk path"
+        );
+        for (idx, &(i, j)) in pairs.iter().enumerate() {
+            assert_eq!(bulk2[idx].to_bits(), ctx.closeness(i, j, cfg).to_bits());
+        }
     }
 
     #[test]

@@ -88,81 +88,91 @@ impl<R: ReputationSystem> WithSocialTrust<R> {
     pub fn ledger(&self) -> &RatingLedger {
         &self.ledger
     }
+}
 
-    /// Per-rater Gaussian baselines: `Ω̄`, `maxΩ`, `minΩ` of the rater's
-    /// closeness and similarity over the **other** nodes it has rated
-    /// (lifetime, excluding the currently-judged ratee).
-    ///
-    /// Excluding the ratee matters: the paper describes `b = Ω̄_ci` as *"the
-    /// most reasonable social closeness of n_i to other nodes it has
-    /// rated"*. If the suspect pair's own (extreme) coefficient were
-    /// included, it would stretch the width `|maxΩ − minΩ|` so far that the
-    /// weight could never drop below `e^{-1/2} ≈ 0.61` — far too weak to
-    /// suppress collusion.
-    ///
-    /// Falls back to the configured empirical statistics when the rater has
-    /// rated fewer than two *other* distinct nodes (a near-empty
-    /// distribution has no meaningful spread), or always in
-    /// [`BaselineMode::Empirical`].
-    fn rater_stats(
-        &self,
-        ctx: &SocialContext,
-        rater: NodeId,
-        exclude_ratee: NodeId,
-    ) -> (OmegaStats, OmegaStats) {
-        if self.config.baseline_mode == BaselineMode::Empirical {
-            return (
-                self.config.empirical_closeness,
-                self.config.empirical_similarity,
-            );
-        }
-        let rated: Vec<NodeId> = self
-            .ledger
-            .rated_by(rater)
-            .into_iter()
-            .filter(|&j| j != exclude_ratee)
-            .collect();
-        if rated.len() < 2 {
-            return (
-                self.config.empirical_closeness,
-                self.config.empirical_similarity,
-            );
-        }
-        let closeness: Vec<f64> = rated
-            .iter()
-            .map(|&j| ctx.closeness(rater, j, self.config.closeness))
-            .collect();
-        let similarity: Vec<f64> = rated
-            .iter()
-            .map(|&j| ctx.similarity(rater, j, self.config.weighted_similarity))
-            .collect();
-        (
-            OmegaStats::from_values(&closeness).expect("non-empty"),
-            OmegaStats::from_values(&similarity).expect("non-empty"),
-        )
+/// Per-rater Gaussian baselines: `Ω̄`, `maxΩ`, `minΩ` of the rater's
+/// closeness and similarity over the **other** nodes it has rated
+/// (lifetime, excluding the currently-judged ratee).
+///
+/// Excluding the ratee matters: the paper describes `b = Ω̄_ci` as *"the
+/// most reasonable social closeness of n_i to other nodes it has
+/// rated"*. If the suspect pair's own (extreme) coefficient were
+/// included, it would stretch the width `|maxΩ − minΩ|` so far that the
+/// weight could never drop below `e^{-1/2} ≈ 0.61` — far too weak to
+/// suppress collusion.
+///
+/// Falls back to the configured empirical statistics when the rater has
+/// rated fewer than two *other* distinct nodes (a near-empty
+/// distribution has no meaningful spread), when every observed
+/// coefficient is non-finite, or always in [`BaselineMode::Empirical`].
+///
+/// A free function rather than a method so the parallel weight pass in
+/// `end_cycle` does not have to capture `&WithSocialTrust<R>` — that would
+/// demand `R: Sync` of every wrapped engine for no reason; the computation
+/// only needs the config, the ledger, and the social context.
+fn rater_stats(
+    config: &SocialTrustConfig,
+    ledger: &RatingLedger,
+    ctx: &SocialContext,
+    rater: NodeId,
+    exclude_ratee: NodeId,
+) -> (OmegaStats, OmegaStats) {
+    let empirical = (config.empirical_closeness, config.empirical_similarity);
+    if config.baseline_mode == BaselineMode::Empirical {
+        return empirical;
     }
+    let rated: Vec<NodeId> = ledger
+        .rated_by(rater)
+        .into_iter()
+        .filter(|&j| j != exclude_ratee)
+        .collect();
+    if rated.len() < 2 {
+        return empirical;
+    }
+    let closeness: Vec<f64> = rated
+        .iter()
+        .map(|&j| ctx.closeness(rater, j, config.closeness))
+        .collect();
+    let similarity: Vec<f64> = rated
+        .iter()
+        .map(|&j| ctx.similarity(rater, j, config.weighted_similarity))
+        .collect();
+    match (
+        OmegaStats::from_values(&closeness),
+        OmegaStats::from_values(&similarity),
+    ) {
+        (Some(stats_c), Some(stats_s)) => (stats_c, stats_s),
+        // All-non-finite coefficients (filtered out by `from_values`) leave
+        // no personal distribution to centre on.
+        _ => empirical,
+    }
+}
 
-    /// The Gaussian weight for one suspicion, per the configured
-    /// adjustment mode.
-    fn weight_for(&self, ctx: &SocialContext, suspicion: &Suspicion) -> f64 {
-        let (stats_c, stats_s) = self.rater_stats(ctx, suspicion.rater, suspicion.ratee);
-        let stats_c = stats_c.with_width_scale(self.config.width_scale);
-        let stats_s = stats_s.with_width_scale(self.config.width_scale);
-        match self.config.adjustment_mode {
-            AdjustmentMode::ClosenessOnly => {
-                adjustment_weight(suspicion.omega_c, &stats_c, self.config.alpha)
-            }
-            AdjustmentMode::SimilarityOnly => {
-                adjustment_weight(suspicion.omega_s, &stats_s, self.config.alpha)
-            }
-            AdjustmentMode::Combined => combined_weight(
-                suspicion.omega_c,
-                &stats_c,
-                suspicion.omega_s,
-                &stats_s,
-                self.config.alpha,
-            ),
+/// The Gaussian weight for one suspicion, per the configured adjustment
+/// mode. Free function for the same `R: Sync` reason as [`rater_stats`].
+fn weight_for(
+    config: &SocialTrustConfig,
+    ledger: &RatingLedger,
+    ctx: &SocialContext,
+    suspicion: &Suspicion,
+) -> f64 {
+    let (stats_c, stats_s) = rater_stats(config, ledger, ctx, suspicion.rater, suspicion.ratee);
+    let stats_c = stats_c.with_width_scale(config.width_scale);
+    let stats_s = stats_s.with_width_scale(config.width_scale);
+    match config.adjustment_mode {
+        AdjustmentMode::ClosenessOnly => {
+            adjustment_weight(suspicion.omega_c, &stats_c, config.alpha)
         }
+        AdjustmentMode::SimilarityOnly => {
+            adjustment_weight(suspicion.omega_s, &stats_s, config.alpha)
+        }
+        AdjustmentMode::Combined => combined_weight(
+            suspicion.omega_c,
+            &stats_c,
+            suspicion.omega_s,
+            &stats_s,
+            config.alpha,
+        ),
     }
 }
 
@@ -183,9 +193,14 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
             let suspicions = self
                 .detector
                 .detect_all(&ctx, &self.ledger, &reputations_prev);
+            // Gaussian weights for flagged pairs are independent of each
+            // other, so compute them in parallel; suspicions hold distinct
+            // (rater, ratee) keys, making the HashMap collect well-defined.
+            use rayon::prelude::*;
+            let (config, ledger, ctx_ref) = (&self.config, &self.ledger, &*ctx);
             let mut weights: HashMap<PairKey, f64> = suspicions
-                .iter()
-                .map(|s| ((s.rater, s.ratee), self.weight_for(&ctx, s)))
+                .par_iter()
+                .map(|s| ((s.rater, s.ratee), weight_for(config, ledger, ctx_ref, s)))
                 .collect();
             // Suspicion hysteresis: pairs flagged in recent intervals keep
             // being adjusted even if this interval's conditions lapsed
@@ -208,7 +223,7 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
                         omega_c: ctx.closeness(rater, ratee, self.config.closeness),
                         omega_s: ctx.similarity(rater, ratee, self.config.weighted_similarity),
                     };
-                    weights.insert((rater, ratee), self.weight_for(&ctx, &ghost));
+                    weights.insert((rater, ratee), weight_for(config, ledger, ctx_ref, &ghost));
                 }
             }
             (suspicions, weights)
@@ -259,8 +274,7 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
 
     fn reset_node(&mut self, node: NodeId) {
         self.ledger.reset_node(node);
-        self.buffer
-            .retain(|r| r.rater != node && r.ratee != node);
+        self.buffer.retain(|r| r.rater != node && r.ratee != node);
         self.remembered
             .retain(|&(rater, ratee), _| rater != node && ratee != node);
         self.inner.reset_node(node);
@@ -293,8 +307,12 @@ mod tests {
         }
         // Shared interests among honest nodes.
         for n in [0u32, 1, 4, 5, 6, 7] {
-            ctx.profile_mut(NodeId(n)).declared_mut().insert(InterestId(1));
-            ctx.profile_mut(NodeId(n)).declared_mut().insert(InterestId(2));
+            ctx.profile_mut(NodeId(n))
+                .declared_mut()
+                .insert(InterestId(1));
+            ctx.profile_mut(NodeId(n))
+                .declared_mut()
+                .insert(InterestId(2));
         }
         // Colluders: heavily linked clique pair with huge interaction, no
         // declared interests in common with each other.
@@ -304,8 +322,12 @@ mod tests {
         }
         ctx.record_interaction(NodeId(2), NodeId(3), 50.0);
         ctx.record_interaction(NodeId(3), NodeId(2), 50.0);
-        ctx.profile_mut(NodeId(2)).declared_mut().insert(InterestId(8));
-        ctx.profile_mut(NodeId(3)).declared_mut().insert(InterestId(9));
+        ctx.profile_mut(NodeId(2))
+            .declared_mut()
+            .insert(InterestId(8));
+        ctx.profile_mut(NodeId(3))
+            .declared_mut()
+            .insert(InterestId(9));
         SharedSocialContext::new(SocialContext::new(0, 0)); // exercise ctor
         SharedSocialContext::new(ctx)
     }
@@ -382,11 +404,7 @@ mod tests {
     #[test]
     fn weights_are_recorded_and_bounded() {
         let ctx = context();
-        let mut sys = WithSocialTrust::new(
-            EBayModel::new(8),
-            ctx,
-            SocialTrustConfig::default(),
-        );
+        let mut sys = WithSocialTrust::new(EBayModel::new(8), ctx, SocialTrustConfig::default());
         organic(&mut sys);
         collusion(&mut sys, 30);
         sys.end_cycle();
@@ -399,11 +417,8 @@ mod tests {
     #[test]
     fn honest_traffic_passes_untouched() {
         let ctx = context();
-        let mut guarded = WithSocialTrust::new(
-            EBayModel::new(8),
-            ctx,
-            SocialTrustConfig::default(),
-        );
+        let mut guarded =
+            WithSocialTrust::new(EBayModel::new(8), ctx, SocialTrustConfig::default());
         let mut plain = EBayModel::new(8);
         organic(&mut guarded);
         organic(&mut plain);
@@ -507,8 +522,12 @@ mod tests {
         let shared = context();
         {
             let mut ctx = shared.write();
-            ctx.profile_mut(NodeId(2)).declared_mut().insert(InterestId(9));
-            ctx.profile_mut(NodeId(3)).declared_mut().insert(InterestId(8));
+            ctx.profile_mut(NodeId(2))
+                .declared_mut()
+                .insert(InterestId(9));
+            ctx.profile_mut(NodeId(3))
+                .declared_mut()
+                .insert(InterestId(8));
         }
         let cfg = SocialTrustConfig {
             suspicion_memory: memory,
@@ -567,8 +586,8 @@ mod tests {
     fn hysteresis_expires_after_its_ttl() {
         let mut sys = step_system(2);
         hysteresis_cycle(&mut sys); // flags, remembers with TTL 2
-        // Two quiet cycles: the memory ages out (quiet pairs are never
-        // ghost-adjusted).
+                                    // Two quiet cycles: the memory ages out (quiet pairs are never
+                                    // ghost-adjusted).
         organic(&mut sys);
         sys.end_cycle();
         organic(&mut sys);
@@ -579,7 +598,9 @@ mod tests {
         sys.record(Rating::new(NodeId(2), NodeId(3), 1.0).non_transactional());
         sys.end_cycle();
         assert!(
-            !sys.last_weights().iter().any(|((r, t), _)| *r == NodeId(2) && *t == NodeId(3)),
+            !sys.last_weights()
+                .iter()
+                .any(|((r, t), _)| *r == NodeId(2) && *t == NodeId(3)),
             "{:?}",
             sys.last_weights()
         );

@@ -95,21 +95,51 @@ impl Detector {
         rater_reputation: f64,
         ratee_reputation: f64,
     ) -> Option<Suspicion> {
+        self.inspect_pair_with_mean(
+            ctx,
+            ledger,
+            rater,
+            ratee,
+            rater_reputation,
+            ratee_reputation,
+            ledger.average_rating_frequency(),
+        )
+    }
+
+    /// [`Detector::inspect_pair`] with the system-wide mean rating
+    /// frequency `F̄` precomputed. `F̄` is a property of the whole interval,
+    /// not of the pair, so [`Detector::detect_all`] computes it once and
+    /// passes it to every pair inspection instead of rescanning the ledger
+    /// per pair.
+    #[allow(clippy::too_many_arguments)]
+    fn inspect_pair_with_mean(
+        &self,
+        ctx: &SocialContext,
+        ledger: &RatingLedger,
+        rater: NodeId,
+        ratee: NodeId,
+        rater_reputation: f64,
+        ratee_reputation: f64,
+        mean_freq: f64,
+    ) -> Option<Suspicion> {
         let stats = ledger.interval_stats(rater, ratee);
         if stats.count() == 0 {
             return None;
         }
-        let mean_freq = ledger.average_rating_frequency();
         let t_pos = self.config.positive_threshold(mean_freq);
         let t_neg = self.config.negative_threshold(mean_freq);
 
         let mut frequent_positive = stats.positive as f64 > t_pos;
         let frequent_negative = stats.negative as f64 > t_neg;
-        if self.config.require_mutual && frequent_positive {
+        // "Does the ratee also frequently rate the rater back?" — needed by
+        // both the strictly-mutual gate and the mutual B2 reading, so the
+        // reverse ledger entry is fetched exactly once.
+        let back_frequent_positive =
+            frequent_positive && ledger.interval_stats(ratee, rater).positive as f64 > t_pos;
+        if self.config.require_mutual {
             // Strictly mutual reading: the ratee must also frequently rate
             // the rater back.
-            let back = ledger.interval_stats(ratee, rater);
-            frequent_positive = back.positive as f64 > t_pos;
+            frequent_positive = back_frequent_positive;
         }
         if !frequent_positive && !frequent_negative {
             return None;
@@ -128,9 +158,8 @@ impl Detector {
                 // frequently rates each other and the *rater* is the
                 // low-reputed half (a colluder propping up its compromised
                 // pre-trusted partner).
-                let mutual_back = ledger.interval_stats(ratee, rater).positive as f64 > t_pos;
                 if ratee_reputation < self.config.low_reputation
-                    || (mutual_back && rater_reputation < self.config.low_reputation)
+                    || (back_frequent_positive && rater_reputation < self.config.low_reputation)
                 {
                     reasons.push(SuspicionReason::B2CloseLowReputed);
                 }
@@ -158,26 +187,40 @@ impl Detector {
     /// Inspect every pair active in the current ledger interval.
     /// `reputations` is the global reputation vector from the previous
     /// update (indexed by node).
+    ///
+    /// Pairs are independent, so they are inspected in parallel with rayon;
+    /// the system-wide mean rating frequency `F̄` is computed once for the
+    /// whole interval, and the social coefficients are served through the
+    /// context's [`SocialCoefficientCache`]. The result is sorted by
+    /// `(rater, ratee)`, so the output is deterministic regardless of the
+    /// parallel schedule.
+    ///
+    /// [`SocialCoefficientCache`]: socialtrust_socnet::cache::SocialCoefficientCache
     pub fn detect_all(
         &self,
         ctx: &SocialContext,
         ledger: &RatingLedger,
         reputations: &[f64],
     ) -> Vec<Suspicion> {
-        let mut out: Vec<Suspicion> = ledger
-            .interval_pairs()
-            .filter_map(|((rater, ratee), _)| {
-                self.inspect_pair(
+        use rayon::prelude::*;
+        let mean_freq = ledger.average_rating_frequency();
+        let pairs: Vec<(NodeId, NodeId)> = ledger.interval_pairs().map(|(k, _)| k).collect();
+        let mut out: Vec<Suspicion> = pairs
+            .into_par_iter()
+            .filter_map(|(rater, ratee)| {
+                self.inspect_pair_with_mean(
                     ctx,
                     ledger,
                     rater,
                     ratee,
                     reputations[rater.index()],
                     reputations[ratee.index()],
+                    mean_freq,
                 )
             })
             .collect();
-        // Deterministic order for reproducibility (HashMap iteration isn't).
+        // Deterministic order for reproducibility (parallel collection
+        // order isn't guaranteed).
         out.sort_by_key(|s| (s.rater, s.ratee));
         out
     }
@@ -202,12 +245,20 @@ mod tests {
             .add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
         ctx.record_interaction(NodeId(0), NodeId(1), 5.0);
         for n in [0u32, 1] {
-            ctx.profile_mut(NodeId(n)).declared_mut().insert(InterestId(1));
-            ctx.profile_mut(NodeId(n)).declared_mut().insert(InterestId(2));
+            ctx.profile_mut(NodeId(n))
+                .declared_mut()
+                .insert(InterestId(1));
+            ctx.profile_mut(NodeId(n))
+                .declared_mut()
+                .insert(InterestId(2));
         }
         // 2, 3: no edge, disjoint interests.
-        ctx.profile_mut(NodeId(2)).declared_mut().insert(InterestId(3));
-        ctx.profile_mut(NodeId(3)).declared_mut().insert(InterestId(4));
+        ctx.profile_mut(NodeId(2))
+            .declared_mut()
+            .insert(InterestId(3));
+        ctx.profile_mut(NodeId(3))
+            .declared_mut()
+            .insert(InterestId(4));
         // 4-5: strongly connected clique pair, high interaction, shared
         // interest.
         for _ in 0..4 {
@@ -216,7 +267,9 @@ mod tests {
         }
         ctx.record_interaction(NodeId(4), NodeId(5), 10.0);
         for n in [4u32, 5] {
-            ctx.profile_mut(NodeId(n)).declared_mut().insert(InterestId(7));
+            ctx.profile_mut(NodeId(n))
+                .declared_mut()
+                .insert(InterestId(7));
         }
         ctx
     }
@@ -265,7 +318,9 @@ mod tests {
         let s = detector()
             .inspect_pair(&ctx, &ledger, NodeId(2), NodeId(3), 0.5, 0.5)
             .expect("should be flagged");
-        assert!(s.reasons.contains(&SuspicionReason::B1DistantFrequentPositive));
+        assert!(s
+            .reasons
+            .contains(&SuspicionReason::B1DistantFrequentPositive));
         assert!(s
             .reasons
             .contains(&SuspicionReason::B3DissimilarFrequentPositive));

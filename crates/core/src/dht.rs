@@ -142,13 +142,12 @@ impl ChordRing {
             }
             // Direct successor also must not overshoot unless it IS the
             // destination.
-            current = if ring_distance(cur_key, self.members[best].key)
-                <= ring_distance(cur_key, key)
-            {
-                best
-            } else {
-                destination // adjacent: final step
-            };
+            current =
+                if ring_distance(cur_key, self.members[best].key) <= ring_distance(cur_key, key) {
+                    best
+                } else {
+                    destination // adjacent: final step
+                };
             hops += 1;
             if hops > self.members.len() {
                 unreachable!("routing loop: greedy Chord must terminate");

@@ -148,8 +148,7 @@ mod tests {
         let sc = OmegaStats::new(0.5, 1.0, 0.0);
         let ss = OmegaStats::new(0.4, 0.9, 0.1); // width 0.8
         let w = combined_weight(0.8, &sc, 0.1, &ss, 1.0);
-        let expected =
-            (-((0.3f64).powi(2) / 2.0 + (0.3f64).powi(2) / (2.0 * 0.64))).exp();
+        let expected = (-((0.3f64).powi(2) / 2.0 + (0.3f64).powi(2) / (2.0 * 0.64))).exp();
         assert!((w - expected).abs() < 1e-12);
     }
 

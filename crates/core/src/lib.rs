@@ -53,9 +53,9 @@
 
 pub mod config;
 pub mod context;
-pub mod dht;
 pub mod decorator;
 pub mod detector;
+pub mod dht;
 pub mod gaussian;
 pub mod manager;
 pub mod report;

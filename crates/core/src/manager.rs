@@ -263,7 +263,9 @@ mod tests {
                 .add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
             ctx.record_interaction(NodeId(0), NodeId(1), 2.0);
             for n in [0u32, 1] {
-                ctx.profile_mut(NodeId(n)).declared_mut().insert(InterestId(1));
+                ctx.profile_mut(NodeId(n))
+                    .declared_mut()
+                    .insert(InterestId(1));
             }
             SharedSocialContext::new(ctx)
         };

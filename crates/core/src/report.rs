@@ -48,30 +48,30 @@ pub struct CycleReport {
 impl CycleReport {
     /// Build a report from an interval's suspicions and applied weights.
     pub fn from_parts(suspicions: &[Suspicion], weights: &[(PairKey, f64)]) -> CycleReport {
-        let by_pair: BTreeMap<PairKey, &Suspicion> = suspicions
-            .iter()
-            .map(|s| ((s.rater, s.ratee), s))
-            .collect();
+        let by_pair: BTreeMap<PairKey, &Suspicion> =
+            suspicions.iter().map(|s| ((s.rater, s.ratee), s)).collect();
         let mut pairs: Vec<FlaggedPair> = weights
             .iter()
-            .map(|&((rater, ratee), weight)| match by_pair.get(&(rater, ratee)) {
-                Some(s) => FlaggedPair {
-                    rater,
-                    ratee,
-                    reasons: s.reasons.clone(),
-                    omega_c: s.omega_c,
-                    omega_s: s.omega_s,
-                    weight,
+            .map(
+                |&((rater, ratee), weight)| match by_pair.get(&(rater, ratee)) {
+                    Some(s) => FlaggedPair {
+                        rater,
+                        ratee,
+                        reasons: s.reasons.clone(),
+                        omega_c: s.omega_c,
+                        omega_s: s.omega_s,
+                        weight,
+                    },
+                    None => FlaggedPair {
+                        rater,
+                        ratee,
+                        reasons: Vec::new(),
+                        omega_c: f64::NAN,
+                        omega_s: f64::NAN,
+                        weight,
+                    },
                 },
-                None => FlaggedPair {
-                    rater,
-                    ratee,
-                    reasons: Vec::new(),
-                    omega_c: f64::NAN,
-                    omega_s: f64::NAN,
-                    weight,
-                },
-            })
+            )
             .collect();
         pairs.sort_by(|a, b| a.weight.partial_cmp(&b.weight).expect("finite weights"));
         let mut behavior_counts: BTreeMap<String, usize> = BTreeMap::new();
@@ -191,10 +191,7 @@ mod tests {
         assert_eq!(report.flagged_count(), 2);
         assert_eq!(report.pairs[0].rater, NodeId(3), "hardest-damped first");
         assert_eq!(report.behavior_counts["B2 close-low-reputed"], 1);
-        assert_eq!(
-            report.behavior_counts["B3 dissimilar-frequent-positive"],
-            1
-        );
+        assert_eq!(report.behavior_counts["B3 dissimilar-frequent-positive"], 1);
         assert_eq!(report.hysteresis_only, 0);
         assert_eq!(report.suspected_raters(), vec![NodeId(1), NodeId(3)]);
     }

@@ -22,23 +22,31 @@ pub struct OmegaStats {
 impl OmegaStats {
     /// Compute stats from a slice of coefficient values.
     ///
-    /// Returns `None` for an empty slice (a rater with no history has no
-    /// "normal" value; callers fall back to empirical system-wide stats).
+    /// Non-finite values (NaN, ±∞) are skipped: a single NaN would
+    /// otherwise poison the mean, and `f64::min`/`f64::max` silently drop
+    /// NaN operands, so the mean and the range would disagree about which
+    /// values they summarize. Returns `None` when no finite value remains
+    /// (a rater with no usable history has no "normal" value; callers fall
+    /// back to empirical system-wide stats).
     pub fn from_values(values: &[f64]) -> Option<OmegaStats> {
-        if values.is_empty() {
-            return None;
-        }
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut sum = 0.0;
+        let mut count: usize = 0;
         for &v in values {
-            debug_assert!(v.is_finite(), "coefficient must be finite, got {v}");
+            if !v.is_finite() {
+                continue;
+            }
             min = min.min(v);
             max = max.max(v);
             sum += v;
+            count += 1;
+        }
+        if count == 0 {
+            return None;
         }
         Some(OmegaStats {
-            mean: sum / values.len() as f64,
+            mean: sum / count as f64,
             max,
             min,
         })
@@ -103,6 +111,23 @@ mod tests {
     #[test]
     fn from_values_empty_is_none() {
         assert!(OmegaStats::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn from_values_skips_non_finite() {
+        // A stray NaN (e.g. from a degenerate upstream division) must not
+        // poison the whole distribution.
+        let clean = OmegaStats::from_values(&[0.2, 0.8]).unwrap();
+        let noisy =
+            OmegaStats::from_values(&[0.2, f64::NAN, 0.8, f64::INFINITY, f64::NEG_INFINITY])
+                .unwrap();
+        assert_eq!(noisy, clean);
+        assert!(noisy.mean.is_finite() && noisy.width().is_finite());
+    }
+
+    #[test]
+    fn from_values_all_non_finite_is_none() {
+        assert!(OmegaStats::from_values(&[f64::NAN, f64::INFINITY]).is_none());
     }
 
     #[test]

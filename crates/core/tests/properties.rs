@@ -109,4 +109,56 @@ proptest! {
         plain.end_cycle();
         prop_assert_eq!(guarded.reputations(), plain.reputations());
     }
+
+    /// The context's cached closeness/similarity must agree bit-for-bit
+    /// with direct (uncached) computation, including after mutations that
+    /// invalidate the coefficient cache mid-stream.
+    #[test]
+    fn context_cache_agrees_with_direct_computation(
+        edges in proptest::collection::vec((0u32..8, 0u32..8), 1..20),
+        interactions in proptest::collection::vec((0u32..8, 0u32..8, 1u32..10), 1..20),
+        extra in (0u32..8, 0u32..8),
+    ) {
+        use socialtrust_socnet::closeness::{ClosenessConfig, ClosenessModel};
+        use socialtrust_socnet::interest::similarity;
+        use socialtrust_socnet::relationship::Relationship;
+
+        let mut ctx = SocialContext::new(8, 10);
+        for &(a, b) in &edges {
+            if a != b {
+                ctx.graph_mut().add_relationship(NodeId(a), NodeId(b), Relationship::friendship());
+            }
+        }
+        for &(a, b, f) in &interactions {
+            if a != b {
+                ctx.record_interaction(NodeId(a), NodeId(b), f as f64);
+            }
+        }
+        let config = ClosenessConfig::default();
+        let check = |ctx: &SocialContext| -> Result<(), TestCaseError> {
+            let model = ClosenessModel::new(ctx.graph(), ctx.interactions(), config);
+            for i in 0..8u32 {
+                for j in 0..8u32 {
+                    let (a, b) = (NodeId(i), NodeId(j));
+                    prop_assert_eq!(
+                        ctx.closeness(a, b, config).to_bits(),
+                        model.closeness(a, b).to_bits()
+                    );
+                    prop_assert_eq!(
+                        ctx.similarity(a, b, false).to_bits(),
+                        similarity(ctx.profile(a).declared(), ctx.profile(b).declared()).to_bits()
+                    );
+                }
+            }
+            Ok(())
+        };
+        check(&ctx)?;
+        // Mutate through the context and re-check: the cache must refresh.
+        let (a, b) = (NodeId(extra.0), NodeId(extra.1));
+        if a != b {
+            ctx.graph_mut().add_relationship(a, b, Relationship::kinship());
+            ctx.record_interaction(a, b, 3.0);
+        }
+        check(&ctx)?;
+    }
 }

@@ -76,8 +76,7 @@ impl ReputationSystem for SimpleAverage {
     fn reset_node(&mut self, node: NodeId) {
         self.sums[node.index()] = 0.0;
         self.counts[node.index()] = 0;
-        self.buffer
-            .retain(|r| r.rater != node && r.ratee != node);
+        self.buffer.retain(|r| r.rater != node && r.ratee != node);
     }
 }
 

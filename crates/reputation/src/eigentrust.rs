@@ -140,10 +140,7 @@ impl EigenTrust {
 
     /// Accumulated local satisfaction `s_ij` (0 if never rated).
     pub fn local_satisfaction(&self, rater: NodeId, ratee: NodeId) -> f64 {
-        self.sat[rater.index()]
-            .get(&ratee)
-            .copied()
-            .unwrap_or(0.0)
+        self.sat[rater.index()].get(&ratee).copied().unwrap_or(0.0)
     }
 
     /// The normalized local trust row `c_i` as a dense vector.
@@ -242,8 +239,7 @@ impl ReputationSystem for EigenTrust {
         for row in &mut self.sat {
             row.remove(&node);
         }
-        self.buffer
-            .retain(|r| r.rater != node && r.ratee != node);
+        self.buffer.retain(|r| r.rater != node && r.ratee != node);
     }
 }
 
@@ -276,7 +272,10 @@ mod tests {
         // Node 0 pretrusted, rates node 1 positively. Row 1 defaults to p.
         // With a = 0.5 the fixed point of t = 0.5·Cᵀt + 0.5·p, p = (1,0):
         //   t0 = 0.5·t1 + 0.5 ; t1 = 0.5·t0  ⇒ t = (2/3, 1/3).
-        let cfg = EigenTrustConfig { pretrust_weight: 0.5, ..EigenTrustConfig::default() };
+        let cfg = EigenTrustConfig {
+            pretrust_weight: 0.5,
+            ..EigenTrustConfig::default()
+        };
         let mut sys = EigenTrust::new(2, &[NodeId(0)], cfg);
         rate(&mut sys, 0, 1, 1.0);
         sys.end_cycle();

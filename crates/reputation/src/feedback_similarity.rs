@@ -155,8 +155,7 @@ impl ReputationSystem for FeedbackSimilarity {
     fn reset_node(&mut self, node: NodeId) {
         self.pair_totals
             .retain(|&(rater, ratee), _| rater != node && ratee != node);
-        self.buffer
-            .retain(|r| r.rater != node && r.ratee != node);
+        self.buffer.retain(|r| r.rater != node && r.ratee != node);
         self.credibility[node.index()] = 1.0;
     }
 }

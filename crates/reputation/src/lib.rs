@@ -36,9 +36,9 @@
 
 pub mod average;
 pub mod ebay;
+pub mod eigentrust;
 pub mod feedback_similarity;
 pub mod gossip;
-pub mod eigentrust;
 pub mod normalize;
 pub mod power_trust;
 pub mod rating;

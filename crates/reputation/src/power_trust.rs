@@ -207,8 +207,7 @@ impl ReputationSystem for PowerTrust {
         for row in &mut self.sat {
             row.remove(&node);
         }
-        self.buffer
-            .retain(|r| r.rater != node && r.ratee != node);
+        self.buffer.retain(|r| r.rater != node && r.ratee != node);
     }
 }
 
@@ -246,7 +245,10 @@ mod tests {
         }
         sys.end_cycle();
         let powers = sys.power_nodes().to_vec();
-        assert!(powers.contains(&NodeId(4)) && powers.contains(&NodeId(5)), "{powers:?}");
+        assert!(
+            powers.contains(&NodeId(4)) && powers.contains(&NodeId(5)),
+            "{powers:?}"
+        );
     }
 
     #[test]

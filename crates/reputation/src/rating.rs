@@ -300,10 +300,7 @@ mod tests {
         l.record(&r(2, 3, -1.0));
         let mut pairs: Vec<PairKey> = l.interval_pairs().map(|(k, _)| k).collect();
         pairs.sort();
-        assert_eq!(
-            pairs,
-            vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]
-        );
+        assert_eq!(pairs, vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3))]);
     }
 
     #[test]

@@ -154,10 +154,10 @@ impl SimWorld {
                     interests[x.index()].remove(id);
                 }
                 if interests[x.index()].is_empty() {
-                    let all_partner_union: InterestSet = partners.iter().fold(
-                        InterestSet::new(),
-                        |acc, p| acc.union(&interests[p.index()]),
-                    );
+                    let all_partner_union: InterestSet =
+                        partners.iter().fold(InterestSet::new(), |acc, p| {
+                            acc.union(&interests[p.index()])
+                        });
                     if let Some(replacement) = (0..scenario.total_interests)
                         .map(InterestId)
                         .find(|id| !all_partner_union.contains(*id))
@@ -223,11 +223,8 @@ impl SimWorld {
                         if !interests[i].contains(InterestId(l as u16)) {
                             return Vec::new();
                         }
-                        let pool: Vec<NodeId> = providers[l]
-                            .iter()
-                            .copied()
-                            .filter(|&p| p != me)
-                            .collect();
+                        let pool: Vec<NodeId> =
+                            providers[l].iter().copied().filter(|&p| p != me).collect();
                         let k = scenario.overlay_per_interest.min(pool.len());
                         pool.choose_multiple(rng, k).copied().collect()
                     })
@@ -380,7 +377,10 @@ mod tests {
         for &(a, b) in &w.plan.social_pairs {
             assert_eq!(ctx.graph().relationship_count(a, b), 1);
             assert_eq!(w.interests[a.index()], w.interests[b.index()]);
-            assert_eq!(similarity(&w.interests[a.index()], &w.interests[b.index()]), 1.0);
+            assert_eq!(
+                similarity(&w.interests[a.index()], &w.interests[b.index()]),
+                1.0
+            );
         }
     }
 

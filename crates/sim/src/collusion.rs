@@ -193,11 +193,7 @@ impl CollusionPlan {
     /// All nodes participating in collusion (boosters, boosted, and
     /// compromised pre-trusted nodes), deduplicated and sorted.
     pub fn participants(&self) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self
-            .edges
-            .iter()
-            .flat_map(|e| [e.rater, e.ratee])
-            .collect();
+        let mut out: Vec<NodeId> = self.edges.iter().flat_map(|e| [e.rater, e.ratee]).collect();
         out.sort_unstable();
         out.dedup();
         out

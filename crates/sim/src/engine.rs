@@ -105,10 +105,8 @@ pub fn run<R: Rng + ?Sized>(
                 // node randomly chooses from a number of options with the
                 // same reputation value 0").
                 if !candidates.is_empty() {
-                    let mut reps_of: Vec<f64> = candidates
-                        .iter()
-                        .map(|p| reputations[p.index()])
-                        .collect();
+                    let mut reps_of: Vec<f64> =
+                        candidates.iter().map(|p| reputations[p.index()]).collect();
                     reps_of.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
                     let median = reps_of[reps_of.len() / 2];
                     // Tolerant comparison: damped rating spam can leave a
@@ -256,8 +254,7 @@ mod tests {
         let scenario = ScenarioConfig::small().with_collusion(model);
         let mut r = rng(seed);
         let world = SimWorld::build(&scenario, &mut r);
-        let mut system =
-            EigenTrust::with_defaults(scenario.nodes, &scenario.pretrusted_ids());
+        let mut system = EigenTrust::with_defaults(scenario.nodes, &scenario.pretrusted_ids());
         let result = run(&world, &scenario, &mut system, &mut r);
         (scenario, result)
     }
@@ -326,8 +323,7 @@ mod tests {
         let scenario = ScenarioConfig::small().with_colluder_behavior(0.2);
         let mut r = rng(7);
         let world = SimWorld::build(&scenario, &mut r);
-        let mut system =
-            EigenTrust::with_defaults(scenario.nodes, &scenario.pretrusted_ids());
+        let mut system = EigenTrust::with_defaults(scenario.nodes, &scenario.pretrusted_ids());
         let result = run(&world, &scenario, &mut system, &mut r);
         let malicious_mean = result
             .final_summary

@@ -102,9 +102,9 @@ impl RunResult {
 /// runs ⇒ df = 4 ⇒ t = 2.776).
 fn t_975(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     if df == 0 {
         f64::INFINITY
@@ -321,8 +321,8 @@ mod tests {
     #[test]
     fn convergence_percentiles_handle_nonconverged() {
         let runs = vec![
-            run_with(vec![0.0], vec![0.0, 0.0, 0.0]),   // converges at 1
-            run_with(vec![0.0], vec![0.5, 0.5, 0.5]),   // never (counts as 3)
+            run_with(vec![0.0], vec![0.0, 0.0, 0.0]), // converges at 1
+            run_with(vec![0.0], vec![0.5, 0.5, 0.5]), // never (counts as 3)
         ];
         let m = MultiRunSummary::from_runs(runs);
         let (p1, p50, p99) = m.convergence_percentiles(0.001);

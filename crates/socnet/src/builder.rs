@@ -259,7 +259,10 @@ mod tests {
             .iter()
             .map(|s| s.as_slice().iter().map(|c| c.0).collect())
             .collect();
-        assert!(distinct.len() > 50, "interest sets should vary across nodes");
+        assert!(
+            distinct.len() > 50,
+            "interest sets should vary across nodes"
+        );
     }
 
     #[test]

@@ -1,0 +1,529 @@
+//! Memoization of social-coefficient building blocks, invalidated by
+//! generation counters.
+//!
+//! Closeness queries repeat heavily inside one reputation-update cycle: the
+//! detector asks `Ωc(i,j)` for every active rater→ratee pair, the Gaussian
+//! baseline asks `Ωc(rater, k)` for every node `k` the rater ever rated, and
+//! Eq. (3) re-evaluates the same *adjacent* closeness values once per common
+//! friend. All of those recompute `Σ_k f(i,k)` denominators and Eq. (2)
+//! numerators from scratch when served by a bare
+//! [`ClosenessModel`](crate::closeness::ClosenessModel).
+//!
+//! [`SocialCoefficientCache`] memoizes the four building blocks —
+//! per-rater friend-interaction budgets, adjacent closeness, common-friend
+//! sets, and full closeness values (including the Eq. (4) path minima) —
+//! keyed by the **generation counters** of the [`SocialGraph`] and
+//! [`InteractionTracker`] it serves. Every graph or tracker mutation bumps
+//! the respective counter; the first cache access after a mutation flushes
+//! every memoized value, so cached reads are always equal (bit-for-bit) to
+//! a fresh computation. On an unchanged graph, repeat queries are O(1) hash
+//! lookups.
+//!
+//! # Invalidation contract
+//!
+//! * A cache instance must serve exactly **one** graph/tracker pairing for
+//!   its whole life (the [`SocialContext`] in `socialtrust-core` owns all
+//!   three together). Passing a *different* graph that happens to share a
+//!   generation number with the cached one is undetectable and yields stale
+//!   values.
+//! * The cache holds no references: every method borrows the graph and
+//!   tracker for the duration of the call only, so the owning struct stays
+//!   freely mutable between calls.
+//! * All methods take `&self`; interior locking makes the cache safe to
+//!   share across rayon workers (the parallel detector and bulk
+//!   [`SocialCoefficientCache::closeness_for_pairs`] path do exactly that).
+//!   Concurrent misses may compute a value twice, but both computations are
+//!   identical, so the last write is indistinguishable from the first.
+//!
+//! [`SocialContext`]: https://docs.rs/socialtrust-core
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::closeness::ClosenessConfig;
+use crate::distance::shortest_path;
+use crate::graph::SocialGraph;
+use crate::interaction::InteractionTracker;
+use crate::relationship::weighted_relationship_sum;
+use crate::NodeId;
+
+/// Hashable identity of a [`ClosenessConfig`] (`f64` is not `Eq`, so the
+/// λ is keyed by its bit pattern).
+type ConfigKey = (bool, u64, Option<u32>);
+
+#[inline]
+fn config_key(config: ClosenessConfig) -> ConfigKey {
+    (
+        config.weighted_relationships,
+        config.lambda.to_bits(),
+        config.path_hop_cap,
+    )
+}
+
+/// The memoized values plus the generation snapshot they were computed
+/// under.
+#[derive(Debug, Default)]
+struct CacheState {
+    graph_generation: u64,
+    interaction_generation: u64,
+    /// `Σ_{k ∈ S_i} f(i,k)` per rater — the Eq. (2)/(10) denominator.
+    friend_totals: HashMap<NodeId, f64>,
+    /// Adjacent closeness per (config, i, j) — Eq. (2)/(10).
+    adjacent: HashMap<(ConfigKey, NodeId, NodeId), f64>,
+    /// Common-friend sets per unordered pair — the `S_i ∩ S_j` of Eq. (3).
+    common_friends: HashMap<(NodeId, NodeId), Vec<NodeId>>,
+    /// Full closeness per (config, i, j) — Eqs. (2)/(3)/(4)/(10).
+    closeness: HashMap<(ConfigKey, NodeId, NodeId), f64>,
+}
+
+impl CacheState {
+    fn entry_count(&self) -> usize {
+        self.friend_totals.len()
+            + self.adjacent.len()
+            + self.common_friends.len()
+            + self.closeness.len()
+    }
+}
+
+/// A generation-validated memo of social-coefficient building blocks.
+///
+/// See the [module docs](self) for the invalidation contract. Construction
+/// is free; an empty cache behaves exactly like computing everything
+/// through a fresh [`ClosenessModel`](crate::closeness::ClosenessModel),
+/// only faster on repeats.
+#[derive(Debug, Default)]
+pub struct SocialCoefficientCache {
+    state: RwLock<CacheState>,
+}
+
+/// Cloning a cache yields an **empty** cache: memoized values are
+/// semantically transparent, and the clone may be paired with a diverging
+/// copy of the graph, so carrying them over would violate the invalidation
+/// contract.
+impl Clone for SocialCoefficientCache {
+    fn clone(&self) -> Self {
+        SocialCoefficientCache::new()
+    }
+}
+
+impl SocialCoefficientCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SocialCoefficientCache::default()
+    }
+
+    /// The generation snapshot the current contents were computed under,
+    /// as `(graph_generation, interaction_generation)`.
+    pub fn generations(&self) -> (u64, u64) {
+        let state = self.state.read();
+        (state.graph_generation, state.interaction_generation)
+    }
+
+    /// Total number of memoized entries across all four maps.
+    pub fn entry_count(&self) -> usize {
+        self.state.read().entry_count()
+    }
+
+    /// `true` when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count() == 0
+    }
+
+    /// Drop every memoized value (the generation snapshot is kept; the
+    /// next access simply refills). Handy for benchmarks that want to
+    /// measure the cold path.
+    pub fn invalidate(&self) {
+        let mut state = self.state.write();
+        state.friend_totals.clear();
+        state.adjacent.clear();
+        state.common_friends.clear();
+        state.closeness.clear();
+    }
+
+    /// Flush the cache if `graph`/`interactions` have mutated since the
+    /// memoized values were computed, and record the new snapshot.
+    ///
+    /// The caller holds shared borrows of both structures for the whole
+    /// public-method call, so the generations cannot move again until the
+    /// method returns — values inserted after this check are valid.
+    fn ensure_fresh(&self, graph: &SocialGraph, interactions: &InteractionTracker) {
+        let (graph_gen, inter_gen) = (graph.generation(), interactions.generation());
+        {
+            let state = self.state.read();
+            if state.graph_generation == graph_gen && state.interaction_generation == inter_gen {
+                return;
+            }
+        }
+        let mut state = self.state.write();
+        if state.graph_generation != graph_gen || state.interaction_generation != inter_gen {
+            state.friend_totals.clear();
+            state.adjacent.clear();
+            state.common_friends.clear();
+            state.closeness.clear();
+            state.graph_generation = graph_gen;
+            state.interaction_generation = inter_gen;
+        }
+    }
+
+    /// Memoized `Σ_{k ∈ S_i} f(i,k)` — node `i`'s interaction budget spent
+    /// on its friends (the denominator of Eqs. (2)/(10)).
+    pub fn friend_interaction_total(
+        &self,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        i: NodeId,
+    ) -> f64 {
+        self.ensure_fresh(graph, interactions);
+        if let Some(&v) = self.state.read().friend_totals.get(&i) {
+            return v;
+        }
+        let v: f64 = graph
+            .neighbors(i)
+            .iter()
+            .map(|&k| interactions.frequency(i, k))
+            .sum();
+        self.state.write().friend_totals.insert(i, v);
+        v
+    }
+
+    /// Memoized common-friend set `S_a ∩ S_b` (symmetric; stored once per
+    /// unordered pair).
+    pub fn common_friends(
+        &self,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        a: NodeId,
+        b: NodeId,
+    ) -> Vec<NodeId> {
+        self.ensure_fresh(graph, interactions);
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(v) = self.state.read().common_friends.get(&key) {
+            return v.clone();
+        }
+        let v = graph.common_friends(a, b);
+        self.state.write().common_friends.insert(key, v.clone());
+        v
+    }
+
+    /// Memoized adjacent closeness — Eq. (2), or Eq. (10) when
+    /// `config.weighted_relationships` is set. Identical (bit-for-bit) to
+    /// [`ClosenessModel::adjacent_closeness`](crate::closeness::ClosenessModel::adjacent_closeness).
+    pub fn adjacent_closeness(
+        &self,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        config: ClosenessConfig,
+        i: NodeId,
+        j: NodeId,
+    ) -> f64 {
+        self.ensure_fresh(graph, interactions);
+        let key = (config_key(config), i, j);
+        if let Some(&v) = self.state.read().adjacent.get(&key) {
+            return v;
+        }
+        let v = self.compute_adjacent(graph, interactions, config, i, j);
+        self.state.write().adjacent.insert(key, v);
+        v
+    }
+
+    /// The Eq. (2)/(10) arithmetic, using the memoized denominator. This
+    /// mirrors `ClosenessModel::adjacent_closeness` exactly — same numerator
+    /// expression, same operation order — so cached and uncached values are
+    /// bitwise equal (the property tests assert this).
+    fn compute_adjacent(
+        &self,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        config: ClosenessConfig,
+        i: NodeId,
+        j: NodeId,
+    ) -> f64 {
+        let rels = graph.relationships(i, j);
+        if rels.is_empty() {
+            return 0.0;
+        }
+        let numerator = if config.weighted_relationships {
+            weighted_relationship_sum(rels, config.lambda).max(1.0)
+        } else {
+            rels.len() as f64
+        };
+        let total = self.friend_interaction_total(graph, interactions, i);
+        if total <= 0.0 {
+            return 0.0;
+        }
+        numerator * interactions.frequency(i, j) / total
+    }
+
+    /// Memoized full closeness `Ωc(i,j)` — Eq. (3) common-friend averaging
+    /// and Eq. (4) path-minimum fallback included. Identical (bit-for-bit)
+    /// to [`ClosenessModel::closeness`](crate::closeness::ClosenessModel::closeness).
+    pub fn closeness(
+        &self,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        config: ClosenessConfig,
+        i: NodeId,
+        j: NodeId,
+    ) -> f64 {
+        self.ensure_fresh(graph, interactions);
+        let key = (config_key(config), i, j);
+        if let Some(&v) = self.state.read().closeness.get(&key) {
+            return v;
+        }
+        let v = self.compute_closeness(graph, interactions, config, i, j);
+        self.state.write().closeness.insert(key, v);
+        v
+    }
+
+    /// The Eq. (3)/(4) dispatch, built from the memoized sub-values. The
+    /// control flow and the floating-point evaluation order mirror
+    /// `ClosenessModel::closeness` exactly.
+    fn compute_closeness(
+        &self,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        config: ClosenessConfig,
+        i: NodeId,
+        j: NodeId,
+    ) -> f64 {
+        if i == j {
+            return graph
+                .neighbors(i)
+                .iter()
+                .map(|&k| self.adjacent_closeness(graph, interactions, config, i, k))
+                .fold(0.0, f64::max);
+        }
+        if graph.are_adjacent(i, j) {
+            return self.adjacent_closeness(graph, interactions, config, i, j);
+        }
+        let common = self.common_friends(graph, interactions, i, j);
+        if !common.is_empty() {
+            return common
+                .iter()
+                .map(|&k| {
+                    (self.adjacent_closeness(graph, interactions, config, i, k)
+                        + self.adjacent_closeness(graph, interactions, config, k, j))
+                        / 2.0
+                })
+                .sum();
+        }
+        match shortest_path(graph, i, j) {
+            Some(path) => {
+                if let Some(cap) = config.path_hop_cap {
+                    if (path.len() as u32).saturating_sub(1) > cap {
+                        return 0.0;
+                    }
+                }
+                let min_adjacent = path
+                    .windows(2)
+                    .map(|w| self.adjacent_closeness(graph, interactions, config, w[0], w[1]))
+                    .fold(f64::INFINITY, f64::min);
+                if min_adjacent.is_finite() {
+                    min_adjacent
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Cached bulk closeness for many `(rater, ratee)` pairs, computed in
+    /// parallel with rayon. The cached counterpart of
+    /// [`closeness_for_pairs`](crate::closeness::closeness_for_pairs):
+    /// results are in input order and bitwise equal to per-pair
+    /// [`SocialCoefficientCache::closeness`] calls.
+    pub fn closeness_for_pairs(
+        &self,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        config: ClosenessConfig,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Vec<f64> {
+        use rayon::prelude::*;
+        self.ensure_fresh(graph, interactions);
+        pairs
+            .par_iter()
+            .map(|&(i, j)| self.closeness(graph, interactions, config, i, j))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closeness::{closeness_for_pairs, ClosenessModel};
+    use crate::relationship::Relationship;
+
+    /// Same hand-computable fixture as `closeness::tests`.
+    fn fixture() -> (SocialGraph, InteractionTracker) {
+        let mut g = SocialGraph::new(5);
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::colleague());
+        g.add_relationship(NodeId(1), NodeId(2), Relationship::friendship());
+        g.add_relationship(NodeId(0), NodeId(3), Relationship::friendship());
+        g.add_relationship(NodeId(3), NodeId(2), Relationship::friendship());
+        let mut t = InteractionTracker::new(5);
+        t.record(NodeId(0), NodeId(1), 6.0);
+        t.record(NodeId(0), NodeId(3), 2.0);
+        t.record(NodeId(1), NodeId(0), 1.0);
+        t.record(NodeId(1), NodeId(2), 3.0);
+        t.record(NodeId(3), NodeId(0), 1.0);
+        t.record(NodeId(3), NodeId(2), 1.0);
+        t.record(NodeId(2), NodeId(1), 2.0);
+        t.record(NodeId(2), NodeId(3), 2.0);
+        (g, t)
+    }
+
+    fn all_pairs(n: u32) -> Vec<(NodeId, NodeId)> {
+        (0..n)
+            .flat_map(|i| (0..n).map(move |j| (NodeId(i), NodeId(j))))
+            .collect()
+    }
+
+    #[test]
+    fn cached_matches_uncached_on_fixture() {
+        let (g, t) = fixture();
+        let cache = SocialCoefficientCache::new();
+        for config in [ClosenessConfig::default(), ClosenessConfig::weighted(0.8)] {
+            let model = ClosenessModel::new(&g, &t, config);
+            for &(i, j) in &all_pairs(5) {
+                let cached = cache.closeness(&g, &t, config, i, j);
+                let direct = model.closeness(i, j);
+                assert_eq!(
+                    cached.to_bits(),
+                    direct.to_bits(),
+                    "Ωc({i},{j}) cached {cached} != direct {direct}"
+                );
+                assert_eq!(
+                    cache.adjacent_closeness(&g, &t, config, i, j).to_bits(),
+                    model.adjacent_closeness(i, j).to_bits()
+                );
+            }
+        }
+        assert!(cache.entry_count() > 0);
+    }
+
+    #[test]
+    fn repeat_queries_hit_without_growing() {
+        let (g, t) = fixture();
+        let cache = SocialCoefficientCache::new();
+        let config = ClosenessConfig::default();
+        let first = cache.closeness(&g, &t, config, NodeId(0), NodeId(2));
+        let filled = cache.entry_count();
+        assert!(filled > 0);
+        for _ in 0..10 {
+            assert_eq!(cache.closeness(&g, &t, config, NodeId(0), NodeId(2)), first);
+        }
+        assert_eq!(cache.entry_count(), filled, "hits must not re-insert");
+    }
+
+    #[test]
+    fn graph_mutation_invalidates_and_refreshes() {
+        let (mut g, t) = fixture();
+        let cache = SocialCoefficientCache::new();
+        let config = ClosenessConfig::default();
+        // Ωc(0,1) = 2·6/8 = 1.5 on the original fixture.
+        let before = cache.closeness(&g, &t, config, NodeId(0), NodeId(1));
+        assert!((before - 1.5).abs() < 1e-12);
+        assert!(!cache.is_empty());
+        let stale_snapshot = cache.generations();
+        // A third relationship on the edge changes m(0,1) from 2 to 3.
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::kinship());
+        let after = cache.closeness(&g, &t, config, NodeId(0), NodeId(1));
+        assert!((after - 2.25).abs() < 1e-12, "3·6/8 = 2.25, got {after}");
+        assert_ne!(cache.generations(), stale_snapshot);
+        assert_eq!(
+            after.to_bits(),
+            ClosenessModel::new(&g, &t, config)
+                .closeness(NodeId(0), NodeId(1))
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn interaction_mutation_invalidates_and_refreshes() {
+        let (g, mut t) = fixture();
+        let cache = SocialCoefficientCache::new();
+        let config = ClosenessConfig::default();
+        let before = cache.closeness(&g, &t, config, NodeId(0), NodeId(1));
+        assert!((before - 1.5).abs() < 1e-12);
+        // Doubling f(0,3) changes the denominator: 2·6/10 = 1.2.
+        t.record(NodeId(0), NodeId(3), 2.0);
+        let after = cache.closeness(&g, &t, config, NodeId(0), NodeId(1));
+        assert!((after - 1.2).abs() < 1e-12, "got {after}");
+        assert_eq!(
+            cache.friend_interaction_total(&g, &t, NodeId(0)).to_bits(),
+            10.0f64.to_bits()
+        );
+    }
+
+    #[test]
+    fn clear_invalidates_frequencies() {
+        let (g, mut t) = fixture();
+        let cache = SocialCoefficientCache::new();
+        let config = ClosenessConfig::default();
+        assert!(cache.closeness(&g, &t, config, NodeId(0), NodeId(1)) > 0.0);
+        t.clear();
+        assert_eq!(cache.closeness(&g, &t, config, NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn bulk_path_is_cached_and_fresh_after_mutation() {
+        let (mut g, t) = fixture();
+        let cache = SocialCoefficientCache::new();
+        let config = ClosenessConfig::default();
+        let pairs = all_pairs(5);
+        let bulk = cache.closeness_for_pairs(&g, &t, config, &pairs);
+        let direct = closeness_for_pairs(&g, &t, config, &pairs);
+        assert_eq!(bulk, direct);
+        assert!(cache.entry_count() > 0);
+        // Mutate, then the bulk path must flush and recompute.
+        g.add_relationship(NodeId(1), NodeId(4), Relationship::friendship());
+        let bulk2 = cache.closeness_for_pairs(&g, &t, config, &pairs);
+        let direct2 = closeness_for_pairs(&g, &t, config, &pairs);
+        assert_eq!(bulk2, direct2);
+        assert_ne!(
+            bulk, bulk2,
+            "the new edge must be visible through the cache"
+        );
+    }
+
+    #[test]
+    fn distinct_configs_do_not_collide() {
+        let (g, t) = fixture();
+        let cache = SocialCoefficientCache::new();
+        let plain = cache.closeness(&g, &t, ClosenessConfig::default(), NodeId(0), NodeId(1));
+        let weighted =
+            cache.closeness(&g, &t, ClosenessConfig::weighted(0.5), NodeId(0), NodeId(1));
+        // m=2 plain vs 1 + 0.5·1 weighted numerator: different values, both
+        // cached under their own config key.
+        assert!(plain > weighted);
+        assert_eq!(
+            plain,
+            cache.closeness(&g, &t, ClosenessConfig::default(), NodeId(0), NodeId(1))
+        );
+    }
+
+    #[test]
+    fn invalidate_drops_entries_but_stays_correct() {
+        let (g, t) = fixture();
+        let cache = SocialCoefficientCache::new();
+        let config = ClosenessConfig::default();
+        let v = cache.closeness(&g, &t, config, NodeId(0), NodeId(2));
+        assert!(!cache.is_empty());
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(v, cache.closeness(&g, &t, config, NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn clone_starts_empty() {
+        let (g, t) = fixture();
+        let cache = SocialCoefficientCache::new();
+        let _ = cache.closeness(&g, &t, ClosenessConfig::default(), NodeId(0), NodeId(2));
+        assert!(!cache.is_empty());
+        assert!(cache.clone().is_empty());
+    }
+}

@@ -187,10 +187,19 @@ impl<'a> ClosenessModel<'a> {
                         return 0.0;
                     }
                 }
-                path.windows(2)
+                let min_adjacent = path
+                    .windows(2)
                     .map(|w| self.adjacent_closeness(w[0], w[1]))
-                    .fold(f64::INFINITY, f64::min)
-                    .min(f64::MAX) // guard: empty windows can't happen (path.len() ≥ 2 here)
+                    .fold(f64::INFINITY, f64::min);
+                // A degenerate path with no edges would leave the fold at
+                // +∞; such a pair has no social evidence, so treat it like
+                // a disconnected one. (Any path edge with relationships but
+                // zero interactions already yields a finite 0.0 minimum.)
+                if min_adjacent.is_finite() {
+                    min_adjacent
+                } else {
+                    0.0
+                }
             }
             None => 0.0,
         }
@@ -307,6 +316,26 @@ mod tests {
         // Adjacent closenesses along the path: Ωc(0,1)=1·4/4=1,
         // Ωc(1,2)=1·2/4=0.5, Ωc(2,3)=1·1/1=1. Minimum = 0.5.
         assert!((m.closeness(NodeId(0), NodeId(3)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_with_interaction_free_edge_is_zero_not_huge() {
+        // Path 0-1-2-3 with no common friends between 0 and 3, where the
+        // middle edge carries a relationship but node 1 never interacts:
+        // the Eq. (4) minimum must be exactly 0.0 (never f64::MAX or ∞).
+        let mut g = SocialGraph::new(4);
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        g.add_relationship(NodeId(1), NodeId(2), Relationship::friendship());
+        g.add_relationship(NodeId(2), NodeId(3), Relationship::friendship());
+        let mut t = InteractionTracker::new(4);
+        t.record(NodeId(0), NodeId(1), 4.0);
+        t.record(NodeId(2), NodeId(3), 1.0);
+        let m = model(&g, &t);
+        // Ωc(1,2) = 0 (node 1 has zero friend interactions), so the path
+        // minimum is 0.
+        let c = m.closeness(NodeId(0), NodeId(3));
+        assert_eq!(c, 0.0);
+        assert!(c.is_finite());
     }
 
     #[test]

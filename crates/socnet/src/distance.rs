@@ -184,7 +184,10 @@ mod tests {
         let g = path_graph();
         let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
         assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
-        assert_eq!(shortest_path(&g, NodeId(1), NodeId(1)).unwrap(), vec![NodeId(1)]);
+        assert_eq!(
+            shortest_path(&g, NodeId(1), NodeId(1)).unwrap(),
+            vec![NodeId(1)]
+        );
         assert!(shortest_path(&g, NodeId(0), NodeId(4)).is_none());
     }
 

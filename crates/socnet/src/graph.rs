@@ -40,6 +40,7 @@ pub struct SocialGraph {
     adj: Vec<Vec<NodeId>>,
     rels: HashMap<EdgeKey, Vec<Relationship>>,
     edge_count: usize,
+    generation: u64,
 }
 
 impl SocialGraph {
@@ -49,6 +50,7 @@ impl SocialGraph {
             adj: vec![Vec::new(); n],
             rels: HashMap::new(),
             edge_count: 0,
+            generation: 0,
         }
     }
 
@@ -64,10 +66,22 @@ impl SocialGraph {
         self.edge_count
     }
 
+    /// Mutation counter: bumped by every structural change (`add_node`,
+    /// `add_relationship`, `remove_edge`). Two calls observing the same
+    /// generation on the same graph are guaranteed to see identical
+    /// structure, which is what
+    /// [`crate::cache::SocialCoefficientCache`] relies on to reuse
+    /// memoized closeness values.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Append a new isolated node, returning its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId::from(self.adj.len());
         self.adj.push(Vec::new());
+        self.generation += 1;
         id
     }
 
@@ -109,6 +123,7 @@ impl SocialGraph {
             self.edge_count += 1;
         }
         list.push(rel);
+        self.generation += 1;
     }
 
     /// Remove the edge between `a` and `b` entirely (all relationships).
@@ -128,6 +143,7 @@ impl SocialGraph {
                 remove_sorted(&mut self.adj[a.index()], b);
                 remove_sorted(&mut self.adj[b.index()], a);
                 self.edge_count -= 1;
+                self.generation += 1;
                 list
             }
             None => Vec::new(),
@@ -200,9 +216,7 @@ impl SocialGraph {
 
     /// Iterator over all edges as `(a, b, relationships)` with `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, &[Relationship])> + '_ {
-        self.rels
-            .iter()
-            .map(|(k, v)| (k.0, k.1, v.as_slice()))
+        self.rels.iter().map(|(k, v)| (k.0, k.1, v.as_slice()))
     }
 }
 
@@ -290,8 +304,14 @@ mod tests {
         g.add_relationship(NodeId(3), NodeId(1), Relationship::friendship());
         g.add_relationship(NodeId(3), NodeId(2), Relationship::friendship());
         g.add_relationship(NodeId(0), NodeId(4), Relationship::friendship());
-        assert_eq!(g.common_friends(NodeId(0), NodeId(3)), vec![NodeId(1), NodeId(2)]);
-        assert_eq!(g.common_friends(NodeId(3), NodeId(0)), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(
+            g.common_friends(NodeId(0), NodeId(3)),
+            vec![NodeId(1), NodeId(2)]
+        );
+        assert_eq!(
+            g.common_friends(NodeId(3), NodeId(0)),
+            vec![NodeId(1), NodeId(2)]
+        );
     }
 
     #[test]
@@ -328,6 +348,32 @@ mod tests {
     fn out_of_range_rejected() {
         let mut g = SocialGraph::new(2);
         g.add_relationship(NodeId(0), NodeId(5), Relationship::friendship());
+    }
+
+    #[test]
+    fn generation_tracks_every_mutation() {
+        let mut g = SocialGraph::new(2);
+        assert_eq!(g.generation(), 0);
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        let after_add = g.generation();
+        assert!(after_add > 0);
+        // Queries never bump.
+        let _ = g.are_adjacent(NodeId(0), NodeId(1));
+        let _ = g.common_friends(NodeId(0), NodeId(1));
+        assert_eq!(g.generation(), after_add);
+        // Adding a second relationship to the same edge still bumps.
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::colleague());
+        assert!(g.generation() > after_add);
+        let before_remove = g.generation();
+        g.remove_edge(NodeId(0), NodeId(1));
+        assert!(g.generation() > before_remove);
+        // No-op removal does not bump.
+        let after_remove = g.generation();
+        g.remove_edge(NodeId(0), NodeId(1));
+        assert_eq!(g.generation(), after_remove);
+        let before_node = g.generation();
+        g.add_node();
+        assert!(g.generation() > before_node);
     }
 
     #[test]

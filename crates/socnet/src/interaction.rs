@@ -23,6 +23,8 @@ pub struct InteractionTracker {
     counts: Vec<BTreeMap<NodeId, f64>>,
     /// `totals[i] = Σ_k f(i, k)` (kept incrementally to avoid rescans).
     totals: Vec<f64>,
+    /// Mutation counter (see [`InteractionTracker::generation`]).
+    generation: u64,
 }
 
 impl InteractionTracker {
@@ -31,6 +33,7 @@ impl InteractionTracker {
         InteractionTracker {
             counts: vec![BTreeMap::new(); n],
             totals: vec![0.0; n],
+            generation: 0,
         }
     }
 
@@ -40,11 +43,22 @@ impl InteractionTracker {
         self.totals.len()
     }
 
+    /// Mutation counter: bumped by every state change (`record`, `clear`,
+    /// a growing `ensure_nodes`). Two calls observing the same generation
+    /// on the same tracker see identical frequencies; the closeness cache
+    /// ([`crate::cache::SocialCoefficientCache`]) keys its memoized
+    /// values on this.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Grow the tracker to cover at least `n` nodes.
     pub fn ensure_nodes(&mut self, n: usize) {
         if n > self.totals.len() {
             self.counts.resize(n, BTreeMap::new());
             self.totals.resize(n, 0.0);
+            self.generation += 1;
         }
     }
 
@@ -64,6 +78,7 @@ impl InteractionTracker {
         );
         *self.counts[from.index()].entry(to).or_insert(0.0) += amount;
         self.totals[from.index()] += amount;
+        self.generation += 1;
     }
 
     /// The directed frequency `f(from, to)`.
@@ -110,6 +125,7 @@ impl InteractionTracker {
         for t in &mut self.totals {
             *t = 0.0;
         }
+        self.generation += 1;
     }
 }
 
@@ -189,6 +205,28 @@ mod tests {
         let mut pairs: Vec<(NodeId, f64)> = t.outgoing(NodeId(0)).collect();
         pairs.sort_by_key(|(n, _)| *n);
         assert_eq!(pairs, vec![(NodeId(1), 1.0), (NodeId(2), 2.0)]);
+    }
+
+    #[test]
+    fn generation_tracks_every_mutation() {
+        let mut t = InteractionTracker::new(2);
+        assert_eq!(t.generation(), 0);
+        t.record(NodeId(0), NodeId(1), 1.0);
+        let after_record = t.generation();
+        assert!(after_record > 0);
+        // Queries never bump.
+        let _ = t.frequency(NodeId(0), NodeId(1));
+        let _ = t.total_outgoing(NodeId(0));
+        assert_eq!(t.generation(), after_record);
+        t.clear();
+        assert!(t.generation() > after_record);
+        let before_grow = t.generation();
+        t.ensure_nodes(5);
+        assert!(t.generation() > before_grow);
+        // Non-growing ensure_nodes is a no-op.
+        let after_grow = t.generation();
+        t.ensure_nodes(3);
+        assert_eq!(t.generation(), after_grow);
     }
 
     #[test]

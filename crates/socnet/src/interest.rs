@@ -266,10 +266,7 @@ mod tests {
     #[test]
     fn from_ids_sorts_and_dedups() {
         let s = set(&[3, 1, 2, 3, 1]);
-        assert_eq!(
-            s.as_slice(),
-            &[InterestId(1), InterestId(2), InterestId(3)]
-        );
+        assert_eq!(s.as_slice(), &[InterestId(1), InterestId(2), InterestId(3)]);
         assert_eq!(s.len(), 3);
     }
 

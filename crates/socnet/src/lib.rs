@@ -15,6 +15,9 @@
 //! * [`closeness::ClosenessModel`] — social closeness `Ωc(i,j)` implementing
 //!   the paper's Equations (2), (3), (4) and the falsification-resilient
 //!   weighted variant, Equation (10).
+//! * [`cache::SocialCoefficientCache`] — generation-validated memoization of
+//!   the closeness building blocks, so repeat queries on an unchanged
+//!   graph are O(1).
 //! * [`interest`] — interest sets and interest similarity `Ωs(i,j)`
 //!   (Equations (1)/(7)) plus the request-weighted variant, Equation (11).
 //! * [`builder`] — random social-network generators used by the simulator
@@ -48,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cache;
 pub mod closeness;
 pub mod community;
 pub mod distance;
@@ -61,7 +65,9 @@ pub mod relationship;
 /// `NodeId` is a dense index: graphs with `n` nodes use ids `0..n`. Using a
 /// newtype (rather than a bare `usize`) keeps node indices from being mixed
 /// up with interest ids, counts, and other integers, at zero runtime cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -94,6 +100,7 @@ impl std::fmt::Display for NodeId {
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
+    pub use crate::cache::SocialCoefficientCache;
     pub use crate::closeness::{ClosenessConfig, ClosenessModel};
     pub use crate::distance;
     pub use crate::graph::SocialGraph;

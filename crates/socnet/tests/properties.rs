@@ -5,7 +5,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use socialtrust_socnet::builder::{connected_random_graph, random_interests};
-use socialtrust_socnet::closeness::{ClosenessConfig, ClosenessModel};
+use socialtrust_socnet::cache::SocialCoefficientCache;
+use socialtrust_socnet::closeness::{closeness_for_pairs, ClosenessConfig, ClosenessModel};
 use socialtrust_socnet::distance::{bfs_distance, distances_from};
 use socialtrust_socnet::interaction::InteractionTracker;
 use socialtrust_socnet::interest::{
@@ -184,5 +185,98 @@ proptest! {
         let g = connected_random_graph(n, 4.0, (1, 2), &mut rng);
         let d = distances_from(&g, NodeId(0), None);
         prop_assert!(d.iter().all(|x| x.is_some()));
+    }
+
+    #[test]
+    fn cached_closeness_matches_uncached_bit_for_bit(
+        seed in 0u64..300,
+        n in 2usize..25,
+        weighted in proptest::bool::ANY,
+    ) {
+        let (g, t) = env(seed, n);
+        let config = if weighted {
+            ClosenessConfig::weighted(0.8)
+        } else {
+            ClosenessConfig::default()
+        };
+        let model = ClosenessModel::new(&g, &t, config);
+        let cache = SocialCoefficientCache::new();
+        let k = n.min(6);
+        for i in 0..k {
+            for j in 0..k {
+                let (a, b) = (NodeId::from(i), NodeId::from(j));
+                // Query twice: the first may compute, the second must hit the
+                // memo — both must equal the uncached model exactly.
+                let fresh = model.closeness(a, b);
+                prop_assert_eq!(cache.closeness(&g, &t, config, a, b).to_bits(), fresh.to_bits());
+                prop_assert_eq!(cache.closeness(&g, &t, config, a, b).to_bits(), fresh.to_bits());
+                if g.are_adjacent(a, b) {
+                    prop_assert_eq!(
+                        cache.adjacent_closeness(&g, &t, config, a, b).to_bits(),
+                        model.adjacent_closeness(a, b).to_bits()
+                    );
+                }
+            }
+        }
+        // The bulk path must agree with the uncached bulk path too.
+        let pairs: Vec<(NodeId, NodeId)> = (0..k)
+            .flat_map(|i| (0..k).map(move |j| (NodeId::from(i), NodeId::from(j))))
+            .collect();
+        let cached = cache.closeness_for_pairs(&g, &t, config, &pairs);
+        let uncached = closeness_for_pairs(&g, &t, config, &pairs);
+        for (c, u) in cached.iter().zip(&uncached) {
+            prop_assert_eq!(c.to_bits(), u.to_bits());
+        }
+    }
+
+    #[test]
+    fn cached_closeness_tracks_random_mutation_sequences(
+        seed in 0u64..200,
+        n in 3usize..20,
+        ops in proptest::collection::vec((0u8..4, 0u64..u64::MAX), 1..20),
+    ) {
+        let (mut g, mut t) = env(seed, n);
+        let config = ClosenessConfig::default();
+        let cache = SocialCoefficientCache::new();
+        let check = |g: &socialtrust_socnet::graph::SocialGraph,
+                     t: &InteractionTracker|
+         -> Result<(), TestCaseError> {
+            let model = ClosenessModel::new(g, t, config);
+            for i in 0..n.min(5) {
+                for j in 0..n.min(5) {
+                    let (a, b) = (NodeId::from(i), NodeId::from(j));
+                    prop_assert_eq!(
+                        cache.closeness(g, t, config, a, b).to_bits(),
+                        model.closeness(a, b).to_bits()
+                    );
+                }
+            }
+            Ok(())
+        };
+        check(&g, &t)?;
+        for (op, raw) in ops {
+            let a = NodeId::from((raw % n as u64) as usize);
+            let b = NodeId::from(((raw / n as u64) % n as u64) as usize);
+            match op {
+                0 => {
+                    if a != b {
+                        g.add_relationship(a, b, Relationship::friendship());
+                    }
+                }
+                1 => {
+                    g.remove_edge(a, b);
+                }
+                2 => {
+                    if a != b {
+                        t.record(a, b, (raw % 9 + 1) as f64);
+                    }
+                }
+                _ => {
+                    t.clear();
+                }
+            }
+            // After every mutation the cache must transparently refresh.
+            check(&g, &t)?;
+        }
     }
 }

@@ -188,11 +188,12 @@ impl<'a> TraceAnalysis<'a> {
         }
         (1..=4)
             .filter_map(|d| {
-                sums.get(&d).map(|&(value_sum, count, pairs)| DistanceStats {
-                    distance: d,
-                    avg_rating_value: value_sum / count as f64,
-                    avg_rating_count: count as f64 / pairs as f64,
-                })
+                sums.get(&d)
+                    .map(|&(value_sum, count, pairs)| DistanceStats {
+                        distance: d,
+                        avg_rating_value: value_sum / count as f64,
+                        avg_rating_count: count as f64 / pairs as f64,
+                    })
             })
             .collect()
     }

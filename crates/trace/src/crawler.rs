@@ -114,6 +114,9 @@ mod tests {
     #[test]
     fn crawl_is_deterministic() {
         let p = generate(&TraceConfig::small(), &mut ChaCha8Rng::seed_from_u64(3));
-        assert_eq!(crawl(&p, NodeId(5), Some(100)), crawl(&p, NodeId(5), Some(100)));
+        assert_eq!(
+            crawl(&p, NodeId(5), Some(100)),
+            crawl(&p, NodeId(5), Some(100))
+        );
     }
 }

@@ -33,8 +33,8 @@
 
 pub mod analysis;
 pub mod crawler;
-pub mod io;
 pub mod generator;
+pub mod io;
 pub mod model;
 
 /// Convenience re-exports of the most commonly used types.

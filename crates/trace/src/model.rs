@@ -141,10 +141,7 @@ impl Platform {
 
     /// Number of transactions in which `user` was the buyer.
     pub fn purchase_count(&self, user: UserId) -> usize {
-        self.transactions
-            .iter()
-            .filter(|t| t.buyer == user)
-            .count()
+        self.transactions.iter().filter(|t| t.buyer == user).count()
     }
 }
 

@@ -3,13 +3,13 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use socialtrust_socnet::NodeId;
 use socialtrust_trace::analysis::{correlation, TraceAnalysis};
 use socialtrust_trace::crawler::crawl;
 use socialtrust_trace::generator::{generate, TraceConfig};
 use socialtrust_trace::io::{
     export_platform, import_platform, read_transactions_csv, write_transactions_csv,
 };
-use socialtrust_socnet::NodeId;
 
 fn tiny_config(users: usize, txs: usize) -> TraceConfig {
     TraceConfig {

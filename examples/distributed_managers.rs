@@ -33,16 +33,28 @@ fn main() {
         manager_count,
     );
 
-    println!("== distributed SocialTrust: {} managers over {} nodes ==", manager_count, scenario.nodes);
-    println!("manager load (nodes per manager): {:?}\n", system.managers().load());
+    println!(
+        "== distributed SocialTrust: {} managers over {} nodes ==",
+        manager_count, scenario.nodes
+    );
+    println!(
+        "manager load (nodes per manager): {:?}\n",
+        system.managers().load()
+    );
 
     let result = engine::run(&world, &scenario, &mut system, &mut rng);
 
     let stats = system.stats();
     println!("after {} simulation cycles:", scenario.sim_cycles);
     println!("  ratings routed to managers:     {}", stats.ratings_routed);
-    println!("  cross-manager info requests:    {}", stats.info_request_messages);
-    println!("  co-managed suspicions (free):   {}", stats.local_suspicions);
+    println!(
+        "  cross-manager info requests:    {}",
+        stats.info_request_messages
+    );
+    println!(
+        "  co-managed suspicions (free):   {}",
+        stats.local_suspicions
+    );
     println!(
         "  overhead: {:.4} info messages per routed rating",
         stats.info_request_messages as f64 / stats.ratings_routed as f64

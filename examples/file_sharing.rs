@@ -10,8 +10,8 @@
 //! cargo run --release --example file_sharing
 //! ```
 
-use socialtrust::prelude::*;
 use socialtrust::core::context::{SharedSocialContext, SocialContext};
+use socialtrust::prelude::*;
 
 const ALICE: NodeId = NodeId(0);
 const BOB: NodeId = NodeId(1);
@@ -46,7 +46,9 @@ fn main() {
         ctx.graph_mut()
             .add_relationship(MALLORY, MALLET, Relationship::friendship());
     }
-    ctx.profile_mut(MALLORY).declared_mut().insert(InterestId(6));
+    ctx.profile_mut(MALLORY)
+        .declared_mut()
+        .insert(InterestId(6));
     ctx.profile_mut(MALLET).declared_mut().insert(InterestId(7));
     let ctx = SharedSocialContext::new(ctx);
 

@@ -30,7 +30,11 @@ const COLLUDER_B: NodeId = NodeId(9);
 fn feed(sys: &mut dyn ReputationSystem, cycle: usize) {
     for i in 0..8u32 {
         let server = NodeId((i + 1) % 8);
-        let value = if (i as usize + cycle).is_multiple_of(5) { -1.0 } else { 1.0 };
+        let value = if (i as usize + cycle).is_multiple_of(5) {
+            -1.0
+        } else {
+            1.0
+        };
         sys.record(Rating::new(NodeId(i), server, value));
     }
     for _ in 0..25 {
@@ -56,7 +60,9 @@ fn context() -> SharedSocialContext {
         ctx.graph_mut()
             .add_relationship(NodeId(i), next, Relationship::friendship());
         ctx.record_interaction(NodeId(i), next, 2.0);
-        ctx.profile_mut(NodeId(i)).declared_mut().insert(InterestId(0));
+        ctx.profile_mut(NodeId(i))
+            .declared_mut()
+            .insert(InterestId(0));
     }
     // The colluders: tight multi-relationship pair, disjoint interests.
     for _ in 0..4 {
@@ -65,8 +71,12 @@ fn context() -> SharedSocialContext {
     }
     ctx.record_interaction(COLLUDER_A, COLLUDER_B, 50.0);
     ctx.record_interaction(COLLUDER_B, COLLUDER_A, 50.0);
-    ctx.profile_mut(COLLUDER_A).declared_mut().insert(InterestId(5));
-    ctx.profile_mut(COLLUDER_B).declared_mut().insert(InterestId(6));
+    ctx.profile_mut(COLLUDER_A)
+        .declared_mut()
+        .insert(InterestId(5));
+    ctx.profile_mut(COLLUDER_B)
+        .declared_mut()
+        .insert(InterestId(6));
     SharedSocialContext::new(ctx)
 }
 
@@ -95,7 +105,11 @@ fn main() {
         let reps = engine.reputations();
         let colluders = (reps[COLLUDER_A.index()] + reps[COLLUDER_B.index()]) / 2.0;
         let honest = reps[..8].iter().sum::<f64>() / 8.0;
-        let verdict = if colluders <= honest { "resists" } else { "subverted" };
+        let verdict = if colluders <= honest {
+            "resists"
+        } else {
+            "subverted"
+        };
         println!(
             "{:<26} {:>15.5} {:>14.5} {:>11}",
             engine.name(),

@@ -66,7 +66,9 @@ impl Args {
         while i < raw.len() {
             let flag = &raw[i];
             if !flag.starts_with("--") {
-                return Err(format!("unexpected argument {flag:?} (flags start with --)"));
+                return Err(format!(
+                    "unexpected argument {flag:?} (flags start with --)"
+                ));
             }
             if SWITCHES.contains(&flag.as_str()) {
                 pairs.push((flag.clone(), None));
@@ -191,12 +193,23 @@ fn cmd_simulate(mut args: Args) -> Result<(), String> {
     let normals = scenario.normal_ids();
     let pretrusted = scenario.pretrusted_ids();
     let (pct, pct_ci) = summary.percent_requests_to_colluders();
-    println!("  colluder mean reputation : {:.6}", summary.mean_reputation_of(&colluders));
-    println!("  normal   mean reputation : {:.6}", summary.mean_reputation_of(&normals));
-    println!("  pretrusted mean reputation: {:.6}", summary.mean_reputation_of(&pretrusted));
+    println!(
+        "  colluder mean reputation : {:.6}",
+        summary.mean_reputation_of(&colluders)
+    );
+    println!(
+        "  normal   mean reputation : {:.6}",
+        summary.mean_reputation_of(&normals)
+    );
+    println!(
+        "  pretrusted mean reputation: {:.6}",
+        summary.mean_reputation_of(&pretrusted)
+    );
     println!("  requests to colluders    : {pct:.2}% ± {pct_ci:.2}");
     let (p1, median, p99) = summary.convergence_percentiles(0.001);
-    println!("  colluder suppression (cycles, <0.001): p1 {p1:.0} / median {median:.0} / p99 {p99:.0}");
+    println!(
+        "  colluder suppression (cycles, <0.001): p1 {p1:.0} / median {median:.0} / p99 {p99:.0}"
+    );
     if let Some(path) = json {
         let data = serde_json::to_string_pretty(&summary.runs).map_err(|e| e.to_string())?;
         std::fs::write(&path, data).map_err(|e| format!("writing {path}: {e}"))?;
@@ -270,7 +283,9 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             print!("{HELP}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}; try `socialtrust-cli help`")),
+        Some(other) => Err(format!(
+            "unknown command {other:?}; try `socialtrust-cli help`"
+        )),
     }
 }
 
@@ -310,7 +325,9 @@ mod tests {
 
     #[test]
     fn missing_value_is_rejected() {
-        assert!(Args::parse(&argv("--seed")).unwrap_err().contains("expects a value"));
+        assert!(Args::parse(&argv("--seed"))
+            .unwrap_err()
+            .contains("expects a value"));
     }
 
     #[test]
@@ -324,7 +341,10 @@ mod tests {
     #[test]
     fn model_and_system_parsers() {
         assert_eq!(parse_model("mmm").unwrap(), CollusionModel::MultiMutual);
-        assert_eq!(parse_model("neg").unwrap(), CollusionModel::NegativeCampaign);
+        assert_eq!(
+            parse_model("neg").unwrap(),
+            CollusionModel::NegativeCampaign
+        );
         assert!(parse_model("xyz").is_err());
         assert_eq!(
             parse_system("et-st").unwrap(),

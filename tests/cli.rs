@@ -86,7 +86,14 @@ fn trace_writes_csv_roundtrippable_by_the_library() {
     let path = dir.join("trace.csv");
     let out = cli()
         .args([
-            "trace", "--users", "120", "--transactions", "800", "--seed", "3", "--csv",
+            "trace",
+            "--users",
+            "120",
+            "--transactions",
+            "800",
+            "--seed",
+            "3",
+            "--csv",
         ])
         .arg(&path)
         .output()

@@ -109,9 +109,7 @@ fn falsified_social_info_does_not_break_socialtrust() {
     let mut wins = 0;
     for &s in &seeds {
         let r = run_scenario(&scenario, ReputationKind::EigenTrustWithSocialTrust, s);
-        if r.final_summary.mean_reputation(&colluders)
-            < r.final_summary.mean_reputation(&normals)
-        {
+        if r.final_summary.mean_reputation(&colluders) < r.final_summary.mean_reputation(&normals) {
             wins += 1;
         }
     }

@@ -1,0 +1,331 @@
+//! Offline vendored shim of the `criterion` API subset this workspace
+//! uses. It performs real wall-clock measurement (calibrated iteration
+//! counts, warmup pass, mean/min ns per iteration printed per benchmark)
+//! but none of upstream's statistical machinery, HTML reports, or baseline
+//! comparison.
+//!
+//! Running with `--test` (as `cargo test --benches` does for
+//! `harness = false` targets) executes each benchmark exactly once as a
+//! smoke test. Other CLI arguments are treated as name filters, matching
+//! `cargo bench <filter>` behaviour; unrecognised flags are ignored.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported for parity with upstream; benches may use either this or
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark (upstream defaults to 5s; the
+/// shim keeps runs shorter since it reports only mean/min).
+const TARGET_MEASURE: Duration = Duration::from_millis(400);
+const TARGET_WARMUP: Duration = Duration::from_millis(100);
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkLabel {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// The measurement context passed to benchmark closures.
+pub struct Bencher {
+    /// One-shot smoke-test mode (`--test`).
+    test_mode: bool,
+    /// Measured samples as (iterations, elapsed).
+    samples: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(test_mode: bool) -> Self {
+        Bencher {
+            test_mode,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Measure `routine` by running it in timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warmup & calibration: find an iteration count that runs long
+        // enough for the clock to resolve well.
+        let mut iters_per_sample = 1u64;
+        let warmup_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(10) || warmup_start.elapsed() >= TARGET_WARMUP {
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+        // Measurement.
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < TARGET_MEASURE {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push((iters_per_sample, t0.elapsed()));
+        }
+    }
+
+    /// Measure `routine` with a fresh untimed `setup` input per call.
+    pub fn iter_batched<S, O, Setup, F>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: F,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let measure_start = Instant::now();
+        let mut runs = 0u32;
+        while measure_start.elapsed() < TARGET_MEASURE || runs < 10 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push((1, t0.elapsed()));
+            runs += 1;
+            if runs >= 5000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.test_mode {
+            println!("test {label} ... ok (smoke)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|(iters, _)| *iters > 0)
+            .map(|(iters, elapsed)| elapsed.as_nanos() as f64 / *iters as f64)
+            .collect();
+        if per_iter.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{label:<50} min {:>12}  median {:>12}  mean {:>12}",
+            format_ns(min),
+            format_ns(median),
+            format_ns(mean)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                flag if flag.starts_with("--") => {}
+                filter => filters.push(filter.to_owned()),
+            }
+        }
+        Criterion {
+            test_mode,
+            filters,
+            default_sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, label: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| label.contains(f.as_str()))
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into_label();
+        if self.selected(&label) {
+            let mut bencher = Bencher::new(self.test_mode);
+            f(&mut bencher);
+            bencher.report(&label);
+        }
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        if self.criterion.selected(&label) {
+            let mut bencher = Bencher::new(self.criterion.test_mode);
+            f(&mut bencher);
+            bencher.report(&label);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        if self.criterion.selected(&label) {
+            let mut bencher = Bencher::new(self.criterion.test_mode);
+            f(&mut bencher, input);
+            bencher.report(&label);
+        }
+        self
+    }
+
+    pub fn finish(self) {
+        let _ = self.criterion.default_sample_size;
+        let _ = self.sample_size;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_ns_scales() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+    }
+
+    #[test]
+    fn bencher_smoke_mode_runs_once() {
+        let mut bencher = Bencher::new(true);
+        let mut calls = 0;
+        bencher.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        bencher.iter_batched(|| 5, |x| x + 1, BatchSize::LargeInput);
+        assert!(bencher.samples.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline vendored shim of the `rayon` API subset this workspace uses.
+//!
+//! Parallelism is real (std::thread::scope with one contiguous chunk per
+//! worker) but eager: each `map`/`filter_map` adapter runs its closure over
+//! all items in a parallel pass and stores the results, rather than fusing
+//! lazily like upstream rayon. Semantics the workspace relies on are
+//! preserved: order-stable results, `Send`/`Sync` bounds, and a speedup on
+//! multi-core hosts.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+use std::num::NonZeroUsize;
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items)
+}
+
+/// Run `f` over every item on a pool of scoped threads, preserving order.
+fn parallel_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut slots: Vec<Option<I>> = items.into_iter().map(Some).collect();
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in slots.chunks_mut(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, out) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    *out = Some(f(slot.take().expect("item consumed twice")));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker left a gap"))
+        .collect()
+}
+
+/// An in-memory "parallel iterator": adapters evaluate eagerly in a
+/// parallel pass; terminal operations drain the buffered items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    pub fn filter_map<R: Send, F: Fn(T) -> Option<R> + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: parallel_map(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        ParIter {
+            items: parallel_map(self.items, |t| if f(&t) { Some(t) } else { None })
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    pub fn reduce<Id, F>(self, identity: Id, op: F) -> T
+    where
+        Id: Fn() -> T,
+        F: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u32, u64, usize, i32, i64);
+
+/// Conversion into a borrowing parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data: Vec<(u32, u32)> = (0..100).map(|i| (i, i + 1)).collect();
+        let sums: Vec<u32> = data.par_iter().map(|&(a, b)| a + b).collect();
+        assert_eq!(sums[10], 21);
+    }
+
+    #[test]
+    fn filter_map_drops_none() {
+        let odd: Vec<u32> = (0..100u32)
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 1).then_some(x))
+            .collect();
+        assert_eq!(odd.len(), 50);
+        assert_eq!(odd[0], 1);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! Offline vendored `serde_derive`: generates the vendored `serde` shim's
+//! `to_value`/`from_value` impls by parsing the raw `TokenStream` directly
+//! (the build environment has no `syn`/`quote`).
+//!
+//! Supported shapes — exactly what the workspace declares:
+//! * structs with named fields,
+//! * tuple structs (newtype included),
+//! * enums whose variants are all unit variants.
+//!
+//! Generics and `#[serde(...)]` attributes are unsupported and panic with a
+//! clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// starting at `idx`; returns the first index past them.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut idx: usize) -> usize {
+    loop {
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                idx += 1; // the attribute body group
+                if matches!(tokens.get(idx), Some(TokenTree::Group(_))) {
+                    idx += 1;
+                }
+            }
+            Some(TokenTree::Ident(word)) if word.to_string() == "pub" => {
+                idx += 1;
+                if matches!(
+                    tokens.get(idx),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    idx += 1;
+                }
+            }
+            _ => return idx,
+        }
+    }
+}
+
+/// Split the tokens of a brace/paren group body on top-level commas
+/// (angle-bracket depth tracked so `BTreeMap<K, V>` stays one segment).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut segments = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for token in tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    segments.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(token.clone());
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(idx) {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    idx += 1;
+
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    idx += 1;
+
+    if matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is unsupported");
+    }
+
+    let body = match tokens.get(idx) {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde shim derive: expected body for `{name}`, got {other:?}"),
+    };
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+
+    match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => {
+            let mut fields = Vec::new();
+            for segment in split_top_level_commas(&body_tokens) {
+                let start = skip_attrs_and_vis(&segment, 0);
+                match segment.get(start) {
+                    Some(TokenTree::Ident(field)) => fields.push(field.to_string()),
+                    None => {} // trailing comma
+                    other => {
+                        panic!("serde shim derive: bad field in `{name}`: {other:?}")
+                    }
+                }
+            }
+            Shape::NamedStruct { name, fields }
+        }
+        ("struct", Delimiter::Parenthesis) => Shape::TupleStruct {
+            arity: split_top_level_commas(&body_tokens).len(),
+            name,
+        },
+        ("enum", Delimiter::Brace) => {
+            let mut variants = Vec::new();
+            for segment in split_top_level_commas(&body_tokens) {
+                let start = skip_attrs_and_vis(&segment, 0);
+                match segment.get(start) {
+                    Some(TokenTree::Ident(variant)) => {
+                        if matches!(segment.get(start + 1), Some(TokenTree::Group(_))) {
+                            panic!(
+                                "serde shim derive: enum `{name}` has non-unit variant \
+                                 `{variant}` (unsupported)"
+                            );
+                        }
+                        variants.push(variant.to_string());
+                    }
+                    None => {}
+                    other => {
+                        panic!("serde shim derive: bad variant in `{name}`: {other:?}")
+                    }
+                }
+            }
+            Shape::UnitEnum { name, variants }
+        }
+        _ => panic!("serde shim derive: unsupported shape for `{name}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for field in &fields {
+                write!(
+                    entries,
+                    "(::std::string::String::from(\"{field}\"), \
+                     ::serde::Serialize::to_value(&self.{field})),"
+                )
+                .unwrap();
+            }
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{ \
+                     fn to_value(&self) -> ::serde::Value {{ \
+                         ::serde::Value::Object(::std::vec![{entries}]) \
+                     }} \
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::TupleStruct { name, arity } => {
+            if arity == 1 {
+                // Newtype: transparent, like upstream serde.
+                write!(
+                    out,
+                    "impl ::serde::Serialize for {name} {{ \
+                         fn to_value(&self) -> ::serde::Value {{ \
+                             ::serde::Serialize::to_value(&self.0) \
+                         }} \
+                     }}"
+                )
+                .unwrap();
+            } else {
+                let mut entries = String::new();
+                for i in 0..arity {
+                    write!(entries, "::serde::Serialize::to_value(&self.{i}),").unwrap();
+                }
+                write!(
+                    out,
+                    "impl ::serde::Serialize for {name} {{ \
+                         fn to_value(&self) -> ::serde::Value {{ \
+                             ::serde::Value::Seq(::std::vec![{entries}]) \
+                         }} \
+                     }}"
+                )
+                .unwrap();
+            }
+        }
+        Shape::UnitEnum { name, variants } => {
+            let mut arms = String::new();
+            for variant in &variants {
+                write!(
+                    arms,
+                    "{name}::{variant} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{variant}\")),"
+                )
+                .unwrap();
+            }
+            write!(
+                out,
+                "impl ::serde::Serialize for {name} {{ \
+                     fn to_value(&self) -> ::serde::Value {{ \
+                         match self {{ {arms} }} \
+                     }} \
+                 }}"
+            )
+            .unwrap();
+        }
+    }
+    out.parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let mut entries = String::new();
+            for field in &fields {
+                write!(
+                    entries,
+                    "{field}: ::serde::Deserialize::from_value(\
+                         ::serde::get_field(fields, \"{field}\", \"{name}\")?\
+                     )?,"
+                )
+                .unwrap();
+            }
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{ \
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{ \
+                         let fields = value.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}\"))?; \
+                         ::std::result::Result::Ok({name} {{ {entries} }}) \
+                     }} \
+                 }}"
+            )
+            .unwrap();
+        }
+        Shape::TupleStruct { name, arity } => {
+            if arity == 1 {
+                write!(
+                    out,
+                    "impl ::serde::Deserialize for {name} {{ \
+                         fn from_value(value: &::serde::Value) \
+                             -> ::std::result::Result<Self, ::serde::Error> {{ \
+                             ::std::result::Result::Ok({name}(\
+                                 ::serde::Deserialize::from_value(value)?)) \
+                         }} \
+                     }}"
+                )
+                .unwrap();
+            } else {
+                let mut entries = String::new();
+                for i in 0..arity {
+                    write!(entries, "::serde::Deserialize::from_value(&items[{i}])?,").unwrap();
+                }
+                write!(
+                    out,
+                    "impl ::serde::Deserialize for {name} {{ \
+                         fn from_value(value: &::serde::Value) \
+                             -> ::std::result::Result<Self, ::serde::Error> {{ \
+                             let items = value.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}\"))?; \
+                             if items.len() != {arity} {{ \
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"wrong arity for {name}\")); \
+                             }} \
+                             ::std::result::Result::Ok({name}({entries})) \
+                         }} \
+                     }}"
+                )
+                .unwrap();
+            }
+        }
+        Shape::UnitEnum { name, variants } => {
+            let mut arms = String::new();
+            for variant in &variants {
+                write!(
+                    arms,
+                    "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),"
+                )
+                .unwrap();
+            }
+            write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{ \
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{ \
+                         let tag = value.as_str().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected string for {name}\"))?; \
+                         match tag {{ \
+                             {arms} \
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"unknown {name} variant {{other}}\"))), \
+                         }} \
+                     }} \
+                 }}"
+            )
+            .unwrap();
+        }
+    }
+    out.parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}
