@@ -75,6 +75,14 @@ fn bench_bulk_closeness(c: &mut Criterion) {
                 });
             },
         );
+        let s = cache.stats();
+        println!(
+            "[cache stats, bulk {pairs_n}] {} hits / {} misses ({:.1}% hit rate), {} evictions",
+            s.hits,
+            s.misses,
+            100.0 * s.hit_rate(),
+            s.evictions
+        );
     }
     group.finish();
 }
@@ -112,6 +120,14 @@ fn bench_detection_cycle(c: &mut Criterion) {
         bench.iter(|| std::hint::black_box(detector.detect_all(&ctx, &ledger, &reputations)));
     });
     group.finish();
+    let s = ctx.cache_stats();
+    println!(
+        "[cache stats, detect_all] {} hits / {} misses ({:.1}% hit rate), {} evictions",
+        s.hits,
+        s.misses,
+        100.0 * s.hit_rate(),
+        s.evictions
+    );
 }
 
 criterion_group!(benches, bench_bulk_closeness, bench_detection_cycle);

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
-use socialtrust_socnet::cache::SocialCoefficientCache;
+use socialtrust_socnet::cache::{CacheStats, SocialCoefficientCache};
 use socialtrust_socnet::closeness::ClosenessConfig;
 use socialtrust_socnet::graph::SocialGraph;
 use socialtrust_socnet::interaction::InteractionTracker;
@@ -28,10 +28,12 @@ use socialtrust_socnet::NodeId;
 ///
 /// Closeness queries are served through an internal
 /// [`SocialCoefficientCache`]: the graph and the interaction tracker carry
-/// generation counters that every mutator bumps, so the cache flushes
-/// itself on the first query after any mutation and answers repeat queries
-/// on an unchanged context in O(1). Cloning a context starts with an empty
-/// cache (memoization is semantically transparent).
+/// epoch + per-node dirty logs that every mutator feeds, so the first
+/// query after a mutation drains the accumulated dirty set and evicts only
+/// the touched neighborhood — entries for quiet regions of the network
+/// stay warm across cycles, and repeat queries on an unchanged context are
+/// O(1). Cloning a context starts with an empty cache (memoization is
+/// semantically transparent).
 #[derive(Debug, Clone)]
 pub struct SocialContext {
     graph: SocialGraph,
@@ -108,8 +110,8 @@ impl SocialContext {
     }
 
     /// Mutable access to the interaction tracker (e.g. for bulk-loading a
-    /// pre-built tracker in benches and tests). The tracker's generation
-    /// counter keeps the coefficient cache coherent across such edits.
+    /// pre-built tracker in benches and tests). The tracker's dirty log
+    /// keeps the coefficient cache coherent across such edits.
     pub fn interactions_mut(&mut self) -> &mut InteractionTracker {
         &mut self.interactions
     }
@@ -163,6 +165,13 @@ impl SocialContext {
     /// and tests).
     pub fn coefficient_cache(&self) -> &SocialCoefficientCache {
         &self.cache
+    }
+
+    /// Cumulative hit/miss/eviction counters of the internal coefficient
+    /// cache, for end-of-run observability (the sim engine reports these
+    /// per run and the bench binaries print them).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Interest similarity `Ωs(i,j)`: request-weighted Eq. (11) when

@@ -11,6 +11,13 @@
 //! pair, computes a Gaussian adjustment weight (Eqs. (6)/(8)/(9)) for each
 //! flagged pair, multiplies the flagged ratings by their weight, and only
 //! then forwards everything to the wrapped engine.
+//!
+//! The social coefficients consulted here come from the context's
+//! epoch-validated cache: between cycles, only the entries whose nodes
+//! actually appear in the graph/tracker dirty sets are recomputed, so the
+//! decorator never assumes (or pays for) a full coefficient recompute per
+//! cycle. [`WithSocialTrust::cache_stats`] exposes the hit/miss/eviction
+//! counters for benchmarks and diagnostics.
 
 use std::collections::HashMap;
 
@@ -87,6 +94,12 @@ impl<R: ReputationSystem> WithSocialTrust<R> {
     /// The detection ledger (read access, for diagnostics and tests).
     pub fn ledger(&self) -> &RatingLedger {
         &self.ledger
+    }
+
+    /// Hit/miss/eviction counters of the social-coefficient cache backing
+    /// this decorator's context.
+    pub fn cache_stats(&self) -> socialtrust_socnet::cache::CacheStats {
+        self.ctx.read().cache_stats()
     }
 }
 

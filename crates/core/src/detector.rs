@@ -191,7 +191,12 @@ impl Detector {
     /// Pairs are independent, so they are inspected in parallel with rayon;
     /// the system-wide mean rating frequency `F̄` is computed once for the
     /// whole interval, and the social coefficients are served through the
-    /// context's [`SocialCoefficientCache`]. The result is sorted by
+    /// context's [`SocialCoefficientCache`]. The cache invalidates
+    /// incrementally from the graph/tracker dirty sets, so across update
+    /// intervals only the coefficients of pairs near actually-mutated
+    /// nodes are recomputed — the detector makes no full-recompute
+    /// assumption, and its lock-striped shards let the rayon workers probe
+    /// the memo without serializing on one lock. The result is sorted by
     /// `(rater, ratee)`, so the output is deterministic regardless of the
     /// parallel schedule.
     ///

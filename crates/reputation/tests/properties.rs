@@ -63,6 +63,49 @@ proptest! {
         }
     }
 
+    /// Warm-start soundness: across any random multi-cycle rating stream,
+    /// a warm-started engine converges to the same trust vector as a
+    /// cold-started one, every cycle, within the stopping tolerance. (The
+    /// damped iteration is an L1 contraction, so the fixed point is unique
+    /// and start-vector independent.)
+    #[test]
+    fn eigentrust_warm_start_matches_cold_start(
+        cycles in proptest::collection::vec(ratings_strategy(10), 1..5),
+        reset_raw in 0u32..20,
+    ) {
+        // Values ≥ 10 mean "no reset" (the vendored proptest has no
+        // Option strategy).
+        let reset = (reset_raw < 10).then_some(reset_raw);
+        let pre = [NodeId(0), NodeId(3)];
+        let mut warm = EigenTrust::with_defaults(10, &pre);
+        let cold_cfg = EigenTrustConfig { warm_start: false, ..EigenTrustConfig::default() };
+        let mut cold = EigenTrust::new(10, &pre, cold_cfg);
+        let last = cycles.len() - 1;
+        for (c, batch) in cycles.into_iter().enumerate() {
+            for r in &batch {
+                warm.record(*r);
+                cold.record(*r);
+            }
+            // Optionally whitewash one node mid-stream: both engines must
+            // agree through the pretrust fallback too.
+            if c == last {
+                if let Some(node) = reset {
+                    warm.reset_node(NodeId(node));
+                    cold.reset_node(NodeId(node));
+                }
+            }
+            warm.end_cycle();
+            cold.end_cycle();
+            let diff: f64 = warm
+                .reputations()
+                .iter()
+                .zip(cold.reputations())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            prop_assert!(diff < 1e-6, "cycle {}: warm/cold L1 gap {}", c, diff);
+        }
+    }
+
     #[test]
     fn ebay_reputations_bounded_and_normalized(batch in ratings_strategy(12)) {
         let mut sys = EBayModel::new(12);

@@ -223,6 +223,7 @@ pub fn run<R: Rng + ?Sized>(
         requests_to_colluders,
         ratings_adjusted: system.total_adjusted_ratings(),
         suspicions_flagged: system.total_suspicions(),
+        cache: world.ctx.read().cache_stats(),
     }
 }
 

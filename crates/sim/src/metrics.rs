@@ -4,6 +4,7 @@
 //! 95% CI).
 
 use serde::{Deserialize, Serialize};
+use socialtrust_socnet::cache::CacheStats;
 use socialtrust_socnet::NodeId;
 
 /// A snapshot of the global reputation vector.
@@ -67,6 +68,9 @@ pub struct RunResult {
     pub ratings_adjusted: u64,
     /// Cumulative suspicions flagged by SocialTrust (0 for plain systems).
     pub suspicions_flagged: u64,
+    /// Hit/miss/eviction counters of the social-coefficient cache over the
+    /// run (all zero for plain systems, which never consult the cache).
+    pub cache: CacheStats,
 }
 
 impl RunResult {
@@ -202,6 +206,13 @@ impl MultiRunSummary {
             / nodes.len() as f64
     }
 
+    /// Social-coefficient cache counters summed across runs.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.runs
+            .iter()
+            .fold(CacheStats::default(), |acc, r| acc.merged(r.cache))
+    }
+
     /// Convergence percentiles (1st, 50th, 99th) of the cycles-until-
     /// suppressed metric (Figure 19). Runs that never converge are treated
     /// as taking the full run length.
@@ -237,6 +248,7 @@ mod tests {
             requests_to_colluders: 10,
             ratings_adjusted: 0,
             suspicions_flagged: 0,
+            cache: CacheStats::default(),
         }
     }
 

@@ -1,5 +1,5 @@
-//! Memoization of social-coefficient building blocks, invalidated by
-//! generation counters.
+//! Memoization of social-coefficient building blocks, invalidated
+//! incrementally by epoch + per-node dirty sets.
 //!
 //! Closeness queries repeat heavily inside one reputation-update cycle: the
 //! detector asks `Ωc(i,j)` for every active rater→ratee pair, the Gaussian
@@ -12,23 +12,56 @@
 //! [`SocialCoefficientCache`] memoizes the four building blocks —
 //! per-rater friend-interaction budgets, adjacent closeness, common-friend
 //! sets, and full closeness values (including the Eq. (4) path minima) —
-//! keyed by the **generation counters** of the [`SocialGraph`] and
-//! [`InteractionTracker`] it serves. Every graph or tracker mutation bumps
-//! the respective counter; the first cache access after a mutation flushes
-//! every memoized value, so cached reads are always equal (bit-for-bit) to
-//! a fresh computation. On an unchanged graph, repeat queries are O(1) hash
-//! lookups.
+//! validated against the **epoch + dirty-set logs**
+//! ([`DirtyLog`](crate::dirty::DirtyLog)) embedded in the [`SocialGraph`]
+//! and [`InteractionTracker`] it serves. On the first access after a
+//! mutation the cache drains the dirty delta accumulated since its last
+//! sync and evicts *only* the entries the touched nodes can influence,
+//! keeping the untouched region warm:
+//!
+//! * **friend totals** of dirty nodes (`Σ_{k∈S_i} f(i,k)` reads only `i`'s
+//!   adjacency and outgoing frequencies, and every mutation of either
+//!   dirties `i`);
+//! * **adjacent closeness** entries with a dirty endpoint (edge mutations
+//!   dirty both endpoints, so `m(i,j)` changes are always covered);
+//! * **common-friend sets** with a *graph*-dirty endpoint (the set is pure
+//!   structure, so interaction dirt never touches it);
+//! * **full closeness** entries whose key pair lies within the dirty 2-hop
+//!   closure — i.e. an endpoint within one hop of a dirty node. This is
+//!   sufficient for the local Eq. (2)/(3) branches: a dirty node `v` can
+//!   only perturb Ωc(i,j) by being an endpoint (`v ∈ {i,j}`) or a common
+//!   friend (`i,j ∈ S_v`), and in both cases an endpoint is within one hop
+//!   of `v`;
+//! * **Eq. (4) path entries** are the one genuinely non-local dependency —
+//!   an edge mutation can reroute a shortest path between nodes arbitrarily
+//!   far away — so each one records the path it minimized over: any
+//!   *structural* change (edge add/remove) evicts all of them, while
+//!   interaction-only dirt evicts just the entries whose recorded path
+//!   visits a dirty node.
+//!
+//! Cached reads remain equal (bit-for-bit) to a fresh computation — the
+//! property tests drive arbitrary interleavings of sparse mutations and
+//! queries against a fresh [`ClosenessModel`] to prove it.
+//!
+//! The memo maps are **sharded into lock-striped segments keyed by the
+//! rater** (the first node of the entry key), so concurrent readers and
+//! writers from the rayon-parallel detector spread across
+//! [`SHARD_COUNT`] `RwLock`s instead of serializing on one. Hit, miss, and
+//! eviction counters ([`stats`](SocialCoefficientCache::stats)) are plain
+//! atomics, keeping the read path lock-free apart from the per-shard read
+//! lock.
 //!
 //! # Invalidation contract
 //!
 //! * A cache instance must serve exactly **one** graph/tracker pairing for
 //!   its whole life (the [`SocialContext`] in `socialtrust-core` owns all
-//!   three together). Passing a *different* graph that happens to share a
-//!   generation number with the cached one is undetectable and yields stale
-//!   values.
+//!   three together). Passing a *different* graph that happens to share an
+//!   epoch with the cached one is undetectable and yields stale values.
 //! * The cache holds no references: every method borrows the graph and
 //!   tracker for the duration of the call only, so the owning struct stays
-//!   freely mutable between calls.
+//!   freely mutable between calls. Borrow rules then guarantee no query
+//!   can overlap a mutation, which is what makes the drain-then-publish
+//!   sync step race-free.
 //! * All methods take `&self`; interior locking makes the cache safe to
 //!   share across rayon workers (the parallel detector and bulk
 //!   [`SocialCoefficientCache::closeness_for_pairs`] path do exactly that).
@@ -37,16 +70,29 @@
 //!
 //! [`SocialContext`]: https://docs.rs/socialtrust-core
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
 
 use crate::closeness::ClosenessConfig;
+use crate::dirty::DirtyDelta;
 use crate::distance::shortest_path;
 use crate::graph::SocialGraph;
 use crate::interaction::InteractionTracker;
 use crate::relationship::weighted_relationship_sum;
 use crate::NodeId;
+
+/// Number of lock-striped segments the memo maps are sharded into.
+/// A power of two so routing is a mask of the rater id.
+pub const SHARD_COUNT: usize = 16;
+
+#[inline]
+fn shard_of(v: NodeId) -> usize {
+    v.index() & (SHARD_COUNT - 1)
+}
 
 /// Hashable identity of a [`ClosenessConfig`] (`f64` is not `Eq`, so the
 /// λ is keyed by its bit pattern).
@@ -61,12 +107,29 @@ fn config_key(config: ClosenessConfig) -> ConfigKey {
     )
 }
 
-/// The memoized values plus the generation snapshot they were computed
-/// under.
+/// What a memoized closeness value depends on, for targeted eviction.
+#[derive(Debug, Clone)]
+enum Deps {
+    /// The self / adjacent / common-friend branches of Ωc: the value is a
+    /// function of the key pair's 1-hop neighborhoods only, so it survives
+    /// any mutation whose dirty nodes are all ≥ 2 hops from both endpoints.
+    Local,
+    /// The Eq. (4) shortest-path fallback (or the disconnected /
+    /// hop-cap-exceeded zero, recorded with an empty path): the value
+    /// depends on global structure and on the interactions of the recorded
+    /// path's nodes.
+    Path(Box<[NodeId]>),
+}
+
+#[derive(Debug, Clone)]
+struct ClosenessEntry {
+    value: f64,
+    deps: Deps,
+}
+
+/// One lock stripe of the memo maps; entries route here by rater id.
 #[derive(Debug, Default)]
-struct CacheState {
-    graph_generation: u64,
-    interaction_generation: u64,
+struct Shard {
     /// `Σ_{k ∈ S_i} f(i,k)` per rater — the Eq. (2)/(10) denominator.
     friend_totals: HashMap<NodeId, f64>,
     /// Adjacent closeness per (config, i, j) — Eq. (2)/(10).
@@ -74,27 +137,104 @@ struct CacheState {
     /// Common-friend sets per unordered pair — the `S_i ∩ S_j` of Eq. (3).
     common_friends: HashMap<(NodeId, NodeId), Vec<NodeId>>,
     /// Full closeness per (config, i, j) — Eqs. (2)/(3)/(4)/(10).
-    closeness: HashMap<(ConfigKey, NodeId, NodeId), f64>,
+    closeness: HashMap<(ConfigKey, NodeId, NodeId), ClosenessEntry>,
 }
 
-impl CacheState {
+impl Shard {
     fn entry_count(&self) -> usize {
         self.friend_totals.len()
             + self.adjacent.len()
             + self.common_friends.len()
             + self.closeness.len()
     }
+
+    fn clear(&mut self) -> usize {
+        let n = self.entry_count();
+        self.friend_totals.clear();
+        self.adjacent.clear();
+        self.common_friends.clear();
+        self.closeness.clear();
+        n
+    }
 }
 
-/// A generation-validated memo of social-coefficient building blocks.
+/// Cumulative cache observability counters (see
+/// [`SocialCoefficientCache::stats`]). Hits and misses count memo-map
+/// lookups at building-block granularity (a single `closeness` call that
+/// misses may record several adjacent-closeness lookups underneath);
+/// evictions count entries dropped by invalidation, whether targeted or a
+/// full flush.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Memo-map lookups answered from the cache.
+    pub hits: u64,
+    /// Memo-map lookups that had to compute (and then insert) the value.
+    pub misses: u64,
+    /// Entries dropped by dirty-set eviction, full flushes, and
+    /// [`invalidate`](SocialCoefficientCache::invalidate).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache; 0 when nothing was
+    /// looked up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Element-wise sum, for aggregating stats across runs.
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+/// An epoch-validated, incrementally invalidated memo of social-coefficient
+/// building blocks.
 ///
-/// See the [module docs](self) for the invalidation contract. Construction
-/// is free; an empty cache behaves exactly like computing everything
-/// through a fresh [`ClosenessModel`](crate::closeness::ClosenessModel),
-/// only faster on repeats.
-#[derive(Debug, Default)]
+/// See the [module docs](self) for the eviction rules and the invalidation
+/// contract. Construction is free; an empty cache behaves exactly like
+/// computing everything through a fresh
+/// [`ClosenessModel`](crate::closeness::ClosenessModel), only faster on
+/// repeats.
+#[derive(Debug)]
 pub struct SocialCoefficientCache {
-    state: RwLock<CacheState>,
+    shards: Vec<RwLock<Shard>>,
+    /// Epoch snapshots the current contents are valid for. Published (with
+    /// `Release`) only *after* eviction completes, so a racing fast-path
+    /// reader can at worst take the slow path spuriously, never observe a
+    /// stale entry as fresh.
+    graph_epoch: AtomicU64,
+    interaction_epoch: AtomicU64,
+    /// Serializes the drain-and-evict slow path.
+    sync: Mutex<()>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for SocialCoefficientCache {
+    fn default() -> Self {
+        SocialCoefficientCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect(),
+            graph_epoch: AtomicU64::new(0),
+            interaction_epoch: AtomicU64::new(0),
+            sync: Mutex::new(()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Cloning a cache yields an **empty** cache: memoized values are
@@ -113,16 +253,27 @@ impl SocialCoefficientCache {
         SocialCoefficientCache::default()
     }
 
-    /// The generation snapshot the current contents were computed under,
-    /// as `(graph_generation, interaction_generation)`.
+    /// The epoch snapshot the current contents were computed under, as
+    /// `(graph_epoch, interaction_epoch)`.
     pub fn generations(&self) -> (u64, u64) {
-        let state = self.state.read();
-        (state.graph_generation, state.interaction_generation)
+        (
+            self.graph_epoch.load(Ordering::Acquire),
+            self.interaction_epoch.load(Ordering::Acquire),
+        )
     }
 
-    /// Total number of memoized entries across all four maps.
+    /// Cumulative hit/miss/eviction counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total number of memoized entries across all shards and maps.
     pub fn entry_count(&self) -> usize {
-        self.state.read().entry_count()
+        self.shards.iter().map(|s| s.read().entry_count()).sum()
     }
 
     /// `true` when nothing is memoized.
@@ -130,40 +281,117 @@ impl SocialCoefficientCache {
         self.entry_count() == 0
     }
 
-    /// Drop every memoized value (the generation snapshot is kept; the
-    /// next access simply refills). Handy for benchmarks that want to
-    /// measure the cold path.
+    /// Drop every memoized value (the epoch snapshot is kept; the next
+    /// access simply refills). Handy for benchmarks that want to measure
+    /// the cold, full-flush path.
     pub fn invalidate(&self) {
-        let mut state = self.state.write();
-        state.friend_totals.clear();
-        state.adjacent.clear();
-        state.common_friends.clear();
-        state.closeness.clear();
+        let mut dropped = 0usize;
+        for shard in &self.shards {
+            dropped += shard.write().clear();
+        }
+        self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
     }
 
-    /// Flush the cache if `graph`/`interactions` have mutated since the
-    /// memoized values were computed, and record the new snapshot.
+    /// Synchronize with `graph`/`interactions`: drain the dirty deltas
+    /// accumulated since the last sync, evict exactly the affected entries
+    /// (see the module docs for the rules), and publish the new epoch
+    /// snapshot.
     ///
     /// The caller holds shared borrows of both structures for the whole
-    /// public-method call, so the generations cannot move again until the
+    /// public-method call, so the epochs cannot move again until the
     /// method returns — values inserted after this check are valid.
     fn ensure_fresh(&self, graph: &SocialGraph, interactions: &InteractionTracker) {
-        let (graph_gen, inter_gen) = (graph.generation(), interactions.generation());
+        let (graph_now, inter_now) = (graph.epoch(), interactions.epoch());
+        if self.graph_epoch.load(Ordering::Acquire) == graph_now
+            && self.interaction_epoch.load(Ordering::Acquire) == inter_now
         {
-            let state = self.state.read();
-            if state.graph_generation == graph_gen && state.interaction_generation == inter_gen {
-                return;
+            return;
+        }
+        let _guard = self.sync.lock().expect("cache sync lock poisoned");
+        let synced_graph = self.graph_epoch.load(Ordering::Acquire);
+        let synced_inter = self.interaction_epoch.load(Ordering::Acquire);
+        if synced_graph == graph_now && synced_inter == inter_now {
+            return; // another thread drained while we waited on the lock
+        }
+        self.apply_deltas(
+            graph,
+            graph.changes_since(synced_graph),
+            interactions.changes_since(synced_inter),
+        );
+        self.graph_epoch.store(graph_now, Ordering::Release);
+        self.interaction_epoch.store(inter_now, Ordering::Release);
+    }
+
+    /// Evict the entries invalidated by a pair of dirty deltas.
+    fn apply_deltas(&self, graph: &SocialGraph, graph_delta: DirtyDelta, inter_delta: DirtyDelta) {
+        if matches!(graph_delta, DirtyDelta::Full) || matches!(inter_delta, DirtyDelta::Full) {
+            let mut dropped = 0usize;
+            for shard in &self.shards {
+                dropped += shard.write().clear();
+            }
+            self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+            return;
+        }
+
+        // Nodes dirtied structurally (graph) vs. dirtied at all.
+        let mut graph_dirty: HashSet<NodeId> = HashSet::new();
+        let mut dirty: HashSet<NodeId> = HashSet::new();
+        let mut structural = false;
+        if let DirtyDelta::Sparse {
+            nodes,
+            structural: s,
+        } = graph_delta
+        {
+            structural |= s;
+            graph_dirty.extend(nodes.iter().copied());
+            dirty.extend(nodes);
+        }
+        if let DirtyDelta::Sparse { nodes, .. } = inter_delta {
+            dirty.extend(nodes);
+        }
+        if dirty.is_empty() {
+            return;
+        }
+
+        // Pair closure = dirty ∪ N(dirty): a Local closeness entry (i,j)
+        // is affected only when a dirty node is an endpoint or a common
+        // friend, i.e. when i or j lies within one hop of a dirty node —
+        // the pair is then inside the dirty node's 2-hop ball. Computing
+        // the closure on the *new* graph is sound because any adjacency
+        // change dirties both edge endpoints.
+        let mut closure = dirty.clone();
+        for &v in &dirty {
+            if v.index() < graph.node_count() {
+                closure.extend(graph.neighbors(v).iter().copied());
             }
         }
-        let mut state = self.state.write();
-        if state.graph_generation != graph_gen || state.interaction_generation != inter_gen {
-            state.friend_totals.clear();
-            state.adjacent.clear();
-            state.common_friends.clear();
-            state.closeness.clear();
-            state.graph_generation = graph_gen;
-            state.interaction_generation = inter_gen;
+
+        let mut evicted = 0usize;
+        for shard in &self.shards {
+            let mut s = shard.write();
+            let before = s.entry_count();
+            s.friend_totals.retain(|i, _| !dirty.contains(i));
+            s.adjacent
+                .retain(|(_, i, j), _| !dirty.contains(i) && !dirty.contains(j));
+            s.common_friends
+                .retain(|(a, b), _| !graph_dirty.contains(a) && !graph_dirty.contains(b));
+            s.closeness.retain(|(_, i, j), entry| match &entry.deps {
+                Deps::Local => !closure.contains(i) && !closure.contains(j),
+                Deps::Path(nodes) => !structural && nodes.iter().all(|w| !dirty.contains(w)),
+            });
+            evicted += before - s.entry_count();
         }
+        self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Memoized `Σ_{k ∈ S_i} f(i,k)` — node `i`'s interaction budget spent
@@ -175,20 +403,32 @@ impl SocialCoefficientCache {
         i: NodeId,
     ) -> f64 {
         self.ensure_fresh(graph, interactions);
-        if let Some(&v) = self.state.read().friend_totals.get(&i) {
+        self.friend_total_inner(graph, interactions, i)
+    }
+
+    fn friend_total_inner(
+        &self,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        i: NodeId,
+    ) -> f64 {
+        let shard = &self.shards[shard_of(i)];
+        if let Some(&v) = shard.read().friend_totals.get(&i) {
+            self.record_hit();
             return v;
         }
+        self.record_miss();
         let v: f64 = graph
             .neighbors(i)
             .iter()
             .map(|&k| interactions.frequency(i, k))
             .sum();
-        self.state.write().friend_totals.insert(i, v);
+        shard.write().friend_totals.insert(i, v);
         v
     }
 
     /// Memoized common-friend set `S_a ∩ S_b` (symmetric; stored once per
-    /// unordered pair).
+    /// unordered pair, sharded by the smaller id).
     pub fn common_friends(
         &self,
         graph: &SocialGraph,
@@ -197,12 +437,19 @@ impl SocialCoefficientCache {
         b: NodeId,
     ) -> Vec<NodeId> {
         self.ensure_fresh(graph, interactions);
+        self.common_friends_inner(graph, a, b)
+    }
+
+    fn common_friends_inner(&self, graph: &SocialGraph, a: NodeId, b: NodeId) -> Vec<NodeId> {
         let key = if a <= b { (a, b) } else { (b, a) };
-        if let Some(v) = self.state.read().common_friends.get(&key) {
+        let shard = &self.shards[shard_of(key.0)];
+        if let Some(v) = shard.read().common_friends.get(&key) {
+            self.record_hit();
             return v.clone();
         }
+        self.record_miss();
         let v = graph.common_friends(a, b);
-        self.state.write().common_friends.insert(key, v.clone());
+        shard.write().common_friends.insert(key, v.clone());
         v
     }
 
@@ -218,12 +465,26 @@ impl SocialCoefficientCache {
         j: NodeId,
     ) -> f64 {
         self.ensure_fresh(graph, interactions);
+        self.adjacent_inner(graph, interactions, config, i, j)
+    }
+
+    fn adjacent_inner(
+        &self,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        config: ClosenessConfig,
+        i: NodeId,
+        j: NodeId,
+    ) -> f64 {
         let key = (config_key(config), i, j);
-        if let Some(&v) = self.state.read().adjacent.get(&key) {
+        let shard = &self.shards[shard_of(i)];
+        if let Some(&v) = shard.read().adjacent.get(&key) {
+            self.record_hit();
             return v;
         }
+        self.record_miss();
         let v = self.compute_adjacent(graph, interactions, config, i, j);
-        self.state.write().adjacent.insert(key, v);
+        shard.write().adjacent.insert(key, v);
         v
     }
 
@@ -248,7 +509,7 @@ impl SocialCoefficientCache {
         } else {
             rels.len() as f64
         };
-        let total = self.friend_interaction_total(graph, interactions, i);
+        let total = self.friend_total_inner(graph, interactions, i);
         if total <= 0.0 {
             return 0.0;
         }
@@ -267,19 +528,10 @@ impl SocialCoefficientCache {
         j: NodeId,
     ) -> f64 {
         self.ensure_fresh(graph, interactions);
-        let key = (config_key(config), i, j);
-        if let Some(&v) = self.state.read().closeness.get(&key) {
-            return v;
-        }
-        let v = self.compute_closeness(graph, interactions, config, i, j);
-        self.state.write().closeness.insert(key, v);
-        v
+        self.closeness_inner(graph, interactions, config, i, j)
     }
 
-    /// The Eq. (3)/(4) dispatch, built from the memoized sub-values. The
-    /// control flow and the floating-point evaluation order mirror
-    /// `ClosenessModel::closeness` exactly.
-    fn compute_closeness(
+    fn closeness_inner(
         &self,
         graph: &SocialGraph,
         interactions: &InteractionTracker,
@@ -287,45 +539,80 @@ impl SocialCoefficientCache {
         i: NodeId,
         j: NodeId,
     ) -> f64 {
+        let key = (config_key(config), i, j);
+        let shard = &self.shards[shard_of(i)];
+        if let Some(entry) = shard.read().closeness.get(&key) {
+            self.record_hit();
+            return entry.value;
+        }
+        self.record_miss();
+        let (value, deps) = self.compute_closeness(graph, interactions, config, i, j);
+        shard
+            .write()
+            .closeness
+            .insert(key, ClosenessEntry { value, deps });
+        value
+    }
+
+    /// The Eq. (3)/(4) dispatch, built from the memoized sub-values. The
+    /// control flow and the floating-point evaluation order mirror
+    /// `ClosenessModel::closeness` exactly. Alongside the value it returns
+    /// which dependency class the entry belongs to, for targeted eviction.
+    fn compute_closeness(
+        &self,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        config: ClosenessConfig,
+        i: NodeId,
+        j: NodeId,
+    ) -> (f64, Deps) {
         if i == j {
-            return graph
+            let v = graph
                 .neighbors(i)
                 .iter()
-                .map(|&k| self.adjacent_closeness(graph, interactions, config, i, k))
+                .map(|&k| self.adjacent_inner(graph, interactions, config, i, k))
                 .fold(0.0, f64::max);
+            return (v, Deps::Local);
         }
         if graph.are_adjacent(i, j) {
-            return self.adjacent_closeness(graph, interactions, config, i, j);
+            return (
+                self.adjacent_inner(graph, interactions, config, i, j),
+                Deps::Local,
+            );
         }
-        let common = self.common_friends(graph, interactions, i, j);
+        let common = self.common_friends_inner(graph, i, j);
         if !common.is_empty() {
-            return common
+            let v = common
                 .iter()
                 .map(|&k| {
-                    (self.adjacent_closeness(graph, interactions, config, i, k)
-                        + self.adjacent_closeness(graph, interactions, config, k, j))
+                    (self.adjacent_inner(graph, interactions, config, i, k)
+                        + self.adjacent_inner(graph, interactions, config, k, j))
                         / 2.0
                 })
                 .sum();
+            return (v, Deps::Local);
         }
         match shortest_path(graph, i, j) {
             Some(path) => {
                 if let Some(cap) = config.path_hop_cap {
                     if (path.len() as u32).saturating_sub(1) > cap {
-                        return 0.0;
+                        // The zero depends on the shortest-path *length*
+                        // only: pure structure, no interaction dependency.
+                        return (0.0, Deps::Path(Box::from([])));
                     }
                 }
                 let min_adjacent = path
                     .windows(2)
-                    .map(|w| self.adjacent_closeness(graph, interactions, config, w[0], w[1]))
+                    .map(|w| self.adjacent_inner(graph, interactions, config, w[0], w[1]))
                     .fold(f64::INFINITY, f64::min);
-                if min_adjacent.is_finite() {
+                let v = if min_adjacent.is_finite() {
                     min_adjacent
                 } else {
                     0.0
-                }
+                };
+                (v, Deps::Path(path.into_boxed_slice()))
             }
-            None => 0.0,
+            None => (0.0, Deps::Path(Box::from([]))),
         }
     }
 
@@ -333,7 +620,9 @@ impl SocialCoefficientCache {
     /// parallel with rayon. The cached counterpart of
     /// [`closeness_for_pairs`](crate::closeness::closeness_for_pairs):
     /// results are in input order and bitwise equal to per-pair
-    /// [`SocialCoefficientCache::closeness`] calls.
+    /// [`SocialCoefficientCache::closeness`] calls. The lock striping
+    /// means concurrent workers contend only when their raters share a
+    /// shard.
     pub fn closeness_for_pairs(
         &self,
         graph: &SocialGraph,
@@ -345,7 +634,7 @@ impl SocialCoefficientCache {
         self.ensure_fresh(graph, interactions);
         pairs
             .par_iter()
-            .map(|&(i, j)| self.closeness(graph, interactions, config, i, j))
+            .map(|&(i, j)| self.closeness_inner(graph, interactions, config, i, j))
             .collect()
     }
 }
@@ -413,10 +702,18 @@ mod tests {
         let first = cache.closeness(&g, &t, config, NodeId(0), NodeId(2));
         let filled = cache.entry_count();
         assert!(filled > 0);
+        let misses_after_fill = cache.stats().misses;
         for _ in 0..10 {
             assert_eq!(cache.closeness(&g, &t, config, NodeId(0), NodeId(2)), first);
         }
         assert_eq!(cache.entry_count(), filled, "hits must not re-insert");
+        let stats = cache.stats();
+        assert_eq!(
+            stats.misses, misses_after_fill,
+            "hits must not count as misses"
+        );
+        assert!(stats.hits >= 10);
+        assert!(stats.hit_rate() > 0.0);
     }
 
     #[test]
@@ -460,6 +757,114 @@ mod tests {
     }
 
     #[test]
+    fn sparse_mutation_keeps_far_region_warm() {
+        // Two 4-cliques joined by a long chain; mutating inside one clique
+        // must not evict entries memoized for the other.
+        let mut g = SocialGraph::new(12);
+        let mut t = InteractionTracker::new(12);
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                g.add_relationship(NodeId(a), NodeId(b), Relationship::friendship());
+                g.add_relationship(NodeId(8 + a), NodeId(8 + b), Relationship::friendship());
+            }
+        }
+        for w in [3u32, 4, 5, 6, 7, 8].windows(2) {
+            g.add_relationship(NodeId(w[0]), NodeId(w[1]), Relationship::friendship());
+        }
+        for v in 0..12u32 {
+            for &n in g.neighbors(NodeId(v)) {
+                t.record(NodeId(v), n, 1.0 + f64::from(v));
+            }
+        }
+        let cache = SocialCoefficientCache::new();
+        let config = ClosenessConfig::default();
+        let far = cache.closeness(&g, &t, config, NodeId(9), NodeId(11));
+        let near_before = cache.closeness(&g, &t, config, NodeId(0), NodeId(2));
+        let entries_before = cache.entry_count();
+        assert!(entries_before > 0);
+
+        // Interaction mutation at node 0: dirties only node 0.
+        t.record(NodeId(0), NodeId(1), 5.0);
+        let near_after = cache.closeness(&g, &t, config, NodeId(0), NodeId(2));
+        assert_ne!(near_before.to_bits(), near_after.to_bits());
+        let stats = cache.stats();
+        assert!(
+            stats.evictions > 0,
+            "the dirty neighborhood must be evicted"
+        );
+        // The far clique's entry survived the eviction and still matches a
+        // fresh computation.
+        let model = ClosenessModel::new(&g, &t, config);
+        assert_eq!(
+            cache
+                .closeness(&g, &t, config, NodeId(9), NodeId(11))
+                .to_bits(),
+            model.closeness(NodeId(9), NodeId(11)).to_bits()
+        );
+        assert_eq!(
+            far.to_bits(),
+            model.closeness(NodeId(9), NodeId(11)).to_bits()
+        );
+        assert!(
+            cache.entry_count() > 0,
+            "far-region entries must stay warm across a sparse mutation"
+        );
+    }
+
+    #[test]
+    fn structural_change_evicts_path_entries_everywhere() {
+        // A long path 0-1-2-...-7: Ωc(0,7) falls through to Eq. (4).
+        let mut g = SocialGraph::new(8);
+        let mut t = InteractionTracker::new(8);
+        for v in 0..7u32 {
+            g.add_relationship(NodeId(v), NodeId(v + 1), Relationship::friendship());
+            t.record(NodeId(v), NodeId(v + 1), 2.0);
+            t.record(NodeId(v + 1), NodeId(v), 1.0);
+        }
+        let config = ClosenessConfig {
+            path_hop_cap: None,
+            ..ClosenessConfig::default()
+        };
+        let cache = SocialCoefficientCache::new();
+        let before = cache.closeness(&g, &t, config, NodeId(0), NodeId(7));
+        assert!(before > 0.0);
+        // A shortcut far from nodes 0/7's neighborhoods reroutes the path.
+        g.add_relationship(NodeId(2), NodeId(5), Relationship::friendship());
+        let model = ClosenessModel::new(&g, &t, config);
+        let after = cache.closeness(&g, &t, config, NodeId(0), NodeId(7));
+        assert_eq!(
+            after.to_bits(),
+            model.closeness(NodeId(0), NodeId(7)).to_bits()
+        );
+    }
+
+    #[test]
+    fn interaction_dirt_evicts_path_entries_through_recorded_path() {
+        let mut g = SocialGraph::new(6);
+        let mut t = InteractionTracker::new(6);
+        for v in 0..5u32 {
+            g.add_relationship(NodeId(v), NodeId(v + 1), Relationship::friendship());
+            t.record(NodeId(v), NodeId(v + 1), 2.0);
+            t.record(NodeId(v + 1), NodeId(v), 1.0);
+        }
+        let config = ClosenessConfig {
+            path_hop_cap: None,
+            ..ClosenessConfig::default()
+        };
+        let cache = SocialCoefficientCache::new();
+        let _ = cache.closeness(&g, &t, config, NodeId(0), NodeId(5));
+        // Mid-path interaction change shifts the Eq. (4) minimum.
+        t.record(NodeId(2), NodeId(3), 10.0);
+        let model = ClosenessModel::new(&g, &t, config);
+        assert_eq!(
+            cache
+                .closeness(&g, &t, config, NodeId(0), NodeId(5))
+                .to_bits(),
+            model.closeness(NodeId(0), NodeId(5)).to_bits()
+        );
+    }
+
+    #[test]
     fn clear_invalidates_frequencies() {
         let (g, mut t) = fixture();
         let cache = SocialCoefficientCache::new();
@@ -479,7 +884,7 @@ mod tests {
         let direct = closeness_for_pairs(&g, &t, config, &pairs);
         assert_eq!(bulk, direct);
         assert!(cache.entry_count() > 0);
-        // Mutate, then the bulk path must flush and recompute.
+        // Mutate, then the bulk path must evict and recompute.
         g.add_relationship(NodeId(1), NodeId(4), Relationship::friendship());
         let bulk2 = cache.closeness_for_pairs(&g, &t, config, &pairs);
         let direct2 = closeness_for_pairs(&g, &t, config, &pairs);
@@ -513,8 +918,10 @@ mod tests {
         let config = ClosenessConfig::default();
         let v = cache.closeness(&g, &t, config, NodeId(0), NodeId(2));
         assert!(!cache.is_empty());
+        let evictions_before = cache.stats().evictions;
         cache.invalidate();
         assert!(cache.is_empty());
+        assert!(cache.stats().evictions > evictions_before);
         assert_eq!(v, cache.closeness(&g, &t, config, NodeId(0), NodeId(2)));
     }
 

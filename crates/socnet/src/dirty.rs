@@ -1,0 +1,217 @@
+//! Epoch-based per-node dirty tracking for incremental cache invalidation.
+//!
+//! [`SocialGraph`](crate::graph::SocialGraph) and
+//! [`InteractionTracker`](crate::interaction::InteractionTracker) each embed
+//! a [`DirtyLog`]. Every mutator bumps the log's epoch and records *which*
+//! nodes it touched; consumers such as
+//! [`SocialCoefficientCache`](crate::cache::SocialCoefficientCache) remember
+//! the epoch they last synchronized at and ask the log for
+//! [`changes_since`](DirtyLog::changes_since) that epoch. In the
+//! steady-state regime the paper's Overstock trace exhibits — most edges
+//! quiet each interval — the answer is a small [`DirtyDelta::Sparse`] set,
+//! so the consumer can evict only the affected neighborhood instead of
+//! flushing every memoized coefficient.
+//!
+//! The log is deliberately *not* a journal of individual operations: it
+//! stores, per node, the epoch at which that node was last touched. That
+//! keeps memory bounded by the node count (repeated mutations of the same
+//! node collapse into one entry) while still answering "what changed since
+//! epoch `e`?" exactly, for any `e`, via a single scan.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// What changed in a mutation source since a consumer's last sync epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirtyDelta {
+    /// Nothing changed; all memoized state derived from the source is
+    /// still valid.
+    Clean,
+    /// A sparse set of nodes changed. Only state depending on these nodes
+    /// (directly or through their neighborhood) needs recomputation.
+    Sparse {
+        /// Nodes touched by at least one mutation since the sync epoch,
+        /// in unspecified order, without duplicates.
+        nodes: Vec<NodeId>,
+        /// Whether any of those mutations changed graph *structure*
+        /// (edge added or removed). Structural changes can reroute
+        /// shortest paths between arbitrary node pairs, so memoized
+        /// values derived from paths (Eq. (4) fallbacks) cannot be
+        /// salvaged by neighborhood reasoning alone.
+        structural: bool,
+    },
+    /// A whole-state mutation happened (e.g. [`clear`]) — or the consumer
+    /// is lagging behind one. Everything derived from the source must be
+    /// recomputed.
+    ///
+    /// [`clear`]: crate::interaction::InteractionTracker::clear
+    Full,
+}
+
+/// Epoch counter plus per-node last-touched map (see module docs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DirtyLog {
+    /// Bumped by every mutation. `0` means "never mutated".
+    epoch: u64,
+    /// `touched[v]` = epoch at which `v` was last touched.
+    touched: BTreeMap<NodeId, u64>,
+    /// Epoch of the most recent *structural* mutation (edge add/remove).
+    structural_epoch: u64,
+    /// Epoch of the most recent whole-state mutation (e.g. `clear`).
+    /// Consumers synced before this point must do a full recomputation.
+    global_epoch: u64,
+}
+
+impl DirtyLog {
+    /// A fresh log at epoch 0 with nothing dirty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current epoch. Two observations of the same epoch on the same
+    /// source are guaranteed to have seen identical state.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Record a non-structural mutation touching `nodes`.
+    pub fn touch(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        self.epoch += 1;
+        let e = self.epoch;
+        for v in nodes {
+            self.touched.insert(v, e);
+        }
+    }
+
+    /// Record a structural mutation (edge add/remove) touching `nodes`.
+    pub fn touch_structural(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        self.touch(nodes);
+        self.structural_epoch = self.epoch;
+    }
+
+    /// Record a whole-state mutation: everything is dirty for every
+    /// consumer, and the per-node map can be dropped.
+    pub fn touch_all(&mut self) {
+        self.epoch += 1;
+        self.global_epoch = self.epoch;
+        self.touched.clear();
+    }
+
+    /// What changed since a consumer's sync epoch `since`.
+    ///
+    /// Returns [`DirtyDelta::Full`] when a whole-state mutation happened
+    /// after `since`; otherwise the exact sparse set
+    /// `{v : last_touched(v) > since}`.
+    pub fn changes_since(&self, since: u64) -> DirtyDelta {
+        if since >= self.epoch {
+            return DirtyDelta::Clean;
+        }
+        if since < self.global_epoch {
+            return DirtyDelta::Full;
+        }
+        let nodes: Vec<NodeId> = self
+            .touched
+            .iter()
+            .filter(|(_, &e)| e > since)
+            .map(|(&v, _)| v)
+            .collect();
+        DirtyDelta::Sparse {
+            nodes,
+            structural: self.structural_epoch > since,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<NodeId>) -> Vec<NodeId> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn fresh_log_is_clean() {
+        let log = DirtyLog::new();
+        assert_eq!(log.epoch(), 0);
+        assert_eq!(log.changes_since(0), DirtyDelta::Clean);
+    }
+
+    #[test]
+    fn touch_reports_exact_sparse_suffix() {
+        let mut log = DirtyLog::new();
+        log.touch([NodeId(1)]);
+        let mid = log.epoch();
+        log.touch([NodeId(2), NodeId(3)]);
+        match log.changes_since(0) {
+            DirtyDelta::Sparse { nodes, structural } => {
+                assert_eq!(sorted(nodes), vec![NodeId(1), NodeId(2), NodeId(3)]);
+                assert!(!structural);
+            }
+            other => panic!("expected sparse delta, got {other:?}"),
+        }
+        match log.changes_since(mid) {
+            DirtyDelta::Sparse { nodes, .. } => {
+                assert_eq!(sorted(nodes), vec![NodeId(2), NodeId(3)]);
+            }
+            other => panic!("expected sparse delta, got {other:?}"),
+        }
+        assert_eq!(log.changes_since(log.epoch()), DirtyDelta::Clean);
+    }
+
+    #[test]
+    fn repeated_touches_deduplicate() {
+        let mut log = DirtyLog::new();
+        for _ in 0..100 {
+            log.touch([NodeId(7)]);
+        }
+        match log.changes_since(0) {
+            DirtyDelta::Sparse { nodes, .. } => assert_eq!(nodes, vec![NodeId(7)]),
+            other => panic!("expected sparse delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn structural_flag_tracks_sync_epoch() {
+        let mut log = DirtyLog::new();
+        log.touch_structural([NodeId(0), NodeId(1)]);
+        let after_edge = log.epoch();
+        log.touch([NodeId(2)]);
+        match log.changes_since(0) {
+            DirtyDelta::Sparse { structural, .. } => assert!(structural),
+            other => panic!("expected sparse delta, got {other:?}"),
+        }
+        // A consumer synced after the edge change only sees the
+        // interaction-style touch.
+        match log.changes_since(after_edge) {
+            DirtyDelta::Sparse { nodes, structural } => {
+                assert_eq!(nodes, vec![NodeId(2)]);
+                assert!(!structural);
+            }
+            other => panic!("expected sparse delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn touch_all_forces_full_for_lagging_consumers() {
+        let mut log = DirtyLog::new();
+        log.touch([NodeId(1)]);
+        let before_clear = log.epoch();
+        log.touch_all();
+        assert_eq!(log.changes_since(before_clear), DirtyDelta::Full);
+        assert_eq!(log.changes_since(0), DirtyDelta::Full);
+        // Consumers synced at/after the clear see only later touches.
+        let after_clear = log.epoch();
+        assert_eq!(log.changes_since(after_clear), DirtyDelta::Clean);
+        log.touch([NodeId(4)]);
+        match log.changes_since(after_clear) {
+            DirtyDelta::Sparse { nodes, .. } => assert_eq!(nodes, vec![NodeId(4)]),
+            other => panic!("expected sparse delta, got {other:?}"),
+        }
+    }
+}

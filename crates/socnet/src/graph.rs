@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use crate::dirty::{DirtyDelta, DirtyLog};
 use crate::relationship::Relationship;
 use crate::NodeId;
 
@@ -40,7 +41,7 @@ pub struct SocialGraph {
     adj: Vec<Vec<NodeId>>,
     rels: HashMap<EdgeKey, Vec<Relationship>>,
     edge_count: usize,
-    generation: u64,
+    dirty: DirtyLog,
 }
 
 impl SocialGraph {
@@ -50,7 +51,7 @@ impl SocialGraph {
             adj: vec![Vec::new(); n],
             rels: HashMap::new(),
             edge_count: 0,
-            generation: 0,
+            dirty: DirtyLog::new(),
         }
     }
 
@@ -66,22 +67,41 @@ impl SocialGraph {
         self.edge_count
     }
 
-    /// Mutation counter: bumped by every structural change (`add_node`,
+    /// Mutation epoch: bumped by every change (`add_node`,
     /// `add_relationship`, `remove_edge`). Two calls observing the same
-    /// generation on the same graph are guaranteed to see identical
-    /// structure, which is what
-    /// [`crate::cache::SocialCoefficientCache`] relies on to reuse
-    /// memoized closeness values.
+    /// epoch on the same graph are guaranteed to see identical structure,
+    /// which is what [`crate::cache::SocialCoefficientCache`] relies on to
+    /// reuse memoized closeness values.
     #[inline]
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.dirty.epoch()
+    }
+
+    /// Alias for [`generation`](Self::generation), in the vocabulary of the
+    /// dirty-tracking pipeline.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.dirty.epoch()
+    }
+
+    /// Which nodes were touched by mutations after epoch `since` (see
+    /// [`DirtyLog::changes_since`]). Edge mutations dirty both endpoints
+    /// and carry the `structural` flag; `add_node` dirties only the new
+    /// (isolated) node, since it cannot affect any existing path or
+    /// neighborhood.
+    #[inline]
+    pub fn changes_since(&self, since: u64) -> DirtyDelta {
+        self.dirty.changes_since(since)
     }
 
     /// Append a new isolated node, returning its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId::from(self.adj.len());
         self.adj.push(Vec::new());
-        self.generation += 1;
+        // A new node is isolated: it cannot change any existing adjacency,
+        // common-friend set, or shortest path, so only the node itself is
+        // marked dirty (non-structurally).
+        self.dirty.touch([id]);
         id
     }
 
@@ -123,7 +143,7 @@ impl SocialGraph {
             self.edge_count += 1;
         }
         list.push(rel);
-        self.generation += 1;
+        self.dirty.touch_structural([a, b]);
     }
 
     /// Remove the edge between `a` and `b` entirely (all relationships).
@@ -143,7 +163,7 @@ impl SocialGraph {
                 remove_sorted(&mut self.adj[a.index()], b);
                 remove_sorted(&mut self.adj[b.index()], a);
                 self.edge_count -= 1;
-                self.generation += 1;
+                self.dirty.touch_structural([a, b]);
                 list
             }
             None => Vec::new(),
@@ -374,6 +394,35 @@ mod tests {
         let before_node = g.generation();
         g.add_node();
         assert!(g.generation() > before_node);
+    }
+
+    #[test]
+    fn dirty_set_names_touched_endpoints() {
+        use crate::dirty::DirtyDelta;
+        let mut g = SocialGraph::new(4);
+        let e0 = g.epoch();
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        match g.changes_since(e0) {
+            DirtyDelta::Sparse {
+                mut nodes,
+                structural,
+            } => {
+                nodes.sort();
+                assert_eq!(nodes, vec![NodeId(0), NodeId(1)]);
+                assert!(structural);
+            }
+            other => panic!("expected sparse delta, got {other:?}"),
+        }
+        let e1 = g.epoch();
+        let v = g.add_node();
+        match g.changes_since(e1) {
+            DirtyDelta::Sparse { nodes, structural } => {
+                assert_eq!(nodes, vec![v]);
+                assert!(!structural, "isolated node add is not structural");
+            }
+            other => panic!("expected sparse delta, got {other:?}"),
+        }
+        assert_eq!(g.changes_since(g.epoch()), DirtyDelta::Clean);
     }
 
     #[test]

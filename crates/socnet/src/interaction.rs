@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::dirty::{DirtyDelta, DirtyLog};
 use crate::NodeId;
 
 /// Tracks directed interaction frequencies `f(i,j)` between nodes.
@@ -23,8 +24,10 @@ pub struct InteractionTracker {
     counts: Vec<BTreeMap<NodeId, f64>>,
     /// `totals[i] = Σ_k f(i, k)` (kept incrementally to avoid rescans).
     totals: Vec<f64>,
-    /// Mutation counter (see [`InteractionTracker::generation`]).
-    generation: u64,
+    /// Epoch + per-node dirty log (see [`InteractionTracker::generation`]).
+    /// Serialized along with the frequencies, so a roundtripped tracker
+    /// keeps its epoch history.
+    dirty: DirtyLog,
 }
 
 impl InteractionTracker {
@@ -33,7 +36,7 @@ impl InteractionTracker {
         InteractionTracker {
             counts: vec![BTreeMap::new(); n],
             totals: vec![0.0; n],
-            generation: 0,
+            dirty: DirtyLog::new(),
         }
     }
 
@@ -43,22 +46,43 @@ impl InteractionTracker {
         self.totals.len()
     }
 
-    /// Mutation counter: bumped by every state change (`record`, `clear`,
-    /// a growing `ensure_nodes`). Two calls observing the same generation
+    /// Mutation epoch: bumped by every state change (`record`, `clear`,
+    /// a growing `ensure_nodes`). Two calls observing the same epoch
     /// on the same tracker see identical frequencies; the closeness cache
     /// ([`crate::cache::SocialCoefficientCache`]) keys its memoized
     /// values on this.
     #[inline]
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.dirty.epoch()
+    }
+
+    /// Alias for [`generation`](Self::generation), in the vocabulary of the
+    /// dirty-tracking pipeline.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.dirty.epoch()
+    }
+
+    /// Which nodes had their outgoing frequencies changed after epoch
+    /// `since`. `record(from, to, _)` dirties only `from`: the closeness
+    /// equations consume interaction data exclusively through `f(from, ·)`
+    /// and `Σ_k f(from, k)`, both keyed by the initiating node. `clear`
+    /// reports [`DirtyDelta::Full`].
+    #[inline]
+    pub fn changes_since(&self, since: u64) -> DirtyDelta {
+        self.dirty.changes_since(since)
     }
 
     /// Grow the tracker to cover at least `n` nodes.
     pub fn ensure_nodes(&mut self, n: usize) {
-        if n > self.totals.len() {
+        let old = self.totals.len();
+        if n > old {
             self.counts.resize(n, BTreeMap::new());
             self.totals.resize(n, 0.0);
-            self.generation += 1;
+            // New nodes start with zero frequencies, so they cannot change
+            // any existing value — but consumers indexing per-node state
+            // still need to learn they exist.
+            self.dirty.touch((old..n).map(NodeId::from));
         }
     }
 
@@ -78,7 +102,9 @@ impl InteractionTracker {
         );
         *self.counts[from.index()].entry(to).or_insert(0.0) += amount;
         self.totals[from.index()] += amount;
-        self.generation += 1;
+        // Only `from` is dirtied: closeness reads interaction data solely
+        // through f(from, ·) and the outgoing total of `from`.
+        self.dirty.touch([from]);
     }
 
     /// The directed frequency `f(from, to)`.
@@ -125,7 +151,9 @@ impl InteractionTracker {
         for t in &mut self.totals {
             *t = 0.0;
         }
-        self.generation += 1;
+        // Every node's frequencies changed at once; cheaper to declare a
+        // whole-state mutation than to enumerate all nodes.
+        self.dirty.touch_all();
     }
 }
 
@@ -227,6 +255,36 @@ mod tests {
         let after_grow = t.generation();
         t.ensure_nodes(3);
         assert_eq!(t.generation(), after_grow);
+    }
+
+    #[test]
+    fn dirty_set_names_the_rater_only() {
+        use crate::dirty::DirtyDelta;
+        let mut t = InteractionTracker::new(3);
+        let e0 = t.epoch();
+        t.record(NodeId(0), NodeId(1), 1.0);
+        match t.changes_since(e0) {
+            DirtyDelta::Sparse { nodes, structural } => {
+                assert_eq!(nodes, vec![NodeId(0)]);
+                assert!(!structural);
+            }
+            other => panic!("expected sparse delta, got {other:?}"),
+        }
+        t.clear();
+        assert_eq!(t.changes_since(e0), DirtyDelta::Full);
+        assert_eq!(t.changes_since(t.epoch()), DirtyDelta::Clean);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_frequencies() {
+        let mut t = InteractionTracker::new(3);
+        t.record(NodeId(0), NodeId(1), 2.5);
+        t.record(NodeId(2), NodeId(0), 1.0);
+        let json = serde_json::to_string(&t).expect("serialize");
+        let back: InteractionTracker = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.node_count(), 3);
+        assert_eq!(back.frequency(NodeId(0), NodeId(1)), 2.5);
+        assert_eq!(back.total_outgoing(NodeId(2)), 1.0);
     }
 
     #[test]

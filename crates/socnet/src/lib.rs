@@ -15,9 +15,12 @@
 //! * [`closeness::ClosenessModel`] — social closeness `Ωc(i,j)` implementing
 //!   the paper's Equations (2), (3), (4) and the falsification-resilient
 //!   weighted variant, Equation (10).
-//! * [`cache::SocialCoefficientCache`] — generation-validated memoization of
-//!   the closeness building blocks, so repeat queries on an unchanged
-//!   graph are O(1).
+//! * [`cache::SocialCoefficientCache`] — epoch-validated, incrementally
+//!   invalidated memoization of the closeness building blocks, so repeat
+//!   queries on an unchanged graph are O(1) and sparse mutations only
+//!   evict the touched neighborhood.
+//! * [`dirty`] — the epoch + per-node dirty-set log that mutation sources
+//!   embed so caches can invalidate incrementally.
 //! * [`interest`] — interest sets and interest similarity `Ωs(i,j)`
 //!   (Equations (1)/(7)) plus the request-weighted variant, Equation (11).
 //! * [`builder`] — random social-network generators used by the simulator
@@ -54,6 +57,7 @@ pub mod builder;
 pub mod cache;
 pub mod closeness;
 pub mod community;
+pub mod dirty;
 pub mod distance;
 pub mod graph;
 pub mod interaction;
@@ -100,7 +104,7 @@ impl std::fmt::Display for NodeId {
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
-    pub use crate::cache::SocialCoefficientCache;
+    pub use crate::cache::{CacheStats, SocialCoefficientCache};
     pub use crate::closeness::{ClosenessConfig, ClosenessModel};
     pub use crate::distance;
     pub use crate::graph::SocialGraph;

@@ -279,4 +279,68 @@ proptest! {
             check(&g, &t)?;
         }
     }
+
+    /// The incremental-invalidation stress test: interleave *sparse*
+    /// mutations with queries of single pairs, so most memoized entries sit
+    /// unqueried across many dirty-set drains. Any entry the targeted
+    /// eviction wrongly retains will be caught stale by the final
+    /// full-pair sweep against a fresh `ClosenessModel`.
+    #[test]
+    fn incremental_cache_matches_fresh_model_under_sparse_interleaving(
+        seed in 0u64..200,
+        n in 4usize..24,
+        weighted in proptest::bool::ANY,
+        script in proptest::collection::vec((0u8..6, 0u64..u64::MAX), 1..40),
+    ) {
+        let (mut g, mut t) = env(seed, n);
+        let config = if weighted {
+            ClosenessConfig::weighted(0.8)
+        } else {
+            ClosenessConfig::default()
+        };
+        let cache = SocialCoefficientCache::new();
+        for (op, raw) in script {
+            let a = NodeId::from((raw % n as u64) as usize);
+            let b = NodeId::from(((raw / n as u64) % n as u64) as usize);
+            match op {
+                0 if a != b => {
+                    g.add_relationship(a, b, Relationship::friendship());
+                }
+                1 => {
+                    g.remove_edge(a, b);
+                }
+                2 | 3 if a != b => {
+                    t.record(a, b, (raw % 7 + 1) as f64);
+                }
+                // 4 and 5 are pure query steps: no mutation at all.
+                _ => {}
+            }
+            // Query only this step's pair; everything else stays memoized
+            // (or gets evicted) without being observed.
+            let model = ClosenessModel::new(&g, &t, config);
+            prop_assert_eq!(
+                cache.closeness(&g, &t, config, a, b).to_bits(),
+                model.closeness(a, b).to_bits()
+            );
+            prop_assert_eq!(
+                cache.closeness(&g, &t, config, b, a).to_bits(),
+                model.closeness(b, a).to_bits()
+            );
+        }
+        // Final sweep: every pair — including ones last memoized many
+        // mutations ago — must agree bit-for-bit with a fresh model.
+        let model = ClosenessModel::new(&g, &t, config);
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (NodeId::from(i), NodeId::from(j));
+                prop_assert_eq!(
+                    cache.closeness(&g, &t, config, a, b).to_bits(),
+                    model.closeness(a, b).to_bits(),
+                    "stale entry for ({}, {})", a, b
+                );
+            }
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.hits + stats.misses > 0);
+    }
 }
