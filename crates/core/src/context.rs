@@ -23,6 +23,7 @@ use socialtrust_socnet::interest::{
     similarity, weighted_similarity, InterestId, InterestProfile, InterestSet,
 };
 use socialtrust_socnet::NodeId;
+use socialtrust_telemetry::Telemetry;
 
 /// The bundled social state of the network.
 ///
@@ -169,9 +170,19 @@ impl SocialContext {
 
     /// Cumulative hit/miss/eviction counters of the internal coefficient
     /// cache, for end-of-run observability (the sim engine reports these
-    /// per run and the bench binaries print them).
+    /// per run and the bench binaries print them). A point-in-time
+    /// snapshot — diff two with [`CacheStats::delta`] for per-cycle
+    /// readings.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Re-homes the coefficient cache's counters onto `telemetry`'s
+    /// registry (`cache_hits_total` / `cache_misses_total` /
+    /// `cache_evictions_total`) and routes its eviction-storm events to
+    /// the bundle's sink. Idempotent; accumulated counts are preserved.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.cache.attach_telemetry(telemetry);
     }
 
     /// Interest similarity `Ωs(i,j)`: request-weighted Eq. (11) when

@@ -20,16 +20,50 @@
 //! counters for benchmarks and diagnostics.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use socialtrust_reputation::rating::{PairKey, Rating, RatingLedger};
-use socialtrust_reputation::system::ReputationSystem;
+use socialtrust_reputation::system::{ConvergenceRecord, ReputationSystem};
 use socialtrust_socnet::NodeId;
+use socialtrust_telemetry::{Counter, Event, EventSink, Histogram, Telemetry};
 
 use crate::config::{AdjustmentMode, BaselineMode, SocialTrustConfig};
 use crate::context::{SharedSocialContext, SocialContext};
-use crate::detector::{Detector, Suspicion};
+use crate::detector::{Detector, DetectorMetrics, Suspicion};
 use crate::gaussian::{adjustment_weight, combined_weight};
 use crate::stats::OmegaStats;
+
+/// Registry handles the decorator publishes through once
+/// [`WithSocialTrust`] is attached to a [`Telemetry`] bundle. Kept in a
+/// separate struct (rather than on the decorator directly) so an
+/// un-instrumented decorator carries a single `Option` of overhead.
+#[derive(Debug, Clone)]
+struct DecoratorTelemetry {
+    detector: DetectorMetrics,
+    /// `gaussian_weight_seconds`: wall time of the per-cycle Gaussian
+    /// weight pass (detection + parallel weight computation + hysteresis).
+    gaussian_seconds: Histogram,
+    /// `reputation_update_seconds`: wall time of the wrapped engine's
+    /// `end_cycle` (e.g. EigenTrust power iteration).
+    update_seconds: Histogram,
+    /// `decorator_rescaled_ratings_total`: ratings multiplied by a
+    /// Gaussian weight before being forwarded to the inner engine.
+    rescaled: Counter,
+    sink: EventSink,
+}
+
+impl DecoratorTelemetry {
+    fn new(telemetry: &Telemetry) -> Self {
+        let registry = telemetry.registry();
+        DecoratorTelemetry {
+            detector: DetectorMetrics::new(telemetry),
+            gaussian_seconds: registry.histogram("gaussian_weight_seconds"),
+            update_seconds: registry.histogram("reputation_update_seconds"),
+            rescaled: registry.counter("decorator_rescaled_ratings_total"),
+            sink: telemetry.sink().clone(),
+        }
+    }
+}
 
 /// A reputation system wrapped with the SocialTrust adjustment layer.
 #[derive(Debug)]
@@ -47,6 +81,10 @@ pub struct WithSocialTrust<R> {
     remembered: std::collections::BTreeMap<PairKey, u64>,
     total_adjusted_ratings: u64,
     total_suspicions_flagged: u64,
+    /// Completed `end_cycle` count — the cycle index stamped on emitted
+    /// detection-verdict events.
+    cycles_completed: u64,
+    telemetry: Option<DecoratorTelemetry>,
 }
 
 impl<R: ReputationSystem> WithSocialTrust<R> {
@@ -66,6 +104,8 @@ impl<R: ReputationSystem> WithSocialTrust<R> {
             remembered: std::collections::BTreeMap::new(),
             total_adjusted_ratings: 0,
             total_suspicions_flagged: 0,
+            cycles_completed: 0,
+            telemetry: None,
         }
     }
 
@@ -203,9 +243,13 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
         let reputations_prev = self.inner.reputations().to_vec();
         let (suspicions, weights) = {
             let ctx = self.ctx.read();
-            let suspicions = self
-                .detector
-                .detect_all(&ctx, &self.ledger, &reputations_prev);
+            let suspicions = self.detector.detect_all_with_metrics(
+                &ctx,
+                &self.ledger,
+                &reputations_prev,
+                self.telemetry.as_ref().map(|t| &t.detector),
+            );
+            let gaussian_start = Instant::now();
             // Gaussian weights for flagged pairs are independent of each
             // other, so compute them in parallel; suspicions hold distinct
             // (rater, ratee) keys, making the HashMap collect well-defined.
@@ -239,16 +283,40 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
                     weights.insert((rater, ratee), weight_for(config, ledger, ctx_ref, &ghost));
                 }
             }
+            if let Some(t) = &self.telemetry {
+                t.gaussian_seconds
+                    .observe(gaussian_start.elapsed().as_secs_f64());
+            }
             (suspicions, weights)
         };
+        let mut rescaled_this_cycle = 0u64;
         for mut rating in std::mem::take(&mut self.buffer) {
             if let Some(&w) = weights.get(&(rating.rater, rating.ratee)) {
                 rating.value *= w;
                 self.total_adjusted_ratings += 1;
+                rescaled_this_cycle += 1;
             }
             self.inner.record(rating);
         }
+        let update_start = Instant::now();
         self.inner.end_cycle();
+        if let Some(t) = &self.telemetry {
+            t.update_seconds
+                .observe(update_start.elapsed().as_secs_f64());
+            t.rescaled.add(rescaled_this_cycle);
+            if t.sink.is_enabled() {
+                for s in &suspicions {
+                    t.sink.emit(Event::DetectionVerdict {
+                        cycle: self.cycles_completed,
+                        rater: s.rater.index() as u32,
+                        ratee: s.ratee.index() as u32,
+                        behaviors: s.reasons.iter().map(|r| r.code().to_string()).collect(),
+                        omega_c: s.omega_c,
+                        omega_s: s.omega_s,
+                    });
+                }
+            }
+        }
         self.ledger.end_interval();
         self.total_suspicions_flagged += suspicions.len() as u64;
         // Age the hysteresis memory and refresh it with this interval's
@@ -267,6 +335,7 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
         let mut weight_list: Vec<(PairKey, f64)> = weights.into_iter().collect();
         weight_list.sort_by_key(|(k, _)| *k);
         self.last_weights = weight_list;
+        self.cycles_completed += 1;
     }
 
     fn reputations(&self) -> &[f64] {
@@ -291,6 +360,21 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
         self.remembered
             .retain(|&(rater, ratee), _| rater != node && ratee != node);
         self.inner.reset_node(node);
+    }
+
+    fn convergence(&self) -> Option<ConvergenceRecord> {
+        self.inner.convergence()
+    }
+
+    /// Instruments every layer this decorator touches: detector trigger
+    /// counters and latency, the Gaussian/update span histograms, the
+    /// social context's coefficient cache, and the wrapped engine itself.
+    /// Idempotent — re-attaching to the same bundle replaces handles with
+    /// equivalents.
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = Some(DecoratorTelemetry::new(telemetry));
+        self.ctx.write().attach_telemetry(telemetry);
+        self.inner.attach_telemetry(telemetry);
     }
 }
 
@@ -617,6 +701,66 @@ mod tests {
             "{:?}",
             sys.last_weights()
         );
+    }
+
+    #[test]
+    fn attached_telemetry_instruments_full_stack() {
+        let telemetry = Telemetry::with_sink(EventSink::in_memory());
+        let ctx = context();
+        let mut sys = WithSocialTrust::new(
+            EigenTrust::with_defaults(8, &[NodeId(0)]),
+            ctx,
+            SocialTrustConfig::default(),
+        );
+        sys.attach_telemetry(&telemetry);
+        organic(&mut sys);
+        collusion(&mut sys, 30);
+        sys.end_cycle();
+
+        let snap = telemetry.registry().snapshot();
+        assert!(snap.counter("detector_suspicions_total") > 0);
+        assert_eq!(
+            snap.counter("decorator_rescaled_ratings_total"),
+            sys.total_adjusted_ratings(),
+            "per-cycle rescale counter must mirror the lifetime total"
+        );
+        for name in ["gaussian_weight_seconds", "reputation_update_seconds"] {
+            let hist = snap.histogram(name).expect(name);
+            assert_eq!(hist.count, 1, "{name}: one cycle, one observation");
+        }
+        // The context's coefficient cache was re-homed onto the registry.
+        assert!(snap.counter("cache_hits_total") + snap.counter("cache_misses_total") > 0);
+        // EigenTrust convergence flows through the same bundle, and the
+        // decorator surfaces the inner engine's record.
+        let record = sys.convergence().expect("inner EigenTrust converged");
+        assert_eq!(
+            snap.gauge("eigentrust_iterations"),
+            Some(record.iterations as f64)
+        );
+
+        // Detection verdicts were emitted with cycle index 0 and the
+        // colluding raters' behavior codes.
+        let verdicts: Vec<_> = telemetry
+            .sink()
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::DetectionVerdict {
+                    cycle,
+                    rater,
+                    behaviors,
+                    ..
+                } => Some((cycle, rater, behaviors)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(verdicts.len(), sys.last_suspicions().len());
+        for (cycle, rater, behaviors) in &verdicts {
+            assert_eq!(*cycle, 0);
+            assert!(*rater == 2 || *rater == 3, "rater {rater}");
+            assert!(!behaviors.is_empty());
+            assert!(behaviors.iter().all(|b| b.starts_with('B')));
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use serde::{Deserialize, Serialize};
 use socialtrust_reputation::rating::RatingLedger;
 use socialtrust_socnet::NodeId;
+use socialtrust_telemetry::{Counter, Histogram, Telemetry};
 
 use crate::config::SocialTrustConfig;
 use crate::context::SocialContext;
@@ -38,6 +39,72 @@ pub enum SuspicionReason {
     /// B4: high-frequency negative ratings despite many common interests
     /// (`Ωs > T_sh`) — likely competitor suppression.
     B4SimilarFrequentNegative,
+}
+
+impl SuspicionReason {
+    /// The short behavior tag (`"B1"`–`"B4"`) used in metric names and
+    /// telemetry events.
+    pub fn code(self) -> &'static str {
+        match self {
+            SuspicionReason::B1DistantFrequentPositive => "B1",
+            SuspicionReason::B2CloseLowReputed => "B2",
+            SuspicionReason::B3DissimilarFrequentPositive => "B3",
+            SuspicionReason::B4SimilarFrequentNegative => "B4",
+        }
+    }
+}
+
+/// Registry-backed detector instrumentation: per-behavior trigger
+/// counters, a total-suspicions counter, and the detect latency histogram.
+///
+/// Kept separate from [`Detector`] (which stays `Copy`) and passed into
+/// [`Detector::detect_all_with_metrics`] by the caller that owns the
+/// telemetry wiring (the SocialTrust decorator).
+#[derive(Debug, Clone)]
+pub struct DetectorMetrics {
+    /// `detector_b1_triggers_total` … `detector_b4_triggers_total`,
+    /// indexed by behavior (a suspicion matching several behaviors bumps
+    /// each one).
+    behavior_triggers: [Counter; 4],
+    /// `detector_suspicions_total`: flagged rater→ratee pairs.
+    suspicions: Counter,
+    /// `detect_seconds`: wall time of each full [`Detector::detect_all`]
+    /// pass.
+    detect_seconds: Histogram,
+}
+
+impl DetectorMetrics {
+    /// Registers the detector metric family on `telemetry`'s registry.
+    pub fn new(telemetry: &Telemetry) -> Self {
+        let registry = telemetry.registry();
+        DetectorMetrics {
+            behavior_triggers: [
+                registry.counter("detector_b1_triggers_total"),
+                registry.counter("detector_b2_triggers_total"),
+                registry.counter("detector_b3_triggers_total"),
+                registry.counter("detector_b4_triggers_total"),
+            ],
+            suspicions: registry.counter("detector_suspicions_total"),
+            detect_seconds: registry.histogram("detect_seconds"),
+        }
+    }
+
+    /// Records one completed detection pass.
+    pub fn observe(&self, suspicions: &[Suspicion], elapsed_seconds: f64) {
+        self.detect_seconds.observe(elapsed_seconds);
+        self.suspicions.add(suspicions.len() as u64);
+        for s in suspicions {
+            for reason in &s.reasons {
+                let idx = match reason {
+                    SuspicionReason::B1DistantFrequentPositive => 0,
+                    SuspicionReason::B2CloseLowReputed => 1,
+                    SuspicionReason::B3DissimilarFrequentPositive => 2,
+                    SuspicionReason::B4SimilarFrequentNegative => 3,
+                };
+                self.behavior_triggers[idx].inc();
+            }
+        }
+    }
 }
 
 /// One flagged rater→ratee pair, with the social coefficients that
@@ -202,6 +269,34 @@ impl Detector {
     ///
     /// [`SocialCoefficientCache`]: socialtrust_socnet::cache::SocialCoefficientCache
     pub fn detect_all(
+        &self,
+        ctx: &SocialContext,
+        ledger: &RatingLedger,
+        reputations: &[f64],
+    ) -> Vec<Suspicion> {
+        self.detect_all_with_metrics(ctx, ledger, reputations, None)
+    }
+
+    /// [`Detector::detect_all`] with optional instrumentation: when
+    /// `metrics` is present, the pass's wall time lands in
+    /// `detect_seconds` and the per-behavior / total-suspicion counters
+    /// are bumped.
+    pub fn detect_all_with_metrics(
+        &self,
+        ctx: &SocialContext,
+        ledger: &RatingLedger,
+        reputations: &[f64],
+        metrics: Option<&DetectorMetrics>,
+    ) -> Vec<Suspicion> {
+        let start = std::time::Instant::now();
+        let out = self.detect_all_inner(ctx, ledger, reputations);
+        if let Some(metrics) = metrics {
+            metrics.observe(&out, start.elapsed().as_secs_f64());
+        }
+        out
+    }
+
+    fn detect_all_inner(
         &self,
         ctx: &SocialContext,
         ledger: &RatingLedger,
@@ -432,5 +527,37 @@ mod tests {
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].rater, NodeId(2));
         assert_eq!(all[1].rater, NodeId(4));
+    }
+
+    #[test]
+    fn metrics_count_behavior_triggers_and_latency() {
+        let ctx = fixture();
+        let mut ledger = RatingLedger::new();
+        background(&mut ledger);
+        flood(&mut ledger, 2, 3, 1.0, 20); // B1 + B3
+        flood(&mut ledger, 4, 5, 1.0, 20); // B2
+        let reputations = vec![0.2, 0.2, 0.2, 0.2, 0.2, 0.0, 0.2, 0.2];
+
+        let telemetry = Telemetry::new();
+        let metrics = DetectorMetrics::new(&telemetry);
+        let all = detector().detect_all_with_metrics(&ctx, &ledger, &reputations, Some(&metrics));
+        // Identical output to the uninstrumented pass.
+        assert_eq!(all, detector().detect_all(&ctx, &ledger, &reputations));
+
+        let snap = telemetry.registry().snapshot();
+        assert_eq!(snap.counter("detector_suspicions_total"), 2);
+        assert_eq!(snap.counter("detector_b1_triggers_total"), 1);
+        assert_eq!(snap.counter("detector_b2_triggers_total"), 1);
+        assert_eq!(snap.counter("detector_b3_triggers_total"), 1);
+        assert_eq!(snap.counter("detector_b4_triggers_total"), 0);
+        assert_eq!(snap.histogram("detect_seconds").unwrap().count, 1);
+    }
+
+    #[test]
+    fn behavior_codes_are_stable() {
+        assert_eq!(SuspicionReason::B1DistantFrequentPositive.code(), "B1");
+        assert_eq!(SuspicionReason::B2CloseLowReputed.code(), "B2");
+        assert_eq!(SuspicionReason::B3DissimilarFrequentPositive.code(), "B3");
+        assert_eq!(SuspicionReason::B4SimilarFrequentNegative.code(), "B4");
     }
 }

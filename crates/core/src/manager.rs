@@ -19,8 +19,9 @@
 
 use serde::{Deserialize, Serialize};
 use socialtrust_reputation::rating::Rating;
-use socialtrust_reputation::system::ReputationSystem;
+use socialtrust_reputation::system::{ConvergenceRecord, ReputationSystem};
 use socialtrust_socnet::NodeId;
+use socialtrust_telemetry::Telemetry;
 
 use crate::config::SocialTrustConfig;
 use crate::context::SharedSocialContext;
@@ -194,6 +195,14 @@ impl<R: ReputationSystem> ReputationSystem for ManagedSocialTrust<R> {
 
     fn reset_node(&mut self, node: NodeId) {
         self.inner.reset_node(node);
+    }
+
+    fn convergence(&self) -> Option<ConvergenceRecord> {
+        self.inner.convergence()
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.inner.attach_telemetry(telemetry);
     }
 }
 

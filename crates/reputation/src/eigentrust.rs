@@ -40,10 +40,11 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use socialtrust_socnet::NodeId;
+use socialtrust_telemetry::{Counter, Event, EventSink, Gauge, Telemetry};
 
 use crate::normalize::l1_distance;
 use crate::rating::Rating;
-use crate::system::ReputationSystem;
+use crate::system::{ConvergenceRecord, ReputationSystem};
 
 /// Tunables for the EigenTrust engine.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -87,6 +88,39 @@ impl Default for EigenTrustConfig {
     }
 }
 
+/// Registry handles and event sink for one EigenTrust instance, created by
+/// [`ReputationSystem::attach_telemetry`]. Cloned handles share cells, so
+/// cloning an attached engine keeps reporting to the same registry.
+#[derive(Debug, Clone)]
+struct EigenTrustTelemetry {
+    /// `eigentrust_iterations`: iterations of the most recent update.
+    iterations: Gauge,
+    /// `eigentrust_residual`: final L1 residual of the most recent update.
+    residual: Gauge,
+    /// `eigentrust_warm_start`: 1 when the most recent update warm-started.
+    warm_start: Gauge,
+    /// `eigentrust_warm_starts_total`: updates that resumed from the
+    /// previous cycle's vector.
+    warm_starts_total: Counter,
+    /// `eigentrust_cycles_total`: completed reputation updates.
+    cycles_total: Counter,
+    sink: EventSink,
+}
+
+impl EigenTrustTelemetry {
+    fn new(telemetry: &Telemetry) -> Self {
+        let registry = telemetry.registry();
+        EigenTrustTelemetry {
+            iterations: registry.gauge("eigentrust_iterations"),
+            residual: registry.gauge("eigentrust_residual"),
+            warm_start: registry.gauge("eigentrust_warm_start"),
+            warm_starts_total: registry.counter("eigentrust_warm_starts_total"),
+            cycles_total: registry.counter("eigentrust_cycles_total"),
+            sink: telemetry.sink().clone(),
+        }
+    }
+}
+
 /// The EigenTrust reputation engine.
 #[derive(Debug, Clone)]
 pub struct EigenTrust {
@@ -110,6 +144,16 @@ pub struct EigenTrust {
     warm: bool,
     /// Iterations the last power iteration took (diagnostics).
     last_iterations: usize,
+    /// Final L1 residual of the last power iteration (diagnostics).
+    last_residual: f64,
+    /// Whether the last power iteration resumed from the previous cycle's
+    /// vector.
+    last_warm_started: bool,
+    /// Completed `end_cycle` calls, used as the cycle index of emitted
+    /// convergence events.
+    cycles: u64,
+    /// Registry handles; `None` until `attach_telemetry`.
+    telemetry: Option<EigenTrustTelemetry>,
 }
 
 impl EigenTrust {
@@ -152,6 +196,10 @@ impl EigenTrust {
             reputations,
             warm: false,
             last_iterations: 0,
+            last_residual: f64::INFINITY,
+            last_warm_started: false,
+            cycles: 0,
+            telemetry: None,
         }
     }
 
@@ -169,6 +217,14 @@ impl EigenTrust {
     /// How many iterations the last reputation update took to converge.
     pub fn last_iterations(&self) -> usize {
         self.last_iterations
+    }
+
+    /// The final L1 residual `‖t⁽ᵏ⁾ − t⁽ᵏ⁻¹⁾‖₁` when the last reputation
+    /// update stopped iterating — below `epsilon` on convergence, above it
+    /// only when `max_iterations` was hit. `f64::INFINITY` before the
+    /// first update.
+    pub fn last_residual(&self) -> f64 {
+        self.last_residual
     }
 
     /// Accumulated local satisfaction `s_ij` (0 if never rated).
@@ -193,13 +249,15 @@ impl EigenTrust {
             return;
         }
         let a = self.config.pretrust_weight;
-        let mut t = if self.config.warm_start && self.warm {
+        let warm_started = self.config.warm_start && self.warm;
+        let mut t = if warm_started {
             self.reputations.clone()
         } else {
             self.pretrust.clone()
         };
         let mut next = vec![0.0; n];
         let mut iters = 0;
+        let residual;
         loop {
             // next = (1-a)·Cᵀ t + a·p  ⇔  next_j = (1-a)·Σ_i c_ij t_i + a·p_j
             next.copy_from_slice(&self.pretrust);
@@ -234,12 +292,39 @@ impl EigenTrust {
             let delta = l1_distance(&next, &t);
             std::mem::swap(&mut t, &mut next);
             if delta < self.config.epsilon || iters >= self.config.max_iterations {
+                residual = delta;
                 break;
             }
         }
         self.last_iterations = iters;
+        self.last_residual = residual;
+        self.last_warm_started = warm_started;
         self.reputations = t;
         self.warm = true;
+    }
+
+    /// Publish the last update's convergence reading to the attached
+    /// registry and event sink (no-op when unattached).
+    fn publish_convergence(&self) {
+        let Some(t) = &self.telemetry else {
+            return;
+        };
+        t.iterations.set(self.last_iterations as f64);
+        t.residual.set(self.last_residual);
+        t.warm_start
+            .set(if self.last_warm_started { 1.0 } else { 0.0 });
+        if self.last_warm_started {
+            t.warm_starts_total.inc();
+        }
+        t.cycles_total.inc();
+        if t.sink.is_enabled() {
+            t.sink.emit(Event::EigenTrustConvergence {
+                cycle: self.cycles,
+                iterations: self.last_iterations as u64,
+                residual: self.last_residual,
+                warm_start: self.last_warm_started,
+            });
+        }
     }
 }
 
@@ -265,6 +350,8 @@ impl ReputationSystem for EigenTrust {
             self.refresh_row_pos(i);
         }
         self.power_iterate();
+        self.publish_convergence();
+        self.cycles += 1;
     }
 
     fn reputations(&self) -> &[f64] {
@@ -287,6 +374,21 @@ impl ReputationSystem for EigenTrust {
         // The old fixed point no longer reflects the matrix; restart the
         // next power iteration from the pretrust prior.
         self.warm = false;
+    }
+
+    fn convergence(&self) -> Option<ConvergenceRecord> {
+        if self.cycles == 0 {
+            return None;
+        }
+        Some(ConvergenceRecord {
+            iterations: self.last_iterations as u64,
+            residual: self.last_residual,
+            warm_started: self.last_warm_started,
+        })
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = Some(EigenTrustTelemetry::new(telemetry));
     }
 }
 
@@ -432,10 +534,60 @@ mod tests {
     #[test]
     fn convergence_is_reported() {
         let mut sys = EigenTrust::with_defaults(3, &[NodeId(0)]);
+        assert!(sys.convergence().is_none(), "no update yet");
         rate(&mut sys, 0, 1, 1.0);
         sys.end_cycle();
         assert!(sys.last_iterations() >= 1);
         assert!(sys.last_iterations() < 1000);
+        // Converged (not capped), so the final residual is below ε.
+        assert!(sys.last_residual() < EigenTrustConfig::default().epsilon);
+        let record = sys.convergence().expect("one update done");
+        assert_eq!(record.iterations, sys.last_iterations() as u64);
+        assert_eq!(record.residual, sys.last_residual());
+        assert!(!record.warm_started, "first cycle is a cold start");
+        sys.end_cycle();
+        assert!(sys.convergence().unwrap().warm_started);
+    }
+
+    #[test]
+    fn attached_telemetry_reports_convergence() {
+        use socialtrust_telemetry::EventSink;
+
+        let telemetry = Telemetry::with_sink(EventSink::in_memory());
+        let mut sys = EigenTrust::with_defaults(3, &[NodeId(0)]);
+        ReputationSystem::attach_telemetry(&mut sys, &telemetry);
+        rate(&mut sys, 0, 1, 1.0);
+        sys.end_cycle();
+        sys.end_cycle();
+
+        let snap = telemetry.registry().snapshot();
+        assert_eq!(snap.counter("eigentrust_cycles_total"), 2);
+        assert_eq!(snap.counter("eigentrust_warm_starts_total"), 1);
+        assert_eq!(snap.gauge("eigentrust_warm_start"), Some(1.0));
+        assert_eq!(
+            snap.gauge("eigentrust_iterations"),
+            Some(sys.last_iterations() as f64)
+        );
+        assert_eq!(snap.gauge("eigentrust_residual"), Some(sys.last_residual()));
+
+        let events = telemetry.sink().events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[0],
+            Event::EigenTrustConvergence {
+                cycle: 0,
+                warm_start: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &events[1],
+            Event::EigenTrustConvergence {
+                cycle: 1,
+                warm_start: true,
+                ..
+            }
+        ));
     }
 
     #[test]

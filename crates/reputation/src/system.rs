@@ -7,9 +7,25 @@
 //! ([`ReputationSystem::end_cycle`] — *"each node's global reputation is
 //! updated once after each simulation cycle"*).
 
+use serde::{Deserialize, Serialize};
 use socialtrust_socnet::NodeId;
+use socialtrust_telemetry::Telemetry;
 
 use crate::rating::Rating;
+
+/// How the most recent reputation-update iteration converged. Reported by
+/// iterative engines (EigenTrust) through
+/// [`ReputationSystem::convergence`]; non-iterative engines report `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceRecord {
+    /// Iterations until the residual fell below ε (or the cap was hit).
+    pub iterations: u64,
+    /// Final L1 residual `‖t⁽ᵏ⁾ − t⁽ᵏ⁻¹⁾‖₁` when iteration stopped.
+    pub residual: f64,
+    /// Whether iteration started from the previous cycle's vector rather
+    /// than the pre-trust prior.
+    pub warm_started: bool,
+}
 
 /// A reputation engine that turns streams of ratings into a global
 /// reputation vector.
@@ -59,6 +75,18 @@ pub trait ReputationSystem {
     /// (they belonged to the old identity). Default: no-op for stateless
     /// engines.
     fn reset_node(&mut self, _node: NodeId) {}
+
+    /// How the most recent `end_cycle`'s reputation update converged.
+    /// `None` for engines that are not iterative (or before the first
+    /// update). Decorators delegate to their inner engine.
+    fn convergence(&self) -> Option<ConvergenceRecord> {
+        None
+    }
+
+    /// Wire this system (and any wrapped layers) to a telemetry bundle:
+    /// registry-backed metric handles replace detached ones and structured
+    /// events flow to the bundle's sink. Default: no instrumentation.
+    fn attach_telemetry(&mut self, _telemetry: &Telemetry) {}
 }
 
 /// Blanket impl so `Box<dyn ReputationSystem>` composes with decorators.
@@ -89,6 +117,12 @@ impl<T: ReputationSystem + ?Sized> ReputationSystem for Box<T> {
     }
     fn reset_node(&mut self, node: NodeId) {
         (**self).reset_node(node)
+    }
+    fn convergence(&self) -> Option<ConvergenceRecord> {
+        (**self).convergence()
+    }
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        (**self).attach_telemetry(telemetry)
     }
 }
 

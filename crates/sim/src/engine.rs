@@ -22,12 +22,15 @@
 //!   [`CollusionPlan`](crate::collusion::CollusionPlan) every query cycle;
 //! * the reputation system updates once per simulation cycle.
 
+use std::time::Instant;
+
 use rand::seq::SliceRandom;
 use rand::Rng;
 use socialtrust_reputation::rating::Rating;
 use socialtrust_reputation::system::ReputationSystem;
 use socialtrust_socnet::interest::InterestId;
 use socialtrust_socnet::NodeId;
+use socialtrust_telemetry::Telemetry;
 
 use crate::build::SimWorld;
 use crate::metrics::{ReputationSummary, RunResult};
@@ -44,12 +47,35 @@ struct PendingRequest {
 /// Run one full simulation: `scenario.sim_cycles` cycles of
 /// `scenario.query_cycles` query cycles each, against `system`.
 ///
-/// The run is fully deterministic given `rng`'s state.
+/// The run is fully deterministic given `rng`'s state. Equivalent to
+/// [`run_with_telemetry`] against a fresh, unexported [`Telemetry`]
+/// bundle.
 pub fn run<R: Rng + ?Sized>(
     world: &SimWorld,
     scenario: &ScenarioConfig,
     system: &mut dyn ReputationSystem,
     rng: &mut R,
+) -> RunResult {
+    run_with_telemetry(world, scenario, system, rng, &Telemetry::new())
+}
+
+/// [`run`], publishing the cycle wall-time breakdown to `telemetry`:
+/// `sim_cycle_seconds` (whole simulation cycle), `sim_query_phase_seconds`
+/// (query cycles: selection, service, ratings, collusion), and
+/// `sim_update_phase_seconds` (the reputation engine's `end_cycle`), one
+/// observation per simulation cycle each.
+///
+/// This instruments the *engine loop* only; call
+/// [`ReputationSystem::attach_telemetry`] (and
+/// `SocialContext::attach_telemetry` via the world's shared context)
+/// beforehand to capture the detector/cache/EigenTrust layers in the same
+/// bundle — [`crate::runner::run_scenario_with_telemetry`] does all of it.
+pub fn run_with_telemetry<R: Rng + ?Sized>(
+    world: &SimWorld,
+    scenario: &ScenarioConfig,
+    system: &mut dyn ReputationSystem,
+    rng: &mut R,
+    telemetry: &Telemetry,
 ) -> RunResult {
     assert_eq!(
         system.node_count(),
@@ -60,11 +86,22 @@ pub fn run<R: Rng + ?Sized>(
     let colluders = scenario.colluder_ids();
     let normals = scenario.normal_ids();
 
+    let cycle_seconds = telemetry.registry().histogram("sim_cycle_seconds");
+    let query_seconds = telemetry.registry().histogram("sim_query_phase_seconds");
+    let update_seconds = telemetry.registry().histogram("sim_update_phase_seconds");
+
     let mut requests_total: u64 = 0;
     let mut requests_to_colluders: u64 = 0;
     let mut per_cycle_colluder_mean = Vec::with_capacity(scenario.sim_cycles);
     let mut per_cycle_colluder_max = Vec::with_capacity(scenario.sim_cycles);
     let mut per_cycle_normal_mean = Vec::with_capacity(scenario.sim_cycles);
+    let mut convergence = Vec::with_capacity(scenario.sim_cycles);
+    let mut per_cycle_cache = Vec::with_capacity(scenario.sim_cycles);
+    // Counter snapshot at run start: the context (and its cache) may be
+    // shared across runs, so everything this run reports is a delta
+    // against this baseline rather than a lifetime total.
+    let run_start_cache = world.ctx.read().cache_stats();
+    let mut cache_prev = run_start_cache;
 
     let mut capacity: Vec<u32> = vec![0; n];
     let mut candidates: Vec<NodeId> = Vec::with_capacity(64);
@@ -72,6 +109,7 @@ pub fn run<R: Rng + ?Sized>(
     let mut pending: Vec<PendingRequest> = Vec::with_capacity(1024);
 
     for cycle in 0..scenario.sim_cycles {
+        let cycle_start = Instant::now();
         let collusion_active = scenario.collusion_active_in_cycle(cycle);
         for _qc in 0..scenario.query_cycles {
             capacity.fill(scenario.capacity_per_query_cycle);
@@ -176,9 +214,16 @@ pub fn run<R: Rng + ?Sized>(
                 }
             }
         }
+        query_seconds.observe(cycle_start.elapsed().as_secs_f64());
 
         // Global reputation update, once per simulation cycle.
+        let update_start = Instant::now();
         system.end_cycle();
+        update_seconds.observe(update_start.elapsed().as_secs_f64());
+        convergence.push(system.convergence());
+        let cache_now = world.ctx.read().cache_stats();
+        per_cycle_cache.push(cache_now.delta(cache_prev));
+        cache_prev = cache_now;
         let reps = system.reputations().to_vec();
         per_cycle_colluder_mean.push(mean_over(&reps, &colluders));
         per_cycle_colluder_max.push(max_over(&reps, &colluders));
@@ -211,6 +256,7 @@ pub fn run<R: Rng + ?Sized>(
                 system.reset_node(c);
             }
         }
+        cycle_seconds.observe(cycle_start.elapsed().as_secs_f64());
     }
 
     RunResult {
@@ -223,7 +269,9 @@ pub fn run<R: Rng + ?Sized>(
         requests_to_colluders,
         ratings_adjusted: system.total_adjusted_ratings(),
         suspicions_flagged: system.total_suspicions(),
-        cache: world.ctx.read().cache_stats(),
+        cache: world.ctx.read().cache_stats().delta(run_start_cache),
+        convergence,
+        per_cycle_cache,
     }
 }
 

@@ -39,6 +39,9 @@ pub mod scenario;
 pub mod prelude {
     pub use crate::collusion::{CollusionModel, CollusionPlan};
     pub use crate::metrics::{MultiRunSummary, ReputationSummary, RunResult};
-    pub use crate::runner::{run_scenario, run_scenario_multi, ReputationKind};
+    pub use crate::runner::{
+        run_scenario, run_scenario_multi, run_scenario_multi_with_telemetry,
+        run_scenario_with_telemetry, ReputationKind,
+    };
     pub use crate::scenario::ScenarioConfig;
 }

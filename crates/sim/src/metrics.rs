@@ -4,6 +4,7 @@
 //! 95% CI).
 
 use serde::{Deserialize, Serialize};
+use socialtrust_reputation::system::ConvergenceRecord;
 use socialtrust_socnet::cache::CacheStats;
 use socialtrust_socnet::NodeId;
 
@@ -68,9 +69,16 @@ pub struct RunResult {
     pub ratings_adjusted: u64,
     /// Cumulative suspicions flagged by SocialTrust (0 for plain systems).
     pub suspicions_flagged: u64,
-    /// Hit/miss/eviction counters of the social-coefficient cache over the
-    /// run (all zero for plain systems, which never consult the cache).
+    /// Hit/miss/eviction counters of the social-coefficient cache accrued
+    /// *during this run* — a delta against the counters at run start, so a
+    /// context shared across runs never leaks earlier runs' totals here
+    /// (all zero for plain systems, which never consult the cache).
     pub cache: CacheStats,
+    /// How the reputation update converged after each simulation cycle
+    /// (`None` entries for non-iterative engines).
+    pub convergence: Vec<Option<ConvergenceRecord>>,
+    /// Cache counters accrued in each individual simulation cycle.
+    pub per_cycle_cache: Vec<CacheStats>,
 }
 
 impl RunResult {
@@ -98,6 +106,28 @@ impl RunResult {
         }
         let _ = n;
         first
+    }
+
+    /// The last cycle's convergence record — the final EigenTrust
+    /// iteration count and L1 residual of the run. `None` for
+    /// non-iterative engines.
+    pub fn final_convergence(&self) -> Option<ConvergenceRecord> {
+        self.convergence.iter().rev().find_map(|c| *c)
+    }
+
+    /// Mean reputation-update iterations per simulation cycle, over the
+    /// cycles that reported a convergence record.
+    pub fn mean_iterations(&self) -> Option<f64> {
+        let iters: Vec<f64> = self
+            .convergence
+            .iter()
+            .filter_map(|c| c.map(|r| r.iterations as f64))
+            .collect();
+        if iters.is_empty() {
+            None
+        } else {
+            Some(iters.iter().sum::<f64>() / iters.len() as f64)
+        }
     }
 }
 
@@ -213,6 +243,24 @@ impl MultiRunSummary {
             .fold(CacheStats::default(), |acc, r| acc.merged(r.cache))
     }
 
+    /// Mean and 95% CI of the final EigenTrust iteration count and L1
+    /// residual across runs: `((iter_mean, iter_ci), (residual_mean,
+    /// residual_ci))`. `None` when no run reported convergence (the
+    /// engine is not iterative).
+    pub fn final_convergence_stats(&self) -> Option<((f64, f64), (f64, f64))> {
+        let records: Vec<ConvergenceRecord> = self
+            .runs
+            .iter()
+            .filter_map(|r| r.final_convergence())
+            .collect();
+        if records.is_empty() {
+            return None;
+        }
+        let iters: Vec<f64> = records.iter().map(|r| r.iterations as f64).collect();
+        let residuals: Vec<f64> = records.iter().map(|r| r.residual).collect();
+        Some((mean_ci95(&iters), mean_ci95(&residuals)))
+    }
+
     /// Convergence percentiles (1st, 50th, 99th) of the cycles-until-
     /// suppressed metric (Figure 19). Runs that never converge are treated
     /// as taking the full run length.
@@ -249,7 +297,40 @@ mod tests {
             ratings_adjusted: 0,
             suspicions_flagged: 0,
             cache: CacheStats::default(),
+            convergence: vec![],
+            per_cycle_cache: vec![],
         }
+    }
+
+    #[test]
+    fn convergence_helpers() {
+        let mut r = run_with(vec![0.5], vec![]);
+        assert_eq!(r.final_convergence(), None);
+        assert_eq!(r.mean_iterations(), None);
+        r.convergence = vec![
+            None,
+            Some(ConvergenceRecord {
+                iterations: 10,
+                residual: 1e-3,
+                warm_started: false,
+            }),
+            Some(ConvergenceRecord {
+                iterations: 4,
+                residual: 1e-7,
+                warm_started: true,
+            }),
+        ];
+        let last = r.final_convergence().unwrap();
+        assert_eq!(last.iterations, 4);
+        assert!(last.warm_started);
+        assert_eq!(r.mean_iterations(), Some(7.0));
+
+        let m = MultiRunSummary::from_runs(vec![r.clone(), r]);
+        let ((iter_mean, _), (res_mean, _)) = m.final_convergence_stats().unwrap();
+        assert_eq!(iter_mean, 4.0);
+        assert!((res_mean - 1e-7).abs() < 1e-12);
+        let plain = MultiRunSummary::from_runs(vec![run_with(vec![0.5], vec![])]);
+        assert!(plain.final_convergence_stats().is_none());
     }
 
     #[test]

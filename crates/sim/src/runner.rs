@@ -14,6 +14,7 @@ use socialtrust_reputation::eigentrust::EigenTrust;
 use socialtrust_reputation::feedback_similarity::FeedbackSimilarity;
 use socialtrust_reputation::power_trust::PowerTrust;
 use socialtrust_reputation::system::ReputationSystem;
+use socialtrust_telemetry::Telemetry;
 
 use crate::build::SimWorld;
 use crate::engine;
@@ -148,6 +149,45 @@ pub fn run_scenario(scenario: &ScenarioConfig, kind: ReputationKind, seed: u64) 
     engine::run(&world, scenario, system.as_mut(), &mut rng)
 }
 
+/// [`run_scenario`], with every layer wired to `telemetry`: the world's
+/// social context (coefficient-cache counters and eviction-storm events),
+/// the reputation stack (detector trigger counters, Gaussian/update
+/// latency, EigenTrust convergence), and the engine loop's per-cycle wall
+/// time. Results are identical to [`run_scenario`] for the same
+/// `(scenario, kind, seed)` — instrumentation never touches the
+/// simulation's randomness or arithmetic.
+pub fn run_scenario_with_telemetry(
+    scenario: &ScenarioConfig,
+    kind: ReputationKind,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> RunResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let world = SimWorld::build(scenario, &mut rng);
+    world.ctx.write().attach_telemetry(telemetry);
+    let mut system = make_system(kind, scenario, &world);
+    system.attach_telemetry(telemetry);
+    engine::run_with_telemetry(&world, scenario, system.as_mut(), &mut rng, telemetry)
+}
+
+/// [`run_scenario_multi`], attaching every run to the same `telemetry`
+/// bundle. Runs execute *sequentially* (unlike the plain multi runner):
+/// counters and histograms aggregate across runs, gauges reflect the last
+/// run, and events interleave in run order.
+pub fn run_scenario_multi_with_telemetry(
+    scenario: &ScenarioConfig,
+    kind: ReputationKind,
+    base_seed: u64,
+    runs: usize,
+    telemetry: &Telemetry,
+) -> MultiRunSummary {
+    assert!(runs > 0, "need at least one run");
+    let results: Vec<RunResult> = (0..runs as u64)
+        .map(|i| run_scenario_with_telemetry(scenario, kind, base_seed + i, telemetry))
+        .collect();
+    MultiRunSummary::from_runs(results)
+}
+
 /// Run `runs` seeded simulations in parallel (seeds `base_seed..base_seed +
 /// runs`) and aggregate. The paper runs each experiment 5 times and reports
 /// the average with a 95% confidence interval.
@@ -230,6 +270,68 @@ mod tests {
         assert!(cfg.closeness.weighted_relationships);
         let cfg_plain = socialtrust_config_for(&ScenarioConfig::small());
         assert!(!cfg_plain.weighted_similarity);
+    }
+
+    #[test]
+    fn telemetry_run_is_result_identical_and_populates_registry() {
+        let s = ScenarioConfig::small()
+            .with_collusion(CollusionModel::PairWise)
+            .with_cycles(3);
+        let plain = run_scenario(&s, ReputationKind::EigenTrustWithSocialTrust, 7);
+        let telemetry = Telemetry::new();
+        let instrumented = run_scenario_with_telemetry(
+            &s,
+            ReputationKind::EigenTrustWithSocialTrust,
+            7,
+            &telemetry,
+        );
+        assert_eq!(plain.final_summary, instrumented.final_summary);
+        assert_eq!(plain.requests_total, instrumented.requests_total);
+
+        let snap = telemetry.registry().snapshot();
+        // Per-cycle spans: one observation per simulation cycle.
+        for name in [
+            "sim_cycle_seconds",
+            "sim_query_phase_seconds",
+            "sim_update_phase_seconds",
+        ] {
+            assert_eq!(
+                snap.histogram(name).expect(name).count,
+                s.sim_cycles as u64,
+                "{name}"
+            );
+        }
+        // Cache counters re-homed onto the registry match the run delta
+        // (this world's context is fresh, so delta == totals).
+        assert_eq!(snap.counter("cache_hits_total"), instrumented.cache.hits);
+        assert_eq!(
+            snap.counter("cache_misses_total"),
+            instrumented.cache.misses
+        );
+        // Detector and EigenTrust layers flow into the same registry.
+        assert!(snap.counter("detector_suspicions_total") > 0);
+        assert!(snap.gauge("eigentrust_iterations").is_some());
+        // Per-cycle records surfaced in the result.
+        assert_eq!(instrumented.convergence.len(), s.sim_cycles);
+        assert!(instrumented.final_convergence().is_some());
+        assert_eq!(instrumented.per_cycle_cache.len(), s.sim_cycles);
+        let summed = instrumented.per_cycle_cache.iter().fold(
+            socialtrust_socnet::cache::CacheStats::default(),
+            |acc, &c| acc.merged(c),
+        );
+        assert_eq!(summed, instrumented.cache);
+    }
+
+    #[test]
+    fn multi_run_with_telemetry_aggregates() {
+        let s = ScenarioConfig::small().with_cycles(2);
+        let telemetry = Telemetry::new();
+        let m = run_scenario_multi_with_telemetry(&s, ReputationKind::EigenTrust, 1, 2, &telemetry);
+        assert_eq!(m.runs.len(), 2);
+        let snap = telemetry.registry().snapshot();
+        // 2 runs × 2 cycles = 4 cycle spans on the shared registry.
+        assert_eq!(snap.histogram("sim_cycle_seconds").unwrap().count, 4);
+        assert!(m.final_convergence_stats().is_some());
     }
 
     #[test]

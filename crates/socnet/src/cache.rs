@@ -76,6 +76,7 @@ use std::sync::Mutex;
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use socialtrust_telemetry::{Counter, Event, EventSink, Telemetry};
 
 use crate::closeness::ClosenessConfig;
 use crate::dirty::DirtyDelta;
@@ -88,6 +89,11 @@ use crate::NodeId;
 /// Number of lock-striped segments the memo maps are sharded into.
 /// A power of two so routing is a mask of the rater id.
 pub const SHARD_COUNT: usize = 16;
+
+/// Batch evictions of at least this many entries are reported as
+/// `eviction_storm` events on an attached telemetry sink. Smaller batches
+/// only move the `cache_evictions_total` counter.
+pub const EVICTION_STORM_THRESHOLD: u64 = 1024;
 
 #[inline]
 fn shard_of(v: NodeId) -> usize {
@@ -195,6 +201,16 @@ impl CacheStats {
             evictions: self.evictions + other.evictions,
         }
     }
+
+    /// Element-wise saturating difference `self - earlier`, for turning
+    /// two lifetime snapshots into a per-cycle (or per-run) delta.
+    pub fn delta(self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
 }
 
 /// An epoch-validated, incrementally invalidated memo of social-coefficient
@@ -216,9 +232,15 @@ pub struct SocialCoefficientCache {
     interaction_epoch: AtomicU64,
     /// Serializes the drain-and-evict slow path.
     sync: Mutex<()>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    /// Hit/miss/eviction tallies. Detached [`Counter`] handles by default;
+    /// [`attach_telemetry`](SocialCoefficientCache::attach_telemetry) swaps
+    /// in registry-backed handles (`cache_hits_total` etc.), migrating the
+    /// accumulated counts.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    /// Destination for `eviction_storm` events; disabled by default.
+    sink: EventSink,
 }
 
 impl Default for SocialCoefficientCache {
@@ -230,9 +252,10 @@ impl Default for SocialCoefficientCache {
             graph_epoch: AtomicU64::new(0),
             interaction_epoch: AtomicU64::new(0),
             sync: Mutex::new(()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+            evictions: Counter::detached(),
+            sink: EventSink::disabled(),
         }
     }
 }
@@ -262,13 +285,36 @@ impl SocialCoefficientCache {
         )
     }
 
-    /// Cumulative hit/miss/eviction counters since construction.
+    /// Cumulative hit/miss/eviction counters since construction, as a
+    /// point-in-time snapshot. Combine two snapshots with
+    /// [`CacheStats::delta`] for per-cycle readings.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
         }
+    }
+
+    /// Re-homes the hit/miss/eviction counters onto `telemetry`'s registry
+    /// (`cache_hits_total` / `cache_misses_total` / `cache_evictions_total`)
+    /// and routes `eviction_storm` events to its sink. Counts accumulated
+    /// before the attach are migrated onto the registry handles, so
+    /// [`stats`](SocialCoefficientCache::stats) never goes backwards.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let registry = telemetry.registry();
+        for (cell, name) in [
+            (&mut self.hits, "cache_hits_total"),
+            (&mut self.misses, "cache_misses_total"),
+            (&mut self.evictions, "cache_evictions_total"),
+        ] {
+            let registered = registry.counter(name);
+            if !registered.same_cell(cell) {
+                registered.add(cell.get());
+                *cell = registered;
+            }
+        }
+        self.sink = telemetry.sink().clone();
     }
 
     /// Total number of memoized entries across all shards and maps.
@@ -289,7 +335,7 @@ impl SocialCoefficientCache {
         for shard in &self.shards {
             dropped += shard.write().clear();
         }
-        self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+        self.record_evictions(dropped as u64, true);
     }
 
     /// Synchronize with `graph`/`interactions`: drain the dirty deltas
@@ -329,7 +375,7 @@ impl SocialCoefficientCache {
             for shard in &self.shards {
                 dropped += shard.write().clear();
             }
-            self.evictions.fetch_add(dropped as u64, Ordering::Relaxed);
+            self.record_evictions(dropped as u64, true);
             return;
         }
 
@@ -381,17 +427,33 @@ impl SocialCoefficientCache {
             });
             evicted += before - s.entry_count();
         }
-        self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        self.record_evictions(evicted as u64, false);
+    }
+
+    /// Moves the eviction counter and, for batches at or above
+    /// [`EVICTION_STORM_THRESHOLD`], reports an
+    /// [`Event::EvictionStorm`] on the attached sink.
+    fn record_evictions(&self, evicted: u64, full_flush: bool) {
+        if evicted == 0 {
+            return;
+        }
+        self.evictions.add(evicted);
+        if evicted >= EVICTION_STORM_THRESHOLD && self.sink.is_enabled() {
+            self.sink.emit(Event::EvictionStorm {
+                evicted,
+                full_flush,
+            });
+        }
     }
 
     #[inline]
     fn record_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.hits.inc();
     }
 
     #[inline]
     fn record_miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
     }
 
     /// Memoized `Σ_{k ∈ S_i} f(i,k)` — node `i`'s interaction budget spent
@@ -923,6 +985,81 @@ mod tests {
         assert!(cache.is_empty());
         assert!(cache.stats().evictions > evictions_before);
         assert_eq!(v, cache.closeness(&g, &t, config, NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn attach_telemetry_migrates_counts_and_reports_storms() {
+        let (g, mut t) = fixture();
+        let mut cache = SocialCoefficientCache::new();
+        let config = ClosenessConfig::default();
+        let _ = cache.closeness(&g, &t, config, NodeId(0), NodeId(2));
+        let before = cache.stats();
+        assert!(before.misses > 0);
+
+        let telemetry = Telemetry::with_sink(EventSink::in_memory());
+        cache.attach_telemetry(&telemetry);
+        // Pre-attach counts moved onto the registry, nothing lost.
+        let snap = telemetry.registry().snapshot();
+        assert_eq!(snap.counter("cache_hits_total"), before.hits);
+        assert_eq!(snap.counter("cache_misses_total"), before.misses);
+        assert_eq!(cache.stats(), before);
+        // Re-attaching the same telemetry must not double the counts.
+        cache.attach_telemetry(&telemetry);
+        assert_eq!(cache.stats(), before);
+
+        // Post-attach activity lands on the registry handles.
+        t.record(NodeId(0), NodeId(3), 1.0);
+        let _ = cache.closeness(&g, &t, config, NodeId(0), NodeId(2));
+        let after = telemetry.registry().snapshot();
+        assert!(after.counter("cache_misses_total") > before.misses);
+        assert_eq!(
+            after.counter("cache_evictions_total"),
+            cache.stats().evictions
+        );
+
+        // A full flush big enough to qualify as a storm emits an event.
+        let pairs = all_pairs(5);
+        let _ = cache.closeness_for_pairs(&g, &t, config, &pairs);
+        if cache.entry_count() as u64 >= EVICTION_STORM_THRESHOLD {
+            cache.invalidate();
+            assert!(telemetry
+                .sink()
+                .events()
+                .iter()
+                .any(|e| matches!(e, Event::EvictionStorm { .. })));
+        } else {
+            // Fixture is small; exercise the storm path directly.
+            cache.record_evictions(EVICTION_STORM_THRESHOLD, true);
+            assert!(telemetry.sink().events().iter().any(|e| matches!(
+                e,
+                Event::EvictionStorm {
+                    evicted: EVICTION_STORM_THRESHOLD,
+                    full_flush: true
+                }
+            )));
+        }
+    }
+
+    #[test]
+    fn stats_delta_subtracts() {
+        let a = CacheStats {
+            hits: 10,
+            misses: 5,
+            evictions: 2,
+        };
+        let b = CacheStats {
+            hits: 25,
+            misses: 6,
+            evictions: 2,
+        };
+        assert_eq!(
+            b.delta(a),
+            CacheStats {
+                hits: 15,
+                misses: 1,
+                evictions: 0
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Structured event log: typed [`Event`] records and the JSONL
+//! [`EventSink`] they flow into.
+//!
+//! Events are the low-frequency, high-information complement to the
+//! registry's aggregates: one record per detection verdict, eviction
+//! storm, or EigenTrust convergence, each rendered as a single JSON line
+//! (`{"event": "...", ...}`).
+//!
+//! The vendored serde derive cannot handle data-carrying enum variants, so
+//! [`Event`] implements `Serialize`/`Deserialize` by hand against the
+//! `Value` data model, using an `"event"` tag field.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// One structured telemetry record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The detector flagged a rater→ratee pair.
+    DetectionVerdict {
+        /// Simulation/update cycle the verdict belongs to (0-based).
+        cycle: u64,
+        /// Flagged rater node id.
+        rater: u32,
+        /// Rated node id.
+        ratee: u32,
+        /// Matched behavior tags, each one of `"B1"`–`"B4"`.
+        behaviors: Vec<String>,
+        /// Social closeness Ωc at detection time.
+        omega_c: f64,
+        /// Interest similarity Ωs at detection time.
+        omega_s: f64,
+    },
+    /// The coefficient cache dropped a large batch of entries at once.
+    EvictionStorm {
+        /// Number of entries dropped in the batch.
+        evicted: u64,
+        /// Whether this was a full flush (structural/global invalidation)
+        /// rather than a dirty-neighborhood eviction.
+        full_flush: bool,
+    },
+    /// One EigenTrust power-iteration run completed.
+    EigenTrustConvergence {
+        /// Update cycle (0-based, counted per system instance).
+        cycle: u64,
+        /// Power iterations until `‖t⁽ᵏ⁾ − t⁽ᵏ⁻¹⁾‖₁ < ε` (or the cap).
+        iterations: u64,
+        /// Final L1 residual when iteration stopped.
+        residual: f64,
+        /// Whether the run started from the previous cycle's trust vector.
+        warm_start: bool,
+    },
+}
+
+impl Event {
+    /// The `"event"` tag this record serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::DetectionVerdict { .. } => "detection_verdict",
+            Event::EvictionStorm { .. } => "eviction_storm",
+            Event::EigenTrustConvergence { .. } => "eigentrust_convergence",
+        }
+    }
+}
+
+impl Serialize for Event {
+    fn to_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> =
+            vec![("event".to_string(), Value::Str(self.kind().to_string()))];
+        match self {
+            Event::DetectionVerdict {
+                cycle,
+                rater,
+                ratee,
+                behaviors,
+                omega_c,
+                omega_s,
+            } => {
+                fields.push(("cycle".into(), Value::U64(*cycle)));
+                fields.push(("rater".into(), Value::U64(u64::from(*rater))));
+                fields.push(("ratee".into(), Value::U64(u64::from(*ratee))));
+                fields.push((
+                    "behaviors".into(),
+                    Value::Seq(behaviors.iter().map(|b| Value::Str(b.clone())).collect()),
+                ));
+                fields.push(("omega_c".into(), Value::F64(*omega_c)));
+                fields.push(("omega_s".into(), Value::F64(*omega_s)));
+            }
+            Event::EvictionStorm {
+                evicted,
+                full_flush,
+            } => {
+                fields.push(("evicted".into(), Value::U64(*evicted)));
+                fields.push(("full_flush".into(), Value::Bool(*full_flush)));
+            }
+            Event::EigenTrustConvergence {
+                cycle,
+                iterations,
+                residual,
+                warm_start,
+            } => {
+                fields.push(("cycle".into(), Value::U64(*cycle)));
+                fields.push(("iterations".into(), Value::U64(*iterations)));
+                fields.push(("residual".into(), Value::F64(*residual)));
+                fields.push(("warm_start".into(), Value::Bool(*warm_start)));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, Error> {
+    value
+        .get(name)
+        .ok_or_else(|| Error::custom(format!("Event missing field `{name}`")))
+}
+
+fn f64_field(value: &Value, name: &str) -> Result<f64, Error> {
+    field(value, name)?
+        .as_f64()
+        .ok_or_else(|| Error::custom(format!("Event field `{name}` is not a number")))
+}
+
+fn u64_field(value: &Value, name: &str) -> Result<u64, Error> {
+    field(value, name)?
+        .as_u64()
+        .ok_or_else(|| Error::custom(format!("Event field `{name}` is not an unsigned integer")))
+}
+
+fn bool_field(value: &Value, name: &str) -> Result<bool, Error> {
+    field(value, name)?
+        .as_bool()
+        .ok_or_else(|| Error::custom(format!("Event field `{name}` is not a bool")))
+}
+
+impl Deserialize for Event {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let kind = field(value, "event")?
+            .as_str()
+            .ok_or_else(|| Error::custom("Event tag `event` is not a string"))?;
+        match kind {
+            "detection_verdict" => {
+                let behaviors = field(value, "behaviors")?
+                    .as_array()
+                    .ok_or_else(|| Error::custom("`behaviors` is not an array"))?
+                    .iter()
+                    .map(|b| {
+                        b.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| Error::custom("behavior tag is not a string"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Event::DetectionVerdict {
+                    cycle: u64_field(value, "cycle")?,
+                    rater: u32::try_from(u64_field(value, "rater")?)
+                        .map_err(|_| Error::custom("`rater` out of range for u32"))?,
+                    ratee: u32::try_from(u64_field(value, "ratee")?)
+                        .map_err(|_| Error::custom("`ratee` out of range for u32"))?,
+                    behaviors,
+                    omega_c: f64_field(value, "omega_c")?,
+                    omega_s: f64_field(value, "omega_s")?,
+                })
+            }
+            "eviction_storm" => Ok(Event::EvictionStorm {
+                evicted: u64_field(value, "evicted")?,
+                full_flush: bool_field(value, "full_flush")?,
+            }),
+            "eigentrust_convergence" => Ok(Event::EigenTrustConvergence {
+                cycle: u64_field(value, "cycle")?,
+                iterations: u64_field(value, "iterations")?,
+                residual: f64_field(value, "residual")?,
+                warm_start: bool_field(value, "warm_start")?,
+            }),
+            other => Err(Error::custom(format!("unknown event kind {other:?}"))),
+        }
+    }
+}
+
+enum SinkKind {
+    /// Emits are no-ops. The default for uninstrumented runs.
+    Disabled,
+    /// Events are buffered in memory (for export/testing).
+    Memory(RwLock<Vec<Event>>),
+    /// Events are written as JSON lines to a writer. A `std::sync::Mutex`
+    /// rather than the workspace `RwLock` because `Box<dyn Write + Send>`
+    /// is not `Sync`, and `Mutex<T: Send>` is.
+    Writer(Mutex<BufWriter<Box<dyn Write + Send>>>),
+}
+
+/// A cheaply clonable destination for [`Event`]s.
+///
+/// Emitting is fallible only in the I/O sense; write errors are swallowed
+/// (telemetry must never crash the host pipeline) — callers that care can
+/// [`EventSink::flush`] and inspect the result.
+#[derive(Clone)]
+pub struct EventSink {
+    inner: Arc<SinkKind>,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &*self.inner {
+            SinkKind::Disabled => "disabled",
+            SinkKind::Memory(_) => "memory",
+            SinkKind::Writer(_) => "writer",
+        };
+        f.debug_struct("EventSink").field("kind", &kind).finish()
+    }
+}
+
+impl Default for EventSink {
+    fn default() -> Self {
+        EventSink::disabled()
+    }
+}
+
+impl EventSink {
+    /// A sink that drops every event. Emitting is a single `match` on an
+    /// `Arc`, so instrumented code need not special-case "telemetry off".
+    pub fn disabled() -> Self {
+        EventSink {
+            inner: Arc::new(SinkKind::Disabled),
+        }
+    }
+
+    /// A sink that buffers events in memory, retrievable via
+    /// [`EventSink::events`].
+    pub fn in_memory() -> Self {
+        EventSink {
+            inner: Arc::new(SinkKind::Memory(RwLock::new(Vec::new()))),
+        }
+    }
+
+    /// A sink that writes one JSON line per event to `writer`.
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
+        EventSink {
+            inner: Arc::new(SinkKind::Writer(Mutex::new(BufWriter::new(writer)))),
+        }
+    }
+
+    /// A sink that writes one JSON line per event to the file at `path`
+    /// (created/truncated).
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(EventSink::to_writer(Box::new(file)))
+    }
+
+    /// Whether emitted events go anywhere. Lets callers skip building
+    /// expensive event payloads when nobody is listening.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(&*self.inner, SinkKind::Disabled)
+    }
+
+    /// Records one event.
+    pub fn emit(&self, event: Event) {
+        match &*self.inner {
+            SinkKind::Disabled => {}
+            SinkKind::Memory(buf) => buf.write().push(event),
+            SinkKind::Writer(w) => {
+                if let Ok(line) = serde_json::to_string(&event) {
+                    if let Ok(mut w) = w.lock() {
+                        let _ = w.write_all(line.as_bytes());
+                        let _ = w.write_all(b"\n");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A copy of the buffered events (empty for non-memory sinks).
+    pub fn events(&self) -> Vec<Event> {
+        match &*self.inner {
+            SinkKind::Memory(buf) => buf.read().clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Flushes a writer-backed sink; no-op otherwise.
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &*self.inner {
+            SinkKind::Writer(w) => w
+                .lock()
+                .map_err(|_| std::io::Error::other("event sink writer lock poisoned"))?
+                .flush(),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::DetectionVerdict {
+                cycle: 3,
+                rater: 17,
+                ratee: 4,
+                behaviors: vec!["B1".into(), "B3".into()],
+                omega_c: 0.0,
+                omega_s: 0.125,
+            },
+            Event::EvictionStorm {
+                evicted: 4096,
+                full_flush: true,
+            },
+            Event::EigenTrustConvergence {
+                cycle: 3,
+                iterations: 12,
+                residual: 4.2e-7,
+                warm_start: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        for event in sample_events() {
+            let line = serde_json::to_string(&event).unwrap();
+            let back: Event = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn serialized_events_carry_the_kind_tag() {
+        for event in sample_events() {
+            let line = serde_json::to_string(&event).unwrap();
+            let value: Value = serde_json::from_str(&line).unwrap();
+            assert_eq!(
+                value.get("event").and_then(Value::as_str),
+                Some(event.kind())
+            );
+        }
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let sink = EventSink::in_memory();
+        assert!(sink.is_enabled());
+        for event in sample_events() {
+            sink.emit(event);
+        }
+        assert_eq!(sink.events(), sample_events());
+        // Clones share the buffer.
+        assert_eq!(sink.clone().events().len(), 3);
+    }
+
+    #[test]
+    fn disabled_sink_drops_everything() {
+        let sink = EventSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.emit(Event::EvictionStorm {
+            evicted: 1,
+            full_flush: false,
+        });
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn writer_sink_emits_jsonl() {
+        let dir = std::env::temp_dir().join("socialtrust-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("events-{}.jsonl", std::process::id()));
+        {
+            let sink = EventSink::to_file(&path).unwrap();
+            for event in sample_events() {
+                sink.emit(event);
+            }
+            sink.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<Event> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed, sample_events());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_event_kind_is_rejected() {
+        let err = serde_json::from_str::<Event>(r#"{"event":"wat"}"#);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Export formats: Prometheus text exposition, a line-format validator,
+//! and the combined [`MetricsExport`] JSON document written by
+//! `--metrics-out`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::Event;
+use crate::snapshot::{HistogramSnapshot, Snapshot};
+use crate::Telemetry;
+
+/// Renders an `f64` the way Prometheus expects sample values: `+Inf`,
+/// `-Inf`, `NaN`, or a plain decimal.
+fn render_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        let mut s = format!("{v}");
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+            s.push_str(".0");
+        }
+        s
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (bound, count) in h.bounds.iter().zip(&h.counts) {
+        cumulative += count;
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+            render_value(*bound)
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", render_value(h.sum)));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Renders a [`Snapshot`] in the Prometheus text exposition format
+/// (version 0.0.4). Metrics appear in name order; histograms expose
+/// cumulative `_bucket{le="..."}` samples plus `_sum`/`_count`.
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        out.push_str(&format!(
+            "# TYPE {name} gauge\n{name} {}\n",
+            render_value(*value)
+        ));
+    }
+    for (name, h) in &snapshot.histograms {
+        render_histogram(&mut out, name, h);
+    }
+    out
+}
+
+fn parse_sample_value(raw: &str) -> Option<f64> {
+    match raw {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse::<f64>().ok(),
+    }
+}
+
+/// One parsed exposition sample line: `name[{le="bound"}] value`.
+struct Sample {
+    name: String,
+    le: Option<f64>,
+    value: f64,
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
+    let (name_part, value_part) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("line {lineno}: no sample value in {line:?}"))?;
+    let value = parse_sample_value(value_part.trim())
+        .ok_or_else(|| format!("line {lineno}: bad sample value {value_part:?}"))?;
+    let (name, le) = match name_part.split_once('{') {
+        None => (name_part.to_string(), None),
+        Some((name, labels)) => {
+            let labels = labels
+                .strip_suffix('}')
+                .ok_or_else(|| format!("line {lineno}: unterminated label set in {line:?}"))?;
+            let bound = labels
+                .strip_prefix("le=\"")
+                .and_then(|rest| rest.strip_suffix('"'))
+                .ok_or_else(|| {
+                    format!("line {lineno}: only le=\"...\" labels are expected, got {labels:?}")
+                })?;
+            let bound = parse_sample_value(bound)
+                .ok_or_else(|| format!("line {lineno}: bad le bound {bound:?}"))?;
+            (name.to_string(), Some(bound))
+        }
+    };
+    if !crate::registry::is_valid_metric_name(&name) {
+        return Err(format!("line {lineno}: invalid metric name {name:?}"));
+    }
+    Ok(Sample { name, le, value })
+}
+
+/// Validates Prometheus text-exposition output line by line:
+///
+/// * every non-comment line parses as `name[{le="bound"}] value`;
+/// * every metric name matches `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+/// * histogram bucket series have non-decreasing cumulative counts with
+///   strictly increasing bounds, ending in a `+Inf` bucket;
+/// * each histogram's `+Inf` bucket equals its `_count` sample.
+///
+/// Returns the number of sample lines validated.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    // name -> (bounds seen, cumulative counts seen), for `*_bucket` series.
+    let mut buckets: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut counts: Vec<(String, f64)> = Vec::new();
+    let mut samples = 0usize;
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let sample = parse_sample(line, lineno)?;
+        samples += 1;
+        if let Some(bound) = sample.le {
+            let base = sample
+                .name
+                .strip_suffix("_bucket")
+                .ok_or_else(|| format!("line {lineno}: le label on non-bucket sample"))?
+                .to_string();
+            match buckets.iter_mut().find(|(n, _)| *n == base) {
+                Some((_, series)) => series.push((bound, sample.value)),
+                None => buckets.push((base, vec![(bound, sample.value)])),
+            }
+        } else if let Some(base) = sample.name.strip_suffix("_count") {
+            counts.push((base.to_string(), sample.value));
+        }
+    }
+
+    for (base, series) in &buckets {
+        for pair in series.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err(format!(
+                    "histogram {base}: bucket bounds not strictly increasing ({} then {})",
+                    pair[0].0, pair[1].0
+                ));
+            }
+            if pair[1].1 < pair[0].1 {
+                return Err(format!(
+                    "histogram {base}: cumulative bucket counts decrease at le={}",
+                    pair[1].0
+                ));
+            }
+        }
+        let last = series
+            .last()
+            .ok_or_else(|| format!("histogram {base}: empty bucket series"))?;
+        if last.0 != f64::INFINITY {
+            return Err(format!("histogram {base}: missing +Inf bucket"));
+        }
+        let count = counts
+            .iter()
+            .find(|(n, _)| n == base)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("histogram {base}: missing _count sample"))?;
+        if last.1 != count {
+            return Err(format!(
+                "histogram {base}: +Inf bucket {} != count {count}",
+                last.1
+            ));
+        }
+    }
+    Ok(samples)
+}
+
+/// The document written by `--metrics-out`: the Prometheus rendering, the
+/// structured snapshot, and every buffered event, in one JSON file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsExport {
+    /// Prometheus text exposition of `metrics`.
+    pub prometheus: String,
+    /// Structured snapshot of every registered metric.
+    pub metrics: Snapshot,
+    /// Buffered structured events, in emission order.
+    pub events: Vec<Event>,
+}
+
+impl MetricsExport {
+    /// Collects the current registry snapshot and buffered events from
+    /// `telemetry` into an export document.
+    pub fn collect(telemetry: &Telemetry) -> MetricsExport {
+        let metrics = telemetry.registry().snapshot();
+        MetricsExport {
+            prometheus: prometheus_text(&metrics),
+            metrics,
+            events: telemetry.sink().events(),
+        }
+    }
+
+    /// Serializes the export as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("MetricsExport serialization is infallible")
+    }
+
+    /// Writes the export as pretty JSON to `path`.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn populated_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("cache_hits_total").add(10);
+        r.counter("cache_misses_total").add(3);
+        r.gauge("eigentrust_residual").set(1.25e-7);
+        let h = r.histogram_with_bounds("detect_seconds", &[0.001, 0.01, 0.1]);
+        for v in [0.0005, 0.004, 0.05, 2.0] {
+            h.observe(v);
+        }
+        r
+    }
+
+    #[test]
+    fn exposition_round_trips_through_validator() {
+        let text = prometheus_text(&populated_registry().snapshot());
+        let samples = validate_exposition(&text).expect("valid exposition");
+        // 2 counters + 1 gauge + (3 buckets + Inf + sum + count).
+        assert_eq!(samples, 9);
+        assert!(text.contains("# TYPE detect_seconds histogram\n"));
+        assert!(text.contains("detect_seconds_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("cache_hits_total 10\n"));
+    }
+
+    #[test]
+    fn validator_rejects_non_monotone_buckets() {
+        let bad =
+            "x_bucket{le=\"1.0\"} 5\nx_bucket{le=\"2.0\"} 3\nx_bucket{le=\"+Inf\"} 5\nx_count 5\n";
+        assert!(validate_exposition(bad).unwrap_err().contains("decrease"));
+    }
+
+    #[test]
+    fn validator_rejects_inf_count_mismatch() {
+        let bad = "x_bucket{le=\"1.0\"} 2\nx_bucket{le=\"+Inf\"} 2\nx_count 3\n";
+        assert!(validate_exposition(bad)
+            .unwrap_err()
+            .contains("+Inf bucket 2 != count 3"));
+    }
+
+    #[test]
+    fn validator_rejects_missing_inf_bucket() {
+        let bad = "x_bucket{le=\"1.0\"} 2\nx_count 2\n";
+        assert!(validate_exposition(bad)
+            .unwrap_err()
+            .contains("missing +Inf bucket"));
+    }
+
+    #[test]
+    fn validator_rejects_bad_names() {
+        assert!(validate_exposition("bad-name 1\n").is_err());
+        assert!(validate_exposition("1leading 1\n").is_err());
+    }
+
+    #[test]
+    fn export_roundtrips_through_json() {
+        let telemetry = Telemetry::with_sink(crate::EventSink::in_memory());
+        telemetry
+            .registry()
+            .counter("detector_suspicions_total")
+            .add(2);
+        telemetry.sink().emit(crate::Event::EvictionStorm {
+            evicted: 100,
+            full_flush: false,
+        });
+        let export = MetricsExport::collect(&telemetry);
+        let text = export.to_json();
+        let back: MetricsExport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, export);
+        assert!(validate_exposition(&back.prometheus).is_ok());
+    }
+}

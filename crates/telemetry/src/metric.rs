@@ -1,0 +1,317 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], and fixed-bucket
+//! [`Histogram`].
+//!
+//! All three are cheap `Arc` handles around atomic storage, so the same
+//! metric can be held simultaneously by the registry (for export) and by
+//! hot-path code (for increments) without any locking. Floating-point
+//! cells store the `f64` bit pattern inside an `AtomicU64` and update it
+//! with a compare-and-swap loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::snapshot::HistogramSnapshot;
+
+/// Adds `delta` to an `AtomicU64` interpreted as an `f64` bit pattern.
+///
+/// This is the classic bit-cast CAS loop: contention retries recompute the
+/// sum from the freshly observed bits, so no update is ever lost.
+fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(current) + delta).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+/// A monotonically increasing `u64` counter.
+///
+/// Cloning yields another handle to the same underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter that is not (yet) registered anywhere.
+    ///
+    /// Instrumented components start with detached counters so they work
+    /// without a registry; `attach_telemetry` later swaps in registered
+    /// handles, carrying the accumulated count over.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Whether two handles share the same underlying cell.
+    pub fn same_cell(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell)
+    }
+}
+
+/// A `f64` gauge that can be set to arbitrary values or adjusted by deltas.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge that is not registered anywhere.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `value`.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` to the gauge (bit-cast CAS loop).
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        atomic_f64_add(&self.bits, delta);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Default histogram buckets for latencies in seconds: geometric, base 4,
+/// from 1 µs up to ~17 s. Thirteen finite upper bounds plus the implicit
+/// `+Inf` bucket.
+pub const DEFAULT_SECONDS_BUCKETS: [f64; 13] = [
+    1e-6, 4e-6, 1.6e-5, 6.4e-5, 2.56e-4, 1.024e-3, 4.096e-3, 1.6384e-2, 6.5536e-2, 0.262144,
+    1.048576, 4.194304, 16.777216,
+];
+
+/// Default buckets for small integer quantities (e.g. iteration counts).
+pub const DEFAULT_COUNT_BUCKETS: [f64; 10] =
+    [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0];
+
+struct HistogramInner {
+    /// Finite upper bounds, strictly increasing. The `+Inf` bucket is
+    /// implicit: observations above the last bound only hit `count`/`sum`.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts, one per finite bound.
+    buckets: Vec<AtomicU64>,
+    /// Total number of observations (including those above every bound).
+    count: AtomicU64,
+    /// Sum of observed values, stored as `f64` bits.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram with lock-free observation.
+///
+/// Bucket counts are plain per-bucket tallies internally; cumulative counts
+/// (Prometheus `le` semantics) are produced at snapshot/export time.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("bounds", &self.inner.bounds)
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::with_bounds(&DEFAULT_SECONDS_BUCKETS)
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with the given finite upper bounds.
+    ///
+    /// Bounds must be finite and strictly increasing.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty, non-finite, or not strictly increasing.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        for pair in bounds.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "histogram bounds must be strictly increasing"
+            );
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }),
+        }
+    }
+
+    /// Creates a detached histogram with the default latency buckets.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    ///
+    /// Non-finite observations are counted (so `count` stays honest) but
+    /// excluded from `sum` and bucketed as `+Inf`.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        // Linear scan: bucket vectors here are ~10-13 entries, and the scan
+        // is branch-predictable; a binary search costs more in practice.
+        for (bound, bucket) in self.inner.bounds.iter().zip(&self.inner.buckets) {
+            if value <= *bound {
+                bucket.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() {
+            atomic_f64_add(&self.inner.sum_bits, value);
+        }
+    }
+
+    /// Times `f` and records the elapsed wall time in seconds.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.observe(start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.inner.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The finite upper bounds this histogram was built with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.inner.bounds
+    }
+
+    /// Captures a consistent-enough point-in-time view of the histogram.
+    ///
+    /// Individual cells are read with relaxed ordering, so a snapshot taken
+    /// concurrently with observations may tear by a few in-flight
+    /// observations; exported totals are re-clamped so the invariant
+    /// `cumulative(last bucket) <= count` always holds.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let bucketed: u64 = counts.iter().sum();
+        let count = self.count().max(bucketed);
+        HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            counts,
+            count,
+            sum: self.sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let c = Counter::detached();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 43);
+        assert!(c.same_cell(&c2));
+        assert!(!c.same_cell(&Counter::detached()));
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = Gauge::detached();
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 1, 1]);
+        assert_eq!(snap.count, 4);
+        assert!((snap.sum - 105.0).abs() < 1e-9);
+        // Cumulative view: last finite bucket holds 3, +Inf holds 4.
+        assert_eq!(snap.cumulative(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn histogram_nonfinite_observations_kept_out_of_sum() {
+        let h = Histogram::with_bounds(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(0.5);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.counts, vec![1]);
+        assert!((snap.sum - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::with_bounds(&[2.0, 1.0]);
+    }
+}

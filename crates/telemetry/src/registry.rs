@@ -1,0 +1,210 @@
+//! The global-free metric [`Registry`].
+//!
+//! A registry is a cheaply clonable handle (`Arc` inside) that hands out
+//! [`Counter`]/[`Gauge`]/[`Histogram`] handles by name, get-or-create
+//! style. Registration takes a short write lock; the returned handles are
+//! lock-free, so hot paths register once and increment forever.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+use crate::metric::{Counter, Gauge, Histogram};
+use crate::snapshot::Snapshot;
+
+/// Whether `name` is a valid Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+/// A named collection of metrics. Clones share the same storage.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let metrics = self.inner.metrics.read();
+        f.debug_struct("Registry")
+            .field("metrics", &metrics.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        assert!(
+            is_valid_metric_name(name),
+            "invalid metric name {name:?}: must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+        );
+        let mut metrics = self.inner.metrics.write();
+        metrics.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Returns the counter registered under `name`, creating it at zero on
+    /// first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is not a valid metric name or is already registered
+    /// as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.get_or_insert(name, || Metric::Counter(Counter::detached())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics on invalid names or kind mismatch, like [`Registry::counter`].
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge::detached())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Returns the histogram registered under `name` with the default
+    /// latency buckets, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics on invalid names or kind mismatch, like [`Registry::counter`].
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_bounds(name, &crate::metric::DEFAULT_SECONDS_BUCKETS)
+    }
+
+    /// Returns the histogram registered under `name`, creating it with the
+    /// given bucket bounds on first use. An already-registered histogram
+    /// keeps its original bounds.
+    ///
+    /// # Panics
+    /// Panics on invalid names or kind mismatch, like [`Registry::counter`].
+    pub fn histogram_with_bounds(&self, name: &str, bounds: &[f64]) -> Histogram {
+        match self.get_or_insert(name, || Metric::Histogram(Histogram::with_bounds(bounds))) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Names of every registered metric, sorted.
+    pub fn metric_names(&self) -> Vec<String> {
+        self.inner.metrics.read().keys().cloned().collect()
+    }
+
+    /// Captures a point-in-time [`Snapshot`] of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.inner.metrics.read();
+        let mut snap = Snapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("cache_hits_total");
+        let b = r.counter("cache_hits_total");
+        a.add(3);
+        b.inc();
+        assert_eq!(r.counter("cache_hits_total").get(), 4);
+        assert!(a.same_cell(&b));
+    }
+
+    #[test]
+    fn snapshot_captures_all_kinds() {
+        let r = Registry::new();
+        r.counter("c_total").add(2);
+        r.gauge("g").set(1.5);
+        r.histogram_with_bounds("h_seconds", &[1.0]).observe(0.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("c_total"), 2);
+        assert_eq!(snap.gauge("g"), Some(1.5));
+        assert_eq!(snap.histogram("h_seconds").unwrap().count, 1);
+        assert_eq!(
+            r.metric_names(),
+            vec![
+                "c_total".to_string(),
+                "g".to_string(),
+                "h_seconds".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        Registry::new().counter("9starts-with-digit");
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(is_valid_metric_name("detect_seconds"));
+        assert!(is_valid_metric_name("ns:cache_hits_total"));
+        assert!(is_valid_metric_name("_private"));
+        assert!(!is_valid_metric_name(""));
+        assert!(!is_valid_metric_name("1abc"));
+        assert!(!is_valid_metric_name("has space"));
+        assert!(!is_valid_metric_name("has-dash"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Point-in-time views of a registry and delta arithmetic between them.
+//!
+//! A [`Snapshot`] is a plain serializable tree (sorted maps of metric name
+//! to value) so it can be embedded in `RunResult`s, JSON exports, and
+//! tests. [`Snapshot::diff`] subtracts an earlier snapshot from a later
+//! one, which is how per-cycle deltas are reported instead of lifetime
+//! totals.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Serializable view of a single histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Finite upper bounds, strictly increasing (`+Inf` implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts, parallel to `bounds`.
+    pub counts: Vec<u64>,
+    /// Total observations, including those above every finite bound.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Cumulative counts per finite bound (Prometheus `le` semantics).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0u64;
+        self.counts
+            .iter()
+            .map(|c| {
+                total += c;
+                total
+            })
+            .collect()
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Subtracts `earlier` from `self` bucket-by-bucket.
+    ///
+    /// Returns `self` unchanged when the bucket layouts differ (the metric
+    /// was re-created with different bounds between snapshots).
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.bounds != earlier.bounds || self.counts.len() != earlier.counts.len() {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: (self.sum - earlier.sum).max(0.0),
+        }
+    }
+}
+
+/// Point-in-time view of every metric in a registry.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Counter values by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by metric name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram views by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Subtracts `earlier` from `self`.
+    ///
+    /// Counters and histograms are differenced (names missing from
+    /// `earlier` keep their full value); gauges are instantaneous, so the
+    /// later value is kept as-is.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                let before = earlier.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), v.saturating_sub(before))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| match earlier.histograms.get(name) {
+                Some(before) => (name.clone(), h.diff(before)),
+                None => (name.clone(), h.clone()),
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram view by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// True when no metric has recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.counters.values().all(|v| *v == 0)
+            && self.histograms.values().all(|h| h.count == 0)
+            && self.gauges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(counts: Vec<u64>, count: u64, sum: f64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: vec![1.0, 2.0],
+            counts,
+            count,
+            sum,
+        }
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts_counters_and_histograms() {
+        let mut earlier = Snapshot::default();
+        earlier.counters.insert("hits".into(), 10);
+        earlier
+            .histograms
+            .insert("lat".into(), hist(vec![3, 1], 5, 2.0));
+
+        let mut later = Snapshot::default();
+        later.counters.insert("hits".into(), 25);
+        later.counters.insert("misses".into(), 4);
+        later.gauges.insert("residual".into(), 0.5);
+        later
+            .histograms
+            .insert("lat".into(), hist(vec![5, 2], 9, 3.5));
+
+        let d = later.diff(&earlier);
+        assert_eq!(d.counter("hits"), 15);
+        assert_eq!(d.counter("misses"), 4);
+        assert_eq!(d.gauge("residual"), Some(0.5));
+        let h = d.histogram("lat").unwrap();
+        assert_eq!(h.counts, vec![2, 1]);
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("cache_hits_total".into(), 7);
+        snap.gauges.insert("eigentrust_residual".into(), 1e-9);
+        snap.histograms
+            .insert("detect_seconds".into(), hist(vec![1, 0], 1, 0.25));
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,87 @@
+//! Scoped span timers.
+//!
+//! A [`Span`] measures the wall time between its creation and its drop and
+//! records the elapsed seconds into a histogram named `{name}_seconds`:
+//!
+//! ```
+//! use socialtrust_telemetry::{Registry, Span};
+//!
+//! let registry = Registry::new();
+//! {
+//!     let _span = Span::enter(&registry, "detect_all");
+//!     // ... timed work ...
+//! } // drop records into `detect_all_seconds`
+//! assert_eq!(registry.snapshot().histogram("detect_all_seconds").unwrap().count, 1);
+//! ```
+
+use std::time::Instant;
+
+use crate::metric::Histogram;
+use crate::registry::Registry;
+
+/// A scoped timer that records its lifetime into a histogram on drop.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span that will record into the registry histogram
+    /// `{name}_seconds` (created with the default latency buckets on first
+    /// use).
+    pub fn enter(registry: &Registry, name: &str) -> Span {
+        Span::on(registry.histogram(&format!("{name}_seconds")))
+    }
+
+    /// Starts a span on a pre-fetched histogram handle — the zero-lookup
+    /// variant for hot loops that resolve their histograms once up front.
+    pub fn on(hist: Histogram) -> Span {
+        Span {
+            hist,
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since the span started.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.observe(self.start.elapsed().as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let registry = Registry::new();
+        {
+            let span = Span::enter(&registry, "unit_work");
+            assert!(span.elapsed_seconds() >= 0.0);
+        }
+        let snap = registry.snapshot();
+        let h = snap.histogram("unit_work_seconds").expect("histogram");
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 0.0);
+    }
+
+    #[test]
+    fn span_on_prefetched_histogram() {
+        let registry = Registry::new();
+        let hist = registry.histogram("hot_seconds");
+        for _ in 0..3 {
+            let _span = Span::on(hist.clone());
+        }
+        assert_eq!(
+            registry.snapshot().histogram("hot_seconds").unwrap().count,
+            3
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Concurrency and property tests for the telemetry registry.
+
+use proptest::prelude::*;
+use socialtrust_telemetry::{prometheus_text, validate_exposition, Histogram, Registry};
+
+/// Multi-threaded counter increments are never lost: the final value is
+/// exactly the number of increments issued across all threads.
+#[test]
+fn concurrent_counter_increments_sum_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let registry = Registry::new();
+    let counter = registry.counter("stress_total");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = counter.clone();
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(
+        registry.snapshot().counter("stress_total"),
+        THREADS as u64 * PER_THREAD
+    );
+}
+
+/// Concurrent f64 observations through the bit-cast CAS path are never
+/// lost either: count and sum both land exactly (the addends are integers
+/// small enough that f64 addition is exact in any order).
+#[test]
+fn concurrent_histogram_observations_preserve_count_and_sum() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let hist = Histogram::with_bounds(&[0.5, 1.5, 2.5]);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let hist = hist.clone();
+            scope.spawn(move || {
+                let value = (t % 3) as f64;
+                for _ in 0..PER_THREAD {
+                    hist.observe(value);
+                }
+            });
+        }
+    });
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS as u64 * PER_THREAD);
+    // Threads 0,3,6 observed 0.0; 1,4,7 observed 1.0; 2,5 observed 2.0.
+    let expected_sum = (3 * PER_THREAD) as f64 * 1.0 + (2 * PER_THREAD) as f64 * 2.0;
+    assert_eq!(snap.sum, expected_sum);
+    assert_eq!(
+        snap.counts,
+        vec![3 * PER_THREAD, 3 * PER_THREAD, 2 * PER_THREAD]
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bucket counts + sum reconstruct the observation stream within
+    /// bucket resolution: every bucket tally matches a direct recount of
+    /// the observations falling in its (lo, hi] range, the total count is
+    /// exact, and the sum matches to floating-point accumulation error.
+    #[test]
+    fn histogram_reconstructs_observation_stream(
+        observations in proptest::collection::vec(0.0f64..20.0, 1..400)
+    ) {
+        let bounds = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+        let hist = Histogram::with_bounds(&bounds);
+        for v in &observations {
+            hist.observe(*v);
+        }
+        let snap = hist.snapshot();
+
+        prop_assert_eq!(snap.count, observations.len() as u64);
+
+        let direct_sum: f64 = observations.iter().sum();
+        prop_assert!((snap.sum - direct_sum).abs() <= 1e-9 * (1.0 + direct_sum.abs()));
+
+        for (i, hi) in bounds.iter().enumerate() {
+            let lo = if i == 0 { f64::NEG_INFINITY } else { bounds[i - 1] };
+            let expected = observations.iter().filter(|v| **v > lo && **v <= *hi).count();
+            prop_assert_eq!(snap.counts[i], expected as u64);
+        }
+        let overflow = observations.iter().filter(|v| **v > bounds[bounds.len() - 1]).count();
+        prop_assert_eq!(snap.count - snap.counts.iter().sum::<u64>(), overflow as u64);
+
+        // Cumulative view is monotone and capped by the total count.
+        let cumulative = snap.cumulative();
+        for pair in cumulative.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        prop_assert!(cumulative.last().copied().unwrap_or(0) <= snap.count);
+    }
+
+    /// Any populated registry renders exposition text that passes the
+    /// line-format validator.
+    #[test]
+    fn arbitrary_registry_exposition_validates(
+        counters in proptest::collection::vec(0u64..1_000_000, 0..5),
+        gauge_values in proptest::collection::vec(-1e6f64..1e6, 0..4),
+        observations in proptest::collection::vec(0.0f64..30.0, 0..100),
+    ) {
+        let registry = Registry::new();
+        for (i, v) in counters.iter().enumerate() {
+            registry.counter(&format!("c{i}_total")).add(*v);
+        }
+        for (i, v) in gauge_values.iter().enumerate() {
+            registry.gauge(&format!("g{i}")).set(*v);
+        }
+        let hist = registry.histogram_with_bounds("h_seconds", &[0.1, 1.0, 10.0]);
+        for v in &observations {
+            hist.observe(*v);
+        }
+        let text = prometheus_text(&registry.snapshot());
+        let samples = validate_exposition(&text);
+        prop_assert!(samples.is_ok(), "validator rejected: {:?}\n{}", samples, text);
+        // counters + gauges + (3 buckets + Inf + sum + count).
+        prop_assert_eq!(samples.unwrap(), counters.len() + gauge_values.len() + 6);
+    }
+}

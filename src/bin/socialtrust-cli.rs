@@ -40,6 +40,8 @@ SIMULATE OPTIONS:
   --falsified                      colluders falsify social info
   --oscillate <INT>                collusion burst period (cycles)
   --json <PATH>                    write the full result as JSON
+  --metrics-out <PATH>             export telemetry (Prometheus text, metric
+                                   snapshot, and structured events) as JSON
 
 TRACE OPTIONS:
   --users <INT>                    platform users              [default: 2000]
@@ -156,6 +158,7 @@ fn cmd_simulate(mut args: Args) -> Result<(), String> {
     let falsified = args.take("--falsified").is_some();
     let oscillate: usize = args.take_parsed("--oscillate", 0)?;
     let json = args.take("--json");
+    let metrics_out = args.take("--metrics-out");
     args.finish()?;
 
     if !(0.0..=1.0).contains(&b) {
@@ -188,7 +191,16 @@ fn cmd_simulate(mut args: Args) -> Result<(), String> {
     println!(
         "simulate: {model} · {system} · B={b} · {nodes} nodes · {cycles} cycles · {runs} run(s) · seed {seed}"
     );
-    let summary = run_scenario_multi(&scenario, system, seed, runs);
+    // Telemetry is only wired up when the export is requested: the
+    // instrumented runner runs seeds sequentially so all runs share one
+    // registry, whereas the plain path keeps its parallel speed.
+    let telemetry = metrics_out
+        .as_ref()
+        .map(|_| Telemetry::with_sink(EventSink::in_memory()));
+    let summary = match &telemetry {
+        Some(t) => run_scenario_multi_with_telemetry(&scenario, system, seed, runs, t),
+        None => run_scenario_multi(&scenario, system, seed, runs),
+    };
     let colluders = scenario.colluder_ids();
     let normals = scenario.normal_ids();
     let pretrusted = scenario.pretrusted_ids();
@@ -210,6 +222,17 @@ fn cmd_simulate(mut args: Args) -> Result<(), String> {
     println!(
         "  colluder suppression (cycles, <0.001): p1 {p1:.0} / median {median:.0} / p99 {p99:.0}"
     );
+    if let Some(((it_mean, it_ci), (res_mean, res_ci))) = summary.final_convergence_stats() {
+        println!(
+            "  eigentrust final update  : {it_mean:.1} ± {it_ci:.1} iterations, L1 residual {res_mean:.3e} ± {res_ci:.3e}"
+        );
+    }
+    if let (Some(path), Some(t)) = (&metrics_out, &telemetry) {
+        MetricsExport::collect(t)
+            .write_to(path)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote {path}");
+    }
     if let Some(path) = json {
         let data = serde_json::to_string_pretty(&summary.runs).map_err(|e| e.to_string())?;
         std::fs::write(&path, data).map_err(|e| format!("writing {path}: {e}"))?;
@@ -367,6 +390,29 @@ mod tests {
             "simulate --model pcm --system ebay --nodes 40 --cycles 2 --runs 1 --seed 3",
         ));
         assert!(result.is_ok(), "{result:?}");
+    }
+
+    #[test]
+    fn simulate_metrics_out_exports_parsable_telemetry() {
+        let path = std::env::temp_dir().join("socialtrust-cli-metrics-test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let mut cmd = argv("simulate --model pcm --system et-st --nodes 40 --cycles 2 --runs 1 --seed 3 --metrics-out");
+        cmd.push(path_str);
+        let result = run(cmd);
+        assert!(result.is_ok(), "{result:?}");
+        let data = std::fs::read_to_string(&path).unwrap();
+        let value: socialtrust::telemetry::MetricsExport = serde_json::from_str(&data).unwrap();
+        let prometheus = value.prometheus;
+        socialtrust::telemetry::validate_exposition(&prometheus).unwrap();
+        for family in [
+            "detector_b1_triggers_total",
+            "cache_hits_total",
+            "eigentrust_iterations",
+            "sim_cycle_seconds",
+        ] {
+            assert!(prometheus.contains(family), "missing {family}");
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   regenerate the paper's evaluation.
 //! * [`trace`] — the synthetic Overstock-style trace substrate and the
 //!   Section-3 analysis toolkit.
+//! * [`telemetry`] — zero-heavy-dependency observability: a registry of
+//!   atomic counters/gauges/histograms, span timers, a structured JSONL
+//!   event sink, and Prometheus/JSON export (see DESIGN.md's
+//!   "Observability contract" for the metric inventory).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +48,7 @@ pub use socialtrust_core as core;
 pub use socialtrust_reputation as reputation;
 pub use socialtrust_sim as sim;
 pub use socialtrust_socnet as socnet;
+pub use socialtrust_telemetry as telemetry;
 pub use socialtrust_trace as trace;
 
 /// One-stop imports for applications.
@@ -52,5 +57,6 @@ pub mod prelude {
     pub use socialtrust_reputation::prelude::*;
     pub use socialtrust_sim::prelude::*;
     pub use socialtrust_socnet::prelude::*;
+    pub use socialtrust_telemetry::{EventSink, MetricsExport, Telemetry};
     pub use socialtrust_trace::prelude::*;
 }

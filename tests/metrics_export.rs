@@ -1,0 +1,98 @@
+//! Acceptance test for the telemetry subsystem: one instrumented
+//! simulation must export every metric family the observability contract
+//! (DESIGN.md) promises, with a Prometheus text exposition that passes the
+//! line-format validator, and structured events for every pipeline stage.
+
+use socialtrust::prelude::*;
+use socialtrust::telemetry::{validate_exposition, Event};
+
+/// Every metric family the export must contain, per the observability
+/// contract: B1–B4 trigger counters, the three latency histograms, the
+/// cache counters, and the EigenTrust convergence gauges.
+const REQUIRED_FAMILIES: &[&str] = &[
+    "detector_b1_triggers_total",
+    "detector_b2_triggers_total",
+    "detector_b3_triggers_total",
+    "detector_b4_triggers_total",
+    "detector_suspicions_total",
+    "detect_seconds",
+    "gaussian_weight_seconds",
+    "reputation_update_seconds",
+    "decorator_rescaled_ratings_total",
+    "cache_hits_total",
+    "cache_misses_total",
+    "cache_evictions_total",
+    "eigentrust_iterations",
+    "eigentrust_residual",
+    "eigentrust_warm_start",
+    "eigentrust_warm_starts_total",
+    "eigentrust_cycles_total",
+    "sim_cycle_seconds",
+    "sim_query_phase_seconds",
+    "sim_update_phase_seconds",
+];
+
+#[test]
+fn instrumented_run_exports_all_contract_metric_families() {
+    let scenario = ScenarioConfig::small()
+        .with_collusion(CollusionModel::PairWise)
+        .with_cycles(4);
+    let telemetry = Telemetry::with_sink(EventSink::in_memory());
+    let result = run_scenario_with_telemetry(
+        &scenario,
+        ReputationKind::EigenTrustWithSocialTrust,
+        7,
+        &telemetry,
+    );
+
+    let export = MetricsExport::collect(&telemetry);
+    let names = telemetry.registry().metric_names();
+    for family in REQUIRED_FAMILIES {
+        assert!(
+            names.iter().any(|n| n == family),
+            "metric family {family} missing from the registry: {names:?}"
+        );
+        assert!(
+            export.prometheus.contains(family),
+            "metric family {family} missing from the Prometheus exposition"
+        );
+    }
+    validate_exposition(&export.prometheus).expect("exposition must validate");
+
+    // The snapshot carries real readings, not just registered zeros.
+    let snap = &export.metrics;
+    assert!(snap.counter("detector_suspicions_total") > 0);
+    assert!(snap.counter("cache_hits_total") + snap.counter("cache_misses_total") > 0);
+    assert_eq!(
+        snap.gauge("eigentrust_iterations"),
+        result.final_convergence().map(|c| c.iterations as f64)
+    );
+    assert_eq!(
+        snap.counter("eigentrust_cycles_total"),
+        scenario.sim_cycles as u64
+    );
+    assert_eq!(
+        snap.histogram("sim_cycle_seconds").unwrap().count,
+        scenario.sim_cycles as u64
+    );
+
+    // Events: one EigenTrust convergence per cycle, and detection verdicts
+    // for the colluding pairs.
+    let events = telemetry.sink().events();
+    let convergence_events = events
+        .iter()
+        .filter(|e| matches!(e, Event::EigenTrustConvergence { .. }))
+        .count();
+    assert_eq!(convergence_events, scenario.sim_cycles);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::DetectionVerdict { .. })),
+        "collusion run must emit detection verdicts"
+    );
+
+    // JSON round-trip of the full export.
+    let json = export.to_json();
+    let parsed: MetricsExport = serde_json::from_str(&json).expect("export round-trips");
+    assert_eq!(parsed.metrics, export.metrics);
+}
