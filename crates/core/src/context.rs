@@ -22,6 +22,7 @@ use socialtrust_socnet::interaction::InteractionTracker;
 use socialtrust_socnet::interest::{
     similarity, weighted_similarity, InterestId, InterestProfile, InterestSet,
 };
+use socialtrust_socnet::snapshot::{GraphSnapshot, SnapshotStore};
 use socialtrust_socnet::NodeId;
 use socialtrust_telemetry::Telemetry;
 
@@ -42,6 +43,12 @@ pub struct SocialContext {
     profiles: Vec<InterestProfile>,
     total_interests: u16,
     cache: SocialCoefficientCache,
+    /// Holder of the per-cycle CSR snapshot (see [`SocialContext::snapshot`]).
+    /// Cloning yields an empty store, like the cache.
+    snapshots: SnapshotStore,
+    /// Bumped on every interest-profile mutation; the profiles carry no
+    /// dirty log of their own, so this version is what stamps snapshots.
+    profiles_version: u64,
 }
 
 impl SocialContext {
@@ -55,6 +62,8 @@ impl SocialContext {
             profiles: vec![InterestProfile::new(InterestSet::new()); n],
             total_interests,
             cache: SocialCoefficientCache::new(),
+            snapshots: SnapshotStore::new(),
+            profiles_version: 0,
         }
     }
 
@@ -81,6 +90,8 @@ impl SocialContext {
             profiles,
             total_interests,
             cache: SocialCoefficientCache::new(),
+            snapshots: SnapshotStore::new(),
+            profiles_version: 0,
         }
     }
 
@@ -123,7 +134,10 @@ impl SocialContext {
     }
 
     /// Mutable interest profile (e.g. for declaring/deleting interests).
+    /// Conservatively bumps the profiles version, so the next
+    /// [`SocialContext::snapshot`] call repatches its interest tables.
     pub fn profile_mut(&mut self, node: NodeId) -> &mut InterestProfile {
+        self.profiles_version += 1;
         &mut self.profiles[node.index()]
     }
 
@@ -133,6 +147,7 @@ impl SocialContext {
     pub fn record_request(&mut self, from: NodeId, to: NodeId, interest: InterestId) {
         self.interactions.record(from, to, 1.0);
         self.profiles[from.index()].record_requests(interest, 1);
+        self.profiles_version += 1;
     }
 
     /// Record a bare social interaction without an interest annotation.
@@ -183,6 +198,28 @@ impl SocialContext {
     /// the bundle's sink. Idempotent; accumulated counts are preserved.
     pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
         self.cache.attach_telemetry(telemetry);
+        self.snapshots.attach_telemetry(telemetry);
+    }
+
+    /// The current epoch-validated CSR snapshot of this context for
+    /// `config` (see [`GraphSnapshot`]). Rebuilt or row-patched on demand
+    /// from the dirty logs; repeated calls on an unchanged context return
+    /// the same `Arc`. The detector and the social-trust decorator acquire
+    /// one snapshot per cycle and serve every read of that cycle from it.
+    pub fn snapshot(&self, config: ClosenessConfig) -> Arc<GraphSnapshot> {
+        self.snapshots.snapshot(
+            &self.graph,
+            &self.interactions,
+            &self.profiles,
+            self.profiles_version,
+            config,
+        )
+    }
+
+    /// `(full rebuilds, incremental patches)` the snapshot store has
+    /// performed, for diagnostics and tests.
+    pub fn snapshot_stats(&self) -> (u64, u64) {
+        self.snapshots.stats()
     }
 
     /// Interest similarity `Ωs(i,j)`: request-weighted Eq. (11) when
@@ -325,6 +362,44 @@ mod tests {
         for (idx, &(i, j)) in pairs.iter().enumerate() {
             assert_eq!(bulk2[idx].to_bits(), ctx.closeness(i, j, cfg).to_bits());
         }
+    }
+
+    #[test]
+    fn snapshot_tracks_context_mutations() {
+        let mut ctx = SocialContext::new(3, 4);
+        ctx.graph_mut()
+            .add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        ctx.record_interaction(NodeId(0), NodeId(1), 3.0);
+        let cfg = ClosenessConfig::default();
+        let snap = ctx.snapshot(cfg);
+        assert_eq!(
+            snap.closeness(NodeId(0), NodeId(1)).to_bits(),
+            ctx.closeness(NodeId(0), NodeId(1), cfg).to_bits()
+        );
+        // Unchanged context → same Arc.
+        assert!(Arc::ptr_eq(&snap, &ctx.snapshot(cfg)));
+        // Interaction dirt is patched in, not rebuilt.
+        ctx.record_interaction(NodeId(0), NodeId(1), 2.0);
+        let snap2 = ctx.snapshot(cfg);
+        assert_eq!(
+            snap2.closeness(NodeId(0), NodeId(1)).to_bits(),
+            ctx.closeness(NodeId(0), NodeId(1), cfg).to_bits()
+        );
+        assert_eq!(ctx.snapshot_stats(), (1, 1));
+        // Profile mutations show up through the similarity kernels.
+        ctx.profile_mut(NodeId(0))
+            .declared_mut()
+            .insert(InterestId(1));
+        ctx.profile_mut(NodeId(1))
+            .declared_mut()
+            .insert(InterestId(1));
+        let snap3 = ctx.snapshot(cfg);
+        assert_eq!(
+            snap3
+                .interest_similarity(NodeId(0), NodeId(1), false)
+                .to_bits(),
+            ctx.similarity(NodeId(0), NodeId(1), false).to_bits()
+        );
     }
 
     #[test]

@@ -12,23 +12,30 @@
 //! flagged pair, multiplies the flagged ratings by their weight, and only
 //! then forwards everything to the wrapped engine.
 //!
-//! The social coefficients consulted here come from the context's
-//! epoch-validated cache: between cycles, only the entries whose nodes
-//! actually appear in the graph/tracker dirty sets are recomputed, so the
+//! The social coefficients consulted here are served from **one**
+//! epoch-validated [`GraphSnapshot`] acquired per cycle
+//! ([`SocialContext::snapshot`]): the detection pass, the parallel
+//! Gaussian-baseline pass (which batches each rater's per-ratee closeness
+//! sweep into a single BFS via
+//! [`GraphSnapshot::closeness_to_all`]), and the hysteresis ghost pairs
+//! all read the same frozen CSR view. The snapshot refreshes
+//! incrementally from the graph/tracker dirty logs between cycles, so the
 //! decorator never assumes (or pays for) a full coefficient recompute per
-//! cycle. [`WithSocialTrust::cache_stats`] exposes the hit/miss/eviction
-//! counters for benchmarks and diagnostics.
+//! cycle. [`WithSocialTrust::cache_stats`] exposes the coefficient
+//! cache's hit/miss/eviction counters for the remaining point-query
+//! paths, benchmarks, and diagnostics.
 
 use std::collections::HashMap;
 use std::time::Instant;
 
 use socialtrust_reputation::rating::{PairKey, Rating, RatingLedger};
 use socialtrust_reputation::system::{ConvergenceRecord, ReputationSystem};
+use socialtrust_socnet::snapshot::GraphSnapshot;
 use socialtrust_socnet::NodeId;
 use socialtrust_telemetry::{Counter, Event, EventSink, Histogram, Telemetry};
 
 use crate::config::{AdjustmentMode, BaselineMode, SocialTrustConfig};
-use crate::context::{SharedSocialContext, SocialContext};
+use crate::context::SharedSocialContext;
 use crate::detector::{Detector, DetectorMetrics, Suspicion};
 use crate::gaussian::{adjustment_weight, combined_weight};
 use crate::stats::OmegaStats;
@@ -162,11 +169,15 @@ impl<R: ReputationSystem> WithSocialTrust<R> {
 /// A free function rather than a method so the parallel weight pass in
 /// `end_cycle` does not have to capture `&WithSocialTrust<R>` — that would
 /// demand `R: Sync` of every wrapped engine for no reason; the computation
-/// only needs the config, the ledger, and the social context.
+/// only needs the config, the ledger, and the cycle's frozen snapshot.
+///
+/// The closeness sweep over the rater's rated set is batched through
+/// [`GraphSnapshot::closeness_to_all`]: all Eq. (4) fallback targets share
+/// one capped BFS instead of one traversal per ratee.
 fn rater_stats(
     config: &SocialTrustConfig,
     ledger: &RatingLedger,
-    ctx: &SocialContext,
+    snapshot: &GraphSnapshot,
     rater: NodeId,
     exclude_ratee: NodeId,
 ) -> (OmegaStats, OmegaStats) {
@@ -182,13 +193,10 @@ fn rater_stats(
     if rated.len() < 2 {
         return empirical;
     }
-    let closeness: Vec<f64> = rated
-        .iter()
-        .map(|&j| ctx.closeness(rater, j, config.closeness))
-        .collect();
+    let closeness: Vec<f64> = snapshot.closeness_to_all(rater, &rated);
     let similarity: Vec<f64> = rated
         .iter()
-        .map(|&j| ctx.similarity(rater, j, config.weighted_similarity))
+        .map(|&j| snapshot.interest_similarity(rater, j, config.weighted_similarity))
         .collect();
     match (
         OmegaStats::from_values(&closeness),
@@ -206,10 +214,11 @@ fn rater_stats(
 fn weight_for(
     config: &SocialTrustConfig,
     ledger: &RatingLedger,
-    ctx: &SocialContext,
+    snapshot: &GraphSnapshot,
     suspicion: &Suspicion,
 ) -> f64 {
-    let (stats_c, stats_s) = rater_stats(config, ledger, ctx, suspicion.rater, suspicion.ratee);
+    let (stats_c, stats_s) =
+        rater_stats(config, ledger, snapshot, suspicion.rater, suspicion.ratee);
     let stats_c = stats_c.with_width_scale(config.width_scale);
     let stats_s = stats_s.with_width_scale(config.width_scale);
     match config.adjustment_mode {
@@ -253,11 +262,15 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
             // Gaussian weights for flagged pairs are independent of each
             // other, so compute them in parallel; suspicions hold distinct
             // (rater, ratee) keys, making the HashMap collect well-defined.
+            // The whole pass reads the same frozen snapshot the detector
+            // just used (no mutation happened in between, so this is an
+            // epoch-validated Arc clone, not a rebuild).
             use rayon::prelude::*;
-            let (config, ledger, ctx_ref) = (&self.config, &self.ledger, &*ctx);
+            let snapshot = ctx.snapshot(self.config.closeness);
+            let (config, ledger) = (&self.config, &self.ledger);
             let mut weights: HashMap<PairKey, f64> = suspicions
                 .par_iter()
-                .map(|s| ((s.rater, s.ratee), weight_for(config, ledger, ctx_ref, s)))
+                .map(|s| ((s.rater, s.ratee), weight_for(config, ledger, &snapshot, s)))
                 .collect();
             // Suspicion hysteresis: pairs flagged in recent intervals keep
             // being adjusted even if this interval's conditions lapsed
@@ -277,10 +290,17 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
                         rater,
                         ratee,
                         reasons: Vec::new(),
-                        omega_c: ctx.closeness(rater, ratee, self.config.closeness),
-                        omega_s: ctx.similarity(rater, ratee, self.config.weighted_similarity),
+                        omega_c: snapshot.closeness(rater, ratee),
+                        omega_s: snapshot.interest_similarity(
+                            rater,
+                            ratee,
+                            self.config.weighted_similarity,
+                        ),
                     };
-                    weights.insert((rater, ratee), weight_for(config, ledger, ctx_ref, &ghost));
+                    weights.insert(
+                        (rater, ratee),
+                        weight_for(config, ledger, &snapshot, &ghost),
+                    );
                 }
             }
             if let Some(t) = &self.telemetry {
@@ -381,6 +401,7 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::SocialContext;
     use socialtrust_reputation::prelude::{EBayModel, EigenTrust};
     use socialtrust_socnet::interest::InterestId;
     use socialtrust_socnet::relationship::Relationship;
@@ -728,8 +749,17 @@ mod tests {
             let hist = snap.histogram(name).expect(name);
             assert_eq!(hist.count, 1, "{name}: one cycle, one observation");
         }
-        // The context's coefficient cache was re-homed onto the registry.
-        assert!(snap.counter("cache_hits_total") + snap.counter("cache_misses_total") > 0);
+        // The cycle's social reads were served from one CSR snapshot: the
+        // first acquisition is a full rebuild, and the detector + Gaussian
+        // passes share it (no second build for an unchanged context).
+        assert_eq!(snap.counter("snapshot_rebuilds_total"), 1);
+        assert_eq!(snap.counter("snapshot_patches_total"), 0);
+        assert_eq!(
+            snap.histogram("snapshot_rebuild_seconds")
+                .expect("timed")
+                .count,
+            1
+        );
         // EigenTrust convergence flows through the same bundle, and the
         // decorator surfaces the inner engine's record.
         let record = sys.convergence().expect("inner EigenTrust converged");

@@ -18,6 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 use socialtrust_reputation::rating::RatingLedger;
+use socialtrust_socnet::snapshot::GraphSnapshot;
 use socialtrust_socnet::NodeId;
 use socialtrust_telemetry::{Counter, Histogram, Telemetry};
 
@@ -123,6 +124,14 @@ pub struct Suspicion {
     pub omega_s: f64,
 }
 
+/// Outcome of the interval-frequency gate for one rater→ratee pair.
+#[derive(Debug, Clone, Copy)]
+struct FrequencyGate {
+    frequent_positive: bool,
+    frequent_negative: bool,
+    back_frequent_positive: bool,
+}
+
 /// The B1–B4 detector.
 #[derive(Debug, Clone, Copy)]
 pub struct Detector {
@@ -189,6 +198,60 @@ impl Detector {
         ratee_reputation: f64,
         mean_freq: f64,
     ) -> Option<Suspicion> {
+        let gate = self.frequency_gate(ledger, rater, ratee, mean_freq)?;
+        let omega_c = ctx.closeness(rater, ratee, self.config.closeness);
+        let omega_s = ctx.similarity(rater, ratee, self.config.weighted_similarity);
+        self.classify(
+            rater,
+            ratee,
+            rater_reputation,
+            ratee_reputation,
+            gate,
+            omega_c,
+            omega_s,
+        )
+    }
+
+    /// [`Detector::inspect_pair_with_mean`] serving `Ωc`/`Ωs` from a frozen
+    /// [`GraphSnapshot`] instead of the live cache. Bit-for-bit identical
+    /// results (the snapshot kernels reproduce the live evaluation order);
+    /// used by [`Detector::detect_all`] so the whole pass reads one
+    /// consistent view with no lock traffic.
+    #[allow(clippy::too_many_arguments)]
+    fn inspect_pair_snapshot(
+        &self,
+        snapshot: &GraphSnapshot,
+        ledger: &RatingLedger,
+        rater: NodeId,
+        ratee: NodeId,
+        rater_reputation: f64,
+        ratee_reputation: f64,
+        mean_freq: f64,
+    ) -> Option<Suspicion> {
+        let gate = self.frequency_gate(ledger, rater, ratee, mean_freq)?;
+        let omega_c = snapshot.closeness(rater, ratee);
+        let omega_s = snapshot.interest_similarity(rater, ratee, self.config.weighted_similarity);
+        self.classify(
+            rater,
+            ratee,
+            rater_reputation,
+            ratee_reputation,
+            gate,
+            omega_c,
+            omega_s,
+        )
+    }
+
+    /// The rating-frequency gate shared by both inspection paths: `None`
+    /// when the pair's interval traffic is unremarkable (the social
+    /// coefficients are then never computed).
+    fn frequency_gate(
+        &self,
+        ledger: &RatingLedger,
+        rater: NodeId,
+        ratee: NodeId,
+        mean_freq: f64,
+    ) -> Option<FrequencyGate> {
         let stats = ledger.interval_stats(rater, ratee);
         if stats.count() == 0 {
             return None;
@@ -211,10 +274,31 @@ impl Detector {
         if !frequent_positive && !frequent_negative {
             return None;
         }
+        Some(FrequencyGate {
+            frequent_positive,
+            frequent_negative,
+            back_frequent_positive,
+        })
+    }
 
-        let omega_c = ctx.closeness(rater, ratee, self.config.closeness);
-        let omega_s = ctx.similarity(rater, ratee, self.config.weighted_similarity);
-
+    /// B1–B4 classification of a frequency-gated pair from its social
+    /// coefficients.
+    #[allow(clippy::too_many_arguments)]
+    fn classify(
+        &self,
+        rater: NodeId,
+        ratee: NodeId,
+        rater_reputation: f64,
+        ratee_reputation: f64,
+        gate: FrequencyGate,
+        omega_c: f64,
+        omega_s: f64,
+    ) -> Option<Suspicion> {
+        let FrequencyGate {
+            frequent_positive,
+            frequent_negative,
+            back_frequent_positive,
+        } = gate;
         let mut reasons = Vec::new();
         if frequent_positive {
             if omega_c < self.config.closeness_low {
@@ -257,17 +341,16 @@ impl Detector {
     ///
     /// Pairs are independent, so they are inspected in parallel with rayon;
     /// the system-wide mean rating frequency `F̄` is computed once for the
-    /// whole interval, and the social coefficients are served through the
-    /// context's [`SocialCoefficientCache`]. The cache invalidates
-    /// incrementally from the graph/tracker dirty sets, so across update
-    /// intervals only the coefficients of pairs near actually-mutated
-    /// nodes are recomputed — the detector makes no full-recompute
-    /// assumption, and its lock-striped shards let the rayon workers probe
-    /// the memo without serializing on one lock. The result is sorted by
+    /// whole interval, and the social coefficients are served from **one**
+    /// epoch-validated [`GraphSnapshot`] acquired at the start of the pass
+    /// ([`SocialContext::snapshot`]): flat CSR adjacency, per-edge
+    /// frequencies, bitset interest similarity, and thread-local BFS
+    /// scratch for the Eq. (4) fallbacks — no lock traffic and no
+    /// mid-pass epoch drift. The snapshot refreshes incrementally from the
+    /// graph/tracker dirty logs, so across update intervals only the rows
+    /// of actually-mutated nodes are repatched. The result is sorted by
     /// `(rater, ratee)`, so the output is deterministic regardless of the
     /// parallel schedule.
-    ///
-    /// [`SocialCoefficientCache`]: socialtrust_socnet::cache::SocialCoefficientCache
     pub fn detect_all(
         &self,
         ctx: &SocialContext,
@@ -304,12 +387,13 @@ impl Detector {
     ) -> Vec<Suspicion> {
         use rayon::prelude::*;
         let mean_freq = ledger.average_rating_frequency();
+        let snapshot = ctx.snapshot(self.config.closeness);
         let pairs: Vec<(NodeId, NodeId)> = ledger.interval_pairs().map(|(k, _)| k).collect();
         let mut out: Vec<Suspicion> = pairs
             .into_par_iter()
             .filter_map(|(rater, ratee)| {
-                self.inspect_pair_with_mean(
-                    ctx,
+                self.inspect_pair_snapshot(
+                    &snapshot,
                     ledger,
                     rater,
                     ratee,

@@ -68,8 +68,18 @@ pub fn run<R: Rng + ?Sized>(
 /// This instruments the *engine loop* only; call
 /// [`ReputationSystem::attach_telemetry`] (and
 /// `SocialContext::attach_telemetry` via the world's shared context)
-/// beforehand to capture the detector/cache/EigenTrust layers in the same
+/// beforehand to capture the detector/cache/EigenTrust layers — plus the
+/// per-cycle CSR snapshot's `snapshot_rebuilds_total` /
+/// `snapshot_patches_total` / `snapshot_rebuild_seconds` — in the same
 /// bundle — [`crate::runner::run_scenario_with_telemetry`] does all of it.
+///
+/// Within each simulation cycle the query phase mutates the shared context
+/// (requests dirty the interaction tracker and request profiles); the
+/// update phase then reads it through one epoch-validated
+/// `GraphSnapshot`. Because only interaction/profile rows change in the
+/// steady state, that refresh is an incremental row patch, not a rebuild —
+/// structural churn (relationship falsification attacks) is what shows up
+/// as `snapshot_rebuilds_total` and `snapshot_rebuild` events.
 pub fn run_with_telemetry<R: Rng + ?Sized>(
     world: &SimWorld,
     scenario: &ScenarioConfig,

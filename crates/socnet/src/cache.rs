@@ -72,7 +72,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -141,7 +141,9 @@ struct Shard {
     /// Adjacent closeness per (config, i, j) — Eq. (2)/(10).
     adjacent: HashMap<(ConfigKey, NodeId, NodeId), f64>,
     /// Common-friend sets per unordered pair — the `S_i ∩ S_j` of Eq. (3).
-    common_friends: HashMap<(NodeId, NodeId), Vec<NodeId>>,
+    /// Stored as `Arc<[NodeId]>` so cache hits hand back a refcount bump
+    /// instead of cloning the whole set.
+    common_friends: HashMap<(NodeId, NodeId), Arc<[NodeId]>>,
     /// Full closeness per (config, i, j) — Eqs. (2)/(3)/(4)/(10).
     closeness: HashMap<(ConfigKey, NodeId, NodeId), ClosenessEntry>,
 }
@@ -490,28 +492,29 @@ impl SocialCoefficientCache {
     }
 
     /// Memoized common-friend set `S_a ∩ S_b` (symmetric; stored once per
-    /// unordered pair, sharded by the smaller id).
+    /// unordered pair, sharded by the smaller id). The returned `Arc` is a
+    /// cheap refcount clone of the cached slice — hits never copy the set.
     pub fn common_friends(
         &self,
         graph: &SocialGraph,
         interactions: &InteractionTracker,
         a: NodeId,
         b: NodeId,
-    ) -> Vec<NodeId> {
+    ) -> Arc<[NodeId]> {
         self.ensure_fresh(graph, interactions);
         self.common_friends_inner(graph, a, b)
     }
 
-    fn common_friends_inner(&self, graph: &SocialGraph, a: NodeId, b: NodeId) -> Vec<NodeId> {
+    fn common_friends_inner(&self, graph: &SocialGraph, a: NodeId, b: NodeId) -> Arc<[NodeId]> {
         let key = if a <= b { (a, b) } else { (b, a) };
         let shard = &self.shards[shard_of(key.0)];
         if let Some(v) = shard.read().common_friends.get(&key) {
             self.record_hit();
-            return v.clone();
+            return Arc::clone(v);
         }
         self.record_miss();
-        let v = graph.common_friends(a, b);
-        shard.write().common_friends.insert(key, v.clone());
+        let v: Arc<[NodeId]> = graph.common_friends(a, b).into();
+        shard.write().common_friends.insert(key, Arc::clone(&v));
         v
     }
 

@@ -51,6 +51,29 @@ pub enum DirtyDelta {
     Full,
 }
 
+impl DirtyDelta {
+    /// `true` when nothing changed since the sync epoch.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        matches!(self, DirtyDelta::Clean)
+    }
+
+    /// `true` when the delta cannot be applied node-by-node: either a
+    /// whole-state mutation, or a sparse set with the structural flag
+    /// raised. Consumers of path- or structure-derived state (the Eq. (4)
+    /// entries of the coefficient cache, the CSR rows of
+    /// [`crate::snapshot::GraphSnapshot`]) must rebuild from scratch when
+    /// this is set.
+    #[inline]
+    pub fn requires_rebuild(&self) -> bool {
+        match self {
+            DirtyDelta::Clean => false,
+            DirtyDelta::Sparse { structural, .. } => *structural,
+            DirtyDelta::Full => true,
+        }
+    }
+}
+
 /// Epoch counter plus per-node last-touched map (see module docs).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DirtyLog {
@@ -195,6 +218,25 @@ mod tests {
             }
             other => panic!("expected sparse delta, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn delta_classification_helpers() {
+        assert!(DirtyDelta::Clean.is_clean());
+        assert!(!DirtyDelta::Clean.requires_rebuild());
+        assert!(DirtyDelta::Full.requires_rebuild());
+        assert!(!DirtyDelta::Full.is_clean());
+        let sparse = DirtyDelta::Sparse {
+            nodes: vec![NodeId(1)],
+            structural: false,
+        };
+        assert!(!sparse.is_clean());
+        assert!(!sparse.requires_rebuild());
+        let structural = DirtyDelta::Sparse {
+            nodes: vec![NodeId(1)],
+            structural: true,
+        };
+        assert!(structural.requires_rebuild());
     }
 
     #[test]

@@ -4,39 +4,129 @@
 //! path between them in the personal network"*. Overstock users transact
 //! mostly within 3 hops (Observation O3), so most callers pass a small hop
 //! cap to keep searches cheap on large graphs.
+//!
+//! All traversals run on a reusable [`BfsScratch`]: stamp-validated visited
+//! marks plus distance/parent/queue buffers that are grown once and then
+//! recycled, so the per-query cost is the traversal itself, not `O(n)`
+//! allocation and zeroing. The free functions reuse one scratch per thread;
+//! hot batch kernels (the CSR snapshot in [`crate::snapshot`]) pass their
+//! own explicitly.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 use crate::graph::SocialGraph;
 use crate::NodeId;
+
+/// Reusable BFS working memory: visited marks, distances, parent links, and
+/// the frontier queue.
+///
+/// The visited set is stamp-validated: `mark[v] == stamp` means "visited in
+/// the current traversal", so starting a new traversal is a counter bump
+/// instead of an `O(n)` clear. `dist`/`parent` entries are only meaningful
+/// for visited nodes.
+#[derive(Debug, Default)]
+pub struct BfsScratch {
+    mark: Vec<u32>,
+    stamp: u32,
+    pub(crate) dist: Vec<u32>,
+    /// `parent[v]` is the BFS-tree predecessor of `v`; `u32::MAX` marks the
+    /// source (or an unvisited slot).
+    pub(crate) parent: Vec<u32>,
+    pub(crate) queue: VecDeque<u32>,
+    /// Path-reconstruction buffer shared by the Eq. (4) kernels.
+    pub(crate) path: Vec<u32>,
+}
+
+impl BfsScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        BfsScratch::default()
+    }
+
+    /// Prepare for a fresh traversal over `n` nodes: grow the buffers if
+    /// needed, clear the queue, and invalidate all visited marks (O(1)
+    /// amortized via the stamp; a full clear only on stamp wrap-around).
+    pub(crate) fn begin(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+            self.dist.resize(n, 0);
+            self.parent.resize(n, u32::MAX);
+        }
+        if self.stamp == u32::MAX {
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.queue.clear();
+    }
+
+    /// Mark `v` visited; returns `false` when it already was this traversal.
+    #[inline]
+    pub(crate) fn visit(&mut self, v: usize) -> bool {
+        if self.mark[v] == self.stamp {
+            false
+        } else {
+            self.mark[v] = self.stamp;
+            true
+        }
+    }
+
+    /// Whether `v` was visited in the current traversal.
+    #[inline]
+    pub(crate) fn visited(&self, v: usize) -> bool {
+        self.mark[v] == self.stamp
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<BfsScratch> = RefCell::new(BfsScratch::new());
+}
+
+/// Run `f` with this thread's shared BFS scratch. The free traversal
+/// functions and the snapshot kernels route through here so repeated
+/// queries on one thread reuse a single set of buffers.
+pub(crate) fn with_thread_scratch<R>(f: impl FnOnce(&mut BfsScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
 
 /// Shortest-path hop distance from `src` to `dst`, or `None` if unreachable
 /// (or further than `cap` hops when a cap is given).
 ///
 /// `bfs_distance(g, v, v, _)` is `Some(0)`.
 pub fn bfs_distance(g: &SocialGraph, src: NodeId, dst: NodeId, cap: Option<u32>) -> Option<u32> {
+    with_thread_scratch(|scratch| bfs_distance_with(g, src, dst, cap, scratch))
+}
+
+/// [`bfs_distance`] on a caller-provided scratch.
+pub fn bfs_distance_with(
+    g: &SocialGraph,
+    src: NodeId,
+    dst: NodeId,
+    cap: Option<u32>,
+    scratch: &mut BfsScratch,
+) -> Option<u32> {
     if src == dst {
         return Some(0);
     }
-    let n = g.node_count();
-    let mut dist: Vec<u32> = vec![u32::MAX; n];
-    dist[src.index()] = 0;
-    let mut queue = VecDeque::new();
-    queue.push_back(src);
-    while let Some(v) = queue.pop_front() {
-        let d = dist[v.index()];
+    scratch.begin(g.node_count());
+    scratch.visit(src.index());
+    scratch.dist[src.index()] = 0;
+    scratch.queue.push_back(src.0);
+    while let Some(v) = scratch.queue.pop_front() {
+        let d = scratch.dist[v as usize];
         if let Some(c) = cap {
             if d >= c {
                 continue;
             }
         }
-        for &w in g.neighbors(v) {
-            if dist[w.index()] == u32::MAX {
-                dist[w.index()] = d + 1;
+        for &w in g.neighbors(NodeId(v)) {
+            if scratch.visit(w.index()) {
+                scratch.dist[w.index()] = d + 1;
                 if w == dst {
                     return Some(d + 1);
                 }
-                queue.push_back(w);
+                scratch.queue.push_back(w.0);
             }
         }
     }
@@ -46,27 +136,43 @@ pub fn bfs_distance(g: &SocialGraph, src: NodeId, dst: NodeId, cap: Option<u32>)
 /// Hop distances from `src` to every node, capped at `cap` hops if given.
 /// Unreachable (or beyond-cap) nodes get `None`.
 pub fn distances_from(g: &SocialGraph, src: NodeId, cap: Option<u32>) -> Vec<Option<u32>> {
+    with_thread_scratch(|scratch| distances_from_with(g, src, cap, scratch))
+}
+
+/// [`distances_from`] on a caller-provided scratch.
+pub fn distances_from_with(
+    g: &SocialGraph,
+    src: NodeId,
+    cap: Option<u32>,
+    scratch: &mut BfsScratch,
+) -> Vec<Option<u32>> {
     let n = g.node_count();
-    let mut dist: Vec<u32> = vec![u32::MAX; n];
-    dist[src.index()] = 0;
-    let mut queue = VecDeque::new();
-    queue.push_back(src);
-    while let Some(v) = queue.pop_front() {
-        let d = dist[v.index()];
+    scratch.begin(n);
+    scratch.visit(src.index());
+    scratch.dist[src.index()] = 0;
+    scratch.queue.push_back(src.0);
+    while let Some(v) = scratch.queue.pop_front() {
+        let d = scratch.dist[v as usize];
         if let Some(c) = cap {
             if d >= c {
                 continue;
             }
         }
-        for &w in g.neighbors(v) {
-            if dist[w.index()] == u32::MAX {
-                dist[w.index()] = d + 1;
-                queue.push_back(w);
+        for &w in g.neighbors(NodeId(v)) {
+            if scratch.visit(w.index()) {
+                scratch.dist[w.index()] = d + 1;
+                scratch.queue.push_back(w.0);
             }
         }
     }
-    dist.into_iter()
-        .map(|d| if d == u32::MAX { None } else { Some(d) })
+    (0..n)
+        .map(|v| {
+            if scratch.visited(v) {
+                Some(scratch.dist[v])
+            } else {
+                None
+            }
+        })
         .collect()
 }
 
@@ -75,35 +181,43 @@ pub fn distances_from(g: &SocialGraph, src: NodeId, cap: Option<u32>) -> Vec<Opt
 /// the minimum closeness along the social path between two nodes that share
 /// no common friend.
 pub fn shortest_path(g: &SocialGraph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    with_thread_scratch(|scratch| shortest_path_with(g, src, dst, scratch))
+}
+
+/// [`shortest_path`] on a caller-provided scratch.
+pub fn shortest_path_with(
+    g: &SocialGraph,
+    src: NodeId,
+    dst: NodeId,
+    scratch: &mut BfsScratch,
+) -> Option<Vec<NodeId>> {
     if src == dst {
         return Some(vec![src]);
     }
-    let n = g.node_count();
-    let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut seen = vec![false; n];
-    seen[src.index()] = true;
-    let mut queue = VecDeque::new();
-    queue.push_back(src);
-    'bfs: while let Some(v) = queue.pop_front() {
-        for &w in g.neighbors(v) {
-            if !seen[w.index()] {
-                seen[w.index()] = true;
-                parent[w.index()] = Some(v);
+    scratch.begin(g.node_count());
+    scratch.visit(src.index());
+    scratch.parent[src.index()] = u32::MAX;
+    scratch.queue.push_back(src.0);
+    'bfs: while let Some(v) = scratch.queue.pop_front() {
+        for &w in g.neighbors(NodeId(v)) {
+            if scratch.visit(w.index()) {
+                scratch.parent[w.index()] = v;
                 if w == dst {
                     break 'bfs;
                 }
-                queue.push_back(w);
+                scratch.queue.push_back(w.0);
             }
         }
     }
-    if !seen[dst.index()] {
+    if !scratch.visited(dst.index()) {
         return None;
     }
     let mut path = vec![dst];
-    let mut cur = dst;
-    while let Some(p) = parent[cur.index()] {
-        path.push(p);
-        cur = p;
+    let mut cur = dst.index();
+    while scratch.parent[cur] != u32::MAX {
+        let p = scratch.parent[cur];
+        path.push(NodeId(p));
+        cur = p as usize;
     }
     path.reverse();
     debug_assert_eq!(path[0], src);
@@ -213,5 +327,58 @@ mod tests {
         let all: Vec<NodeId> = g.nodes().collect();
         assert_eq!(max_distance_from_sources(&g, &all), Some(3));
         assert_eq!(max_distance_from_sources(&g, &[]), None);
+    }
+
+    #[test]
+    fn one_scratch_serves_interleaved_traversals() {
+        // Distances, paths, and reachability answers must be identical when
+        // every query recycles the same scratch (stale marks from earlier
+        // traversals must never leak into later ones).
+        let g = path_graph();
+        let mut scratch = BfsScratch::new();
+        for _ in 0..3 {
+            assert_eq!(
+                bfs_distance_with(&g, NodeId(0), NodeId(3), None, &mut scratch),
+                Some(3)
+            );
+            assert_eq!(
+                bfs_distance_with(&g, NodeId(0), NodeId(4), None, &mut scratch),
+                None
+            );
+            assert_eq!(
+                shortest_path_with(&g, NodeId(3), NodeId(0), &mut scratch).unwrap(),
+                vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]
+            );
+            assert_eq!(
+                distances_from_with(&g, NodeId(1), Some(1), &mut scratch),
+                vec![Some(1), Some(0), Some(1), None, None]
+            );
+            assert_eq!(
+                bfs_distance_with(&g, NodeId(0), NodeId(3), Some(2), &mut scratch),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_grows_across_differently_sized_graphs() {
+        let small = path_graph();
+        let mut big = SocialGraph::new(10);
+        for i in 0..9u32 {
+            big.add_relationship(NodeId(i), NodeId(i + 1), Relationship::friendship());
+        }
+        let mut scratch = BfsScratch::new();
+        assert_eq!(
+            bfs_distance_with(&small, NodeId(0), NodeId(3), None, &mut scratch),
+            Some(3)
+        );
+        assert_eq!(
+            bfs_distance_with(&big, NodeId(0), NodeId(9), None, &mut scratch),
+            Some(9)
+        );
+        assert_eq!(
+            bfs_distance_with(&small, NodeId(0), NodeId(2), None, &mut scratch),
+            Some(2)
+        );
     }
 }

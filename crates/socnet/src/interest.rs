@@ -135,6 +135,16 @@ impl InterestSet {
     }
 }
 
+impl IntoIterator for InterestSet {
+    type Item = InterestId;
+    type IntoIter = std::vec::IntoIter<InterestId>;
+
+    /// Consume the set, yielding its categories in ascending order.
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
 struct IntersectIter<'a> {
     a: &'a [InterestId],
     b: &'a [InterestId],
@@ -233,6 +243,16 @@ impl InterestProfile {
     pub fn effective_set(&self) -> InterestSet {
         let requested = InterestSet::from_iter(self.requests.keys().copied());
         self.declared.union(&requested)
+    }
+
+    /// `(category, ws(i,l))` over the effective set, in ascending category
+    /// order — exactly the per-node rows the interned interest tables of
+    /// [`crate::snapshot::GraphSnapshot`] are built from. Declared-but-never-
+    /// requested categories appear with weight `0.0`.
+    pub fn effective_weights(&self) -> impl Iterator<Item = (InterestId, f64)> + '_ {
+        self.effective_set()
+            .into_iter()
+            .map(move |id| (id, self.request_weight(id)))
     }
 }
 
@@ -370,6 +390,30 @@ mod tests {
         assert!(a.effective_set().contains(InterestId(1)));
         let ws = weighted_similarity(&a, &b);
         assert!((ws - 1.0).abs() < 1e-12, "got {ws}");
+    }
+
+    #[test]
+    fn effective_weights_cover_declared_and_requested() {
+        let mut p = InterestProfile::new(set(&[1, 5]));
+        p.record_requests(InterestId(3), 1);
+        p.record_requests(InterestId(5), 3);
+        let rows: Vec<(InterestId, f64)> = p.effective_weights().collect();
+        assert_eq!(rows.len(), 3, "declared ∪ requested = {{1, 3, 5}}");
+        assert_eq!(rows[0], (InterestId(1), 0.0));
+        assert_eq!(rows[1].0, InterestId(3));
+        assert!((rows[1].1 - 0.25).abs() < 1e-12);
+        assert_eq!(rows[2].0, InterestId(5));
+        assert!((rows[2].1 - 0.75).abs() < 1e-12);
+        // Ascending order, and each weight equals request_weight exactly.
+        for (id, w) in rows {
+            assert_eq!(w.to_bits(), p.request_weight(id).to_bits());
+        }
+    }
+
+    #[test]
+    fn into_iter_yields_sorted_categories() {
+        let ids: Vec<InterestId> = set(&[4, 1, 7]).into_iter().collect();
+        assert_eq!(ids, vec![InterestId(1), InterestId(4), InterestId(7)]);
     }
 
     #[test]

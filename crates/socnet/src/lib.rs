@@ -23,6 +23,10 @@
 //!   embed so caches can invalidate incrementally.
 //! * [`interest`] — interest sets and interest similarity `Ωs(i,j)`
 //!   (Equations (1)/(7)) plus the request-weighted variant, Equation (11).
+//! * [`snapshot::GraphSnapshot`] — an immutable, epoch-stamped CSR view of
+//!   graph + interactions + interest profiles with batched single-source
+//!   closeness kernels and bitset similarity, refreshed incrementally by
+//!   [`snapshot::SnapshotStore`] for the read-dominated per-cycle sweeps.
 //! * [`builder`] — random social-network generators used by the simulator
 //!   and the trace substrate.
 //!
@@ -63,6 +67,7 @@ pub mod graph;
 pub mod interaction;
 pub mod interest;
 pub mod relationship;
+pub mod snapshot;
 
 /// Identifier of a node (peer / user) in a social network.
 ///
@@ -111,6 +116,7 @@ pub mod prelude {
     pub use crate::interaction::InteractionTracker;
     pub use crate::interest::{InterestId, InterestProfile, InterestSet};
     pub use crate::relationship::{Relationship, RelationshipKind};
+    pub use crate::snapshot::{GraphSnapshot, RefreshOutcome, SnapshotStore};
     pub use crate::NodeId;
 }
 

@@ -1,0 +1,1193 @@
+//! Immutable, epoch-stamped CSR snapshot of the social substrate, with
+//! batched single-source closeness kernels and bitset interest similarity.
+//!
+//! The detection pipeline and the Gaussian rescaling layer are
+//! read-dominated: each cycle evaluates `Ωc(i,j)` and `Ωs(i,j)` for
+//! thousands of (rater, ratee) pairs against a graph that mutates only
+//! sparsely between cycles. Serving those reads straight from
+//! [`SocialGraph`] means pointer-chasing `Vec<Vec<NodeId>>` adjacency, a
+//! `BTreeMap` probe per interaction frequency, and one full BFS per
+//! non-adjacent pair. [`GraphSnapshot`] freezes everything the closeness
+//! and similarity equations consume into flat arrays:
+//!
+//! * **CSR adjacency** — `offsets`/`neighbors` with *edge-parallel* arrays:
+//!   the interaction frequency `f(i,j)` and the Eq. (2)/(10) relationship
+//!   numerator per edge slot, plus the per-node denominator
+//!   `Σ_{k∈S_i} f(i,k)`. Adjacent closeness becomes one multiply-divide;
+//!   common friends (Eq. (3)) an allocation-free sorted-slice intersection.
+//! * **Batched Eq. (4)** — one capped BFS per rater serves *all* of its
+//!   path-fallback ratees from a single traversal
+//!   ([`GraphSnapshot::closeness_to_all`]), on reusable
+//!   [`BfsScratch`](crate::distance::BfsScratch) buffers.
+//! * **Interned interest bitsets** — fixed-width `u64` blocks per node;
+//!   Eq. (1)/(7) overlap is AND + popcount, Eq. (11) walks the AND mask's
+//!   set bits against per-node request-weight rows.
+//!
+//! Every kernel reproduces the corresponding live-path computation
+//! **bit-for-bit** (same floating-point evaluation order as
+//! [`ClosenessModel`](crate::closeness::ClosenessModel) and the
+//! [`crate::interest`] free functions); the property tests in
+//! `tests/properties.rs` drive random mutation/rebuild interleavings to
+//! prove it.
+//!
+//! # Epoch semantics and refresh
+//!
+//! A snapshot is stamped with the graph epoch, interaction epoch, and a
+//! caller-supplied profiles version, plus the [`ClosenessConfig`] whose
+//! numerators are baked into its edge slots. [`SnapshotStore`] keeps the
+//! most recent snapshot and refreshes it from
+//! [`DirtyLog::changes_since`](crate::dirty::DirtyLog::changes_since)
+//! deltas: interaction-only dirt patches just the dirty rows' frequency
+//! slots and denominators; any structural change (edge add/remove,
+//! whole-state reset) or config switch forces a full rebuild (and emits a
+//! `snapshot_rebuild` telemetry event carrying the dirty-node count).
+//! Consumers that hold one `Arc<GraphSnapshot>` for a whole cycle are
+//! guaranteed a frozen, mutually consistent view — no lock traffic, no
+//! mid-cycle epoch drift.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use socialtrust_telemetry::{Counter, Event, EventSink, Histogram, Telemetry};
+
+use crate::closeness::ClosenessConfig;
+use crate::dirty::DirtyDelta;
+use crate::distance::{with_thread_scratch, BfsScratch};
+use crate::graph::SocialGraph;
+use crate::interaction::InteractionTracker;
+use crate::interest::InterestProfile;
+use crate::relationship::weighted_relationship_sum;
+use crate::NodeId;
+
+/// An immutable CSR view of graph + interactions + interest profiles,
+/// valid for (and stamped with) one epoch triple and one
+/// [`ClosenessConfig`].
+///
+/// Build one with [`GraphSnapshot::build`], or let a [`SnapshotStore`]
+/// manage refreshes. All query methods take `&self` and are safe to share
+/// across rayon workers (`Arc<GraphSnapshot>` is `Send + Sync`).
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    graph_epoch: u64,
+    interaction_epoch: u64,
+    profiles_version: u64,
+    config: ClosenessConfig,
+    /// Number of nodes (CSR rows).
+    n: usize,
+
+    /// CSR row boundaries: node `i`'s neighbors live in slots
+    /// `offsets[i]..offsets[i+1]`.
+    offsets: Vec<u32>,
+    /// Neighbor ids per slot, ascending within each row (mirrors
+    /// [`SocialGraph::neighbors`] order, which the equations' sums follow).
+    neighbors: Vec<u32>,
+    /// Edge-parallel `f(i, neighbors[slot])`.
+    freq: Vec<f64>,
+    /// Edge-parallel Eq. (2)/(10) numerator for the owning row's direction
+    /// (relationship count, or the λ-decayed weighted sum floored at 1).
+    /// Relationships are per-edge, so the value is identical for both
+    /// directions, but it is stored per slot to keep the kernels branchless.
+    numerator: Vec<f64>,
+    /// `Σ_{k ∈ S_i} f(i,k)` per node — the Eq. (2)/(10) denominator,
+    /// accumulated over the row in neighbor order.
+    friend_total: Vec<f64>,
+
+    /// Width of each interest bitset row, in `u64` words.
+    words: usize,
+    /// Declared interest bitsets, `n × words` (Eq. (1)/(7)).
+    declared_bits: Vec<u64>,
+    /// Effective (declared ∪ requested) interest bitsets, `n × words`
+    /// (Eq. (11)).
+    effective_bits: Vec<u64>,
+    /// `|Vi|` of the declared set per node.
+    declared_len: Vec<u32>,
+    /// CSR row boundaries into `eff_ids`/`eff_weights`.
+    eff_offsets: Vec<u32>,
+    /// Effective-set category ids per node, ascending.
+    eff_ids: Vec<u16>,
+    /// Request weight `ws(i,l)` parallel to `eff_ids`.
+    eff_weights: Vec<f64>,
+}
+
+/// What a [`SnapshotStore`] refresh did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshOutcome {
+    /// The previous snapshot's CSR structure was reused; only the dirty
+    /// rows' frequency slots / denominators (and, on a profiles-version
+    /// bump, the interest tables) were recomputed.
+    Patched {
+        /// Number of CSR rows whose interaction slots were repatched.
+        rows: usize,
+    },
+    /// A full rebuild. `structural_dirty` is `Some(count)` when a
+    /// structural flush (edge add/remove or whole-state graph reset)
+    /// forced it, carrying the dirty-node count the log reported — this is
+    /// the case that emits an [`Event::SnapshotRebuild`].
+    Rebuilt {
+        /// Dirty-node count when the rebuild was forced by graph
+        /// structure; `None` for config switches and interaction resets.
+        structural_dirty: Option<usize>,
+    },
+}
+
+impl GraphSnapshot {
+    /// Build a snapshot of the current state of `graph`, `interactions`,
+    /// and `profiles`, baking in `config`'s Eq. (2)/(10) numerators.
+    ///
+    /// `profiles_version` is a caller-maintained counter stamped into the
+    /// snapshot (interest profiles carry no dirty log of their own); bump
+    /// it on every profile mutation so [`SnapshotStore`] can detect
+    /// staleness.
+    pub fn build(
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        profiles: &[InterestProfile],
+        profiles_version: u64,
+        config: ClosenessConfig,
+    ) -> GraphSnapshot {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        let mut freq = Vec::new();
+        let mut numerator = Vec::new();
+        let mut friend_total = Vec::with_capacity(n);
+        offsets.push(0u32);
+        for i in 0..n {
+            let v = NodeId::from(i);
+            let mut total = 0.0;
+            for &w in graph.neighbors(v) {
+                let f = interactions.frequency(v, w);
+                neighbors.push(w.0);
+                freq.push(f);
+                numerator.push(edge_numerator(graph.relationships(v, w), config));
+                total += f;
+            }
+            friend_total.push(total);
+            offsets.push(neighbors.len() as u32);
+        }
+        let mut snapshot = GraphSnapshot {
+            graph_epoch: graph.epoch(),
+            interaction_epoch: interactions.epoch(),
+            profiles_version,
+            config,
+            n,
+            offsets,
+            neighbors,
+            freq,
+            numerator,
+            friend_total,
+            words: 0,
+            declared_bits: Vec::new(),
+            effective_bits: Vec::new(),
+            declared_len: Vec::new(),
+            eff_offsets: Vec::new(),
+            eff_ids: Vec::new(),
+            eff_weights: Vec::new(),
+        };
+        snapshot.rebuild_interest(profiles);
+        snapshot
+    }
+
+    /// Produce an up-to-date snapshot from `prev`, patching dirty CSR rows
+    /// in place when the deltas allow it and rebuilding from scratch
+    /// otherwise. Returns the new snapshot and what was done. The caller is
+    /// responsible for having checked [`GraphSnapshot::is_fresh`] first
+    /// (refreshing a fresh snapshot performs a pointless copy).
+    pub fn refreshed(
+        prev: &GraphSnapshot,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        profiles: &[InterestProfile],
+        profiles_version: u64,
+        config: ClosenessConfig,
+    ) -> (GraphSnapshot, RefreshOutcome) {
+        let rebuild = |structural_dirty: Option<usize>| {
+            (
+                GraphSnapshot::build(graph, interactions, profiles, profiles_version, config),
+                RefreshOutcome::Rebuilt { structural_dirty },
+            )
+        };
+        if config_key(prev.config) != config_key(config) {
+            return rebuild(None);
+        }
+        let graph_delta = graph.changes_since(prev.graph_epoch);
+        match &graph_delta {
+            DirtyDelta::Full => return rebuild(Some(graph.node_count())),
+            DirtyDelta::Sparse {
+                nodes,
+                structural: true,
+            } => return rebuild(Some(nodes.len())),
+            // Non-structural graph dirt is node *addition* only; anything
+            // claiming to have touched a pre-existing row non-structurally
+            // is outside the patch contract, so fall back to a rebuild.
+            DirtyDelta::Sparse { nodes, .. } if nodes.iter().any(|v| v.index() < prev.n) => {
+                return rebuild(None);
+            }
+            _ => {}
+        }
+        let inter_delta = interactions.changes_since(prev.interaction_epoch);
+        if matches!(inter_delta, DirtyDelta::Full) {
+            return rebuild(None);
+        }
+        let inter_nodes = match inter_delta {
+            DirtyDelta::Sparse { nodes, .. } => nodes,
+            _ => Vec::new(),
+        };
+
+        let mut next = prev.clone();
+        let n = graph.node_count();
+        let grew = n > next.n;
+        if grew {
+            // New nodes arrive isolated (edge additions are structural), so
+            // their CSR rows are empty.
+            let end = *next.offsets.last().expect("offsets never empty");
+            next.offsets.resize(n + 1, end);
+            next.friend_total.resize(n, 0.0);
+            next.n = n;
+        }
+        let mut rows = 0usize;
+        for &v in &inter_nodes {
+            let i = v.index();
+            if i >= next.n {
+                continue; // tracker covers more nodes than the graph
+            }
+            let (start, end) = (next.offsets[i] as usize, next.offsets[i + 1] as usize);
+            let mut total = 0.0;
+            for slot in start..end {
+                let f = interactions.frequency(v, NodeId(next.neighbors[slot]));
+                next.freq[slot] = f;
+                total += f;
+            }
+            next.friend_total[i] = total;
+            rows += 1;
+        }
+        if grew || profiles_version != next.profiles_version {
+            next.rebuild_interest(profiles);
+            next.profiles_version = profiles_version;
+        }
+        next.graph_epoch = graph.epoch();
+        next.interaction_epoch = interactions.epoch();
+        (next, RefreshOutcome::Patched { rows })
+    }
+
+    /// Rebuild the interned interest tables (bitsets, lengths, and
+    /// request-weight rows) from `profiles`. Nodes past `profiles.len()`
+    /// get empty rows.
+    fn rebuild_interest(&mut self, profiles: &[InterestProfile]) {
+        let n = self.n;
+        self.declared_len.clear();
+        self.eff_offsets.clear();
+        self.eff_ids.clear();
+        self.eff_weights.clear();
+        self.eff_offsets.push(0);
+        let mut universe = 0usize;
+        for i in 0..n {
+            match profiles.get(i) {
+                Some(p) => {
+                    for (id, w) in p.effective_weights() {
+                        self.eff_ids.push(id.0);
+                        self.eff_weights.push(w);
+                        universe = universe.max(id.0 as usize + 1);
+                    }
+                    self.declared_len.push(p.declared().len() as u32);
+                }
+                None => self.declared_len.push(0),
+            }
+            self.eff_offsets.push(self.eff_ids.len() as u32);
+        }
+        let words = universe.div_ceil(64);
+        self.words = words;
+        self.declared_bits.clear();
+        self.declared_bits.resize(n * words, 0);
+        self.effective_bits.clear();
+        self.effective_bits.resize(n * words, 0);
+        for i in 0..n {
+            if let Some(p) = profiles.get(i) {
+                for id in p.declared().as_slice() {
+                    self.declared_bits[i * words + (id.0 as usize >> 6)] |= 1u64 << (id.0 & 63);
+                }
+            }
+            let (start, end) = (
+                self.eff_offsets[i] as usize,
+                self.eff_offsets[i + 1] as usize,
+            );
+            for &id in &self.eff_ids[start..end] {
+                self.effective_bits[i * words + (id as usize >> 6)] |= 1u64 << (id & 63);
+            }
+        }
+    }
+
+    /// Number of nodes in the snapshot.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The `(graph, interaction, profiles)` epoch triple the snapshot was
+    /// built at.
+    pub fn epochs(&self) -> (u64, u64, u64) {
+        (
+            self.graph_epoch,
+            self.interaction_epoch,
+            self.profiles_version,
+        )
+    }
+
+    /// The configuration whose numerators are baked into the edge slots.
+    pub fn config(&self) -> ClosenessConfig {
+        self.config
+    }
+
+    /// Whether the snapshot still reflects the live structures (and would
+    /// serve `config` — a snapshot answers only for the config it was
+    /// built with).
+    pub fn is_fresh(
+        &self,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        profiles_version: u64,
+        config: ClosenessConfig,
+    ) -> bool {
+        self.graph_epoch == graph.epoch()
+            && self.interaction_epoch == interactions.epoch()
+            && self.profiles_version == profiles_version
+            && config_key(self.config) == config_key(config)
+    }
+
+    /// The CSR neighbor row of node `i` (ascending ids).
+    #[inline]
+    fn row(&self, i: usize) -> &[u32] {
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Global slot index of edge `i → j`, if adjacent.
+    #[inline]
+    fn slot(&self, i: usize, j: u32) -> Option<usize> {
+        let start = self.offsets[i] as usize;
+        self.row(i).binary_search(&j).ok().map(|p| start + p)
+    }
+
+    /// Eq. (2)/(10) value for the edge at `slot` of row `i`.
+    #[inline]
+    fn adjacent_at(&self, i: usize, slot: usize) -> f64 {
+        let total = self.friend_total[i];
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.numerator[slot] * self.freq[slot] / total
+    }
+
+    /// Closeness between *adjacent* nodes — Eq. (2)/(10). `0.0` when not
+    /// adjacent. Bit-for-bit equal to
+    /// [`ClosenessModel::adjacent_closeness`](crate::closeness::ClosenessModel::adjacent_closeness).
+    pub fn adjacent_closeness(&self, i: NodeId, j: NodeId) -> f64 {
+        match self.slot(i.index(), j.0) {
+            Some(slot) => self.adjacent_at(i.index(), slot),
+            None => 0.0,
+        }
+    }
+
+    /// `Ωc(i,i)`: the maximum adjacent closeness of `i` (matches the
+    /// live model's self-closeness convention).
+    fn self_closeness(&self, i: usize) -> f64 {
+        let (start, end) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        let mut best = 0.0f64;
+        for slot in start..end {
+            best = f64::max(best, self.adjacent_at(i, slot));
+        }
+        best
+    }
+
+    /// The Eq. (3) common-friend sum, or `None` when the rows share no
+    /// common friend. Allocation-free sorted-slice intersection over the
+    /// two CSR rows, accumulating in ascending-id order (the live model's
+    /// summation order).
+    fn common_friend_sum(&self, i: usize, j: NodeId) -> Option<f64> {
+        let ra = self.row(i);
+        let rb = self.row(j.index());
+        let start_a = self.offsets[i] as usize;
+        let mut sum = 0.0;
+        let mut any = false;
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < ra.len() && y < rb.len() {
+            match ra[x].cmp(&rb[y]) {
+                std::cmp::Ordering::Less => x += 1,
+                std::cmp::Ordering::Greater => y += 1,
+                std::cmp::Ordering::Equal => {
+                    let k = ra[x];
+                    let a_ik = self.adjacent_at(i, start_a + x);
+                    let a_kj = self.adjacent_closeness(NodeId(k), j);
+                    sum += (a_ik + a_kj) / 2.0;
+                    any = true;
+                    x += 1;
+                    y += 1;
+                }
+            }
+        }
+        any.then_some(sum)
+    }
+
+    /// Full closeness `Ωc(i,j)` — Eqs. (2)/(3)/(4)/(10) — using this
+    /// thread's shared BFS scratch for the Eq. (4) fallback. Bit-for-bit
+    /// equal to [`ClosenessModel::closeness`](crate::closeness::ClosenessModel::closeness).
+    pub fn closeness(&self, i: NodeId, j: NodeId) -> f64 {
+        with_thread_scratch(|scratch| self.closeness_with(i, j, scratch))
+    }
+
+    /// [`GraphSnapshot::closeness`] on a caller-provided scratch.
+    pub fn closeness_with(&self, i: NodeId, j: NodeId, scratch: &mut BfsScratch) -> f64 {
+        let iu = i.index();
+        if i == j {
+            return self.self_closeness(iu);
+        }
+        if let Some(slot) = self.slot(iu, j.0) {
+            return self.adjacent_at(iu, slot);
+        }
+        if let Some(sum) = self.common_friend_sum(iu, j) {
+            return sum;
+        }
+        if !self.bfs_to(iu, j.0, scratch) {
+            return 0.0;
+        }
+        self.min_on_path(j.0, scratch)
+    }
+
+    /// Closeness from `i` to every target, in order. Targets on the
+    /// Eq. (4) fallback are all served from **one** capped BFS rooted at
+    /// `i` — the batched single-source kernel this snapshot exists for.
+    pub fn closeness_to_all(&self, i: NodeId, targets: &[NodeId]) -> Vec<f64> {
+        with_thread_scratch(|scratch| self.closeness_to_all_with(i, targets, scratch))
+    }
+
+    /// [`GraphSnapshot::closeness_to_all`] on a caller-provided scratch.
+    pub fn closeness_to_all_with(
+        &self,
+        i: NodeId,
+        targets: &[NodeId],
+        scratch: &mut BfsScratch,
+    ) -> Vec<f64> {
+        let iu = i.index();
+        let mut out = vec![0.0f64; targets.len()];
+        let mut fallback: Vec<(usize, u32)> = Vec::new();
+        for (idx, &j) in targets.iter().enumerate() {
+            if i == j {
+                out[idx] = self.self_closeness(iu);
+            } else if let Some(slot) = self.slot(iu, j.0) {
+                out[idx] = self.adjacent_at(iu, slot);
+            } else if let Some(sum) = self.common_friend_sum(iu, j) {
+                out[idx] = sum;
+            } else {
+                fallback.push((idx, j.0));
+            }
+        }
+        if fallback.is_empty() {
+            return out;
+        }
+        let mut wanted: Vec<u32> = fallback.iter().map(|&(_, dst)| dst).collect();
+        wanted.sort_unstable();
+        wanted.dedup();
+        self.bfs_all(iu, &wanted, scratch);
+        for (idx, dst) in fallback {
+            out[idx] = if scratch.visited(dst as usize) {
+                self.min_on_path(dst, scratch)
+            } else {
+                0.0
+            };
+        }
+        out
+    }
+
+    /// Capped BFS from `src` that stops as soon as `dst` is discovered.
+    /// Returns whether it was. The expansion order (sorted CSR rows, FIFO
+    /// frontier, first-parent-wins) is identical to
+    /// [`shortest_path`](crate::distance::shortest_path), so the parent
+    /// chain of `dst` reconstructs the exact same path; truncating at the
+    /// hop cap yields the same `0.0` the live model's post-hoc length
+    /// check produces.
+    fn bfs_to(&self, src: usize, dst: u32, scratch: &mut BfsScratch) -> bool {
+        let cap = self.config.path_hop_cap;
+        scratch.begin(self.n);
+        scratch.visit(src);
+        scratch.dist[src] = 0;
+        scratch.parent[src] = u32::MAX;
+        scratch.queue.push_back(src as u32);
+        while let Some(v) = scratch.queue.pop_front() {
+            let d = scratch.dist[v as usize];
+            if let Some(c) = cap {
+                if d >= c {
+                    continue;
+                }
+            }
+            for &w in self.row(v as usize) {
+                if scratch.visit(w as usize) {
+                    scratch.dist[w as usize] = d + 1;
+                    scratch.parent[w as usize] = v;
+                    if w == dst {
+                        return true;
+                    }
+                    scratch.queue.push_back(w);
+                }
+            }
+        }
+        false
+    }
+
+    /// Capped BFS from `src` that stops once every node in `wanted`
+    /// (sorted, deduped) has been discovered — or the capped ball is
+    /// exhausted for the ones that are unreachable. A node's shortest-path
+    /// parent chain is final the moment it is discovered, so cutting the
+    /// traversal afterwards leaves every discovered chain identical to
+    /// what an uncut (or single-target early-exit) search would have
+    /// produced.
+    fn bfs_all(&self, src: usize, wanted: &[u32], scratch: &mut BfsScratch) {
+        let cap = self.config.path_hop_cap;
+        let mut remaining = wanted.len();
+        scratch.begin(self.n);
+        scratch.visit(src);
+        scratch.dist[src] = 0;
+        scratch.parent[src] = u32::MAX;
+        scratch.queue.push_back(src as u32);
+        while let Some(v) = scratch.queue.pop_front() {
+            let d = scratch.dist[v as usize];
+            if let Some(c) = cap {
+                if d >= c {
+                    continue;
+                }
+            }
+            for &w in self.row(v as usize) {
+                if scratch.visit(w as usize) {
+                    scratch.dist[w as usize] = d + 1;
+                    scratch.parent[w as usize] = v;
+                    if wanted.binary_search(&w).is_ok() {
+                        remaining -= 1;
+                        if remaining == 0 {
+                            return;
+                        }
+                    }
+                    scratch.queue.push_back(w);
+                }
+            }
+        }
+    }
+
+    /// Eq. (4): the minimum adjacent closeness along the BFS-tree path to
+    /// `dst`, folded source→destination exactly like the live model folds
+    /// `path.windows(2)` (same order, same `f64::min` association).
+    fn min_on_path(&self, dst: u32, scratch: &mut BfsScratch) -> f64 {
+        let mut path = std::mem::take(&mut scratch.path);
+        path.clear();
+        let mut cur = dst;
+        path.push(cur);
+        while scratch.parent[cur as usize] != u32::MAX {
+            cur = scratch.parent[cur as usize];
+            path.push(cur);
+        }
+        let mut min = f64::INFINITY;
+        for t in (1..path.len()).rev() {
+            let a = path[t] as usize; // nearer the source
+            let b = path[t - 1]; // one hop toward dst
+            let slot = self
+                .slot(a, b)
+                .expect("BFS tree edges are adjacent by construction");
+            min = f64::min(min, self.adjacent_at(a, slot));
+        }
+        scratch.path = path;
+        if min.is_finite() {
+            min
+        } else {
+            0.0
+        }
+    }
+
+    /// Closeness for many `(rater, ratee)` pairs, grouped by rater so each
+    /// rater's Eq. (4) targets share one BFS, with the groups fanned out
+    /// over rayon (thread-local scratch per worker). Results are in input
+    /// order and bit-for-bit equal to per-pair [`GraphSnapshot::closeness`]
+    /// calls.
+    pub fn closeness_for_pairs(&self, pairs: &[(NodeId, NodeId)]) -> Vec<f64> {
+        use rayon::prelude::*;
+        let mut group_of: HashMap<NodeId, usize> = HashMap::new();
+        let mut groups: Vec<(NodeId, Vec<(usize, NodeId)>)> = Vec::new();
+        for (idx, &(i, j)) in pairs.iter().enumerate() {
+            let g = *group_of.entry(i).or_insert_with(|| {
+                groups.push((i, Vec::new()));
+                groups.len() - 1
+            });
+            groups[g].1.push((idx, j));
+        }
+        let scattered: Vec<Vec<(usize, f64)>> = groups
+            .par_iter()
+            .map(|(rater, items)| {
+                with_thread_scratch(|scratch| {
+                    let targets: Vec<NodeId> = items.iter().map(|&(_, j)| j).collect();
+                    let values = self.closeness_to_all_with(*rater, &targets, scratch);
+                    items
+                        .iter()
+                        .zip(values)
+                        .map(|(&(idx, _), v)| (idx, v))
+                        .collect()
+                })
+            })
+            .collect();
+        let mut out = vec![0.0f64; pairs.len()];
+        for chunk in scattered {
+            for (idx, v) in chunk {
+                out[idx] = v;
+            }
+        }
+        out
+    }
+
+    /// Plain interest similarity — Eq. (1)/(7) over the declared bitsets:
+    /// AND + popcount, divided by the smaller declared-set size. Bit-for-bit
+    /// equal to [`crate::interest::similarity`] on the live sets.
+    pub fn similarity(&self, i: NodeId, j: NodeId) -> f64 {
+        let (iu, ju) = (i.index(), j.index());
+        let (la, lb) = (self.declared_len[iu], self.declared_len[ju]);
+        if la == 0 || lb == 0 {
+            return 0.0;
+        }
+        let mut inter = 0u32;
+        let (ra, rb) = (iu * self.words, ju * self.words);
+        for w in 0..self.words {
+            inter += (self.declared_bits[ra + w] & self.declared_bits[rb + w]).count_ones();
+        }
+        inter as f64 / la.min(lb) as f64
+    }
+
+    /// Request-weighted interest similarity — Eq. (11) over the effective
+    /// bitsets, walking the AND mask's set bits (ascending category order)
+    /// against the per-node weight rows. Bit-for-bit equal to
+    /// [`crate::interest::weighted_similarity`] on the live profiles.
+    pub fn weighted_similarity(&self, i: NodeId, j: NodeId) -> f64 {
+        let (iu, ju) = (i.index(), j.index());
+        let la = self.eff_offsets[iu + 1] - self.eff_offsets[iu];
+        let lb = self.eff_offsets[ju + 1] - self.eff_offsets[ju];
+        if la == 0 || lb == 0 {
+            return 0.0;
+        }
+        // `Iterator::sum::<f64>()` folds from -0.0, so an empty
+        // intersection must yield -0.0 to stay bit-identical to the live
+        // path (products of non-negative weights can never be -0.0, so any
+        // non-empty sum is unaffected by the seed).
+        let mut numerator = -0.0f64;
+        let (ra, rb) = (iu * self.words, ju * self.words);
+        for w in 0..self.words {
+            let mut mask = self.effective_bits[ra + w] & self.effective_bits[rb + w];
+            while mask != 0 {
+                let bit = mask.trailing_zeros() as usize;
+                let id = ((w << 6) + bit) as u16;
+                numerator += self.eff_weight(iu, id) * self.eff_weight(ju, id);
+                mask &= mask - 1;
+            }
+        }
+        numerator / u32::min(la, lb) as f64
+    }
+
+    /// Interest similarity in either mode, mirroring the live
+    /// `SocialContext::similarity` dispatch.
+    pub fn interest_similarity(&self, i: NodeId, j: NodeId, weighted: bool) -> f64 {
+        if weighted {
+            self.weighted_similarity(i, j)
+        } else {
+            self.similarity(i, j)
+        }
+    }
+
+    /// `ws(node, id)` from the interned weight rows. `id` must be in the
+    /// node's effective set (guaranteed when it came from the AND mask).
+    #[inline]
+    fn eff_weight(&self, node: usize, id: u16) -> f64 {
+        let (start, end) = (
+            self.eff_offsets[node] as usize,
+            self.eff_offsets[node + 1] as usize,
+        );
+        match self.eff_ids[start..end].binary_search(&id) {
+            Ok(pos) => self.eff_weights[start + pos],
+            Err(_) => 0.0,
+        }
+    }
+}
+
+/// The Eq. (2)/(10) numerator for one edge's relationship list under
+/// `config` — the exact expression `ClosenessModel::adjacent_closeness`
+/// evaluates per query, hoisted to build time.
+fn edge_numerator(rels: &[crate::relationship::Relationship], config: ClosenessConfig) -> f64 {
+    if rels.is_empty() {
+        return 0.0;
+    }
+    if config.weighted_relationships {
+        weighted_relationship_sum(rels, config.lambda).max(1.0)
+    } else {
+        rels.len() as f64
+    }
+}
+
+/// Hashable identity of a [`ClosenessConfig`] (λ keyed by bit pattern).
+#[inline]
+fn config_key(config: ClosenessConfig) -> (bool, u64, Option<u32>) {
+    (
+        config.weighted_relationships,
+        config.lambda.to_bits(),
+        config.path_hop_cap,
+    )
+}
+
+/// Holder of the most recent [`GraphSnapshot`], refreshing it on demand
+/// and reporting rebuild/patch telemetry.
+///
+/// `snapshot()` takes `&self` (interior `RwLock`), so an owner exposing it
+/// through shared references stays queryable from parallel readers; all
+/// callers inside one cycle receive clones of the same `Arc`.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: RwLock<Option<Arc<GraphSnapshot>>>,
+    /// Full rebuilds performed (`snapshot_rebuilds_total` once attached).
+    rebuilds: Counter,
+    /// Incremental row-patch refreshes (`snapshot_patches_total`).
+    patches: Counter,
+    /// Wall-clock seconds per full rebuild (`snapshot_rebuild_seconds`).
+    rebuild_seconds: Histogram,
+    /// Destination for [`Event::SnapshotRebuild`]; disabled by default.
+    sink: EventSink,
+}
+
+impl Default for SnapshotStore {
+    fn default() -> Self {
+        SnapshotStore {
+            current: RwLock::new(None),
+            rebuilds: Counter::detached(),
+            patches: Counter::detached(),
+            rebuild_seconds: Histogram::detached(),
+            sink: EventSink::disabled(),
+        }
+    }
+}
+
+/// Cloning a store yields an **empty** store (same rationale as the
+/// coefficient cache: the clone may be paired with a diverging copy of the
+/// graph, and snapshots are semantically transparent).
+impl Clone for SnapshotStore {
+    fn clone(&self) -> Self {
+        SnapshotStore::new()
+    }
+}
+
+impl SnapshotStore {
+    /// An empty store; the first [`SnapshotStore::snapshot`] call builds.
+    pub fn new() -> Self {
+        SnapshotStore::default()
+    }
+
+    /// Re-homes the rebuild/patch counters onto `telemetry`'s registry
+    /// (`snapshot_rebuilds_total` / `snapshot_patches_total`, counts
+    /// migrated), registers the `snapshot_rebuild_seconds` histogram, and
+    /// routes `snapshot_rebuild` events to its sink.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let registry = telemetry.registry();
+        for (cell, name) in [
+            (&mut self.rebuilds, "snapshot_rebuilds_total"),
+            (&mut self.patches, "snapshot_patches_total"),
+        ] {
+            let registered = registry.counter(name);
+            if !registered.same_cell(cell) {
+                registered.add(cell.get());
+                *cell = registered;
+            }
+        }
+        self.rebuild_seconds = registry.histogram("snapshot_rebuild_seconds");
+        self.sink = telemetry.sink().clone();
+    }
+
+    /// The current snapshot for the given state and config, refreshed if
+    /// stale. Hold the returned `Arc` for the whole read cycle — repeated
+    /// calls are cheap (`Arc` clone after one epoch comparison) but each
+    /// re-validates against the live epochs.
+    pub fn snapshot(
+        &self,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        profiles: &[InterestProfile],
+        profiles_version: u64,
+        config: ClosenessConfig,
+    ) -> Arc<GraphSnapshot> {
+        if let Some(cur) = &*self.current.read() {
+            if cur.is_fresh(graph, interactions, profiles_version, config) {
+                return Arc::clone(cur);
+            }
+        }
+        let mut slot = self.current.write();
+        if let Some(cur) = &*slot {
+            if cur.is_fresh(graph, interactions, profiles_version, config) {
+                return Arc::clone(cur); // refreshed while we waited
+            }
+        }
+        let started = Instant::now();
+        let (snapshot, outcome) = match &*slot {
+            Some(prev) => GraphSnapshot::refreshed(
+                prev,
+                graph,
+                interactions,
+                profiles,
+                profiles_version,
+                config,
+            ),
+            None => (
+                GraphSnapshot::build(graph, interactions, profiles, profiles_version, config),
+                RefreshOutcome::Rebuilt {
+                    structural_dirty: None,
+                },
+            ),
+        };
+        match outcome {
+            RefreshOutcome::Patched { .. } => self.patches.inc(),
+            RefreshOutcome::Rebuilt { structural_dirty } => {
+                self.rebuilds.inc();
+                self.rebuild_seconds
+                    .observe(started.elapsed().as_secs_f64());
+                if let Some(dirty_nodes) = structural_dirty {
+                    if self.sink.is_enabled() {
+                        self.sink.emit(Event::SnapshotRebuild {
+                            dirty_nodes: dirty_nodes as u64,
+                        });
+                    }
+                }
+            }
+        }
+        let arc = Arc::new(snapshot);
+        *slot = Some(Arc::clone(&arc));
+        arc
+    }
+
+    /// Drop the held snapshot; the next [`SnapshotStore::snapshot`] call
+    /// rebuilds from scratch.
+    pub fn invalidate(&self) {
+        *self.current.write() = None;
+    }
+
+    /// `(rebuilds, patches)` performed so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.rebuilds.get(), self.patches.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closeness::ClosenessModel;
+    use crate::interest::{
+        similarity as live_similarity, weighted_similarity as live_weighted, InterestId,
+        InterestSet,
+    };
+    use crate::relationship::Relationship;
+
+    /// The hand-computable fixture shared with `closeness::tests`.
+    fn fixture() -> (SocialGraph, InteractionTracker) {
+        let mut g = SocialGraph::new(5);
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::colleague());
+        g.add_relationship(NodeId(1), NodeId(2), Relationship::friendship());
+        g.add_relationship(NodeId(0), NodeId(3), Relationship::friendship());
+        g.add_relationship(NodeId(3), NodeId(2), Relationship::friendship());
+        let mut t = InteractionTracker::new(5);
+        t.record(NodeId(0), NodeId(1), 6.0);
+        t.record(NodeId(0), NodeId(3), 2.0);
+        t.record(NodeId(1), NodeId(0), 1.0);
+        t.record(NodeId(1), NodeId(2), 3.0);
+        t.record(NodeId(3), NodeId(0), 1.0);
+        t.record(NodeId(3), NodeId(2), 1.0);
+        t.record(NodeId(2), NodeId(1), 2.0);
+        t.record(NodeId(2), NodeId(3), 2.0);
+        (g, t)
+    }
+
+    fn profiles() -> Vec<InterestProfile> {
+        let mut p: Vec<InterestProfile> = vec![
+            InterestProfile::new(InterestSet::from_ids([1, 2, 3])),
+            InterestProfile::new(InterestSet::from_ids([2, 3])),
+            InterestProfile::new(InterestSet::from_ids([7, 70])),
+            InterestProfile::new(InterestSet::new()),
+            InterestProfile::new(InterestSet::from_ids([1, 70])),
+        ];
+        p[0].record_requests(InterestId(1), 3);
+        p[0].record_requests(InterestId(9), 1);
+        p[1].record_requests(InterestId(2), 4);
+        p[2].record_requests(InterestId(70), 2);
+        p[4].record_requests(InterestId(70), 5);
+        p
+    }
+
+    #[test]
+    fn snapshot_matches_live_model_on_fixture() {
+        let (g, t) = fixture();
+        let p = profiles();
+        for config in [
+            ClosenessConfig::default(),
+            ClosenessConfig::weighted(0.8),
+            ClosenessConfig {
+                path_hop_cap: None,
+                ..ClosenessConfig::default()
+            },
+        ] {
+            let snap = GraphSnapshot::build(&g, &t, &p, 0, config);
+            let model = ClosenessModel::new(&g, &t, config);
+            for i in 0..5u32 {
+                for j in 0..5u32 {
+                    let (a, b) = (NodeId(i), NodeId(j));
+                    assert_eq!(
+                        snap.closeness(a, b).to_bits(),
+                        model.closeness(a, b).to_bits(),
+                        "Ωc({a},{b})"
+                    );
+                    assert_eq!(
+                        snap.adjacent_closeness(a, b).to_bits(),
+                        model.adjacent_closeness(a, b).to_bits()
+                    );
+                    assert_eq!(
+                        snap.similarity(a, b).to_bits(),
+                        live_similarity(p[i as usize].declared(), p[j as usize].declared())
+                            .to_bits(),
+                        "Ωs({a},{b})"
+                    );
+                    assert_eq!(
+                        snap.weighted_similarity(a, b).to_bits(),
+                        live_weighted(&p[i as usize], &p[j as usize]).to_bits(),
+                        "weighted Ωs({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernels_match_per_pair_queries() {
+        let (g, t) = fixture();
+        let p = profiles();
+        let config = ClosenessConfig::default();
+        let snap = GraphSnapshot::build(&g, &t, &p, 0, config);
+        let targets: Vec<NodeId> = (0..5u32).map(NodeId).collect();
+        for i in 0..5u32 {
+            let batched = snap.closeness_to_all(NodeId(i), &targets);
+            for (j, v) in batched.iter().enumerate() {
+                assert_eq!(
+                    v.to_bits(),
+                    snap.closeness(NodeId(i), NodeId(j as u32)).to_bits()
+                );
+            }
+        }
+        let pairs: Vec<(NodeId, NodeId)> = (0..5u32)
+            .flat_map(|i| (0..5u32).map(move |j| (NodeId(i), NodeId(j))))
+            .collect();
+        let bulk = snap.closeness_for_pairs(&pairs);
+        for (idx, &(a, b)) in pairs.iter().enumerate() {
+            assert_eq!(bulk[idx].to_bits(), snap.closeness(a, b).to_bits());
+        }
+    }
+
+    #[test]
+    fn eq4_fallback_served_by_single_bfs_matches_model() {
+        // Path 0-1-2-3-4-5: pairs ≥2 hops apart with no common friends all
+        // fall through to Eq. (4).
+        let mut g = SocialGraph::new(6);
+        let mut t = InteractionTracker::new(6);
+        for v in 0..5u32 {
+            g.add_relationship(NodeId(v), NodeId(v + 1), Relationship::friendship());
+            t.record(NodeId(v), NodeId(v + 1), (v + 1) as f64);
+            t.record(NodeId(v + 1), NodeId(v), 1.0);
+        }
+        for config in [
+            ClosenessConfig::default(),
+            ClosenessConfig {
+                path_hop_cap: Some(2),
+                ..ClosenessConfig::default()
+            },
+            ClosenessConfig {
+                path_hop_cap: None,
+                ..ClosenessConfig::default()
+            },
+        ] {
+            let snap = GraphSnapshot::build(&g, &t, &[], 0, config);
+            let model = ClosenessModel::new(&g, &t, config);
+            let targets: Vec<NodeId> = (0..6u32).map(NodeId).collect();
+            for i in 0..6u32 {
+                let batched = snap.closeness_to_all(NodeId(i), &targets);
+                for (j, &value) in batched.iter().enumerate() {
+                    assert_eq!(
+                        value.to_bits(),
+                        model.closeness(NodeId(i), NodeId(j as u32)).to_bits(),
+                        "Ωc({i},{j}) cap={:?}",
+                        config.path_hop_cap
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interaction_dirt_is_patched_not_rebuilt() {
+        let (g, mut t) = fixture();
+        let p = profiles();
+        let config = ClosenessConfig::default();
+        let prev = GraphSnapshot::build(&g, &t, &p, 0, config);
+        t.record(NodeId(0), NodeId(1), 2.0);
+        t.record(NodeId(2), NodeId(3), 1.0);
+        let (next, outcome) = GraphSnapshot::refreshed(&prev, &g, &t, &p, 0, config);
+        assert_eq!(outcome, RefreshOutcome::Patched { rows: 2 });
+        let model = ClosenessModel::new(&g, &t, config);
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                assert_eq!(
+                    next.closeness(NodeId(i), NodeId(j)).to_bits(),
+                    model.closeness(NodeId(i), NodeId(j)).to_bits()
+                );
+            }
+        }
+        assert!(next.is_fresh(&g, &t, 0, config));
+        assert!(!prev.is_fresh(&g, &t, 0, config));
+    }
+
+    #[test]
+    fn structural_change_forces_rebuild_with_dirty_count() {
+        let (mut g, t) = fixture();
+        let p = profiles();
+        let config = ClosenessConfig::default();
+        let prev = GraphSnapshot::build(&g, &t, &p, 0, config);
+        g.add_relationship(NodeId(1), NodeId(4), Relationship::friendship());
+        let (next, outcome) = GraphSnapshot::refreshed(&prev, &g, &t, &p, 0, config);
+        assert_eq!(
+            outcome,
+            RefreshOutcome::Rebuilt {
+                structural_dirty: Some(2)
+            }
+        );
+        let model = ClosenessModel::new(&g, &t, config);
+        assert_eq!(
+            next.closeness(NodeId(0), NodeId(4)).to_bits(),
+            model.closeness(NodeId(0), NodeId(4)).to_bits()
+        );
+    }
+
+    #[test]
+    fn config_switch_rebuilds_without_structural_event() {
+        let (g, t) = fixture();
+        let prev = GraphSnapshot::build(&g, &t, &[], 0, ClosenessConfig::default());
+        let weighted = ClosenessConfig::weighted(0.6);
+        let (next, outcome) = GraphSnapshot::refreshed(&prev, &g, &t, &[], 0, weighted);
+        assert_eq!(
+            outcome,
+            RefreshOutcome::Rebuilt {
+                structural_dirty: None
+            }
+        );
+        let model = ClosenessModel::new(&g, &t, weighted);
+        assert_eq!(
+            next.closeness(NodeId(0), NodeId(1)).to_bits(),
+            model.closeness(NodeId(0), NodeId(1)).to_bits()
+        );
+    }
+
+    #[test]
+    fn profile_version_bump_repatches_interest_tables() {
+        let (g, t) = fixture();
+        let mut p = profiles();
+        let config = ClosenessConfig::default();
+        let prev = GraphSnapshot::build(&g, &t, &p, 0, config);
+        p[3].declared_mut().insert(InterestId(2));
+        p[3].record_requests(InterestId(2), 9);
+        let (next, outcome) = GraphSnapshot::refreshed(&prev, &g, &t, &p, 1, config);
+        assert_eq!(outcome, RefreshOutcome::Patched { rows: 0 });
+        assert_eq!(
+            next.similarity(NodeId(3), NodeId(1)).to_bits(),
+            live_similarity(p[3].declared(), p[1].declared()).to_bits()
+        );
+        assert_eq!(
+            next.weighted_similarity(NodeId(3), NodeId(1)).to_bits(),
+            live_weighted(&p[3], &p[1]).to_bits()
+        );
+        // The stale snapshot still reports the old tables.
+        assert_eq!(prev.similarity(NodeId(3), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn store_serves_same_arc_until_epochs_move() {
+        let (g, mut t) = fixture();
+        let p = profiles();
+        let config = ClosenessConfig::default();
+        let store = SnapshotStore::new();
+        let a = store.snapshot(&g, &t, &p, 0, config);
+        let b = store.snapshot(&g, &t, &p, 0, config);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(store.stats(), (1, 0));
+        t.record(NodeId(0), NodeId(1), 1.0);
+        let c = store.snapshot(&g, &t, &p, 0, config);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(store.stats(), (1, 1), "interaction dirt must patch");
+        store.invalidate();
+        let _ = store.snapshot(&g, &t, &p, 0, config);
+        assert_eq!(store.stats(), (2, 1));
+        assert!(store.clone().stats() == (0, 0), "clones start empty");
+    }
+
+    #[test]
+    fn store_attach_migrates_counts_and_emits_rebuild_events() {
+        let (mut g, t) = fixture();
+        let p = profiles();
+        let config = ClosenessConfig::default();
+        let mut store = SnapshotStore::new();
+        let _ = store.snapshot(&g, &t, &p, 0, config);
+        assert_eq!(store.stats(), (1, 0));
+
+        let telemetry = Telemetry::with_sink(EventSink::in_memory());
+        store.attach_telemetry(&telemetry);
+        let snap = telemetry.registry().snapshot();
+        assert_eq!(snap.counter("snapshot_rebuilds_total"), 1);
+        assert_eq!(snap.counter("snapshot_patches_total"), 0);
+        // Idempotent re-attach.
+        store.attach_telemetry(&telemetry);
+        assert_eq!(
+            telemetry
+                .registry()
+                .snapshot()
+                .counter("snapshot_rebuilds_total"),
+            1
+        );
+
+        // A structural flush forces a rebuild and reports the dirty count.
+        g.add_relationship(NodeId(2), NodeId(4), Relationship::friendship());
+        let _ = store.snapshot(&g, &t, &p, 0, config);
+        let events = telemetry.sink().events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::SnapshotRebuild { dirty_nodes: 2 })),
+            "expected a snapshot_rebuild event, got {events:?}"
+        );
+        let after = telemetry.registry().snapshot();
+        assert_eq!(after.counter("snapshot_rebuilds_total"), 2);
+        assert!(
+            after.histogram("snapshot_rebuild_seconds").is_some(),
+            "rebuild timings must be recorded"
+        );
+    }
+
+    #[test]
+    fn node_growth_patches_with_empty_rows() {
+        let (mut g, mut t) = fixture();
+        let mut p = profiles();
+        let config = ClosenessConfig::default();
+        let prev = GraphSnapshot::build(&g, &t, &p, 0, config);
+        let v = g.add_node();
+        t.ensure_nodes(g.node_count());
+        p.push(InterestProfile::new(InterestSet::from_ids([2])));
+        let (next, outcome) = GraphSnapshot::refreshed(&prev, &g, &t, &p, 1, config);
+        assert!(matches!(outcome, RefreshOutcome::Patched { .. }));
+        assert_eq!(next.node_count(), 6);
+        assert_eq!(next.closeness(v, NodeId(0)), 0.0);
+        assert_eq!(
+            next.similarity(v, NodeId(1)).to_bits(),
+            live_similarity(p[v.index()].declared(), p[1].declared()).to_bits()
+        );
+    }
+}

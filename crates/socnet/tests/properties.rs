@@ -13,6 +13,7 @@ use socialtrust_socnet::interest::{
     similarity, weighted_similarity, InterestId, InterestProfile, InterestSet,
 };
 use socialtrust_socnet::relationship::{weighted_relationship_sum, Relationship, RelationshipKind};
+use socialtrust_socnet::snapshot::SnapshotStore;
 use socialtrust_socnet::NodeId;
 
 fn interest_set_strategy() -> impl Strategy<Value = InterestSet> {
@@ -342,5 +343,122 @@ proptest! {
         }
         let stats = cache.stats();
         prop_assert!(stats.hits + stats.misses > 0);
+    }
+
+    /// The CSR-snapshot analogue of the incremental-cache stress test:
+    /// interleave graph/interaction/profile mutations with epoch-validated
+    /// snapshot refreshes, and require every snapshot kernel — closeness
+    /// (both directions), plain and weighted interest similarity, the
+    /// batched single-source sweep, and the grouped pair kernel — to agree
+    /// **bit-for-bit** with the live `ClosenessModel` / `interest` path at
+    /// every step. Sparse interaction dirt exercises the row-patch path;
+    /// edge mutations exercise the structural full rebuild; profile edits
+    /// exercise the interest-table repatch.
+    #[test]
+    fn snapshot_matches_live_path_under_mutation_interleaving(
+        seed in 0u64..200,
+        n in 4usize..24,
+        weighted in proptest::bool::ANY,
+        script in proptest::collection::vec((0u8..8, 0u64..u64::MAX), 1..40),
+    ) {
+        let (mut g, mut t) = env(seed, n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
+        let mut profiles: Vec<InterestProfile> =
+            socialtrust_socnet::builder::random_interests(n, 25, (1, 8), &mut rng)
+                .into_iter()
+                .map(InterestProfile::new)
+                .collect();
+        let mut pv = 0u64;
+        let config = if weighted {
+            ClosenessConfig::weighted(0.8)
+        } else {
+            ClosenessConfig::default()
+        };
+        let store = SnapshotStore::new();
+        for (op, raw) in script {
+            let a = NodeId::from((raw % n as u64) as usize);
+            let b = NodeId::from(((raw / n as u64) % n as u64) as usize);
+            let cat = InterestId((raw % 25) as u16);
+            match op {
+                0 if a != b => {
+                    g.add_relationship(a, b, Relationship::friendship());
+                }
+                1 => {
+                    g.remove_edge(a, b);
+                }
+                2 | 3 if a != b => {
+                    t.record(a, b, (raw % 7 + 1) as f64);
+                }
+                4 => {
+                    profiles[a.index()].record_requests(cat, raw % 9 + 1);
+                    pv += 1;
+                }
+                5 => {
+                    let declared = profiles[a.index()].declared_mut();
+                    if raw % 2 == 0 {
+                        declared.insert(cat);
+                    } else {
+                        declared.remove(cat);
+                    }
+                    pv += 1;
+                }
+                // 6 and 7 are pure query steps: no mutation at all.
+                _ => {}
+            }
+            let snap = store.snapshot(&g, &t, &profiles, pv, config);
+            let model = ClosenessModel::new(&g, &t, config);
+            prop_assert_eq!(
+                snap.closeness(a, b).to_bits(),
+                model.closeness(a, b).to_bits(),
+                "closeness({}, {}) diverged after op {}", a, b, op
+            );
+            prop_assert_eq!(
+                snap.closeness(b, a).to_bits(),
+                model.closeness(b, a).to_bits()
+            );
+            prop_assert_eq!(
+                snap.similarity(a, b).to_bits(),
+                similarity(profiles[a.index()].declared(), profiles[b.index()].declared())
+                    .to_bits()
+            );
+            prop_assert_eq!(
+                snap.weighted_similarity(a, b).to_bits(),
+                weighted_similarity(&profiles[a.index()], &profiles[b.index()]).to_bits()
+            );
+        }
+        // Final sweep: the refreshed snapshot — whatever mix of patches and
+        // rebuilds produced it — must agree with a fresh model everywhere,
+        // through every kernel.
+        let snap = store.snapshot(&g, &t, &profiles, pv, config);
+        let model = ClosenessModel::new(&g, &t, config);
+        let targets: Vec<NodeId> = (0..n).map(NodeId::from).collect();
+        let pairs: Vec<(NodeId, NodeId)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (NodeId::from(i), NodeId::from(j))))
+            .collect();
+        let bulk = snap.closeness_for_pairs(&pairs);
+        for i in 0..n {
+            let batched = snap.closeness_to_all(NodeId::from(i), &targets);
+            for j in 0..n {
+                let (a, b) = (NodeId::from(i), NodeId::from(j));
+                let fresh = model.closeness(a, b);
+                prop_assert_eq!(
+                    snap.closeness(a, b).to_bits(),
+                    fresh.to_bits(),
+                    "stale snapshot closeness for ({}, {})", a, b
+                );
+                prop_assert_eq!(batched[j].to_bits(), fresh.to_bits());
+                prop_assert_eq!(bulk[i * n + j].to_bits(), fresh.to_bits());
+                prop_assert_eq!(
+                    snap.similarity(a, b).to_bits(),
+                    similarity(profiles[i].declared(), profiles[j].declared()).to_bits()
+                );
+                prop_assert_eq!(
+                    snap.weighted_similarity(a, b).to_bits(),
+                    weighted_similarity(&profiles[i], &profiles[j]).to_bits()
+                );
+            }
+        }
+        let (rebuilds, _patches) = store.stats();
+        prop_assert!(rebuilds >= 1);
     }
 }

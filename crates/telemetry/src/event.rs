@@ -55,6 +55,15 @@ pub enum Event {
         /// Whether the run started from the previous cycle's trust vector.
         warm_start: bool,
     },
+    /// A structural flush forced a full CSR-snapshot rebuild: the social
+    /// graph changed structurally (edge add/remove or whole-state reset)
+    /// since the previous snapshot, so the incremental row-patch path could
+    /// not be taken.
+    SnapshotRebuild {
+        /// Number of nodes the dirty log reported touched since the
+        /// superseded snapshot's epoch.
+        dirty_nodes: u64,
+    },
 }
 
 impl Event {
@@ -64,6 +73,7 @@ impl Event {
             Event::DetectionVerdict { .. } => "detection_verdict",
             Event::EvictionStorm { .. } => "eviction_storm",
             Event::EigenTrustConvergence { .. } => "eigentrust_convergence",
+            Event::SnapshotRebuild { .. } => "snapshot_rebuild",
         }
     }
 }
@@ -108,6 +118,9 @@ impl Serialize for Event {
                 fields.push(("iterations".into(), Value::U64(*iterations)));
                 fields.push(("residual".into(), Value::F64(*residual)));
                 fields.push(("warm_start".into(), Value::Bool(*warm_start)));
+            }
+            Event::SnapshotRebuild { dirty_nodes } => {
+                fields.push(("dirty_nodes".into(), Value::U64(*dirty_nodes)));
             }
         }
         Value::Object(fields)
@@ -175,6 +188,9 @@ impl Deserialize for Event {
                 iterations: u64_field(value, "iterations")?,
                 residual: f64_field(value, "residual")?,
                 warm_start: bool_field(value, "warm_start")?,
+            }),
+            "snapshot_rebuild" => Ok(Event::SnapshotRebuild {
+                dirty_nodes: u64_field(value, "dirty_nodes")?,
             }),
             other => Err(Error::custom(format!("unknown event kind {other:?}"))),
         }
@@ -316,6 +332,7 @@ mod tests {
                 residual: 4.2e-7,
                 warm_start: true,
             },
+            Event::SnapshotRebuild { dirty_nodes: 37 },
         ]
     }
 
@@ -349,7 +366,7 @@ mod tests {
         }
         assert_eq!(sink.events(), sample_events());
         // Clones share the buffer.
-        assert_eq!(sink.clone().events().len(), 3);
+        assert_eq!(sink.clone().events().len(), sample_events().len());
     }
 
     #[test]

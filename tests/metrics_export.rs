@@ -3,12 +3,14 @@
 //! (DESIGN.md) promises, with a Prometheus text exposition that passes the
 //! line-format validator, and structured events for every pipeline stage.
 
+use serde::{Deserialize, Serialize};
 use socialtrust::prelude::*;
 use socialtrust::telemetry::{validate_exposition, Event};
 
 /// Every metric family the export must contain, per the observability
 /// contract: B1–B4 trigger counters, the three latency histograms, the
-/// cache counters, and the EigenTrust convergence gauges.
+/// cache counters, the CSR-snapshot refresh counters, and the EigenTrust
+/// convergence gauges.
 const REQUIRED_FAMILIES: &[&str] = &[
     "detector_b1_triggers_total",
     "detector_b2_triggers_total",
@@ -22,6 +24,9 @@ const REQUIRED_FAMILIES: &[&str] = &[
     "cache_hits_total",
     "cache_misses_total",
     "cache_evictions_total",
+    "snapshot_rebuilds_total",
+    "snapshot_patches_total",
+    "snapshot_rebuild_seconds",
     "eigentrust_iterations",
     "eigentrust_residual",
     "eigentrust_warm_start",
@@ -62,7 +67,14 @@ fn instrumented_run_exports_all_contract_metric_families() {
     // The snapshot carries real readings, not just registered zeros.
     let snap = &export.metrics;
     assert!(snap.counter("detector_suspicions_total") > 0);
-    assert!(snap.counter("cache_hits_total") + snap.counter("cache_misses_total") > 0);
+    // Every cycle's detection + Gaussian pass reads one CSR snapshot; the
+    // first acquisition builds it, later cycles refresh it (patch or
+    // rebuild depending on whether the graph mutated structurally).
+    assert!(snap.counter("snapshot_rebuilds_total") >= 1);
+    assert_eq!(
+        snap.histogram("snapshot_rebuild_seconds").unwrap().count,
+        snap.counter("snapshot_rebuilds_total")
+    );
     assert_eq!(
         snap.gauge("eigentrust_iterations"),
         result.final_convergence().map(|c| c.iterations as f64)
@@ -95,4 +107,52 @@ fn instrumented_run_exports_all_contract_metric_families() {
     let json = export.to_json();
     let parsed: MetricsExport = serde_json::from_str(&json).expect("export round-trips");
     assert_eq!(parsed.metrics, export.metrics);
+}
+
+/// A structural graph flush must surface as a `snapshot_rebuild` event
+/// carrying the dirty-node count, alongside the rebuild counter bump —
+/// the snapshot analogue of the cache's eviction-storm event.
+#[test]
+fn structural_flush_emits_snapshot_rebuild_event() {
+    let telemetry = Telemetry::with_sink(EventSink::in_memory());
+    let mut ctx = SocialContext::new(16, 8);
+    ctx.attach_telemetry(&telemetry);
+    let cfg = ClosenessConfig::default();
+
+    ctx.graph_mut()
+        .add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+    ctx.record_interaction(NodeId(0), NodeId(1), 2.0);
+    let _ = ctx.snapshot(cfg); // initial build: rebuild, but no structural flush
+    assert!(telemetry.sink().events().is_empty());
+
+    // Interaction-only dirt: patched, still no event.
+    ctx.record_interaction(NodeId(1), NodeId(0), 1.0);
+    let _ = ctx.snapshot(cfg);
+    assert!(telemetry.sink().events().is_empty());
+
+    // Structural churn: two edges touch three distinct nodes.
+    ctx.graph_mut()
+        .add_relationship(NodeId(2), NodeId(3), Relationship::friendship());
+    ctx.graph_mut()
+        .add_relationship(NodeId(3), NodeId(4), Relationship::friendship());
+    let _ = ctx.snapshot(cfg);
+
+    let events = telemetry.sink().events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::SnapshotRebuild { dirty_nodes: 3 })),
+        "expected snapshot_rebuild with 3 dirty nodes, got {events:?}"
+    );
+    let snap = telemetry.registry().snapshot();
+    assert_eq!(snap.counter("snapshot_rebuilds_total"), 2);
+    assert_eq!(snap.counter("snapshot_patches_total"), 1);
+
+    // The event survives the JSONL round-trip like every other kind.
+    let rebuild = events
+        .iter()
+        .find(|e| matches!(e, Event::SnapshotRebuild { .. }))
+        .unwrap();
+    let value = rebuild.to_value();
+    assert_eq!(Event::from_value(&value).unwrap(), *rebuild);
 }
