@@ -32,7 +32,9 @@ use socialtrust_reputation::rating::{PairKey, Rating, RatingLedger};
 use socialtrust_reputation::system::{ConvergenceRecord, ReputationSystem};
 use socialtrust_socnet::snapshot::GraphSnapshot;
 use socialtrust_socnet::NodeId;
-use socialtrust_telemetry::{Counter, Event, EventSink, Histogram, Telemetry};
+use socialtrust_telemetry::{
+    trace::names as trace_names, Counter, Event, EventSink, Histogram, Telemetry, Tracer,
+};
 
 use crate::config::{AdjustmentMode, BaselineMode, SocialTrustConfig};
 use crate::context::SharedSocialContext;
@@ -57,6 +59,9 @@ struct DecoratorTelemetry {
     /// Gaussian weight before being forwarded to the inner engine.
     rescaled: Counter,
     sink: EventSink,
+    /// Shared decision-provenance tracer: disabled unless the attached
+    /// bundle carries an enabled one.
+    tracer: Tracer,
 }
 
 impl DecoratorTelemetry {
@@ -68,6 +73,7 @@ impl DecoratorTelemetry {
             update_seconds: registry.histogram("reputation_update_seconds"),
             rescaled: registry.counter("decorator_rescaled_ratings_total"),
             sink: telemetry.sink().clone(),
+            tracer: telemetry.tracer().clone(),
         }
     }
 }
@@ -209,6 +215,64 @@ fn rater_stats(
     }
 }
 
+/// The Gaussian kernel inputs behind one computed weight, kept for the
+/// provenance trace: the rater's personal baselines (μ = mean, σ derived
+/// from `|maxΩ − minΩ|`) per dimension, and which paper equation applied.
+struct WeightProvenance {
+    /// `"Eq. 6"` (closeness only), `"Eq. 8"` (similarity only), or
+    /// `"Eq. 9"` (combined).
+    eq: &'static str,
+    mean_c: f64,
+    width_c: f64,
+    mean_s: f64,
+    width_s: f64,
+}
+
+/// The Gaussian weight for one suspicion plus the kernel inputs that
+/// produced it. The weight is bit-identical to [`weight_for`] — same
+/// arithmetic path — so the traced value is exactly the applied one.
+fn weight_explained(
+    config: &SocialTrustConfig,
+    ledger: &RatingLedger,
+    snapshot: &GraphSnapshot,
+    suspicion: &Suspicion,
+) -> (f64, WeightProvenance) {
+    let (stats_c, stats_s) =
+        rater_stats(config, ledger, snapshot, suspicion.rater, suspicion.ratee);
+    let stats_c = stats_c.with_width_scale(config.width_scale);
+    let stats_s = stats_s.with_width_scale(config.width_scale);
+    let (weight, eq) = match config.adjustment_mode {
+        AdjustmentMode::ClosenessOnly => (
+            adjustment_weight(suspicion.omega_c, &stats_c, config.alpha),
+            "Eq. 6",
+        ),
+        AdjustmentMode::SimilarityOnly => (
+            adjustment_weight(suspicion.omega_s, &stats_s, config.alpha),
+            "Eq. 8",
+        ),
+        AdjustmentMode::Combined => (
+            combined_weight(
+                suspicion.omega_c,
+                &stats_c,
+                suspicion.omega_s,
+                &stats_s,
+                config.alpha,
+            ),
+            "Eq. 9",
+        ),
+    };
+    (
+        weight,
+        WeightProvenance {
+            eq,
+            mean_c: stats_c.mean,
+            width_c: stats_c.width(),
+            mean_s: stats_s.mean,
+            width_s: stats_s.width(),
+        },
+    )
+}
+
 /// The Gaussian weight for one suspicion, per the configured adjustment
 /// mode. Free function for the same `R: Sync` reason as [`rater_stats`].
 fn weight_for(
@@ -217,25 +281,7 @@ fn weight_for(
     snapshot: &GraphSnapshot,
     suspicion: &Suspicion,
 ) -> f64 {
-    let (stats_c, stats_s) =
-        rater_stats(config, ledger, snapshot, suspicion.rater, suspicion.ratee);
-    let stats_c = stats_c.with_width_scale(config.width_scale);
-    let stats_s = stats_s.with_width_scale(config.width_scale);
-    match config.adjustment_mode {
-        AdjustmentMode::ClosenessOnly => {
-            adjustment_weight(suspicion.omega_c, &stats_c, config.alpha)
-        }
-        AdjustmentMode::SimilarityOnly => {
-            adjustment_weight(suspicion.omega_s, &stats_s, config.alpha)
-        }
-        AdjustmentMode::Combined => combined_weight(
-            suspicion.omega_c,
-            &stats_c,
-            suspicion.omega_s,
-            &stats_s,
-            config.alpha,
-        ),
-    }
+    weight_explained(config, ledger, snapshot, suspicion).0
 }
 
 impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
@@ -249,16 +295,30 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
     }
 
     fn end_cycle(&mut self) {
+        // A clone of the attached tracer (disabled when unattached): child
+        // spans land under the engine's cycle root when one is open.
+        let tracer = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.tracer.clone())
+            .unwrap_or_default();
         let reputations_prev = self.inner.reputations().to_vec();
         let (suspicions, weights) = {
             let ctx = self.ctx.read();
-            let suspicions = self.detector.detect_all_with_metrics(
+            let mut detect_span = tracer.child(trace_names::DETECT);
+            let suspicions = self.detector.detect_all_with_observability(
                 &ctx,
                 &self.ledger,
                 &reputations_prev,
                 self.telemetry.as_ref().map(|t| &t.detector),
+                detect_span.as_ref(),
             );
+            if let Some(span) = detect_span.as_mut() {
+                span.set_attr("suspicions", suspicions.len());
+            }
+            drop(detect_span);
             let gaussian_start = Instant::now();
+            let gaussian_span = tracer.child(trace_names::GAUSSIAN);
             // Gaussian weights for flagged pairs are independent of each
             // other, so compute them in parallel; suspicions hold distinct
             // (rater, ratee) keys, making the HashMap collect well-defined.
@@ -268,14 +328,38 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
             use rayon::prelude::*;
             let snapshot = ctx.snapshot(self.config.closeness);
             let (config, ledger) = (&self.config, &self.ledger);
-            let mut weights: HashMap<PairKey, f64> = suspicions
-                .par_iter()
-                .map(|s| ((s.rater, s.ratee), weight_for(config, ledger, &snapshot, s)))
-                .collect();
+            // When this cycle's trace records, the same parallel pass also
+            // keeps the kernel inputs (`WeightProvenance`) per pair, so the
+            // span-recording loop below never redoes coefficient work; the
+            // weight comes off the identical arithmetic path either way.
+            let recording = gaussian_span.is_some();
+            let mut provenance: HashMap<PairKey, WeightProvenance> = HashMap::new();
+            let mut weights: HashMap<PairKey, f64> = if recording {
+                let explained: Vec<(PairKey, f64, WeightProvenance)> = suspicions
+                    .par_iter()
+                    .map(|s| {
+                        let (w, prov) = weight_explained(config, ledger, &snapshot, s);
+                        ((s.rater, s.ratee), w, prov)
+                    })
+                    .collect();
+                explained
+                    .into_iter()
+                    .map(|(pair, w, prov)| {
+                        provenance.insert(pair, prov);
+                        (pair, w)
+                    })
+                    .collect()
+            } else {
+                suspicions
+                    .par_iter()
+                    .map(|s| ((s.rater, s.ratee), weight_for(config, ledger, &snapshot, s)))
+                    .collect()
+            };
             // Suspicion hysteresis: pairs flagged in recent intervals keep
             // being adjusted even if this interval's conditions lapsed
             // (e.g. the ratee's reputation briefly crossed T_R). The weight
             // is recomputed from the pair's *current* coefficients.
+            let mut ghosts: Vec<Suspicion> = Vec::new();
             if self.config.suspicion_memory > 0 {
                 let remembered: Vec<PairKey> = self.remembered.keys().copied().collect();
                 for (rater, ratee) in remembered {
@@ -297,12 +381,47 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
                             self.config.weighted_similarity,
                         ),
                     };
-                    weights.insert(
-                        (rater, ratee),
-                        weight_for(config, ledger, &snapshot, &ghost),
-                    );
+                    if recording {
+                        let (w, prov) = weight_explained(config, ledger, &snapshot, &ghost);
+                        weights.insert((rater, ratee), w);
+                        provenance.insert((rater, ratee), prov);
+                    } else {
+                        weights.insert(
+                            (rater, ratee),
+                            weight_for(config, ledger, &snapshot, &ghost),
+                        );
+                    }
+                    ghosts.push(ghost);
                 }
             }
+            // Provenance: one `gaussian_weight` child per adjusted pair,
+            // read back from the parallel pass above. Only paid when this
+            // cycle's trace records.
+            if let Some(parent) = gaussian_span.as_ref() {
+                let flagged = suspicions.iter().map(|s| (s, false));
+                let remembered = ghosts.iter().map(|g| (g, true));
+                for (s, is_ghost) in flagged.chain(remembered) {
+                    let pair = (s.rater, s.ratee);
+                    let (Some(&weight), Some(prov)) = (weights.get(&pair), provenance.get(&pair))
+                    else {
+                        continue;
+                    };
+                    let mut span = parent.child(trace_names::WEIGHT);
+                    span.set_attr("rater", s.rater.index());
+                    span.set_attr("ratee", s.ratee.index());
+                    span.set_attr("ghost", is_ghost);
+                    span.set_attr("eq", prov.eq);
+                    span.set_attr("omega_c", s.omega_c);
+                    span.set_attr("omega_s", s.omega_s);
+                    span.set_attr("mean_c", prov.mean_c);
+                    span.set_attr("width_c", prov.width_c);
+                    span.set_attr("mean_s", prov.mean_s);
+                    span.set_attr("width_s", prov.width_s);
+                    span.set_attr("alpha", config.alpha);
+                    span.set_attr("weight", weight);
+                }
+            }
+            drop(gaussian_span);
             if let Some(t) = &self.telemetry {
                 t.gaussian_seconds
                     .observe(gaussian_start.elapsed().as_secs_f64());
@@ -310,16 +429,30 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
             (suspicions, weights)
         };
         let mut rescaled_this_cycle = 0u64;
+        let rescale_span = tracer.child(trace_names::RESCALE);
         for mut rating in std::mem::take(&mut self.buffer) {
             if let Some(&w) = weights.get(&(rating.rater, rating.ratee)) {
+                if let Some(parent) = rescale_span.as_ref() {
+                    let mut span = parent.child(trace_names::RESCALED_RATING);
+                    span.set_attr("rater", rating.rater.index());
+                    span.set_attr("ratee", rating.ratee.index());
+                    span.set_attr("original", rating.value);
+                    span.set_attr("weight", w);
+                    span.set_attr("adjusted", rating.value * w);
+                }
                 rating.value *= w;
                 self.total_adjusted_ratings += 1;
                 rescaled_this_cycle += 1;
             }
             self.inner.record(rating);
         }
+        drop(rescale_span);
         let update_start = Instant::now();
+        // Scoped: the inner engine's own spans (e.g. `eigentrust_update`)
+        // nest under this one.
+        let update_span = tracer.child(trace_names::UPDATE);
         self.inner.end_cycle();
+        drop(update_span);
         if let Some(t) = &self.telemetry {
             t.update_seconds
                 .observe(update_start.elapsed().as_secs_f64());

@@ -20,7 +20,9 @@ use serde::{Deserialize, Serialize};
 use socialtrust_reputation::rating::RatingLedger;
 use socialtrust_socnet::snapshot::GraphSnapshot;
 use socialtrust_socnet::NodeId;
-use socialtrust_telemetry::{Counter, Histogram, Telemetry};
+use socialtrust_telemetry::{
+    trace::names as trace_names, Counter, Histogram, SpanHandle, Telemetry,
+};
 
 use crate::config::SocialTrustConfig;
 use crate::context::SocialContext;
@@ -371,10 +373,60 @@ impl Detector {
         reputations: &[f64],
         metrics: Option<&DetectorMetrics>,
     ) -> Vec<Suspicion> {
+        self.detect_all_with_observability(ctx, ledger, reputations, metrics, None)
+    }
+
+    /// [`Detector::detect_all_with_metrics`] plus decision provenance:
+    /// when `span` is the live `detect_all` trace span, one
+    /// `detector_verdict` child span is recorded per flagged pair,
+    /// carrying the exact threshold comparisons of Section 4.3 — the
+    /// interval frequencies `F⁺`/`F⁻` against `T⁺ₜ`/`T⁻ₜ` (θ·F̄ derived),
+    /// the measured `Ω꜀`/`Ωₛ` against `T_cₕ`/`T_cₗ`/`T_sₕ`/`T_sₗ`, and
+    /// the reputations against `T_R`.
+    ///
+    /// The spans are recorded *after* the parallel pass, in the sorted
+    /// output order, so the trace is deterministic and the hot loop is
+    /// untouched.
+    pub fn detect_all_with_observability(
+        &self,
+        ctx: &SocialContext,
+        ledger: &RatingLedger,
+        reputations: &[f64],
+        metrics: Option<&DetectorMetrics>,
+        span: Option<&SpanHandle>,
+    ) -> Vec<Suspicion> {
         let start = std::time::Instant::now();
         let out = self.detect_all_inner(ctx, ledger, reputations);
         if let Some(metrics) = metrics {
             metrics.observe(&out, start.elapsed().as_secs_f64());
+        }
+        if let Some(parent) = span {
+            let mean_freq = ledger.average_rating_frequency();
+            let t_pos = self.config.positive_threshold(mean_freq);
+            let t_neg = self.config.negative_threshold(mean_freq);
+            for s in &out {
+                let stats = ledger.interval_stats(s.rater, s.ratee);
+                let behaviors: Vec<&str> = s.reasons.iter().map(|r| r.code()).collect();
+                let mut v = parent.child(trace_names::VERDICT);
+                v.set_attr("rater", s.rater.index());
+                v.set_attr("ratee", s.ratee.index());
+                v.set_attr("behaviors", behaviors.join("+"));
+                v.set_attr("f_pos", stats.positive);
+                v.set_attr("f_neg", stats.negative);
+                v.set_attr("t_pos", t_pos);
+                v.set_attr("t_neg", t_neg);
+                v.set_attr("theta", self.config.theta);
+                v.set_attr("mean_freq", mean_freq);
+                v.set_attr("omega_c", s.omega_c);
+                v.set_attr("omega_s", s.omega_s);
+                v.set_attr("t_c_high", self.config.closeness_high);
+                v.set_attr("t_c_low", self.config.closeness_low);
+                v.set_attr("t_s_high", self.config.similarity_high);
+                v.set_attr("t_s_low", self.config.similarity_low);
+                v.set_attr("t_r", self.config.low_reputation);
+                v.set_attr("rater_reputation", reputations[s.rater.index()]);
+                v.set_attr("ratee_reputation", reputations[s.ratee.index()]);
+            }
         }
         out
     }

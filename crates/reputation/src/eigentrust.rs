@@ -40,7 +40,9 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use socialtrust_socnet::NodeId;
-use socialtrust_telemetry::{Counter, Event, EventSink, Gauge, Telemetry};
+use socialtrust_telemetry::{
+    trace::names as trace_names, Counter, Event, EventSink, Gauge, Telemetry, Tracer,
+};
 
 use crate::normalize::l1_distance;
 use crate::rating::Rating;
@@ -105,6 +107,10 @@ struct EigenTrustTelemetry {
     /// `eigentrust_cycles_total`: completed reputation updates.
     cycles_total: Counter,
     sink: EventSink,
+    /// Decision-provenance tracer: when a cycle trace is live, each update
+    /// records an `eigentrust_update` span (nested under the decorator's
+    /// `reputation_update` when wrapped).
+    tracer: Tracer,
 }
 
 impl EigenTrustTelemetry {
@@ -117,6 +123,7 @@ impl EigenTrustTelemetry {
             warm_starts_total: registry.counter("eigentrust_warm_starts_total"),
             cycles_total: registry.counter("eigentrust_cycles_total"),
             sink: telemetry.sink().clone(),
+            tracer: telemetry.tracer().clone(),
         }
     }
 }
@@ -349,7 +356,19 @@ impl ReputationSystem for EigenTrust {
         for i in touched_rows {
             self.refresh_row_pos(i);
         }
+        // `None` when unattached, the tracer is disabled, or this cycle is
+        // unsampled — the iteration then runs exactly as before.
+        let span = self
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.tracer.child(trace_names::EIGENTRUST));
         self.power_iterate();
+        if let Some(mut span) = span {
+            span.set_attr("iterations", self.last_iterations);
+            span.set_attr("residual", self.last_residual);
+            span.set_attr("warm_start", self.last_warm_started);
+            span.set_attr("epsilon", self.config.epsilon);
+        }
         self.publish_convergence();
         self.cycles += 1;
     }

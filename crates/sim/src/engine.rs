@@ -30,7 +30,7 @@ use socialtrust_reputation::rating::Rating;
 use socialtrust_reputation::system::ReputationSystem;
 use socialtrust_socnet::interest::InterestId;
 use socialtrust_socnet::NodeId;
-use socialtrust_telemetry::Telemetry;
+use socialtrust_telemetry::{trace::names as trace_names, Telemetry};
 
 use crate::build::SimWorld;
 use crate::metrics::{ReputationSummary, RunResult};
@@ -120,6 +120,15 @@ pub fn run_with_telemetry<R: Rng + ?Sized>(
 
     for cycle in 0..scenario.sim_cycles {
         let cycle_start = Instant::now();
+        // One provenance trace per simulation cycle: detection verdicts,
+        // Gaussian weights, rescales, and the EigenTrust update all hang
+        // off this root (see telemetry's `trace::names`). The guard's
+        // drop at the bottom of the loop commits the tree.
+        let mut cycle_root = telemetry.tracer().begin_root(trace_names::CYCLE);
+        if cycle_root.is_recording() {
+            cycle_root.set_attr("cycle", cycle);
+            cycle_root.set_attr("system", system.name());
+        }
         let collusion_active = scenario.collusion_active_in_cycle(cycle);
         for _qc in 0..scenario.query_cycles {
             capacity.fill(scenario.capacity_per_query_cycle);

@@ -202,10 +202,34 @@ enum SinkKind {
     Disabled,
     /// Events are buffered in memory (for export/testing).
     Memory(RwLock<Vec<Event>>),
-    /// Events are written as JSON lines to a writer. A `std::sync::Mutex`
-    /// rather than the workspace `RwLock` because `Box<dyn Write + Send>`
-    /// is not `Sync`, and `Mutex<T: Send>` is.
-    Writer(Mutex<BufWriter<Box<dyn Write + Send>>>),
+    /// Events are written as JSON lines to a writer.
+    Writer(WriterSink),
+}
+
+/// A writer-backed sink destination. A `std::sync::Mutex` rather than the
+/// workspace `RwLock` because `Box<dyn Write + Send>` is not `Sync`, and
+/// `Mutex<T: Send>` is.
+struct WriterSink {
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+    /// Duplicated handle onto the backing file, kept so the drop path can
+    /// `sync_all` after the buffered writer flushes. `None` for sinks over
+    /// arbitrary writers, where there is nothing to fsync.
+    file: Option<File>,
+}
+
+impl Drop for WriterSink {
+    /// Flush buffered lines and (for file-backed sinks) fsync, so a sink
+    /// that is simply dropped — e.g. at the end of a CLI run — still leaves
+    /// a complete, parseable JSONL file behind. Errors are swallowed:
+    /// telemetry teardown must never panic the host.
+    fn drop(&mut self) {
+        if let Ok(w) = self.writer.get_mut() {
+            let _ = w.flush();
+        }
+        if let Some(file) = &self.file {
+            let _ = file.sync_all();
+        }
+    }
 }
 
 /// A cheaply clonable destination for [`Event`]s.
@@ -252,18 +276,31 @@ impl EventSink {
         }
     }
 
-    /// A sink that writes one JSON line per event to `writer`.
+    /// A sink that writes one JSON line per event to `writer`. Buffered
+    /// lines are flushed when the last clone of the sink drops.
     pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
         EventSink {
-            inner: Arc::new(SinkKind::Writer(Mutex::new(BufWriter::new(writer)))),
+            inner: Arc::new(SinkKind::Writer(WriterSink {
+                writer: Mutex::new(BufWriter::new(writer)),
+                file: None,
+            })),
         }
     }
 
     /// A sink that writes one JSON line per event to the file at `path`
-    /// (created/truncated).
+    /// (created/truncated). When the last clone drops, the buffer is
+    /// flushed and the file fsynced, so the final line is always complete
+    /// on disk even without an explicit [`EventSink::flush`].
     pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let file = File::create(path)?;
-        Ok(EventSink::to_writer(Box::new(file)))
+        // A failed dup only costs the fsync-on-drop; flushing still works.
+        let sync_handle = file.try_clone().ok();
+        Ok(EventSink {
+            inner: Arc::new(SinkKind::Writer(WriterSink {
+                writer: Mutex::new(BufWriter::new(Box::new(file))),
+                file: sync_handle,
+            })),
+        })
     }
 
     /// Whether emitted events go anywhere. Lets callers skip building
@@ -277,9 +314,9 @@ impl EventSink {
         match &*self.inner {
             SinkKind::Disabled => {}
             SinkKind::Memory(buf) => buf.write().push(event),
-            SinkKind::Writer(w) => {
+            SinkKind::Writer(sink) => {
                 if let Ok(line) = serde_json::to_string(&event) {
-                    if let Ok(mut w) = w.lock() {
+                    if let Ok(mut w) = sink.writer.lock() {
                         let _ = w.write_all(line.as_bytes());
                         let _ = w.write_all(b"\n");
                     }
@@ -299,7 +336,8 @@ impl EventSink {
     /// Flushes a writer-backed sink; no-op otherwise.
     pub fn flush(&self) -> std::io::Result<()> {
         match &*self.inner {
-            SinkKind::Writer(w) => w
+            SinkKind::Writer(sink) => sink
+                .writer
                 .lock()
                 .map_err(|_| std::io::Error::other("event sink writer lock poisoned"))?
                 .flush(),
@@ -398,6 +436,33 @@ mod tests {
             .map(|l| serde_json::from_str(l).unwrap())
             .collect();
         assert_eq!(parsed, sample_events());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dropped_sink_leaves_complete_last_line() {
+        let dir = std::env::temp_dir().join("socialtrust-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("events-drop-{}.jsonl", std::process::id()));
+        {
+            // Two clones: the buffer must survive until the *last* one goes.
+            let sink = EventSink::to_file(&path).unwrap();
+            let clone = sink.clone();
+            for event in sample_events() {
+                sink.emit(event);
+            }
+            drop(sink);
+            drop(clone);
+            // No explicit flush() — the Drop impl is on the hook.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'), "last line must be newline-terminated");
+        let parsed: Vec<Event> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed, sample_events());
+        assert_eq!(parsed.last(), sample_events().last());
         std::fs::remove_file(&path).ok();
     }
 

@@ -26,6 +26,10 @@ fn render_value(v: f64) -> String {
     }
 }
 
+/// Quantiles exported per histogram family, as `{quantile="pXX"}` gauge
+/// samples in the exposition and a `quantiles` map in the JSON bundle.
+pub const EXPORT_QUANTILES: &[(&str, f64)] = &[("p50", 0.5), ("p95", 0.95), ("p99", 0.99)];
+
 fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
     out.push_str(&format!("# TYPE {name} histogram\n"));
     let mut cumulative = 0u64;
@@ -39,24 +43,59 @@ fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
     out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
     out.push_str(&format!("{name}_sum {}\n", render_value(h.sum)));
     out.push_str(&format!("{name}_count {}\n", h.count));
+    // EXPORT_QUANTILES is sorted by label value, so the `quantile=` sample
+    // lines come out ordered by label set within the family.
+    for (label, q) in EXPORT_QUANTILES {
+        if let Some(v) = h.quantile(*q) {
+            out.push_str(&format!(
+                "{name}{{quantile=\"{label}\"}} {}\n",
+                render_value(v)
+            ));
+        }
+    }
+}
+
+/// One metric family to render, borrowed from a [`Snapshot`].
+enum Family<'a> {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(&'a HistogramSnapshot),
 }
 
 /// Renders a [`Snapshot`] in the Prometheus text exposition format
-/// (version 0.0.4). Metrics appear in name order; histograms expose
-/// cumulative `_bucket{le="..."}` samples plus `_sum`/`_count`.
+/// (version 0.0.4). Families are sorted by metric name and, within a
+/// family, samples appear in a fixed label-set order (buckets by ascending
+/// `le`, then `_sum`/`_count`, then `quantile="pXX"` gauges), so two
+/// renderings of equal snapshots are byte-identical. Histograms expose
+/// cumulative `_bucket{le="..."}` samples plus `_sum`/`_count` and
+/// estimated [`EXPORT_QUANTILES`].
 pub fn prometheus_text(snapshot: &Snapshot) -> String {
-    let mut out = String::new();
+    let mut families: Vec<(&str, Family<'_>)> = Vec::new();
     for (name, value) in &snapshot.counters {
-        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        families.push((name, Family::Counter(*value)));
     }
     for (name, value) in &snapshot.gauges {
-        out.push_str(&format!(
-            "# TYPE {name} gauge\n{name} {}\n",
-            render_value(*value)
-        ));
+        families.push((name, Family::Gauge(*value)));
     }
     for (name, h) in &snapshot.histograms {
-        render_histogram(&mut out, name, h);
+        families.push((name, Family::Histogram(h)));
+    }
+    families.sort_by_key(|(name, _)| *name);
+
+    let mut out = String::new();
+    for (name, family) in families {
+        match family {
+            Family::Counter(value) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+            }
+            Family::Gauge(value) => {
+                out.push_str(&format!(
+                    "# TYPE {name} gauge\n{name} {}\n",
+                    render_value(value)
+                ));
+            }
+            Family::Histogram(h) => render_histogram(&mut out, name, h),
+        }
     }
     out
 }
@@ -70,10 +109,12 @@ fn parse_sample_value(raw: &str) -> Option<f64> {
     }
 }
 
-/// One parsed exposition sample line: `name[{le="bound"}] value`.
+/// One parsed exposition sample line: `name[{le="bound"}] value` or
+/// `name[{quantile="pXX"}] value`.
 struct Sample {
     name: String,
     le: Option<f64>,
+    quantile: Option<String>,
     value: f64,
 }
 
@@ -83,36 +124,55 @@ fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
         .ok_or_else(|| format!("line {lineno}: no sample value in {line:?}"))?;
     let value = parse_sample_value(value_part.trim())
         .ok_or_else(|| format!("line {lineno}: bad sample value {value_part:?}"))?;
-    let (name, le) = match name_part.split_once('{') {
-        None => (name_part.to_string(), None),
+    let (name, le, quantile) = match name_part.split_once('{') {
+        None => (name_part.to_string(), None, None),
         Some((name, labels)) => {
             let labels = labels
                 .strip_suffix('}')
                 .ok_or_else(|| format!("line {lineno}: unterminated label set in {line:?}"))?;
-            let bound = labels
+            if let Some(bound) = labels
                 .strip_prefix("le=\"")
                 .and_then(|rest| rest.strip_suffix('"'))
-                .ok_or_else(|| {
-                    format!("line {lineno}: only le=\"...\" labels are expected, got {labels:?}")
-                })?;
-            let bound = parse_sample_value(bound)
-                .ok_or_else(|| format!("line {lineno}: bad le bound {bound:?}"))?;
-            (name.to_string(), Some(bound))
+            {
+                let bound = parse_sample_value(bound)
+                    .ok_or_else(|| format!("line {lineno}: bad le bound {bound:?}"))?;
+                (name.to_string(), Some(bound), None)
+            } else if let Some(q) = labels
+                .strip_prefix("quantile=\"")
+                .and_then(|rest| rest.strip_suffix('"'))
+            {
+                if q.is_empty() {
+                    return Err(format!("line {lineno}: empty quantile label"));
+                }
+                (name.to_string(), None, Some(q.to_string()))
+            } else {
+                return Err(format!(
+                    "line {lineno}: only le=\"...\" or quantile=\"...\" labels are expected, \
+                     got {labels:?}"
+                ));
+            }
         }
     };
     if !crate::registry::is_valid_metric_name(&name) {
         return Err(format!("line {lineno}: invalid metric name {name:?}"));
     }
-    Ok(Sample { name, le, value })
+    Ok(Sample {
+        name,
+        le,
+        quantile,
+        value,
+    })
 }
 
 /// Validates Prometheus text-exposition output line by line:
 ///
-/// * every non-comment line parses as `name[{le="bound"}] value`;
+/// * every non-comment line parses as `name[{le="bound"}] value` or
+///   `name[{quantile="pXX"}] value`;
 /// * every metric name matches `[a-zA-Z_:][a-zA-Z0-9_:]*`;
 /// * histogram bucket series have non-decreasing cumulative counts with
 ///   strictly increasing bounds, ending in a `+Inf` bucket;
-/// * each histogram's `+Inf` bucket equals its `_count` sample.
+/// * each histogram's `+Inf` bucket equals its `_count` sample;
+/// * `quantile` samples never appear on `_bucket` series.
 ///
 /// Returns the number of sample lines validated.
 pub fn validate_exposition(text: &str) -> Result<usize, String> {
@@ -138,6 +198,13 @@ pub fn validate_exposition(text: &str) -> Result<usize, String> {
             match buckets.iter_mut().find(|(n, _)| *n == base) {
                 Some((_, series)) => series.push((bound, sample.value)),
                 None => buckets.push((base, vec![(bound, sample.value)])),
+            }
+        } else if sample.quantile.is_some() {
+            if sample.name.ends_with("_bucket") {
+                return Err(format!(
+                    "line {lineno}: quantile label on bucket sample {:?}",
+                    sample.name
+                ));
             }
         } else if let Some(base) = sample.name.strip_suffix("_count") {
             counts.push((base.to_string(), sample.value));
@@ -188,8 +255,30 @@ pub struct MetricsExport {
     pub prometheus: String,
     /// Structured snapshot of every registered metric.
     pub metrics: Snapshot,
+    /// Estimated [`EXPORT_QUANTILES`] per non-empty histogram family
+    /// (`family → quantile label → value`), mirroring the
+    /// `{quantile="pXX"}` samples in `prometheus`.
+    pub quantiles: std::collections::BTreeMap<String, std::collections::BTreeMap<String, f64>>,
     /// Buffered structured events, in emission order.
     pub events: Vec<Event>,
+}
+
+/// Estimated [`EXPORT_QUANTILES`] for every non-empty histogram in
+/// `snapshot`, keyed family → quantile label.
+pub fn histogram_quantiles(
+    snapshot: &Snapshot,
+) -> std::collections::BTreeMap<String, std::collections::BTreeMap<String, f64>> {
+    snapshot
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            let per_family: std::collections::BTreeMap<String, f64> = EXPORT_QUANTILES
+                .iter()
+                .filter_map(|(label, q)| h.quantile(*q).map(|v| (label.to_string(), v)))
+                .collect();
+            (!per_family.is_empty()).then(|| (name.clone(), per_family))
+        })
+        .collect()
 }
 
 impl MetricsExport {
@@ -199,6 +288,7 @@ impl MetricsExport {
         let metrics = telemetry.registry().snapshot();
         MetricsExport {
             prometheus: prometheus_text(&metrics),
+            quantiles: histogram_quantiles(&metrics),
             metrics,
             events: telemetry.sink().events(),
         }
@@ -236,11 +326,87 @@ mod tests {
     fn exposition_round_trips_through_validator() {
         let text = prometheus_text(&populated_registry().snapshot());
         let samples = validate_exposition(&text).expect("valid exposition");
-        // 2 counters + 1 gauge + (3 buckets + Inf + sum + count).
-        assert_eq!(samples, 9);
+        // 2 counters + 1 gauge + (3 buckets + Inf + sum + count) + 3 quantiles.
+        assert_eq!(samples, 12);
         assert!(text.contains("# TYPE detect_seconds histogram\n"));
         assert!(text.contains("detect_seconds_bucket{le=\"+Inf\"} 4\n"));
         assert!(text.contains("cache_hits_total 10\n"));
+        assert!(text.contains("detect_seconds{quantile=\"p50\"}"));
+        assert!(text.contains("detect_seconds{quantile=\"p95\"}"));
+        assert!(text.contains("detect_seconds{quantile=\"p99\"}"));
+    }
+
+    #[test]
+    fn exposition_is_sorted_by_family_then_label_set() {
+        let r = Registry::new();
+        // Registration order deliberately scrambled relative to name order.
+        r.histogram_with_bounds("m_hist_seconds", &[0.5])
+            .observe(0.1);
+        r.counter("z_total").add(1);
+        r.gauge("a_gauge").set(2.0);
+        r.counter("b_total").add(4);
+        let text = prometheus_text(&r.snapshot());
+        let families: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .filter_map(|rest| rest.split(' ').next())
+            .collect();
+        let mut sorted = families.clone();
+        sorted.sort_unstable();
+        assert_eq!(families, sorted, "families must be in name order");
+        // Within the histogram family: buckets, +Inf, sum, count, quantiles.
+        let hist_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("m_hist_seconds"))
+            .collect();
+        assert!(hist_lines[0].starts_with("m_hist_seconds_bucket{le=\"0.5\"}"));
+        assert!(hist_lines[1].starts_with("m_hist_seconds_bucket{le=\"+Inf\"}"));
+        assert!(hist_lines[2].starts_with("m_hist_seconds_sum"));
+        assert!(hist_lines[3].starts_with("m_hist_seconds_count"));
+        assert!(hist_lines[4].starts_with("m_hist_seconds{quantile=\"p50\"}"));
+        assert!(hist_lines[5].starts_with("m_hist_seconds{quantile=\"p95\"}"));
+        assert!(hist_lines[6].starts_with("m_hist_seconds{quantile=\"p99\"}"));
+        // Renders are deterministic: equal snapshots → identical bytes.
+        assert_eq!(text, prometheus_text(&r.snapshot()));
+        assert!(validate_exposition(&text).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_quantile_on_bucket_series() {
+        let bad = "x_bucket{quantile=\"p50\"} 1\n";
+        assert!(validate_exposition(bad)
+            .unwrap_err()
+            .contains("quantile label on bucket sample"));
+    }
+
+    #[test]
+    fn export_carries_histogram_quantiles() {
+        let telemetry = Telemetry::with_sink(crate::EventSink::in_memory());
+        let h = telemetry
+            .registry()
+            .histogram_with_bounds("detect_seconds", &[0.001, 0.01, 0.1]);
+        for v in [0.0005, 0.004, 0.05, 2.0] {
+            h.observe(v);
+        }
+        let export = MetricsExport::collect(&telemetry);
+        let q = export.quantiles.get("detect_seconds").expect("family");
+        assert_eq!(
+            q.keys().collect::<Vec<_>>(),
+            vec!["p50", "p95", "p99"],
+            "all export quantiles present"
+        );
+        let p50 = q["p50"];
+        assert!(
+            p50 > 0.001 && p50 <= 0.01 + 1e-12,
+            "p50 {p50} in second bucket"
+        );
+        // The same values appear as exposition samples.
+        for (label, v) in q {
+            assert!(export.prometheus.contains(&format!(
+                "detect_seconds{{quantile=\"{label}\"}} {}",
+                super::render_value(*v)
+            )));
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod metric;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use event::{Event, EventSink};
 pub use export::{prometheus_text, validate_exposition, MetricsExport};
@@ -55,26 +56,45 @@ pub use metric::{Counter, Gauge, Histogram, DEFAULT_COUNT_BUCKETS, DEFAULT_SECON
 pub use registry::{is_valid_metric_name, Registry};
 pub use snapshot::{HistogramSnapshot, Snapshot};
 pub use span::Span;
+pub use trace::{
+    chrome_trace_json, AttrValue, RootGuard, SampleMode, SpanHandle, SpanId, SpanRecord, TraceDump,
+    TraceId, TraceRecord, TraceStats, Tracer, TracerConfig,
+};
 
-/// The bundle instrumented components receive: a metric [`Registry`] plus
-/// an [`EventSink`]. Cloning shares both.
+/// The bundle instrumented components receive: a metric [`Registry`], an
+/// [`EventSink`], and a decision-provenance [`Tracer`]. Cloning shares all
+/// three.
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     registry: Registry,
     sink: EventSink,
+    tracer: Tracer,
 }
 
 impl Telemetry {
-    /// A telemetry bundle with a fresh registry and a disabled event sink.
+    /// A telemetry bundle with a fresh registry, a disabled event sink,
+    /// and a disabled tracer.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// A telemetry bundle with a fresh registry and the given event sink.
+    /// A telemetry bundle with a fresh registry and the given event sink
+    /// (tracer disabled).
     pub fn with_sink(sink: EventSink) -> Self {
         Telemetry {
             registry: Registry::new(),
             sink,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// A telemetry bundle with a fresh registry and the given sink and
+    /// tracer.
+    pub fn with_parts(sink: EventSink, tracer: Tracer) -> Self {
+        Telemetry {
+            registry: Registry::new(),
+            sink,
+            tracer,
         }
     }
 
@@ -86,6 +106,11 @@ impl Telemetry {
     /// The structured event sink.
     pub fn sink(&self) -> &EventSink {
         &self.sink
+    }
+
+    /// The decision-provenance tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Starts a [`Span`] recording into `{name}_seconds` on this bundle's

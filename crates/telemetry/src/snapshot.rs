@@ -45,6 +45,35 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear interpolation
+    /// within the bucket containing the target rank, mirroring Prometheus's
+    /// `histogram_quantile`. Observations that landed above every finite
+    /// bound clamp to the largest finite bound (the estimate cannot exceed
+    /// what the buckets resolve). Returns `None` when the histogram is
+    /// empty or `q` is out of range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        let mut lower = 0.0f64;
+        for (bound, bucket) in self.bounds.iter().zip(&self.counts) {
+            let before = cumulative;
+            cumulative += bucket;
+            if cumulative as f64 >= rank {
+                if *bucket == 0 {
+                    return Some(*bound);
+                }
+                let frac = (rank - before as f64) / *bucket as f64;
+                return Some(lower + frac * (bound - lower));
+            }
+            lower = *bound;
+        }
+        // Rank falls in the implicit +Inf bucket.
+        self.bounds.last().copied().or_else(|| self.mean())
+    }
+
     /// Subtracts `earlier` from `self` bucket-by-bucket.
     ///
     /// Returns `self` unchanged when the bucket layouts differ (the metric
@@ -168,6 +197,33 @@ mod tests {
         assert_eq!(h.counts, vec![2, 1]);
         assert_eq!(h.count, 4);
         assert!((h.sum - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // 4 obs ≤1.0, 4 obs in (1.0, 2.0], 2 obs above 2.0 → count 10.
+        let h = HistogramSnapshot {
+            bounds: vec![1.0, 2.0],
+            counts: vec![4, 4],
+            count: 10,
+            sum: 12.0,
+        };
+        // rank(0.5) = 5 → 1 into the second bucket of 4 → 1.0 + 0.25.
+        assert!((h.quantile(0.5).unwrap() - 1.25).abs() < 1e-12);
+        // rank(0.2) = 2 → halfway through the first bucket.
+        assert!((h.quantile(0.2).unwrap() - 0.5).abs() < 1e-12);
+        // rank(0.99) = 9.9 → +Inf bucket → clamps to largest finite bound.
+        assert_eq!(h.quantile(0.99), Some(2.0));
+        // Edges and degenerate inputs.
+        assert_eq!(h.quantile(1.1), None);
+        assert_eq!(h.quantile(-0.1), None);
+        let empty = HistogramSnapshot {
+            bounds: vec![1.0],
+            counts: vec![0],
+            count: 0,
+            sum: 0.0,
+        };
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

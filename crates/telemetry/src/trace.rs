@@ -1,0 +1,1080 @@
+//! Hierarchical tracing and decision provenance.
+//!
+//! Where the registry answers *"how much / how long"* in aggregate, a
+//! trace answers *"why did this particular rating get rescaled"*: each
+//! engine cycle opens one root span ([`Tracer::begin_root`]), the
+//! detection / Gaussian / rescale / reputation-update phases hang child
+//! spans off it, and per-decision spans (one per detector verdict, one
+//! per Gaussian weight, one per rescaled rating) carry the exact
+//! threshold comparisons and kernel inputs as typed attributes.
+//!
+//! Design points:
+//!
+//! * **Trace-granular ring buffer.** Spans buffer in the cycle's
+//!   [`ActiveTrace`] and the whole tree commits atomically when the root
+//!   guard drops; the [`Tracer`] keeps the last `max_traces` committed
+//!   trees. A trace in the store is therefore always *well-formed*: every
+//!   span's parent exists (spans whose parents were capped out are pruned
+//!   at commit and counted in `dropped_spans`), and span ids are unique
+//!   within the trace.
+//! * **Deterministic sampling.** The per-root sampling decision is a
+//!   modulo counter, not a random draw — tracing never touches the
+//!   simulation's RNG, so instrumented and uninstrumented runs are
+//!   bit-identical.
+//! * **Bounded.** `max_spans_per_trace` caps memory per cycle; overflow
+//!   increments a drop counter instead of growing without bound.
+//! * **Cheap when off.** A disabled (default) tracer is a `None`; every
+//!   entry point is a single branch.
+//!
+//! Two consumers ship with the module: the JSON [`TraceDump`] read by
+//! `socialtrust-cli explain`, and [`chrome_trace_json`] which renders the
+//! span trees as Chrome trace-event JSON (loadable in `chrome://tracing`
+//! or Perfetto) for cycle flamegraphs.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Well-known span names — the span taxonomy documented in DESIGN.md §4b.
+/// Instrumentation sites and consumers (the `explain` query surface, the
+/// provenance tests) agree on these strings.
+pub mod names {
+    /// Root span of one engine cycle (attrs: `cycle`, `system`).
+    pub const CYCLE: &str = "cycle";
+    /// The detection pass over the interval's rating pairs.
+    pub const DETECT: &str = "detect_all";
+    /// One detector verdict (child of [`DETECT`]), carrying the exact
+    /// threshold comparisons that fired.
+    pub const VERDICT: &str = "detector_verdict";
+    /// The Gaussian weight pass over flagged (and remembered) pairs.
+    pub const GAUSSIAN: &str = "gaussian_weights";
+    /// One pair's Gaussian weight (child of [`GAUSSIAN`]), carrying the
+    /// Eq. (5) kernel inputs and the resulting weight.
+    pub const WEIGHT: &str = "gaussian_weight";
+    /// The rescale pass multiplying buffered ratings by their weights.
+    pub const RESCALE: &str = "rescale";
+    /// One rescaled rating (child of [`RESCALE`]).
+    pub const RESCALED_RATING: &str = "rescale_rating";
+    /// The wrapped engine's reputation update.
+    pub const UPDATE: &str = "reputation_update";
+    /// One EigenTrust power iteration (child of [`UPDATE`] when reached
+    /// through the decorator).
+    pub const EIGENTRUST: &str = "eigentrust_update";
+}
+
+/// Identifier of one committed trace (one engine cycle), monotonically
+/// increasing per [`Tracer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TraceId(pub u64);
+
+/// Identifier of one span. Unique within its trace (the root is always
+/// span 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpanId(pub u64);
+
+/// A typed span attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Boolean flag (e.g. `ghost`, `warm_start`).
+    Bool(bool),
+    /// Unsigned integer (node ids, counts, cycle indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point (thresholds, Ω values, weights).
+    F64(f64),
+    /// String (behavior codes, equation tags, system names).
+    Str(String),
+}
+
+impl AttrValue {
+    /// The value as `f64` when it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::F64(v) => Some(*v),
+            AttrValue::U64(v) => Some(*v as f64),
+            AttrValue::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            AttrValue::U64(v) => Some(*v),
+            AttrValue::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` when it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            AttrValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(u64::from(v))
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+// The vendored serde derive cannot handle data-carrying enum variants, so
+// AttrValue maps directly onto the JSON scalar it represents.
+impl Serialize for AttrValue {
+    fn to_value(&self) -> Value {
+        match self {
+            AttrValue::Bool(b) => Value::Bool(*b),
+            AttrValue::U64(v) => Value::U64(*v),
+            AttrValue::I64(v) => Value::I64(*v),
+            AttrValue::F64(v) => Value::F64(*v),
+            AttrValue::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+impl Deserialize for AttrValue {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(AttrValue::Bool(*b)),
+            Value::U64(v) => Ok(AttrValue::U64(*v)),
+            // Normalize non-negative integers to U64 so a serialize →
+            // parse round trip compares equal regardless of which integer
+            // variant the JSON parser picked.
+            Value::I64(v) if *v >= 0 => Ok(AttrValue::U64(*v as u64)),
+            Value::I64(v) => Ok(AttrValue::I64(*v)),
+            Value::F64(v) => Ok(AttrValue::F64(*v)),
+            Value::Str(s) => Ok(AttrValue::Str(s.clone())),
+            other => Err(Error::custom(format!(
+                "span attribute must be a JSON scalar, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One recorded span: a named, timed tree node with typed attributes.
+///
+/// Times are nanoseconds relative to the *trace* open (the root starts at
+/// 0), so a dump is stable across process restarts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span id, unique within the trace; the root is span 1.
+    pub id: SpanId,
+    /// Parent span id; `None` only for the root. Committed traces are
+    /// well-formed: every `Some` parent exists in the same trace.
+    pub parent: Option<SpanId>,
+    /// Span name from the [`names`] taxonomy.
+    pub name: String,
+    /// Start offset in nanoseconds since the trace opened.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Typed attributes, sorted by key.
+    pub attrs: BTreeMap<String, AttrValue>,
+}
+
+impl SpanRecord {
+    /// Attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.get(key)
+    }
+
+    /// Numeric attribute by key.
+    pub fn attr_f64(&self, key: &str) -> Option<f64> {
+        self.attrs.get(key).and_then(AttrValue::as_f64)
+    }
+
+    /// Unsigned-integer attribute by key.
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        self.attrs.get(key).and_then(AttrValue::as_u64)
+    }
+
+    /// String attribute by key.
+    pub fn attr_str(&self, key: &str) -> Option<&str> {
+        self.attrs.get(key).and_then(AttrValue::as_str)
+    }
+
+    /// Boolean attribute by key.
+    pub fn attr_bool(&self, key: &str) -> Option<bool> {
+        self.attrs.get(key).and_then(AttrValue::as_bool)
+    }
+}
+
+/// One committed span tree (one engine cycle).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Trace id, monotonically increasing per tracer.
+    pub id: TraceId,
+    /// Id of the root span (always present in `spans`).
+    pub root: SpanId,
+    /// Nanoseconds between tracer creation and this trace opening — the
+    /// absolute timeline offset used by the Chrome exporter.
+    pub opened_ns: u64,
+    /// Spans dropped by the per-trace cap (including descendants pruned at
+    /// commit because their parent was capped out).
+    pub dropped_spans: u64,
+    /// All kept spans, sorted by `(start_ns, id)`.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TraceRecord {
+    /// The root span.
+    pub fn root_span(&self) -> Option<&SpanRecord> {
+        self.span(self.root)
+    }
+
+    /// Span by id.
+    pub fn span(&self, id: SpanId) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// All spans with the given name, in start order.
+    pub fn named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> + 'a {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Direct children of the given span, in start order.
+    pub fn children_of(&self, id: SpanId) -> impl Iterator<Item = &SpanRecord> + '_ {
+        self.spans.iter().filter(move |s| s.parent == Some(id))
+    }
+
+    /// The engine cycle index stamped on the root span, when present.
+    pub fn cycle(&self) -> Option<u64> {
+        self.root_span().and_then(|r| r.attr_u64("cycle"))
+    }
+}
+
+/// How the tracer decides whether an engine cycle records a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleMode {
+    /// Record nothing (roots are still counted in [`TraceStats`]).
+    Off,
+    /// Record one root in every `N` (`Ratio(1)` ≡ `Full`; `Ratio(0)` ≡
+    /// `Off`). The decision is `sequence % N == 0` — deterministic, no
+    /// RNG involved.
+    Ratio(u32),
+    /// Record every root.
+    Full,
+}
+
+impl SampleMode {
+    /// Whether the `seq`-th root (0-based) is sampled.
+    fn admits(self, seq: u64) -> bool {
+        match self {
+            SampleMode::Off => false,
+            SampleMode::Full => true,
+            SampleMode::Ratio(0) => false,
+            SampleMode::Ratio(n) => seq.is_multiple_of(u64::from(n)),
+        }
+    }
+
+    /// Parse `"off"`, `"full"`, or an integer `N` (one-in-N sampling).
+    pub fn parse(raw: &str) -> Result<SampleMode, String> {
+        match raw {
+            "off" => Ok(SampleMode::Off),
+            "full" => Ok(SampleMode::Full),
+            n => n
+                .parse::<u32>()
+                .map(|n| {
+                    if n <= 1 {
+                        SampleMode::Full
+                    } else {
+                        SampleMode::Ratio(n)
+                    }
+                })
+                .map_err(|_| format!("bad sample mode {raw:?} (off|full|<N>)")),
+        }
+    }
+}
+
+impl std::fmt::Display for SampleMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleMode::Off => write!(f, "off"),
+            SampleMode::Full => write!(f, "full"),
+            SampleMode::Ratio(n) => write!(f, "1/{n}"),
+        }
+    }
+}
+
+/// Tracer bounds and sampling. (Named `TracerConfig` — `TraceConfig` is
+/// the Overstock trace generator's configuration elsewhere in the
+/// workspace.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracerConfig {
+    /// Per-root sampling decision. Default: 1-in-16 — the "default
+    /// sampling rate" the overhead budget (≤5% cycle time) is measured at.
+    pub sample: SampleMode,
+    /// Ring-buffer bound: committed traces beyond this evict the oldest.
+    pub max_traces: usize,
+    /// Per-trace span cap; overflow increments `dropped_spans` instead of
+    /// growing without bound.
+    pub max_spans_per_trace: usize,
+}
+
+impl Default for TracerConfig {
+    fn default() -> Self {
+        TracerConfig {
+            sample: SampleMode::Ratio(16),
+            max_traces: 256,
+            max_spans_per_trace: 32_768,
+        }
+    }
+}
+
+impl TracerConfig {
+    /// The default configuration with a different sample mode.
+    pub fn with_sample(sample: SampleMode) -> Self {
+        TracerConfig {
+            sample,
+            ..TracerConfig::default()
+        }
+    }
+}
+
+/// Tracer lifetime counters, for diagnostics and the dump header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Roots opened (sampled or not).
+    pub roots_started: u64,
+    /// Roots the sampler admitted.
+    pub roots_sampled: u64,
+    /// Traces committed to the ring.
+    pub traces_committed: u64,
+    /// Committed traces evicted by the ring bound.
+    pub traces_evicted: u64,
+    /// Spans kept across all committed traces.
+    pub spans_recorded: u64,
+    /// Spans dropped by the per-trace cap (including commit-time prunes).
+    pub spans_dropped: u64,
+}
+
+/// Lock helper: telemetry must never deadlock the host on a poisoned
+/// mutex (a panic elsewhere while recording), so poisoning is ignored.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The open trace of the current cycle: spans buffer here and commit as
+/// one tree when the root guard drops.
+struct ActiveTrace {
+    trace_id: u64,
+    /// Nanoseconds since tracer origin when this trace opened.
+    opened_ns: u64,
+    origin: Instant,
+    root_id: u64,
+    next_span: AtomicU64,
+    /// Span id new scoped children attach to (see [`Tracer::child`]).
+    current_parent: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+    dropped: AtomicU64,
+    max_spans: usize,
+}
+
+impl ActiveTrace {
+    /// Nanoseconds since this trace opened.
+    fn rel_now(&self) -> u64 {
+        (self.origin.elapsed().as_nanos() as u64).saturating_sub(self.opened_ns)
+    }
+
+    fn alloc_span(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn record(&self, record: SpanRecord) {
+        let mut spans = lock(&self.spans);
+        if spans.len() >= self.max_spans {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(record);
+    }
+}
+
+struct TracerInner {
+    origin: Instant,
+    config: TracerConfig,
+    store: Mutex<VecDeque<TraceRecord>>,
+    active: Mutex<Option<Arc<ActiveTrace>>>,
+    next_trace: AtomicU64,
+    root_seq: AtomicU64,
+    roots_started: AtomicU64,
+    roots_sampled: AtomicU64,
+    traces_committed: AtomicU64,
+    traces_evicted: AtomicU64,
+    spans_recorded: AtomicU64,
+    spans_dropped: AtomicU64,
+}
+
+/// Drop every span whose parent chain does not resolve (a parent fell to
+/// the span cap after its children were already recorded). Iterates to a
+/// fixed point so grandchildren of a pruned span go too.
+fn prune_orphans(mut spans: Vec<SpanRecord>) -> (Vec<SpanRecord>, u64) {
+    let mut pruned = 0u64;
+    loop {
+        let ids: BTreeSet<u64> = spans.iter().map(|s| s.id.0).collect();
+        let before = spans.len();
+        spans.retain(|s| s.parent.is_none_or(|p| ids.contains(&p.0)));
+        pruned += (before - spans.len()) as u64;
+        if spans.len() == before {
+            return (spans, pruned);
+        }
+    }
+}
+
+impl TracerInner {
+    fn commit(&self, trace: &Arc<ActiveTrace>, name: &str, attrs: BTreeMap<String, AttrValue>) {
+        // Close the active slot first so late `child()` calls on other
+        // threads can no longer reach this trace.
+        {
+            let mut active = lock(&self.active);
+            if active.as_ref().is_some_and(|cur| Arc::ptr_eq(cur, trace)) {
+                *active = None;
+            }
+        }
+        let duration_ns = trace.rel_now();
+        let mut spans = std::mem::take(&mut *lock(&trace.spans));
+        spans.push(SpanRecord {
+            id: SpanId(trace.root_id),
+            parent: None,
+            name: name.to_string(),
+            start_ns: 0,
+            duration_ns,
+            attrs,
+        });
+        let capped = trace.dropped.load(Ordering::Relaxed);
+        let (mut kept, pruned) = prune_orphans(spans);
+        kept.sort_by_key(|s| (s.start_ns, s.id.0));
+        let dropped_spans = capped + pruned;
+        self.spans_recorded
+            .fetch_add(kept.len() as u64, Ordering::Relaxed);
+        self.spans_dropped
+            .fetch_add(dropped_spans, Ordering::Relaxed);
+        self.traces_committed.fetch_add(1, Ordering::Relaxed);
+        let record = TraceRecord {
+            id: TraceId(trace.trace_id),
+            root: SpanId(trace.root_id),
+            opened_ns: trace.opened_ns,
+            dropped_spans,
+            spans: kept,
+        };
+        let mut store = lock(&self.store);
+        while store.len() >= self.config.max_traces.max(1) {
+            store.pop_front();
+            self.traces_evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        store.push_back(record);
+    }
+}
+
+/// The tracing entry point: cheap to clone, disabled by default.
+///
+/// One tracer is carried per [`crate::Telemetry`] bundle. The engine
+/// opens a root per cycle ([`Tracer::begin_root`]); instrumented
+/// components reach the current cycle's trace through [`Tracer::child`]
+/// without any handle threading.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing; every entry point is one branch.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer with the given bounds and sampling.
+    pub fn new(config: TracerConfig) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                origin: Instant::now(),
+                config,
+                store: Mutex::new(VecDeque::new()),
+                active: Mutex::new(None),
+                next_trace: AtomicU64::new(0),
+                root_seq: AtomicU64::new(0),
+                roots_started: AtomicU64::new(0),
+                roots_sampled: AtomicU64::new(0),
+                traces_committed: AtomicU64::new(0),
+                traces_evicted: AtomicU64::new(0),
+                spans_recorded: AtomicU64::new(0),
+                spans_dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Whether this tracer was constructed enabled (it may still sample
+    /// roots away).
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open the root span of a new trace (one engine cycle). The sampler
+    /// decides here whether the whole cycle records; an unsampled root
+    /// returns an inert guard. The trace commits to the ring when the
+    /// returned guard drops.
+    pub fn begin_root(&self, name: &'static str) -> RootGuard {
+        let Some(inner) = &self.inner else {
+            return RootGuard { ctx: None };
+        };
+        inner.roots_started.fetch_add(1, Ordering::Relaxed);
+        let seq = inner.root_seq.fetch_add(1, Ordering::Relaxed);
+        if !inner.config.sample.admits(seq) {
+            return RootGuard { ctx: None };
+        }
+        inner.roots_sampled.fetch_add(1, Ordering::Relaxed);
+        let trace_id = inner.next_trace.fetch_add(1, Ordering::Relaxed);
+        let root_id = 1u64;
+        let trace = Arc::new(ActiveTrace {
+            trace_id,
+            opened_ns: inner.origin.elapsed().as_nanos() as u64,
+            origin: inner.origin,
+            root_id,
+            next_span: AtomicU64::new(root_id + 1),
+            current_parent: AtomicU64::new(root_id),
+            spans: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            max_spans: inner.config.max_spans_per_trace,
+        });
+        *lock(&inner.active) = Some(Arc::clone(&trace));
+        RootGuard {
+            ctx: Some(RootCtx {
+                inner: Arc::clone(inner),
+                trace,
+                name,
+                attrs: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Open a child span under the current cycle's *current parent* (the
+    /// innermost live span opened through this method — the root when no
+    /// other is live). Returns `None` when disabled or the cycle is
+    /// unsampled, so callers can skip attribute computation entirely.
+    ///
+    /// Scoped: while the returned handle lives, further `child()` calls
+    /// nest under it. Only sequential (single-threaded) phases should use
+    /// this; parallel per-item spans should hang off an explicit handle
+    /// via [`SpanHandle::child`], which does not touch the scope.
+    pub fn child(&self, name: &'static str) -> Option<SpanHandle> {
+        let inner = self.inner.as_ref()?;
+        let trace = lock(&inner.active).clone()?;
+        let parent = trace.current_parent.load(Ordering::Relaxed);
+        let id = trace.alloc_span();
+        trace.current_parent.store(id, Ordering::Relaxed);
+        Some(SpanHandle {
+            start_ns: trace.rel_now(),
+            trace,
+            id,
+            parent,
+            name,
+            attrs: BTreeMap::new(),
+            restore_parent: Some(parent),
+        })
+    }
+
+    /// A copy of every committed trace, oldest first.
+    pub fn traces(&self) -> Vec<TraceRecord> {
+        match &self.inner {
+            Some(inner) => lock(&inner.store).iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drain every committed trace, oldest first.
+    pub fn take_traces(&self) -> Vec<TraceRecord> {
+        match &self.inner {
+            Some(inner) => lock(&inner.store).drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> TraceStats {
+        match &self.inner {
+            Some(inner) => TraceStats {
+                roots_started: inner.roots_started.load(Ordering::Relaxed),
+                roots_sampled: inner.roots_sampled.load(Ordering::Relaxed),
+                traces_committed: inner.traces_committed.load(Ordering::Relaxed),
+                traces_evicted: inner.traces_evicted.load(Ordering::Relaxed),
+                spans_recorded: inner.spans_recorded.load(Ordering::Relaxed),
+                spans_dropped: inner.spans_dropped.load(Ordering::Relaxed),
+            },
+            None => TraceStats::default(),
+        }
+    }
+}
+
+struct RootCtx {
+    inner: Arc<TracerInner>,
+    trace: Arc<ActiveTrace>,
+    name: &'static str,
+    attrs: BTreeMap<String, AttrValue>,
+}
+
+/// Guard for a trace's root span; the whole trace commits when it drops.
+/// Inert (all methods no-ops) when the cycle was not sampled.
+pub struct RootGuard {
+    ctx: Option<RootCtx>,
+}
+
+impl RootGuard {
+    /// Whether this cycle is actually recording. Callers can skip
+    /// building expensive attribute values when it is not.
+    pub fn is_recording(&self) -> bool {
+        self.ctx.is_some()
+    }
+
+    /// Attach an attribute to the root span.
+    pub fn set_attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        if let Some(ctx) = &mut self.ctx {
+            ctx.attrs.insert(key.to_string(), value.into());
+        }
+    }
+}
+
+impl Drop for RootGuard {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.take() {
+            ctx.inner.commit(&ctx.trace, ctx.name, ctx.attrs);
+        }
+    }
+}
+
+/// A live (unfinished) span. Records itself into the active trace when
+/// dropped.
+pub struct SpanHandle {
+    trace: Arc<ActiveTrace>,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+    attrs: BTreeMap<String, AttrValue>,
+    /// `Some(previous)` when this handle owns the tracer's scoped
+    /// current-parent slot and must restore it on drop.
+    restore_parent: Option<u64>,
+}
+
+impl SpanHandle {
+    /// This span's id.
+    pub fn id(&self) -> SpanId {
+        SpanId(self.id)
+    }
+
+    /// Attach an attribute.
+    pub fn set_attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        self.attrs.insert(key.to_string(), value.into());
+    }
+
+    /// Open a child of this span. Does not touch the tracer's scoped
+    /// current parent, so it is safe from parallel (rayon) workers that
+    /// share `&self`.
+    pub fn child(&self, name: &'static str) -> SpanHandle {
+        SpanHandle {
+            trace: Arc::clone(&self.trace),
+            id: self.trace.alloc_span(),
+            parent: self.id,
+            name,
+            start_ns: self.trace.rel_now(),
+            attrs: BTreeMap::new(),
+            restore_parent: None,
+        }
+    }
+}
+
+impl Drop for SpanHandle {
+    fn drop(&mut self) {
+        let end = self.trace.rel_now();
+        self.trace.record(SpanRecord {
+            id: SpanId(self.id),
+            parent: Some(SpanId(self.parent)),
+            name: self.name.to_string(),
+            start_ns: self.start_ns,
+            duration_ns: end.saturating_sub(self.start_ns),
+            attrs: std::mem::take(&mut self.attrs),
+        });
+        if let Some(prev) = self.restore_parent {
+            self.trace.current_parent.store(prev, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The JSON document written by `simulate --trace-out` and read by
+/// `explain`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceDump {
+    /// Committed traces, oldest first.
+    pub traces: Vec<TraceRecord>,
+    /// Tracer lifetime counters at collection time.
+    pub stats: TraceStats,
+}
+
+impl TraceDump {
+    /// Snapshot `tracer`'s committed traces and counters.
+    pub fn collect(tracer: &Tracer) -> TraceDump {
+        TraceDump {
+            traces: tracer.traces(),
+            stats: tracer.stats(),
+        }
+    }
+
+    /// Serialize as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("TraceDump serialization is infallible")
+    }
+
+    /// Parse a dump from JSON text.
+    pub fn from_json(text: &str) -> Result<TraceDump, String> {
+        serde_json::from_str(text).map_err(|e| format!("bad trace dump: {e:?}"))
+    }
+
+    /// Write the dump as pretty JSON to `path`.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read a dump from the JSON file at `path`.
+    pub fn read_from(path: impl AsRef<std::path::Path>) -> std::io::Result<TraceDump> {
+        let text = std::fs::read_to_string(path)?;
+        TraceDump::from_json(&text).map_err(std::io::Error::other)
+    }
+}
+
+/// Render a dump as Chrome trace-event JSON (the `chrome://tracing` /
+/// Perfetto format): one complete (`"ph": "X"`) event per span with
+/// microsecond `ts`/`dur` and the span attributes under `args`.
+pub fn chrome_trace_json(dump: &TraceDump) -> String {
+    let mut events: Vec<Value> = Vec::new();
+    for trace in &dump.traces {
+        for span in &trace.spans {
+            let mut args: Vec<(String, Value)> = span
+                .attrs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect();
+            args.push(("trace_id".into(), Value::U64(trace.id.0)));
+            args.push(("span_id".into(), Value::U64(span.id.0)));
+            if let Some(parent) = span.parent {
+                args.push(("parent_span_id".into(), Value::U64(parent.0)));
+            }
+            events.push(Value::Object(vec![
+                ("name".into(), Value::Str(span.name.clone())),
+                ("cat".into(), Value::Str("socialtrust".into())),
+                ("ph".into(), Value::Str("X".into())),
+                (
+                    "ts".into(),
+                    Value::F64((trace.opened_ns + span.start_ns) as f64 / 1_000.0),
+                ),
+                ("dur".into(), Value::F64(span.duration_ns as f64 / 1_000.0)),
+                ("pid".into(), Value::U64(1)),
+                ("tid".into(), Value::U64(1)),
+                ("args".into(), Value::Object(args)),
+            ]));
+        }
+    }
+    let doc = Value::Object(vec![
+        ("traceEvents".into(), Value::Seq(events)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+    ]);
+    serde_json::to_string(&doc).expect("chrome trace serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_tracer() -> Tracer {
+        Tracer::new(TracerConfig::with_sample(SampleMode::Full))
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        {
+            let mut root = t.begin_root("cycle");
+            assert!(!root.is_recording());
+            root.set_attr("cycle", 0u64);
+            assert!(t.child("detect_all").is_none());
+        }
+        assert!(t.traces().is_empty());
+        assert_eq!(t.stats(), TraceStats::default());
+    }
+
+    #[test]
+    fn child_without_open_root_is_none() {
+        let t = full_tracer();
+        assert!(t.child("detect_all").is_none());
+    }
+
+    #[test]
+    fn spans_form_a_well_formed_tree() {
+        let t = full_tracer();
+        {
+            let mut root = t.begin_root("cycle");
+            root.set_attr("cycle", 7u64);
+            {
+                let mut detect = t.child("detect_all").unwrap();
+                detect.set_attr("pairs", 3u64);
+                let mut v = detect.child("detector_verdict");
+                v.set_attr("rater", 2u32);
+                v.set_attr("omega_c", 0.25);
+                v.set_attr("behaviors", "B1+B3");
+                drop(v);
+            }
+            {
+                // After `detect` dropped, a new scoped child hangs off the
+                // root again.
+                let _update = t.child("reputation_update").unwrap();
+                let inner = t.child("eigentrust_update").unwrap();
+                // ... and a scoped child of a scoped child nests.
+                drop(inner);
+            }
+        }
+        let traces = t.traces();
+        assert_eq!(traces.len(), 1);
+        let trace = &traces[0];
+        assert_eq!(trace.dropped_spans, 0);
+        let root = trace.root_span().expect("root kept");
+        assert_eq!(root.name, "cycle");
+        assert_eq!(root.attr_u64("cycle"), Some(7));
+        assert!(root.parent.is_none());
+
+        // Every non-root parent resolves; ids unique.
+        let ids: BTreeSet<u64> = trace.spans.iter().map(|s| s.id.0).collect();
+        assert_eq!(ids.len(), trace.spans.len());
+        for s in &trace.spans {
+            if let Some(p) = s.parent {
+                assert!(ids.contains(&p.0), "orphan span {:?}", s.name);
+            }
+        }
+
+        let detect = trace.named("detect_all").next().expect("detect span");
+        assert_eq!(detect.parent, Some(trace.root));
+        let verdict = trace.named("detector_verdict").next().expect("verdict");
+        assert_eq!(verdict.parent, Some(detect.id));
+        assert_eq!(verdict.attr_str("behaviors"), Some("B1+B3"));
+        assert_eq!(verdict.attr_f64("omega_c"), Some(0.25));
+        let update = trace.named("reputation_update").next().expect("update");
+        assert_eq!(update.parent, Some(trace.root));
+        let eig = trace.named("eigentrust_update").next().expect("eigentrust");
+        assert_eq!(eig.parent, Some(update.id));
+    }
+
+    #[test]
+    fn ratio_sampling_admits_every_nth_root() {
+        let t = Tracer::new(TracerConfig::with_sample(SampleMode::Ratio(3)));
+        for _ in 0..7 {
+            let _root = t.begin_root("cycle");
+        }
+        // Roots 0, 3, 6 sampled.
+        assert_eq!(t.traces().len(), 3);
+        let stats = t.stats();
+        assert_eq!(stats.roots_started, 7);
+        assert_eq!(stats.roots_sampled, 3);
+        assert_eq!(stats.traces_committed, 3);
+    }
+
+    #[test]
+    fn off_sampling_counts_roots_but_records_none() {
+        let t = Tracer::new(TracerConfig::with_sample(SampleMode::Off));
+        {
+            let root = t.begin_root("cycle");
+            assert!(!root.is_recording());
+        }
+        assert!(t.traces().is_empty());
+        assert_eq!(t.stats().roots_started, 1);
+        assert_eq!(t.stats().roots_sampled, 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_traces() {
+        let t = Tracer::new(TracerConfig {
+            sample: SampleMode::Full,
+            max_traces: 2,
+            max_spans_per_trace: 64,
+        });
+        for i in 0..4u64 {
+            let mut root = t.begin_root("cycle");
+            root.set_attr("cycle", i);
+        }
+        let traces = t.traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].cycle(), Some(2));
+        assert_eq!(traces[1].cycle(), Some(3));
+        assert_eq!(t.stats().traces_evicted, 2);
+    }
+
+    #[test]
+    fn span_cap_prunes_orphans_and_counts_drops() {
+        let t = Tracer::new(TracerConfig {
+            sample: SampleMode::Full,
+            max_traces: 8,
+            max_spans_per_trace: 2,
+        });
+        {
+            let _root = t.begin_root("cycle");
+            let parent = t.child("detect_all").unwrap();
+            // Three children record before the parent; the cap (2) drops
+            // the third child and then the parent itself — so the two kept
+            // children become orphans and must be pruned at commit.
+            let a = parent.child("detector_verdict");
+            drop(a);
+            let b = parent.child("detector_verdict");
+            drop(b);
+            let c = parent.child("detector_verdict");
+            drop(c);
+        }
+        let traces = t.traces();
+        assert_eq!(traces.len(), 1);
+        let trace = &traces[0];
+        // Only the root survives: children pruned, parent + third child
+        // capped.
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].id, trace.root);
+        assert_eq!(trace.dropped_spans, 4);
+        // The invariant holds regardless: every kept parent resolves.
+        let ids: BTreeSet<u64> = trace.spans.iter().map(|s| s.id.0).collect();
+        for s in &trace.spans {
+            if let Some(p) = s.parent {
+                assert!(ids.contains(&p.0));
+            }
+        }
+    }
+
+    #[test]
+    fn take_traces_drains_the_ring() {
+        let t = full_tracer();
+        {
+            let _root = t.begin_root("cycle");
+        }
+        assert_eq!(t.take_traces().len(), 1);
+        assert!(t.traces().is_empty());
+    }
+
+    #[test]
+    fn dump_roundtrips_through_json() {
+        let t = full_tracer();
+        {
+            let mut root = t.begin_root("cycle");
+            root.set_attr("cycle", 3u64);
+            root.set_attr("system", "EigenTrust+SocialTrust");
+            let mut child = t.child("detect_all").unwrap();
+            child.set_attr("mean_freq", 1.5);
+            child.set_attr("ghost", false);
+            child.set_attr("delta", AttrValue::I64(-4));
+        }
+        let dump = TraceDump::collect(&t);
+        let back = TraceDump::from_json(&dump.to_json()).expect("parses");
+        assert_eq!(back, dump);
+    }
+
+    #[test]
+    fn bad_dump_json_is_rejected() {
+        assert!(TraceDump::from_json("{\"traces\": 3}").is_err());
+        assert!(TraceDump::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn chrome_export_has_required_fields() {
+        let t = full_tracer();
+        {
+            let mut root = t.begin_root("cycle");
+            root.set_attr("cycle", 0u64);
+            let _child = t.child("detect_all");
+        }
+        let dump = TraceDump::collect(&t);
+        let text = chrome_trace_json(&dump);
+        let doc: Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        for event in events {
+            assert_eq!(event.get("ph").and_then(Value::as_str), Some("X"));
+            assert!(event.get("ts").and_then(Value::as_f64).is_some());
+            assert!(event.get("dur").and_then(Value::as_f64).is_some());
+            assert!(event.get("name").and_then(Value::as_str).is_some());
+            assert!(event.get("args").is_some());
+        }
+    }
+
+    #[test]
+    fn sample_mode_parses() {
+        assert_eq!(SampleMode::parse("off").unwrap(), SampleMode::Off);
+        assert_eq!(SampleMode::parse("full").unwrap(), SampleMode::Full);
+        assert_eq!(SampleMode::parse("1").unwrap(), SampleMode::Full);
+        assert_eq!(SampleMode::parse("16").unwrap(), SampleMode::Ratio(16));
+        assert!(SampleMode::parse("sometimes").is_err());
+        assert_eq!(SampleMode::Ratio(16).to_string(), "1/16");
+    }
+
+    #[test]
+    fn attr_value_conversions() {
+        assert_eq!(AttrValue::from(3u32).as_u64(), Some(3));
+        assert_eq!(AttrValue::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(AttrValue::from("B2").as_str(), Some("B2"));
+        assert_eq!(AttrValue::from(true).as_bool(), Some(true));
+        assert_eq!(AttrValue::U64(4).as_f64(), Some(4.0));
+        assert_eq!(AttrValue::I64(-1).as_u64(), None);
+    }
+}

@@ -119,7 +119,12 @@ proptest! {
         let text = prometheus_text(&registry.snapshot());
         let samples = validate_exposition(&text);
         prop_assert!(samples.is_ok(), "validator rejected: {:?}\n{}", samples, text);
-        // counters + gauges + (3 buckets + Inf + sum + count).
-        prop_assert_eq!(samples.unwrap(), counters.len() + gauge_values.len() + 6);
+        // counters + gauges + (3 buckets + Inf + sum + count), plus the
+        // p50/p95/p99 quantile gauges when the histogram is non-empty.
+        let quantiles = if observations.is_empty() { 0 } else { 3 };
+        prop_assert_eq!(
+            samples.unwrap(),
+            counters.len() + gauge_values.len() + 6 + quantiles
+        );
     }
 }

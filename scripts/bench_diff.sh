@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Compare freshly measured BENCH_*.json files against the committed
+# baselines and fail when a tracked timing regresses by more than the
+# allowed percentage.
+#
+# Usage:
+#   scripts/bench_diff.sh <fresh-dir> [allowed-percent]
+#
+# <fresh-dir> holds newly generated BENCH_*.json files (same names as the
+# committed ones at the repo root). For every committed BENCH_*.json with
+# a fresh counterpart, every key ending in `_seconds` is compared:
+# fresh > committed * (1 + allowed/100) fails the script. Ratio keys
+# (speedups, overhead percentages) and metadata are reported but never
+# gate, and a missing fresh file is skipped — the committed baseline is
+# the contract, the fresh dir is whatever this CI run measured.
+#
+# Timings measured on CI runners are noisy; the default gate is
+# deliberately loose (25%) to catch real regressions, not jitter.
+
+set -euo pipefail
+
+fresh_dir="${1:?usage: bench_diff.sh <fresh-dir> [allowed-percent]}"
+allowed="${2:-25}"
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+compared=0
+
+for committed in "$repo_root"/BENCH_*.json; do
+    [ -e "$committed" ] || continue
+    name="$(basename "$committed")"
+    fresh="$fresh_dir/$name"
+    if [ ! -e "$fresh" ]; then
+        echo "bench_diff: $name — no fresh measurement, skipping"
+        continue
+    fi
+    compared=$((compared + 1))
+    # Emit "key committed fresh" rows for every shared numeric *_seconds
+    # key, then judge each against the allowed regression.
+    while read -r key base new; do
+        worse=$(python3 -c "print(100.0 * ($new / $base - 1.0))")
+        verdict="ok"
+        if python3 -c "exit(0 if $new > $base * (1 + $allowed / 100.0) else 1)"; then
+            verdict="REGRESSED"
+            status=1
+        fi
+        printf 'bench_diff: %s %s: %s -> %s (%+.1f%%, allowed +%s%%) %s\n' \
+            "$name" "$key" "$base" "$new" "$worse" "$allowed" "$verdict"
+    done < <(python3 - "$committed" "$fresh" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open(sys.argv[2]) as f:
+    new = json.load(f)
+for key, value in base.items():
+    if not key.endswith("_seconds"):
+        continue
+    if not isinstance(value, (int, float)) or value <= 0:
+        continue
+    if not isinstance(new.get(key), (int, float)):
+        print(f"bench_diff: missing key {key} in fresh file", file=sys.stderr)
+        sys.exit(2)
+    print(key, repr(float(value)), repr(float(new[key])))
+PY
+)
+done
+
+if [ "$compared" -eq 0 ]; then
+    echo "bench_diff: no committed BENCH_*.json had a fresh counterpart" >&2
+    exit 1
+fi
+[ "$status" -eq 0 ] && echo "bench_diff: all $compared file(s) within +$allowed%"
+exit "$status"

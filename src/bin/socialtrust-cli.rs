@@ -15,6 +15,7 @@ use std::process::ExitCode;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use socialtrust::prelude::*;
+use socialtrust::telemetry::trace::{names as span_names, SpanRecord};
 use socialtrust::trace::analysis::TraceAnalysis;
 use socialtrust::trace::io::write_transactions_csv;
 
@@ -23,6 +24,7 @@ socialtrust-cli — SocialTrust collusion-deterrence toolkit
 
 USAGE:
   socialtrust-cli simulate [OPTIONS]   run a P2P collusion scenario
+  socialtrust-cli explain  [OPTIONS]   audit rescaled ratings from a trace dump
   socialtrust-cli trace    [OPTIONS]   generate & analyze a synthetic Overstock trace
   socialtrust-cli help                 print this help
 
@@ -42,6 +44,19 @@ SIMULATE OPTIONS:
   --json <PATH>                    write the full result as JSON
   --metrics-out <PATH>             export telemetry (Prometheus text, metric
                                    snapshot, and structured events) as JSON
+  --trace-out <PATH>               record decision-provenance traces and write
+                                   the span-tree dump as JSON
+  --trace-sample <off|full|N>      trace sampling: every cycle (full), one in
+                                   N cycles, or none      [default: full]
+
+EXPLAIN OPTIONS:
+  --trace-out <PATH>               trace dump written by simulate  (required)
+  --node <INT>                     only ratings where the node is rater/ratee
+  --cycle <INT>                    only the given simulation cycle
+  --limit <INT>                    max audit lines, 0 = unlimited  [default: 20]
+  --json <PATH>                    write the audit entries as JSON
+  --chrome-out <PATH>              export the span trees as Chrome trace-event
+                                   JSON (chrome://tracing, Perfetto)
 
 TRACE OPTIONS:
   --users <INT>                    platform users              [default: 2000]
@@ -159,6 +174,8 @@ fn cmd_simulate(mut args: Args) -> Result<(), String> {
     let oscillate: usize = args.take_parsed("--oscillate", 0)?;
     let json = args.take("--json");
     let metrics_out = args.take("--metrics-out");
+    let trace_out = args.take("--trace-out");
+    let trace_sample = args.take("--trace-sample");
     args.finish()?;
 
     if !(0.0..=1.0).contains(&b) {
@@ -191,12 +208,30 @@ fn cmd_simulate(mut args: Args) -> Result<(), String> {
     println!(
         "simulate: {model} · {system} · B={b} · {nodes} nodes · {cycles} cycles · {runs} run(s) · seed {seed}"
     );
-    // Telemetry is only wired up when the export is requested: the
+    // Telemetry is only wired up when an export is requested: the
     // instrumented runner runs seeds sequentially so all runs share one
     // registry, whereas the plain path keeps its parallel speed.
-    let telemetry = metrics_out
-        .as_ref()
-        .map(|_| Telemetry::with_sink(EventSink::in_memory()));
+    let tracer = match (&trace_out, trace_sample.as_deref()) {
+        (None, None) => Tracer::disabled(),
+        (None, Some(_)) => return Err("--trace-sample requires --trace-out".into()),
+        (Some(_), raw) => {
+            // Default to full sampling: someone asking for a trace dump
+            // wants every cycle explainable.
+            let sample = match raw {
+                None => SampleMode::Full,
+                Some(raw) => SampleMode::parse(raw)?,
+            };
+            Tracer::new(TracerConfig::with_sample(sample))
+        }
+    };
+    let telemetry = (metrics_out.is_some() || trace_out.is_some()).then(|| {
+        let sink = if metrics_out.is_some() {
+            EventSink::in_memory()
+        } else {
+            EventSink::disabled()
+        };
+        Telemetry::with_parts(sink, tracer)
+    });
     let summary = match &telemetry {
         Some(t) => run_scenario_multi_with_telemetry(&scenario, system, seed, runs, t),
         None => run_scenario_multi(&scenario, system, seed, runs),
@@ -233,10 +268,233 @@ fn cmd_simulate(mut args: Args) -> Result<(), String> {
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("  wrote {path}");
     }
+    if let (Some(path), Some(t)) = (&trace_out, &telemetry) {
+        let dump = TraceDump::collect(t.tracer());
+        dump.write_to(path)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "  wrote {path} ({} trace(s), {} spans)",
+            dump.traces.len(),
+            dump.stats.spans_recorded
+        );
+    }
     if let Some(path) = json {
         let data = serde_json::to_string_pretty(&summary.runs).map_err(|e| e.to_string())?;
         std::fs::write(&path, data).map_err(|e| format!("writing {path}: {e}"))?;
         println!("  wrote {path}");
+    }
+    Ok(())
+}
+
+/// One audited rescale, joined across the `detector_verdict`,
+/// `gaussian_weight`, and `rescale_rating` spans of its cycle trace.
+#[derive(Debug, serde::Serialize)]
+struct ExplainEntry {
+    cycle: u64,
+    rater: u64,
+    ratee: u64,
+    original: f64,
+    adjusted: f64,
+    weight: f64,
+    /// Which paper equation produced the weight (`"Eq. 6"`/`"Eq. 8"`/
+    /// `"Eq. 9"`), when the weight span was found.
+    equation: Option<String>,
+    /// Fired behavior codes (`"B1"`–`"B4"`); empty for pure-hysteresis
+    /// (ghost) adjustments.
+    behaviors: Vec<String>,
+    /// True when the pair was adjusted from suspicion memory rather than a
+    /// fresh verdict this cycle.
+    ghost: bool,
+    /// The full "because ..." audit sentence printed for this entry.
+    audit: String,
+}
+
+/// The human-readable reason one behavior fired, from the verdict span's
+/// recorded threshold comparisons.
+fn behavior_clause(code: &str, v: &SpanRecord) -> String {
+    let f = |key: &str| v.attr_f64(key).unwrap_or(f64::NAN);
+    let n = |key: &str| v.attr_u64(key).unwrap_or(0);
+    match code {
+        "B1" => format!(
+            "B1 fired because F⁺={} > T⁺ₜ={:.2} and Ω꜀={:.3} < T_cₗ={:.2}",
+            n("f_pos"),
+            f("t_pos"),
+            f("omega_c"),
+            f("t_c_low")
+        ),
+        "B2" => {
+            let (t_r, ratee_rep, rater_rep) =
+                (f("t_r"), f("ratee_reputation"), f("rater_reputation"));
+            let low_side = if ratee_rep < t_r {
+                format!("ratee R={ratee_rep:.4} < T_R={t_r:.4}")
+            } else {
+                format!("rater R={rater_rep:.4} < T_R={t_r:.4}")
+            };
+            format!(
+                "B2 fired because F⁺={} > T⁺ₜ={:.2}, Ω꜀={:.3} > T_cₕ={:.2} and {}",
+                n("f_pos"),
+                f("t_pos"),
+                f("omega_c"),
+                f("t_c_high"),
+                low_side
+            )
+        }
+        "B3" => format!(
+            "B3 fired because F⁺={} > T⁺ₜ={:.2} and Ωₛ={:.3} < T_sₗ={:.2}",
+            n("f_pos"),
+            f("t_pos"),
+            f("omega_s"),
+            f("t_s_low")
+        ),
+        "B4" => format!(
+            "B4 fired because F⁻={} > T⁻ₜ={:.2} and Ωₛ={:.3} > T_sₕ={:.2}",
+            n("f_neg"),
+            f("t_neg"),
+            f("omega_s"),
+            f("t_s_high")
+        ),
+        other => other.to_string(),
+    }
+}
+
+fn cmd_explain(mut args: Args) -> Result<(), String> {
+    let input = args
+        .take("--trace-out")
+        .ok_or("explain requires --trace-out <path> (a dump written by simulate)")?;
+    let node: Option<u64> = args
+        .take("--node")
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| format!("flag --node got an unparsable value {raw:?}"))
+        })
+        .transpose()?;
+    let cycle: Option<u64> = args
+        .take("--cycle")
+        .map(|raw| {
+            raw.parse()
+                .map_err(|_| format!("flag --cycle got an unparsable value {raw:?}"))
+        })
+        .transpose()?;
+    let limit: usize = args.take_parsed("--limit", 20)?;
+    let json_out = args.take("--json");
+    let chrome_out = args.take("--chrome-out");
+    args.finish()?;
+
+    let dump = TraceDump::read_from(&input).map_err(|e| format!("reading {input}: {e}"))?;
+    println!(
+        "explain: {} — {} trace(s), {} spans recorded, {} dropped",
+        input,
+        dump.traces.len(),
+        dump.stats.spans_recorded,
+        dump.stats.spans_dropped
+    );
+
+    let mut entries: Vec<ExplainEntry> = Vec::new();
+    for trace in &dump.traces {
+        let trace_cycle = trace.cycle().unwrap_or(0);
+        if cycle.is_some_and(|c| c != trace_cycle) {
+            continue;
+        }
+        // Join the cycle's decision spans by (rater, ratee).
+        let by_pair = |name: &'static str| -> std::collections::BTreeMap<(u64, u64), &SpanRecord> {
+            trace
+                .named(name)
+                .filter_map(|s| Some(((s.attr_u64("rater")?, s.attr_u64("ratee")?), s)))
+                .collect()
+        };
+        let verdicts = by_pair(span_names::VERDICT);
+        let weights = by_pair(span_names::WEIGHT);
+        for rescale in trace.named(span_names::RESCALED_RATING) {
+            let (Some(rater), Some(ratee)) = (rescale.attr_u64("rater"), rescale.attr_u64("ratee"))
+            else {
+                continue;
+            };
+            if node.is_some_and(|n| n != rater && n != ratee) {
+                continue;
+            }
+            let pair = (rater, ratee);
+            let verdict = verdicts.get(&pair);
+            let weight_span = weights.get(&pair);
+            let behaviors: Vec<String> = verdict
+                .and_then(|v| v.attr_str("behaviors"))
+                .map(|b| b.split('+').map(str::to_string).collect())
+                .unwrap_or_default();
+            let ghost = weight_span
+                .and_then(|w| w.attr_bool("ghost"))
+                .unwrap_or(verdict.is_none());
+            let original = rescale.attr_f64("original").unwrap_or(f64::NAN);
+            let adjusted = rescale.attr_f64("adjusted").unwrap_or(f64::NAN);
+            let weight = rescale.attr_f64("weight").unwrap_or(f64::NAN);
+            let equation = weight_span
+                .and_then(|w| w.attr_str("eq"))
+                .map(str::to_string);
+
+            let mut reasons: Vec<String> = behaviors
+                .iter()
+                .filter_map(|code| verdict.map(|v| behavior_clause(code, v)))
+                .collect();
+            if reasons.is_empty() {
+                reasons.push(
+                    "pair remembered from a recent verdict (suspicion hysteresis)".to_string(),
+                );
+            }
+            let weight_clause = match (&equation, weight_span) {
+                (Some(eq), Some(w)) => format!(
+                    "Gaussian weight {:.3} from {} (Ω꜀={:.3} vs μ꜀={:.3}, Ωₛ={:.3} vs μₛ={:.3})",
+                    weight,
+                    eq,
+                    w.attr_f64("omega_c").unwrap_or(f64::NAN),
+                    w.attr_f64("mean_c").unwrap_or(f64::NAN),
+                    w.attr_f64("omega_s").unwrap_or(f64::NAN),
+                    w.attr_f64("mean_s").unwrap_or(f64::NAN),
+                ),
+                _ => format!("Gaussian weight {weight:.3}"),
+            };
+            let audit = format!(
+                "cycle {trace_cycle} · rating {rater}→{ratee} rescaled {original:.2}→{adjusted:.2}: {}; {weight_clause}",
+                reasons.join("; "),
+            );
+            entries.push(ExplainEntry {
+                cycle: trace_cycle,
+                rater,
+                ratee,
+                original,
+                adjusted,
+                weight,
+                equation,
+                behaviors,
+                ghost,
+                audit,
+            });
+        }
+    }
+
+    if entries.is_empty() {
+        println!("  no rescaled ratings matched the filters");
+    }
+    let shown = if limit == 0 {
+        entries.len()
+    } else {
+        limit.min(entries.len())
+    };
+    for entry in &entries[..shown] {
+        println!("  {}", entry.audit);
+    }
+    if shown < entries.len() {
+        println!(
+            "  … {} more (raise --limit or filter with --node/--cycle)",
+            entries.len() - shown
+        );
+    }
+    if let Some(path) = json_out {
+        let data = serde_json::to_string_pretty(&entries).map_err(|e| e.to_string())?;
+        std::fs::write(&path, data).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote {path}");
+    }
+    if let Some(path) = chrome_out {
+        std::fs::write(&path, chrome_trace_json(&dump))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("  wrote {path} (load in chrome://tracing or Perfetto)");
     }
     Ok(())
 }
@@ -301,6 +559,7 @@ fn cmd_trace(mut args: Args) -> Result<(), String> {
 fn run(argv: Vec<String>) -> Result<(), String> {
     match argv.first().map(String::as_str) {
         Some("simulate") => cmd_simulate(Args::parse(&argv[1..])?),
+        Some("explain") => cmd_explain(Args::parse(&argv[1..])?),
         Some("trace") => cmd_trace(Args::parse(&argv[1..])?),
         Some("help") | None => {
             print!("{HELP}");

@@ -57,6 +57,9 @@ pub mod prelude {
     pub use socialtrust_reputation::prelude::*;
     pub use socialtrust_sim::prelude::*;
     pub use socialtrust_socnet::prelude::*;
-    pub use socialtrust_telemetry::{EventSink, MetricsExport, Telemetry};
+    pub use socialtrust_telemetry::{
+        chrome_trace_json, EventSink, MetricsExport, SampleMode, Telemetry, TraceDump, Tracer,
+        TracerConfig,
+    };
     pub use socialtrust_trace::prelude::*;
 }

@@ -103,10 +103,42 @@ fn instrumented_run_exports_all_contract_metric_families() {
         "collusion run must emit detection verdicts"
     );
 
+    // Quantile gauges: every non-empty contract histogram exports
+    // p50/p95/p99 both as `{quantile="pXX"}` exposition samples and in the
+    // JSON bundle's `quantiles` map, and the estimates are ordered.
+    for family in ["detect_seconds", "sim_cycle_seconds"] {
+        let q = export
+            .quantiles
+            .get(family)
+            .unwrap_or_else(|| panic!("quantiles missing for {family}"));
+        assert_eq!(q.keys().collect::<Vec<_>>(), vec!["p50", "p95", "p99"]);
+        assert!(q["p50"] <= q["p95"] && q["p95"] <= q["p99"]);
+        for label in ["p50", "p95", "p99"] {
+            assert!(
+                export
+                    .prometheus
+                    .contains(&format!("{family}{{quantile=\"{label}\"}}")),
+                "{family} {label} sample missing from exposition"
+            );
+        }
+    }
+
+    // The exposition is deterministically ordered: family names sorted.
+    let families: Vec<&str> = export
+        .prometheus
+        .lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|rest| rest.split(' ').next())
+        .collect();
+    let mut sorted = families.clone();
+    sorted.sort_unstable();
+    assert_eq!(families, sorted, "exposition families must be name-sorted");
+
     // JSON round-trip of the full export.
     let json = export.to_json();
     let parsed: MetricsExport = serde_json::from_str(&json).expect("export round-trips");
     assert_eq!(parsed.metrics, export.metrics);
+    assert_eq!(parsed.quantiles, export.quantiles);
 }
 
 /// A structural graph flush must surface as a `snapshot_rebuild` event

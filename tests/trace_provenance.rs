@@ -1,0 +1,242 @@
+//! Acceptance tests for the decision-provenance tracing subsystem:
+//! trace-tree well-formedness under the parallel detection pipeline,
+//! provenance coverage (every rescaled rating is explainable), tracing
+//! determinism (instrumentation never perturbs results), and the CLI
+//! `explain` surface naming behaviors, thresholds, and weights.
+
+use std::collections::BTreeSet;
+use std::process::Command;
+
+use proptest::prelude::*;
+use socialtrust::prelude::*;
+use socialtrust::telemetry::trace::{names, TraceRecord};
+use socialtrust::telemetry::TraceStats;
+
+fn traced_scenario(model_idx: usize, cycles: usize) -> ScenarioConfig {
+    let model = [
+        CollusionModel::PairWise,
+        CollusionModel::MultiNode,
+        CollusionModel::MultiMutual,
+    ][model_idx];
+    let mut s = ScenarioConfig::small()
+        .with_collusion(model)
+        .with_colluder_behavior(0.6)
+        .with_cycles(cycles);
+    s.query_cycles = 5;
+    s
+}
+
+fn run_traced(scenario: &ScenarioConfig, seed: u64) -> (Vec<TraceRecord>, TraceStats, RunResult) {
+    let tracer = Tracer::new(TracerConfig::with_sample(SampleMode::Full));
+    let telemetry = Telemetry::with_parts(EventSink::disabled(), tracer);
+    let result = run_scenario_with_telemetry(
+        scenario,
+        ReputationKind::EigenTrustWithSocialTrust,
+        seed,
+        &telemetry,
+    );
+    let traces = telemetry.tracer().take_traces();
+    let stats = telemetry.tracer().stats();
+    (traces, stats, result)
+}
+
+/// Distinct `(rater, ratee)` attribute pairs over spans named `name`,
+/// optionally keeping only non-ghost spans.
+fn pairs(trace: &TraceRecord, name: &str, skip_ghosts: bool) -> BTreeSet<(u64, u64)> {
+    trace
+        .named(name)
+        .filter(|s| !(skip_ghosts && s.attr_bool("ghost") == Some(true)))
+        .filter_map(|s| Some((s.attr_u64("rater")?, s.attr_u64("ratee")?)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under full sampling and the parallel `detect_all` pipeline, every
+    /// committed trace is a well-formed tree: unique span ids, every
+    /// parent present, exactly one root, and the provenance chain closed —
+    /// each rescaled rating has a Gaussian-weight span for its pair, and
+    /// each non-ghost weight span has a detector verdict for its pair.
+    #[test]
+    fn traces_are_well_formed_trees_with_closed_provenance(
+        model_idx in 0usize..3,
+        cycles in 2usize..4,
+        seed in 0u64..20,
+    ) {
+        let scenario = traced_scenario(model_idx, cycles);
+        let (traces, stats, _) = run_traced(&scenario, seed);
+        prop_assert_eq!(traces.len(), cycles, "one root trace per sim cycle");
+        prop_assert_eq!(stats.spans_dropped, 0, "small runs must not hit the span cap");
+
+        for trace in &traces {
+            // Tree shape: unique ids, parents exist, a single root.
+            let ids: BTreeSet<u64> = trace.spans.iter().map(|s| s.id.0).collect();
+            prop_assert_eq!(ids.len(), trace.spans.len(), "duplicate span ids");
+            let mut roots = 0usize;
+            for span in &trace.spans {
+                match span.parent {
+                    Some(parent) => {
+                        prop_assert!(ids.contains(&parent.0), "orphan span {:?}", span.name);
+                        prop_assert!(parent != span.id, "self-parented span");
+                    }
+                    None => roots += 1,
+                }
+            }
+            prop_assert_eq!(roots, 1, "exactly one root per trace");
+            prop_assert_eq!(
+                trace.root_span().map(|r| r.name.as_str()),
+                Some(names::CYCLE)
+            );
+
+            // Provenance closure across the pipeline stages.
+            let rescaled = pairs(trace, names::RESCALED_RATING, false);
+            let weighted = pairs(trace, names::WEIGHT, false);
+            let weighted_live = pairs(trace, names::WEIGHT, true);
+            let verdicts = pairs(trace, names::VERDICT, false);
+            prop_assert!(
+                rescaled.is_subset(&weighted),
+                "rescaled rating without a Gaussian-weight span: {:?}",
+                rescaled.difference(&weighted).collect::<Vec<_>>()
+            );
+            prop_assert!(
+                weighted_live.is_subset(&verdicts),
+                "non-ghost weight span without a detector verdict: {:?}",
+                weighted_live.difference(&verdicts).collect::<Vec<_>>()
+            );
+
+            // Every weight span carries the numbers `explain` renders.
+            for span in trace.named(names::WEIGHT) {
+                prop_assert!(span.attr_f64("weight").is_some_and(|w| (0.0..=1.0).contains(&w)));
+                prop_assert!(span.attr_str("eq").is_some());
+            }
+            // Every verdict span names at least one fired behavior.
+            for span in trace.named(names::VERDICT) {
+                prop_assert!(span.attr_str("behaviors").is_some_and(|b| !b.is_empty()));
+            }
+        }
+    }
+}
+
+/// Tracing must be a pure observer: a run with full tracing and a run with
+/// tracing disabled produce bit-identical `RunResult`s (compared through
+/// their serialized form, which covers every field including f64s).
+#[test]
+fn tracing_on_and_off_yield_identical_results() {
+    let scenario = traced_scenario(0, 3);
+    for seed in [7u64, 19] {
+        let (_, _, traced) = run_traced(&scenario, seed);
+        let plain = run_scenario(&scenario, ReputationKind::EigenTrustWithSocialTrust, seed);
+        assert_eq!(
+            serde_json::to_string(&traced).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "tracing perturbed the simulation at seed {seed}"
+        );
+    }
+}
+
+/// Sampled tracing records a strict subset of cycles but still commits
+/// only well-formed trees.
+#[test]
+fn sampled_tracing_records_a_subset_of_cycles() {
+    let scenario = traced_scenario(0, 4);
+    let tracer = Tracer::new(TracerConfig::with_sample(SampleMode::Ratio(2)));
+    let telemetry = Telemetry::with_parts(EventSink::disabled(), tracer);
+    run_scenario_with_telemetry(
+        &scenario,
+        ReputationKind::EigenTrustWithSocialTrust,
+        7,
+        &telemetry,
+    );
+    let traces = telemetry.tracer().take_traces();
+    assert_eq!(traces.len(), 2, "1-in-2 sampling over 4 cycles");
+    let cycles: Vec<u64> = traces.iter().filter_map(|t| t.cycle()).collect();
+    assert_eq!(cycles, vec![0, 2]);
+}
+
+/// End-to-end CLI acceptance: `simulate --trace-out` then `explain` must
+/// name, for at least one rescaled rating in a collusion scenario, the
+/// fired behavior, a concrete threshold comparison, and the applied
+/// Gaussian weight.
+#[test]
+fn cli_explain_names_behavior_thresholds_and_weight() {
+    let dir = std::env::temp_dir().join("socialtrust-provenance-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join(format!("trace-{}.json", std::process::id()));
+    let chrome_path = dir.join(format!("chrome-{}.json", std::process::id()));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_socialtrust-cli"))
+        .args([
+            "simulate",
+            "--model",
+            "pcm",
+            "--system",
+            "et-st",
+            "--nodes",
+            "24",
+            "--cycles",
+            "2",
+            "--runs",
+            "1",
+            "--seed",
+            "3",
+            "--trace-out",
+        ])
+        .arg(&trace_path)
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = Command::new(env!("CARGO_BIN_EXE_socialtrust-cli"))
+        .args(["explain", "--trace-out"])
+        .arg(&trace_path)
+        .args(["--limit", "10", "--chrome-out"])
+        .arg(&chrome_path)
+        .output()
+        .expect("run explain");
+    assert!(
+        out.status.success(),
+        "explain failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("rescaled"),
+        "no rescaled-rating audit line in:\n{text}"
+    );
+    assert!(
+        text.contains("fired because"),
+        "audit must name the fired behavior:\n{text}"
+    );
+    assert!(
+        ["B1", "B2", "B3", "B4"].iter().any(|b| text.contains(b)),
+        "audit must cite a B1–B4 behavior:\n{text}"
+    );
+    assert!(
+        text.contains("T⁺ₜ") || text.contains("T⁻ₜ") || text.contains("T_R"),
+        "audit must show a concrete threshold comparison:\n{text}"
+    );
+    assert!(
+        text.contains("Gaussian weight"),
+        "audit must show the applied Gaussian weight:\n{text}"
+    );
+
+    // The Chrome export is valid trace-event JSON with ph/ts/dur fields.
+    let chrome = std::fs::read_to_string(&chrome_path).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(&chrome).unwrap();
+    let events = doc
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for ev in events {
+        assert!(ev.get("ph").is_some() && ev.get("ts").is_some() && ev.get("dur").is_some());
+    }
+
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&chrome_path).ok();
+}

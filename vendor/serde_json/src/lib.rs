@@ -253,12 +253,19 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the maximal run of plain bytes and validate
+                    // UTF-8 over just that run. Quote and backslash are
+                    // ASCII, so they can never split a multi-byte scalar.
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::custom("invalid utf-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -401,6 +408,18 @@ mod tests {
         let v: Value = from_str("[{\"a\": 1}, {\"a\": 2}]").unwrap();
         assert!(v.is_array());
         assert_eq!(v.as_array().unwrap()[1].get("a").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn string_runs_with_multibyte_and_escapes() {
+        let back: String = from_str("\"Ω꜀ → μₛ\\n \\\"x\\\" é\"").unwrap();
+        assert_eq!(back, "Ω꜀ → μₛ\n \"x\" é");
+        // Strings are consumed as byte runs, not char-at-a-time over the
+        // remaining input — a many-string document must parse in one pass.
+        let big = format!("[{}]", vec!["\"Ω꜀ plain é text\""; 100_000].join(","));
+        let v: Vec<String> = from_str(&big).unwrap();
+        assert_eq!(v.len(), 100_000);
+        assert_eq!(v[99_999], "Ω꜀ plain é text");
     }
 
     #[test]
