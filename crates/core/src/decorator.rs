@@ -284,6 +284,19 @@ fn weight_for(
     weight_explained(config, ledger, snapshot, suspicion).0
 }
 
+/// Lookup in a pair-sorted weight list. The cycle's weights live in a
+/// sorted `Vec` rather than a map: the list is built once per cycle, read
+/// many times (once per buffered rating), and then *becomes*
+/// `last_weights` — no per-cycle map allocation, no rehash, no final
+/// drain-and-sort copy.
+#[inline]
+fn weight_of(weights: &[(PairKey, f64)], pair: PairKey) -> Option<f64> {
+    weights
+        .binary_search_by_key(&pair, |&(k, _)| k)
+        .ok()
+        .map(|idx| weights[idx].1)
+}
+
 impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
     fn node_count(&self) -> usize {
         self.inner.node_count()
@@ -302,14 +315,17 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
             .as_ref()
             .map(|t| t.tracer.clone())
             .unwrap_or_default();
-        let reputations_prev = self.inner.reputations().to_vec();
         let (suspicions, weights) = {
             let ctx = self.ctx.read();
             let mut detect_span = tracer.child(trace_names::DETECT);
+            // The detector reads the pre-update trust vector straight from
+            // the inner engine — nothing in this read-only block mutates
+            // it, so there is no need for the defensive copy this used to
+            // take (8 MB per cycle at 1M nodes).
             let suspicions = self.detector.detect_all_with_observability(
                 &ctx,
                 &self.ledger,
-                &reputations_prev,
+                self.inner.reputations(),
                 self.telemetry.as_ref().map(|t| &t.detector),
                 detect_span.as_ref(),
             );
@@ -321,7 +337,7 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
             let gaussian_span = tracer.child(trace_names::GAUSSIAN);
             // Gaussian weights for flagged pairs are independent of each
             // other, so compute them in parallel; suspicions hold distinct
-            // (rater, ratee) keys, making the HashMap collect well-defined.
+            // (rater, ratee) keys, so the collected list has unique keys.
             // The whole pass reads the same frozen snapshot the detector
             // just used (no mutation happened in between, so this is an
             // epoch-validated Arc clone, not a rebuild).
@@ -334,7 +350,11 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
             // weight comes off the identical arithmetic path either way.
             let recording = gaussian_span.is_some();
             let mut provenance: HashMap<PairKey, WeightProvenance> = HashMap::new();
-            let mut weights: HashMap<PairKey, f64> = if recording {
+            // Weights live in a pair-sorted Vec rather than a map: built
+            // once, probed by binary search in the rescale pass below, and
+            // handed to `last_weights` at cycle end without the
+            // drain-and-sort copy a map would force.
+            let mut weights: Vec<(PairKey, f64)> = if recording {
                 let explained: Vec<(PairKey, f64, WeightProvenance)> = suspicions
                     .par_iter()
                     .map(|s| {
@@ -355,15 +375,19 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
                     .map(|s| ((s.rater, s.ratee), weight_for(config, ledger, &snapshot, s)))
                     .collect()
             };
+            weights.sort_unstable_by_key(|&(k, _)| k);
             // Suspicion hysteresis: pairs flagged in recent intervals keep
             // being adjusted even if this interval's conditions lapsed
             // (e.g. the ratee's reputation briefly crossed T_R). The weight
             // is recomputed from the pair's *current* coefficients.
             let mut ghosts: Vec<Suspicion> = Vec::new();
             if self.config.suspicion_memory > 0 {
-                let remembered: Vec<PairKey> = self.remembered.keys().copied().collect();
-                for (rater, ratee) in remembered {
-                    if weights.contains_key(&(rater, ratee)) {
+                // Lookups only consult the flagged prefix (sorted above);
+                // ghost entries append past it and the list re-sorts once
+                // at the end.
+                let flagged_len = weights.len();
+                for &(rater, ratee) in self.remembered.keys() {
+                    if weight_of(&weights[..flagged_len], (rater, ratee)).is_some() {
                         continue;
                     }
                     // Only adjust if the pair actually rated this interval.
@@ -383,15 +407,18 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
                     };
                     if recording {
                         let (w, prov) = weight_explained(config, ledger, &snapshot, &ghost);
-                        weights.insert((rater, ratee), w);
+                        weights.push(((rater, ratee), w));
                         provenance.insert((rater, ratee), prov);
                     } else {
-                        weights.insert(
+                        weights.push((
                             (rater, ratee),
                             weight_for(config, ledger, &snapshot, &ghost),
-                        );
+                        ));
                     }
                     ghosts.push(ghost);
+                }
+                if weights.len() > flagged_len {
+                    weights.sort_unstable_by_key(|&(k, _)| k);
                 }
             }
             // Provenance: one `gaussian_weight` child per adjusted pair,
@@ -402,7 +429,8 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
                 let remembered = ghosts.iter().map(|g| (g, true));
                 for (s, is_ghost) in flagged.chain(remembered) {
                     let pair = (s.rater, s.ratee);
-                    let (Some(&weight), Some(prov)) = (weights.get(&pair), provenance.get(&pair))
+                    let (Some(weight), Some(prov)) =
+                        (weight_of(&weights, pair), provenance.get(&pair))
                     else {
                         continue;
                     };
@@ -431,7 +459,7 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
         let mut rescaled_this_cycle = 0u64;
         let rescale_span = tracer.child(trace_names::RESCALE);
         for mut rating in std::mem::take(&mut self.buffer) {
-            if let Some(&w) = weights.get(&(rating.rater, rating.ratee)) {
+            if let Some(w) = weight_of(&weights, (rating.rater, rating.ratee)) {
                 if let Some(parent) = rescale_span.as_ref() {
                     let mut span = parent.child(trace_names::RESCALED_RATING);
                     span.set_attr("rater", rating.rater.index());
@@ -485,9 +513,9 @@ impl<R: ReputationSystem> ReputationSystem for WithSocialTrust<R> {
             }
         }
         self.last_suspicions = suspicions;
-        let mut weight_list: Vec<(PairKey, f64)> = weights.into_iter().collect();
-        weight_list.sort_by_key(|(k, _)| *k);
-        self.last_weights = weight_list;
+        // Already pair-sorted; becomes the cycle's published weight list
+        // with a move instead of a drain-and-sort.
+        self.last_weights = weights;
         self.cycles_completed += 1;
     }
 

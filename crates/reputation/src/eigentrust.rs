@@ -28,15 +28,30 @@
 //! implementation, which this is.
 //!
 //! The implementation is incremental: the local-trust matrix is kept as
-//! sparse satisfaction rows whose positive-sum normalizers are updated in
-//! place as ratings fold in (the dense `C` is never materialized), and the
-//! power iteration warm-starts from the previous cycle's trust vector —
-//! sound because the damped map is a contraction with a unique fixed
-//! point, and visible as a drop in
+//! sparse CSR-style satisfaction rows (sorted id/value slices, no per-node
+//! maps) whose positive-sum normalizers are updated in place as ratings
+//! fold in (the dense `C` is never materialized), together with an
+//! incrementally maintained **transpose** — for each ratee, the sorted
+//! raters and their satisfaction values. The transpose turns the
+//! `Cᵀ t` product into a gather: each output element `t'_j` is a private
+//! accumulation over column `j`, so the power iteration runs blocked over
+//! contiguous `j` ranges, rayon-parallel, with the L1 residual
+//! tree-reduced from per-block partials. Because a gather accumulates
+//! column `j` in the same ascending-rater order the historical row-scatter
+//! did, the blocked iteration is **bit-for-bit identical** to the serial
+//! one for any block size (only the residual's summation tree depends on
+//! the block count, which can at most shift the stopping decision when the
+//! residual lands within one ulp of `epsilon`). The transpose also makes
+//! [`reset_node`](crate::system::ReputationSystem::reset_node) O(degree)
+//! instead of an O(n) scan over all rows.
+//!
+//! The power iteration warm-starts from the previous cycle's trust
+//! vector — sound because the damped map is a contraction with a unique
+//! fixed point, and visible as a drop in
 //! [`last_iterations`](EigenTrust::last_iterations) when the rating stream
 //! is sparse between cycles.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 use socialtrust_socnet::NodeId;
@@ -77,6 +92,15 @@ pub struct EigenTrustConfig {
     /// and the iteration count collapses. Falls back to `p` on the first
     /// cycle and after [`reset_node`](crate::system::ReputationSystem::reset_node).
     pub warm_start: bool,
+    /// Output rows per power-iteration block. Each block gathers its
+    /// contiguous `j` range of `t'_j` independently; blocks are the unit
+    /// of rayon fan-out and of the tree-reduced residual. Per-element
+    /// results are bit-for-bit independent of this knob (see module docs).
+    pub block_size: usize,
+    /// Fan the blocks out over rayon. `false` runs the identical blocked
+    /// computation on the calling thread — same arithmetic, same results,
+    /// bit for bit (the property tests assert it).
+    pub parallel: bool,
 }
 
 impl Default for EigenTrustConfig {
@@ -86,7 +110,55 @@ impl Default for EigenTrustConfig {
             epsilon: 1e-10,
             max_iterations: 1000,
             warm_start: true,
+            block_size: 4096,
+            parallel: true,
         }
+    }
+}
+
+/// A sparse vector as parallel sorted slices: ascending ids with their
+/// values. The CSR-row building block for both the satisfaction matrix and
+/// its transpose — two `Vec`s per node instead of a `BTreeMap` (one heap
+/// block and cache-linear scans instead of a pointer-chased tree node per
+/// entry).
+#[derive(Debug, Clone, Default)]
+struct SparseVec {
+    ids: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl SparseVec {
+    #[inline]
+    fn get(&self, id: u32) -> Option<f64> {
+        self.ids.binary_search(&id).ok().map(|p| self.vals[p])
+    }
+
+    /// Accumulate `delta` into the entry for `id`, inserting it if absent.
+    fn add(&mut self, id: u32, delta: f64) {
+        match self.ids.binary_search(&id) {
+            Ok(p) => self.vals[p] += delta,
+            Err(p) => {
+                self.ids.insert(p, id);
+                self.vals.insert(p, delta);
+            }
+        }
+    }
+
+    /// Remove the entry for `id`; `true` if it existed.
+    fn remove(&mut self, id: u32) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(p) => {
+                self.ids.remove(p);
+                self.vals.remove(p);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.ids.capacity() * std::mem::size_of::<u32>()
+            + self.vals.capacity() * std::mem::size_of::<f64>()
     }
 }
 
@@ -106,6 +178,9 @@ struct EigenTrustTelemetry {
     warm_starts_total: Counter,
     /// `eigentrust_cycles_total`: completed reputation updates.
     cycles_total: Counter,
+    /// `eigentrust_bytes_per_node`: heap bytes of the sparse matrix (rows
+    /// + transpose + vectors) per node, refreshed after every update.
+    bytes_per_node: Gauge,
     sink: EventSink,
     /// Decision-provenance tracer: when a cycle trace is live, each update
     /// records an `eigentrust_update` span (nested under the decorator's
@@ -122,6 +197,7 @@ impl EigenTrustTelemetry {
             warm_start: registry.gauge("eigentrust_warm_start"),
             warm_starts_total: registry.counter("eigentrust_warm_starts_total"),
             cycles_total: registry.counter("eigentrust_cycles_total"),
+            bytes_per_node: registry.gauge("eigentrust_bytes_per_node"),
             sink: telemetry.sink().clone(),
             tracer: telemetry.tracer().clone(),
         }
@@ -134,8 +210,14 @@ pub struct EigenTrust {
     config: EigenTrustConfig,
     /// `p`: the pre-trusted distribution (uniform over pre-trusted nodes).
     pretrust: Vec<f64>,
-    /// Accumulated local satisfaction sums `s_ij`, sparse per rater.
-    sat: Vec<BTreeMap<NodeId, f64>>,
+    /// Accumulated local satisfaction sums `s_ij`: CSR-style sparse rows
+    /// (sorted ratee ids + values) per rater.
+    sat: Vec<SparseVec>,
+    /// The transpose, maintained incrementally alongside `sat`: for each
+    /// ratee `j`, the sorted rater ids `i` with their `s_ij`. Column `j`
+    /// of `C` in gather form — what the blocked power iteration reads —
+    /// and the O(degree) index behind `reset_node`.
+    cols: Vec<SparseVec>,
     /// `row_pos[i] = Σ_j max(s_ij, 0)` — the local-trust normalizer of row
     /// `i`, maintained in place as ratings are folded in so the power
     /// iteration never rescans (let alone materializes) the full matrix.
@@ -197,7 +279,8 @@ impl EigenTrust {
         EigenTrust {
             config,
             pretrust,
-            sat: vec![BTreeMap::new(); n],
+            sat: vec![SparseVec::default(); n],
+            cols: vec![SparseVec::default(); n],
             row_pos: vec![0.0; n],
             buffer: Vec::new(),
             reputations,
@@ -236,20 +319,45 @@ impl EigenTrust {
 
     /// Accumulated local satisfaction `s_ij` (0 if never rated).
     pub fn local_satisfaction(&self, rater: NodeId, ratee: NodeId) -> f64 {
-        self.sat[rater.index()].get(&ratee).copied().unwrap_or(0.0)
+        self.sat[rater.index()].get(ratee.0).unwrap_or(0.0)
+    }
+
+    /// Heap bytes held by the sparse matrix (rows + transpose), the dense
+    /// vectors, and the rating buffer — the figure the
+    /// `eigentrust_bytes_per_node` gauge divides by `n`.
+    pub fn bytes(&self) -> usize {
+        self.sat.iter().map(SparseVec::bytes).sum::<usize>()
+            + self.cols.iter().map(SparseVec::bytes).sum::<usize>()
+            + (self.pretrust.capacity() + self.reputations.capacity() + self.row_pos.capacity())
+                * std::mem::size_of::<f64>()
+            + self.buffer.capacity() * std::mem::size_of::<Rating>()
     }
 
     /// Recompute `row_pos[i]` exactly from the sparse row. Called for the
     /// rows a cycle's ratings touched, so the normalizer never drifts from
     /// the value a from-scratch scan would produce, at O(touched nnz) cost.
+    /// The ascending-id summation order matches what the historical
+    /// `BTreeMap::values()` scan produced, bit for bit.
     fn refresh_row_pos(&mut self, i: usize) {
-        self.row_pos[i] = self.sat[i].values().map(|&s| s.max(0.0)).sum();
+        self.row_pos[i] = self.sat[i].vals.iter().map(|&s| s.max(0.0)).sum();
     }
 
-    /// Run the damped power iteration to the global trust vector, directly
-    /// over the sparse satisfaction rows — the matrix `C` is never
-    /// materialized. Rows without positive satisfaction all contribute
-    /// `t_i · p`, so their mass is aggregated into a single rank-one term.
+    /// Run the damped power iteration to the global trust vector as a
+    /// blocked **gather** over the transpose — the matrix `C` is never
+    /// materialized. Each block owns a contiguous `j` range and computes
+    ///
+    /// ```text
+    /// next_j = a·p_j + Σ_{i asc} (1-a)·t_i·(s_ij / row_pos_i) + (1-a)·m·p_j
+    /// ```
+    ///
+    /// where `m` (the trust mass of raters whose row defaults to `p`) is
+    /// accumulated once per iteration in a sequential ascending-`i` pass.
+    /// Column `j`'s sum runs over ascending `i` — the exact order the
+    /// historical row-major scatter deposited into `next[j]` — so every
+    /// element is bit-for-bit identical to the serial result for any block
+    /// size. The L1 residual is tree-reduced: per-block partial sums (each
+    /// the same left-to-right chain `l1_distance` uses) folded in
+    /// ascending block order.
     fn power_iterate(&mut self) {
         let n = self.pretrust.len();
         if n == 0 {
@@ -262,41 +370,64 @@ impl EigenTrust {
         } else {
             self.pretrust.clone()
         };
+        let block = self.config.block_size.max(1);
+        let nblocks = n.div_ceil(block);
         let mut next = vec![0.0; n];
         let mut iters = 0;
         let residual;
         loop {
-            // next = (1-a)·Cᵀ t + a·p  ⇔  next_j = (1-a)·Σ_i c_ij t_i + a·p_j
-            next.copy_from_slice(&self.pretrust);
-            for v in &mut next {
-                *v *= a;
-            }
-            // Trust mass held by raters whose row defaults to p.
+            // Trust mass held by raters whose row defaults to p, in the
+            // same ascending skip-zero chain the row-major loop used.
             let mut default_mass = 0.0;
             for (i, &ti) in t.iter().enumerate() {
                 if ti == 0.0 {
                     continue;
                 }
-                let pos = self.row_pos[i];
-                if pos > 0.0 {
-                    let w = (1.0 - a) * ti;
-                    for (&j, &s) in &self.sat[i] {
-                        if s > 0.0 {
-                            next[j.index()] += w * (s / pos);
-                        }
-                    }
-                } else {
+                if self.row_pos[i] <= 0.0 {
                     default_mass += ti;
                 }
             }
-            if default_mass != 0.0 {
-                let w = (1.0 - a) * default_mass;
-                for (v, &p) in next.iter_mut().zip(&self.pretrust) {
-                    *v += w * p;
+            let w_default = (1.0 - a) * default_mass;
+            let t_ref: &[f64] = &t;
+            let compute_block = |b: usize| -> (Vec<f64>, f64) {
+                let start = b * block;
+                let end = (start + block).min(n);
+                let mut out = Vec::with_capacity(end - start);
+                for j in start..end {
+                    let mut acc = self.pretrust[j] * a;
+                    let col = &self.cols[j];
+                    for (idx, &iu) in col.ids.iter().enumerate() {
+                        let ti = t_ref[iu as usize];
+                        if ti == 0.0 {
+                            continue;
+                        }
+                        let pos = self.row_pos[iu as usize];
+                        if pos > 0.0 {
+                            let s = col.vals[idx];
+                            if s > 0.0 {
+                                acc += ((1.0 - a) * ti) * (s / pos);
+                            }
+                        }
+                    }
+                    if default_mass != 0.0 {
+                        acc += w_default * self.pretrust[j];
+                    }
+                    out.push(acc);
                 }
+                let partial = l1_distance(&out, &t_ref[start..end]);
+                (out, partial)
+            };
+            let blocks: Vec<(Vec<f64>, f64)> = if self.config.parallel && nblocks > 1 {
+                use rayon::prelude::*;
+                (0..nblocks).into_par_iter().map(compute_block).collect()
+            } else {
+                (0..nblocks).map(compute_block).collect()
+            };
+            let delta: f64 = blocks.iter().map(|(_, partial)| *partial).sum();
+            for (b, (chunk, _)) in blocks.into_iter().enumerate() {
+                next[b * block..b * block + chunk.len()].copy_from_slice(&chunk);
             }
             iters += 1;
-            let delta = l1_distance(&next, &t);
             std::mem::swap(&mut t, &mut next);
             if delta < self.config.epsilon || iters >= self.config.max_iterations {
                 residual = delta;
@@ -324,6 +455,10 @@ impl EigenTrust {
             t.warm_starts_total.inc();
         }
         t.cycles_total.inc();
+        let n = self.pretrust.len();
+        if n > 0 {
+            t.bytes_per_node.set(self.bytes() as f64 / n as f64);
+        }
         if t.sink.is_enabled() {
             t.sink.emit(Event::EigenTrustConvergence {
                 cycle: self.cycles,
@@ -346,13 +481,18 @@ impl ReputationSystem for EigenTrust {
 
     fn end_cycle(&mut self) {
         let mut touched_rows: BTreeSet<usize> = BTreeSet::new();
-        for r in std::mem::take(&mut self.buffer) {
+        // Swap the buffer out (and back) so its allocation survives the
+        // cycle instead of being reallocated every time.
+        let mut buffer = std::mem::take(&mut self.buffer);
+        for r in buffer.drain(..) {
             if r.rater == r.ratee {
                 continue; // self-ratings are ignored, as in EigenTrust
             }
-            *self.sat[r.rater.index()].entry(r.ratee).or_insert(0.0) += r.value;
+            self.sat[r.rater.index()].add(r.ratee.0, r.value);
+            self.cols[r.ratee.index()].add(r.rater.0, r.value);
             touched_rows.insert(r.rater.index());
         }
+        self.buffer = buffer;
         for i in touched_rows {
             self.refresh_row_pos(i);
         }
@@ -382,13 +522,20 @@ impl ReputationSystem for EigenTrust {
     }
 
     fn reset_node(&mut self, node: NodeId) {
-        self.sat[node.index()].clear();
-        self.row_pos[node.index()] = 0.0;
-        for i in 0..self.sat.len() {
-            if self.sat[i].remove(&node).is_some() {
-                self.refresh_row_pos(i);
-            }
+        let ni = node.index();
+        // The transpose column lists exactly the raters whose rows hold an
+        // entry for `node`, so the wipe is O(in-degree + out-degree) — no
+        // scan over all n rows.
+        let raters = std::mem::take(&mut self.cols[ni]);
+        for &i in &raters.ids {
+            self.sat[i as usize].remove(node.0);
+            self.refresh_row_pos(i as usize);
         }
+        let row = std::mem::take(&mut self.sat[ni]);
+        for &j in &row.ids {
+            self.cols[j as usize].remove(node.0);
+        }
+        self.row_pos[ni] = 0.0;
         self.buffer.retain(|r| r.rater != node && r.ratee != node);
         // The old fixed point no longer reflects the matrix; restart the
         // next power iteration from the pretrust prior.
@@ -693,6 +840,94 @@ mod tests {
                 cold.last_iterations()
             );
         }
+    }
+
+    /// A deterministic pseudo-random rating stream (xorshift — no RNG dep).
+    fn synth_stream(n: u32, count: usize) -> Vec<(u32, u32, f64)> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut step = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..count)
+            .map(|_| {
+                let rater = (step() % n as u64) as u32;
+                let ratee = (step() % n as u64) as u32;
+                let value = if step() % 4 == 0 { -1.0 } else { 1.0 };
+                (rater, ratee, value)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_iteration_is_bit_for_bit_equal_across_block_sizes() {
+        // Per-element gather chains never cross block boundaries, so any
+        // block size must reproduce the single-block vector exactly (the
+        // residual tree can only shift the stop decision when it lands
+        // within one ulp of epsilon, which this fixture stays clear of).
+        let stream = synth_stream(64, 400);
+        let run = |block_size: usize, parallel: bool| {
+            let cfg = EigenTrustConfig {
+                block_size,
+                parallel,
+                ..EigenTrustConfig::default()
+            };
+            let mut sys = EigenTrust::new(64, &[NodeId(0), NodeId(1)], cfg);
+            for &(i, j, v) in &stream {
+                rate(&mut sys, i, j, v);
+            }
+            sys.end_cycle();
+            (sys.reputations().to_vec(), sys.last_iterations())
+        };
+        let (base, base_iters) = run(usize::MAX, false);
+        for block_size in [1, 7, 16, 63] {
+            for parallel in [false, true] {
+                let (reps, iters) = run(block_size, parallel);
+                assert_eq!(
+                    iters, base_iters,
+                    "iteration count diverged at block_size={block_size}"
+                );
+                for (j, (x, y)) in reps.iter().zip(&base).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "t[{j}] diverged at block_size={block_size} parallel={parallel}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_stays_consistent_through_reset() {
+        let mut sys = EigenTrust::with_defaults(16, &[NodeId(0)]);
+        for &(i, j, v) in &synth_stream(16, 120) {
+            rate(&mut sys, i, j, v);
+        }
+        sys.end_cycle();
+        sys.reset_node(NodeId(5));
+        for i in 0..16u32 {
+            for j in 0..16u32 {
+                let row = sys.sat[i as usize].get(j);
+                let col = sys.cols[j as usize].get(i);
+                assert_eq!(row, col, "sat[{i}][{j}] vs cols[{j}][{i}]");
+            }
+            assert_eq!(sys.local_satisfaction(NodeId(i), NodeId(5)), 0.0);
+            assert_eq!(sys.local_satisfaction(NodeId(5), NodeId(i)), 0.0);
+        }
+    }
+
+    #[test]
+    fn bytes_accounts_for_matrix_growth() {
+        let mut sys = EigenTrust::with_defaults(8, &[NodeId(0)]);
+        let empty = sys.bytes();
+        for &(i, j, v) in &synth_stream(8, 40) {
+            rate(&mut sys, i, j, v);
+        }
+        sys.end_cycle();
+        assert!(sys.bytes() > empty, "{} !> {empty}", sys.bytes());
     }
 
     #[test]

@@ -137,7 +137,16 @@ struct ClosenessEntry {
 #[derive(Debug, Default)]
 struct Shard {
     /// `Σ_{k ∈ S_i} f(i,k)` per rater — the Eq. (2)/(10) denominator.
-    friend_totals: HashMap<NodeId, f64>,
+    /// Dense, not a map: the stripe owns exactly the raters with
+    /// `index ≡ stripe (mod SHARD_COUNT)`, stored at slot
+    /// `index / SHARD_COUNT` with a validity bitset alongside. This is the
+    /// hottest lookup in the cache (every adjacent-closeness computation
+    /// reads a denominator), and the dense slab turns it into one indexed
+    /// load; the slab is kept allocated across full flushes and refilled
+    /// in place.
+    friend_totals: Vec<f64>,
+    /// Bit `slot` set ⇔ `friend_totals[slot]` holds a memoized value.
+    friend_valid: Vec<u64>,
     /// Adjacent closeness per (config, i, j) — Eq. (2)/(10).
     adjacent: HashMap<(ConfigKey, NodeId, NodeId), f64>,
     /// Common-friend sets per unordered pair — the `S_i ∩ S_j` of Eq. (3).
@@ -149,8 +158,56 @@ struct Shard {
 }
 
 impl Shard {
+    /// The dense slot of rater `i` inside its owning stripe.
+    #[inline]
+    fn friend_slot(i: NodeId) -> usize {
+        i.index() / SHARD_COUNT
+    }
+
+    /// The memoized friend total of `i`, if present. Only meaningful on
+    /// `i`'s owning stripe (`shard_of(i)`).
+    #[inline]
+    fn friend_total(&self, i: NodeId) -> Option<f64> {
+        let slot = Self::friend_slot(i);
+        let set = self
+            .friend_valid
+            .get(slot >> 6)
+            .is_some_and(|w| w & (1u64 << (slot & 63)) != 0);
+        set.then(|| self.friend_totals[slot])
+    }
+
+    fn set_friend_total(&mut self, i: NodeId, v: f64) {
+        let slot = Self::friend_slot(i);
+        if slot >= self.friend_totals.len() {
+            self.friend_totals.resize(slot + 1, 0.0);
+        }
+        let word = slot >> 6;
+        if word >= self.friend_valid.len() {
+            self.friend_valid.resize(word + 1, 0);
+        }
+        self.friend_valid[word] |= 1u64 << (slot & 63);
+        self.friend_totals[slot] = v;
+    }
+
+    /// Drop `i`'s memoized friend total (no-op when absent). Only valid on
+    /// `i`'s owning stripe — the same slot index belongs to a *different*
+    /// node on every other stripe.
+    fn clear_friend_total(&mut self, i: NodeId) {
+        let slot = Self::friend_slot(i);
+        if let Some(word) = self.friend_valid.get_mut(slot >> 6) {
+            *word &= !(1u64 << (slot & 63));
+        }
+    }
+
+    fn friend_total_count(&self) -> usize {
+        self.friend_valid
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
     fn entry_count(&self) -> usize {
-        self.friend_totals.len()
+        self.friend_total_count()
             + self.adjacent.len()
             + self.common_friends.len()
             + self.closeness.len()
@@ -158,11 +215,26 @@ impl Shard {
 
     fn clear(&mut self) -> usize {
         let n = self.entry_count();
-        self.friend_totals.clear();
+        // Invalidate the dense slab by zeroing the bitset; the f64 slab
+        // itself stays allocated and is refilled in place.
+        self.friend_valid.fill(0);
         self.adjacent.clear();
         self.common_friends.clear();
         self.closeness.clear();
         n
+    }
+
+    /// Estimated heap bytes held by the stripe. Map entries are costed at
+    /// key+value size plus one control byte (the hashbrown layout), so the
+    /// figure is an estimate, not an exact allocator measurement.
+    fn bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.friend_totals.capacity() * size_of::<f64>()
+            + self.friend_valid.capacity() * size_of::<u64>()
+            + self.adjacent.capacity() * (size_of::<((ConfigKey, NodeId, NodeId), f64)>() + 1)
+            + self.common_friends.capacity() * (size_of::<((NodeId, NodeId), Arc<[NodeId]>)>() + 1)
+            + self.closeness.capacity()
+                * (size_of::<((ConfigKey, NodeId, NodeId), ClosenessEntry)>() + 1)
     }
 }
 
@@ -329,6 +401,13 @@ impl SocialCoefficientCache {
         self.entry_count() == 0
     }
 
+    /// Estimated heap bytes held by the memo structures across all
+    /// stripes (dense friend-total slabs plus map storage, costed at the
+    /// hashbrown per-entry layout).
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.read().bytes()).sum()
+    }
+
     /// Drop every memoized value (the epoch snapshot is kept; the next
     /// access simply refills). Handy for benchmarks that want to measure
     /// the cold, full-flush path.
@@ -415,10 +494,16 @@ impl SocialCoefficientCache {
         }
 
         let mut evicted = 0usize;
-        for shard in &self.shards {
+        for (stripe, shard) in self.shards.iter().enumerate() {
             let mut s = shard.write();
             let before = s.entry_count();
-            s.friend_totals.retain(|i, _| !dirty.contains(i));
+            for &v in &dirty {
+                // Dense slots are stripe-local: only the owning stripe may
+                // clear, or we would wipe an unrelated node's slot.
+                if shard_of(v) == stripe {
+                    s.clear_friend_total(v);
+                }
+            }
             s.adjacent
                 .retain(|(_, i, j), _| !dirty.contains(i) && !dirty.contains(j));
             s.common_friends
@@ -477,7 +562,7 @@ impl SocialCoefficientCache {
         i: NodeId,
     ) -> f64 {
         let shard = &self.shards[shard_of(i)];
-        if let Some(&v) = shard.read().friend_totals.get(&i) {
+        if let Some(v) = shard.read().friend_total(i) {
             self.record_hit();
             return v;
         }
@@ -487,7 +572,7 @@ impl SocialCoefficientCache {
             .iter()
             .map(|&k| interactions.frequency(i, k))
             .sum();
-        shard.write().friend_totals.insert(i, v);
+        shard.write().set_friend_total(i, v);
         v
     }
 

@@ -12,13 +12,17 @@
 //! so the consumer can evict only the affected neighborhood instead of
 //! flushing every memoized coefficient.
 //!
-//! The log is deliberately *not* a journal of individual operations: it
-//! stores, per node, the epoch at which that node was last touched. That
-//! keeps memory bounded by the node count (repeated mutations of the same
-//! node collapse into one entry) while still answering "what changed since
-//! epoch `e`?" exactly, for any `e`, via a single scan.
-
-use std::collections::BTreeMap;
+//! The log is an epoch-ordered journal of `(node, last-touched-epoch)`
+//! entries. Re-touching a node tombstones its old slot and appends a fresh
+//! entry, so every node appears at most once *live*; an amortized
+//! compaction pass drops tombstones once they outnumber live entries,
+//! keeping memory bounded by the node count. Because the journal is sorted
+//! by epoch, "what changed since epoch `e`?" is a binary search plus a
+//! **borrowed** suffix slice — [`changes_since_ref`](DirtyLog::changes_since_ref)
+//! hands that slice out without cloning, and
+//! [`DirtyDeltaRef::nodes_in_range`] filters it to one snapshot shard's
+//! node range, which is how the sharded
+//! [`SnapshotStore`](crate::snapshot::SnapshotStore) routes dirt to shards.
 
 use serde::{Deserialize, Serialize};
 
@@ -74,19 +78,131 @@ impl DirtyDelta {
     }
 }
 
-/// Epoch counter plus per-node last-touched map (see module docs).
+/// One journal slot: `node` was last touched at `epoch`. Slots whose node
+/// was touched again later are *tombstones* ([`DirtyEntry::is_tombstone`])
+/// and must be skipped when enumerating dirty nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirtyEntry {
+    node: NodeId,
+    epoch: u64,
+}
+
+/// Sentinel marking a superseded journal slot. `u32::MAX` can never be a
+/// real node id (dense ids are allocated from 0 and the graph would
+/// exhaust memory long before 2³²−1 nodes).
+const TOMBSTONE: NodeId = NodeId(u32::MAX);
+
+impl DirtyEntry {
+    /// The touched node. Meaningless on tombstones.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The epoch this slot was written at.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether a later touch of the same node superseded this slot.
+    #[inline]
+    pub fn is_tombstone(&self) -> bool {
+        self.node == TOMBSTONE
+    }
+}
+
+/// A borrowed view of what changed since a consumer's sync epoch: the
+/// zero-copy counterpart of [`DirtyDelta`]. `Sparse` borrows the log's
+/// journal suffix instead of cloning the dirty set, so N consumers (or N
+/// snapshot shards) can each walk their slice of one delta without N
+/// allocations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirtyDeltaRef<'a> {
+    /// Nothing changed.
+    Clean,
+    /// A sparse set of nodes changed; enumerate them (deduplicated) with
+    /// [`DirtyDeltaRef::nodes`] or [`DirtyDeltaRef::nodes_in_range`].
+    Sparse {
+        /// The journal suffix written after the sync epoch. May contain
+        /// tombstones; the iterator helpers skip them.
+        entries: &'a [DirtyEntry],
+        /// See [`DirtyDelta::Sparse::structural`].
+        structural: bool,
+    },
+    /// Whole-state mutation; everything must be recomputed.
+    Full,
+}
+
+impl<'a> DirtyDeltaRef<'a> {
+    /// `true` when nothing changed since the sync epoch.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        matches!(self, DirtyDeltaRef::Clean)
+    }
+
+    /// Mirror of [`DirtyDelta::requires_rebuild`].
+    #[inline]
+    pub fn requires_rebuild(&self) -> bool {
+        match self {
+            DirtyDeltaRef::Clean => false,
+            DirtyDeltaRef::Sparse { structural, .. } => *structural,
+            DirtyDeltaRef::Full => true,
+        }
+    }
+
+    /// The dirty nodes (live journal entries), in touch order, without
+    /// duplicates. Empty for `Clean` and `Full`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + 'a {
+        let entries = match self {
+            DirtyDeltaRef::Sparse { entries, .. } => *entries,
+            _ => &[],
+        };
+        entries.iter().filter(|e| !e.is_tombstone()).map(|e| e.node)
+    }
+
+    /// The dirty nodes whose index falls in `[start, end)` — one snapshot
+    /// shard's borrowed slice of the delta. Zero-copy: every shard filters
+    /// the same journal suffix.
+    pub fn nodes_in_range(&self, start: usize, end: usize) -> impl Iterator<Item = NodeId> + 'a {
+        self.nodes()
+            .filter(move |v| (start..end).contains(&v.index()))
+    }
+
+    /// Materialize into the owning [`DirtyDelta`] (the legacy API shape).
+    pub fn to_delta(&self) -> DirtyDelta {
+        match self {
+            DirtyDeltaRef::Clean => DirtyDelta::Clean,
+            DirtyDeltaRef::Full => DirtyDelta::Full,
+            DirtyDeltaRef::Sparse { structural, .. } => DirtyDelta::Sparse {
+                nodes: self.nodes().collect(),
+                structural: *structural,
+            },
+        }
+    }
+}
+
+/// Epoch counter plus epoch-ordered touch journal (see module docs).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DirtyLog {
     /// Bumped by every mutation. `0` means "never mutated".
     epoch: u64,
-    /// `touched[v]` = epoch at which `v` was last touched.
-    touched: BTreeMap<NodeId, u64>,
+    /// Touch journal, ascending by epoch. A node's *latest* touch is its
+    /// only live slot; earlier slots are tombstones.
+    journal: Vec<DirtyEntry>,
+    /// Live (non-tombstone) entries in `journal`.
+    live: usize,
+    /// `slot_of[v]` = index of `v`'s live journal slot, or `u32::MAX`.
+    /// Dense per-node array (not a map): one `u32` per node ever touched.
+    slot_of: Vec<u32>,
     /// Epoch of the most recent *structural* mutation (edge add/remove).
     structural_epoch: u64,
     /// Epoch of the most recent whole-state mutation (e.g. `clear`).
     /// Consumers synced before this point must do a full recomputation.
     global_epoch: u64,
 }
+
+const NO_SLOT: u32 = u32::MAX;
 
 impl DirtyLog {
     /// A fresh log at epoch 0 with nothing dirty.
@@ -106,8 +222,20 @@ impl DirtyLog {
         self.epoch += 1;
         let e = self.epoch;
         for v in nodes {
-            self.touched.insert(v, e);
+            let i = v.index();
+            if i >= self.slot_of.len() {
+                self.slot_of.resize(i + 1, NO_SLOT);
+            }
+            let old = self.slot_of[i];
+            if old != NO_SLOT {
+                self.journal[old as usize].node = TOMBSTONE;
+                self.live -= 1;
+            }
+            self.slot_of[i] = self.journal.len() as u32;
+            self.journal.push(DirtyEntry { node: v, epoch: e });
+            self.live += 1;
         }
+        self.maybe_compact();
     }
 
     /// Record a structural mutation (edge add/remove) touching `nodes`.
@@ -117,35 +245,58 @@ impl DirtyLog {
     }
 
     /// Record a whole-state mutation: everything is dirty for every
-    /// consumer, and the per-node map can be dropped.
+    /// consumer, and the journal can be dropped (allocations are kept for
+    /// reuse).
     pub fn touch_all(&mut self) {
         self.epoch += 1;
         self.global_epoch = self.epoch;
-        self.touched.clear();
+        self.journal.clear();
+        self.live = 0;
+        self.slot_of.fill(NO_SLOT);
     }
 
-    /// What changed since a consumer's sync epoch `since`.
-    ///
-    /// Returns [`DirtyDelta::Full`] when a whole-state mutation happened
-    /// after `since`; otherwise the exact sparse set
-    /// `{v : last_touched(v) > since}`.
-    pub fn changes_since(&self, since: u64) -> DirtyDelta {
+    /// Drop tombstones once they outnumber live entries (amortized O(1)
+    /// per touch). Compaction is stable, so the journal stays
+    /// epoch-sorted, and it only runs from `&mut` mutators — borrowed
+    /// deltas handed out earlier are unaffected.
+    fn maybe_compact(&mut self) {
+        if self.journal.len() < 64 || self.journal.len() < self.live * 2 {
+            return;
+        }
+        self.journal.retain(|e| !e.is_tombstone());
+        for (idx, e) in self.journal.iter().enumerate() {
+            self.slot_of[e.node.index()] = idx as u32;
+        }
+    }
+
+    /// What changed since a consumer's sync epoch `since`, as a borrowed
+    /// view. Returns [`DirtyDeltaRef::Full`] when a whole-state mutation
+    /// happened after `since`; otherwise a borrowed journal suffix
+    /// covering exactly `{v : last_touched(v) > since}`.
+    pub fn changes_since_ref(&self, since: u64) -> DirtyDeltaRef<'_> {
         if since >= self.epoch {
-            return DirtyDelta::Clean;
+            return DirtyDeltaRef::Clean;
         }
         if since < self.global_epoch {
-            return DirtyDelta::Full;
+            return DirtyDeltaRef::Full;
         }
-        let nodes: Vec<NodeId> = self
-            .touched
-            .iter()
-            .filter(|(_, &e)| e > since)
-            .map(|(&v, _)| v)
-            .collect();
-        DirtyDelta::Sparse {
-            nodes,
+        let start = self.journal.partition_point(|e| e.epoch <= since);
+        DirtyDeltaRef::Sparse {
+            entries: &self.journal[start..],
             structural: self.structural_epoch > since,
         }
+    }
+
+    /// Owning variant of [`changes_since_ref`](Self::changes_since_ref),
+    /// kept for consumers that need to hold the delta across mutations.
+    pub fn changes_since(&self, since: u64) -> DirtyDelta {
+        self.changes_since_ref(since).to_delta()
+    }
+
+    /// Approximate heap bytes held by the log (journal + slot table).
+    pub fn bytes(&self) -> usize {
+        self.journal.capacity() * std::mem::size_of::<DirtyEntry>()
+            + self.slot_of.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -255,5 +406,76 @@ mod tests {
             DirtyDelta::Sparse { nodes, .. } => assert_eq!(nodes, vec![NodeId(4)]),
             other => panic!("expected sparse delta, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn borrowed_delta_matches_owning_delta() {
+        let mut log = DirtyLog::new();
+        log.touch([NodeId(3)]);
+        let mid = log.epoch();
+        log.touch_structural([NodeId(1), NodeId(3)]);
+        for since in [0, mid, log.epoch()] {
+            assert_eq!(
+                log.changes_since_ref(since).to_delta(),
+                log.changes_since(since)
+            );
+        }
+        // Re-touched node 3 appears once, at its newest epoch.
+        match log.changes_since_ref(0) {
+            DirtyDeltaRef::Sparse { structural, .. } => {
+                let nodes = sorted(log.changes_since_ref(0).nodes().collect());
+                assert_eq!(nodes, vec![NodeId(1), NodeId(3)]);
+                assert!(structural);
+            }
+            other => panic!("expected sparse ref, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_filter_slices_per_shard() {
+        let mut log = DirtyLog::new();
+        log.touch([NodeId(0), NodeId(5), NodeId(9), NodeId(12)]);
+        let delta = log.changes_since_ref(0);
+        let low: Vec<NodeId> = delta.nodes_in_range(0, 8).collect();
+        let high: Vec<NodeId> = delta.nodes_in_range(8, 16).collect();
+        assert_eq!(low, vec![NodeId(0), NodeId(5)]);
+        assert_eq!(high, vec![NodeId(9), NodeId(12)]);
+    }
+
+    #[test]
+    fn compaction_preserves_answers() {
+        let mut log = DirtyLog::new();
+        // Re-touch a small set far more often than the compaction
+        // threshold, so tombstone reclamation must trigger.
+        for round in 0..500u32 {
+            log.touch([NodeId(round % 5)]);
+        }
+        match log.changes_since(0) {
+            DirtyDelta::Sparse { nodes, .. } => {
+                assert_eq!(
+                    sorted(nodes),
+                    (0..5).map(NodeId).collect::<Vec<_>>(),
+                    "every node exactly once despite 500 touches"
+                );
+            }
+            other => panic!("expected sparse delta, got {other:?}"),
+        }
+        assert!(
+            log.bytes() < 64 * 1024,
+            "journal stays bounded by live count"
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_history() {
+        let mut log = DirtyLog::new();
+        log.touch([NodeId(1)]);
+        let mid = log.epoch();
+        log.touch_structural([NodeId(2)]);
+        let json = serde_json::to_string(&log).expect("serialize");
+        let back: DirtyLog = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.epoch(), log.epoch());
+        assert_eq!(back.changes_since(mid), log.changes_since(mid));
+        assert_eq!(back.changes_since(0), log.changes_since(0));
     }
 }

@@ -4,26 +4,18 @@
 //! Each edge carries a list of [`Relationship`]s; `m(i,j)` in Equation (2)
 //! is the length of that list. Neighbor lists are kept sorted so that common
 //! friends (needed by Equation (3)) can be computed by a linear merge.
+//!
+//! Storage is deliberately map-free on the hot path: adjacency is a sorted
+//! `u32`-id slice per node with a *parallel* edge-id slice, and the
+//! relationship lists live in an id-indexed arena with a free list. Looking
+//! up `relationships(a, b)` is one binary search on `a`'s row — no hashing,
+//! no `(a, b)` key materialization — and the whole structure is a handful
+//! of flat `Vec`s whose footprint [`SocialGraph::bytes`] can account for
+//! exactly.
 
-use std::collections::HashMap;
-
-use crate::dirty::{DirtyDelta, DirtyLog};
+use crate::dirty::{DirtyDelta, DirtyDeltaRef, DirtyLog};
 use crate::relationship::Relationship;
 use crate::NodeId;
-
-/// Canonical (unordered) edge key: the smaller node id first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct EdgeKey(NodeId, NodeId);
-
-impl EdgeKey {
-    fn new(a: NodeId, b: NodeId) -> Self {
-        if a <= b {
-            EdgeKey(a, b)
-        } else {
-            EdgeKey(b, a)
-        }
-    }
-}
 
 /// An undirected social graph over dense node ids `0..n`.
 ///
@@ -38,8 +30,16 @@ impl EdgeKey {
 /// relationship to an existing edge extends that edge's relationship list).
 #[derive(Debug, Clone, Default)]
 pub struct SocialGraph {
+    /// Sorted neighbor ids per node.
     adj: Vec<Vec<NodeId>>,
-    rels: HashMap<EdgeKey, Vec<Relationship>>,
+    /// Edge ids parallel to `adj`: `adj_edge[v][k]` indexes the
+    /// relationship list of the edge `(v, adj[v][k])` in `edge_rels`.
+    adj_edge: Vec<Vec<u32>>,
+    /// Relationship lists by edge id. Slots of removed edges are emptied
+    /// and recycled through `free_edges`.
+    edge_rels: Vec<Vec<Relationship>>,
+    /// Recycled edge-id slots.
+    free_edges: Vec<u32>,
     edge_count: usize,
     dirty: DirtyLog,
 }
@@ -49,7 +49,9 @@ impl SocialGraph {
     pub fn new(n: usize) -> Self {
         SocialGraph {
             adj: vec![Vec::new(); n],
-            rels: HashMap::new(),
+            adj_edge: vec![Vec::new(); n],
+            edge_rels: Vec::new(),
+            free_edges: Vec::new(),
             edge_count: 0,
             dirty: DirtyLog::new(),
         }
@@ -94,10 +96,19 @@ impl SocialGraph {
         self.dirty.changes_since(since)
     }
 
+    /// Borrowed, zero-copy variant of
+    /// [`changes_since`](Self::changes_since); see
+    /// [`DirtyLog::changes_since_ref`].
+    #[inline]
+    pub fn changes_since_ref(&self, since: u64) -> DirtyDeltaRef<'_> {
+        self.dirty.changes_since_ref(since)
+    }
+
     /// Append a new isolated node, returning its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId::from(self.adj.len());
         self.adj.push(Vec::new());
+        self.adj_edge.push(Vec::new());
         // A new node is isolated: it cannot change any existing adjacency,
         // common-friend set, or shortest path, so only the node itself is
         // marked dirty (non-structurally).
@@ -119,6 +130,15 @@ impl SocialGraph {
         );
     }
 
+    /// The edge id of `(a, b)`, if adjacent.
+    #[inline]
+    fn edge_of(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        self.adj[a.index()]
+            .binary_search(&b)
+            .ok()
+            .map(|pos| self.adj_edge[a.index()][pos])
+    }
+
     /// Add one relationship between `a` and `b`, creating the edge if it
     /// does not exist yet.
     ///
@@ -129,20 +149,32 @@ impl SocialGraph {
         assert!(a != b, "self-relationship on {a} is not allowed");
         self.check_node(a);
         self.check_node(b);
-        let key = EdgeKey::new(a, b);
-        let list = self.rels.entry(key).or_default();
-        if list.is_empty() {
-            // New edge: insert into both sorted neighbor lists.
-            let insert_sorted = |v: &mut Vec<NodeId>, x: NodeId| {
-                if let Err(pos) = v.binary_search(&x) {
-                    v.insert(pos, x);
-                }
-            };
-            insert_sorted(&mut self.adj[a.index()], b);
-            insert_sorted(&mut self.adj[b.index()], a);
-            self.edge_count += 1;
+        match self.adj[a.index()].binary_search(&b) {
+            Ok(pos) => {
+                let e = self.adj_edge[a.index()][pos];
+                self.edge_rels[e as usize].push(rel);
+            }
+            Err(pos) => {
+                let e = match self.free_edges.pop() {
+                    Some(e) => {
+                        self.edge_rels[e as usize].push(rel);
+                        e
+                    }
+                    None => {
+                        self.edge_rels.push(vec![rel]);
+                        (self.edge_rels.len() - 1) as u32
+                    }
+                };
+                self.adj[a.index()].insert(pos, b);
+                self.adj_edge[a.index()].insert(pos, e);
+                let pos_b = self.adj[b.index()]
+                    .binary_search(&a)
+                    .expect_err("edge must be absent from both rows");
+                self.adj[b.index()].insert(pos_b, a);
+                self.adj_edge[b.index()].insert(pos_b, e);
+                self.edge_count += 1;
+            }
         }
-        list.push(rel);
         self.dirty.touch_structural([a, b]);
     }
 
@@ -152,21 +184,22 @@ impl SocialGraph {
     pub fn remove_edge(&mut self, a: NodeId, b: NodeId) -> Vec<Relationship> {
         self.check_node(a);
         self.check_node(b);
-        let key = EdgeKey::new(a, b);
-        match self.rels.remove(&key) {
-            Some(list) => {
-                let remove_sorted = |v: &mut Vec<NodeId>, x: NodeId| {
-                    if let Ok(pos) = v.binary_search(&x) {
-                        v.remove(pos);
-                    }
-                };
-                remove_sorted(&mut self.adj[a.index()], b);
-                remove_sorted(&mut self.adj[b.index()], a);
+        match self.adj[a.index()].binary_search(&b) {
+            Ok(pos) => {
+                let e = self.adj_edge[a.index()][pos];
+                self.adj[a.index()].remove(pos);
+                self.adj_edge[a.index()].remove(pos);
+                let pos_b = self.adj[b.index()]
+                    .binary_search(&a)
+                    .expect("edge must be present in both rows");
+                self.adj[b.index()].remove(pos_b);
+                self.adj_edge[b.index()].remove(pos_b);
                 self.edge_count -= 1;
                 self.dirty.touch_structural([a, b]);
-                list
+                self.free_edges.push(e);
+                std::mem::take(&mut self.edge_rels[e as usize])
             }
-            None => Vec::new(),
+            Err(_) => Vec::new(),
         }
     }
 
@@ -198,10 +231,10 @@ impl SocialGraph {
     pub fn relationships(&self, a: NodeId, b: NodeId) -> &[Relationship] {
         self.check_node(a);
         self.check_node(b);
-        self.rels
-            .get(&EdgeKey::new(a, b))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        match self.edge_of(a, b) {
+            Some(e) => self.edge_rels[e as usize].as_slice(),
+            None => &[],
+        }
     }
 
     /// `m(i,j)`: the number of social relationships between `a` and `b`
@@ -234,9 +267,36 @@ impl SocialGraph {
         out
     }
 
-    /// Iterator over all edges as `(a, b, relationships)` with `a < b`.
+    /// Iterator over all edges as `(a, b, relationships)` with `a < b`, in
+    /// ascending `(a, b)` order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, &[Relationship])> + '_ {
-        self.rels.iter().map(|(k, v)| (k.0, k.1, v.as_slice()))
+        (0..self.adj.len()).flat_map(move |i| {
+            let a = NodeId::from(i);
+            self.adj[i]
+                .iter()
+                .zip(&self.adj_edge[i])
+                .filter(move |&(&b, _)| a < b)
+                .map(move |(&b, &e)| (a, b, self.edge_rels[e as usize].as_slice()))
+        })
+    }
+
+    /// Approximate heap bytes held by the graph: adjacency rows, edge-id
+    /// rows, the relationship arena, and the dirty log.
+    pub fn bytes(&self) -> usize {
+        let mut total = self.adj.capacity() * std::mem::size_of::<Vec<NodeId>>()
+            + self.adj_edge.capacity() * std::mem::size_of::<Vec<u32>>()
+            + self.edge_rels.capacity() * std::mem::size_of::<Vec<Relationship>>()
+            + self.free_edges.capacity() * std::mem::size_of::<u32>();
+        for row in &self.adj {
+            total += row.capacity() * std::mem::size_of::<NodeId>();
+        }
+        for row in &self.adj_edge {
+            total += row.capacity() * std::mem::size_of::<u32>();
+        }
+        for rels in &self.edge_rels {
+            total += rels.capacity() * std::mem::size_of::<Relationship>();
+        }
+        total + self.dirty.bytes()
     }
 }
 
@@ -357,6 +417,27 @@ mod tests {
     }
 
     #[test]
+    fn removed_edge_slot_is_recycled() {
+        let mut g = SocialGraph::new(4);
+        g.add_relationship(NodeId(0), NodeId(1), Relationship::friendship());
+        g.add_relationship(NodeId(2), NodeId(3), Relationship::kinship());
+        g.remove_edge(NodeId(0), NodeId(1));
+        // The freed id is reused; the arena does not grow.
+        g.add_relationship(NodeId(1), NodeId(2), Relationship::colleague());
+        assert_eq!(g.edge_rels.len(), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(
+            g.relationships(NodeId(1), NodeId(2))[0].kind,
+            RelationshipKind::Colleague
+        );
+        assert_eq!(
+            g.relationships(NodeId(2), NodeId(3))[0].kind,
+            RelationshipKind::Kinship
+        );
+        assert!(g.relationships(NodeId(0), NodeId(1)).is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "self-relationship")]
     fn self_loop_rejected() {
         let mut g = SocialGraph::new(2);
@@ -438,5 +519,15 @@ mod tests {
                 (NodeId(1), NodeId(2))
             ]
         );
+    }
+
+    #[test]
+    fn bytes_accounts_for_growth() {
+        let empty = SocialGraph::new(0).bytes();
+        let mut g = SocialGraph::new(1000);
+        for v in 1..1000u32 {
+            g.add_relationship(NodeId(0), NodeId(v), Relationship::friendship());
+        }
+        assert!(g.bytes() > empty);
     }
 }

@@ -6,13 +6,46 @@
 //! directed interaction frequency `f(i,j)` by node `i`'s total outgoing
 //! interactions `Σ_k f(i,k)`; this makes closeness expensive to fake —
 //! inflating one edge deflates every other edge of the same rater.
-
-use std::collections::BTreeMap;
+//!
+//! Rows are stored as sorted id/value slice pairs rather than per-node
+//! `BTreeMap`s: a frequency probe is one binary search over a contiguous
+//! `u32` slice, iteration is ascending by construction, and the whole
+//! tracker is flat `Vec`s that [`InteractionTracker::bytes`] can account
+//! for exactly.
 
 use serde::{Deserialize, Serialize};
 
-use crate::dirty::{DirtyDelta, DirtyLog};
+use crate::dirty::{DirtyDelta, DirtyDeltaRef, DirtyLog};
 use crate::NodeId;
+
+/// One node's outgoing frequencies: `ids` sorted ascending, `vals`
+/// parallel to it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct SparseRow {
+    ids: Vec<NodeId>,
+    vals: Vec<f64>,
+}
+
+impl SparseRow {
+    #[inline]
+    fn get(&self, to: NodeId) -> f64 {
+        match self.ids.binary_search(&to) {
+            Ok(pos) => self.vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, to: NodeId, amount: f64) {
+        match self.ids.binary_search(&to) {
+            Ok(pos) => self.vals[pos] += amount,
+            Err(pos) => {
+                self.ids.insert(pos, to);
+                self.vals.insert(pos, amount);
+            }
+        }
+    }
+}
 
 /// Tracks directed interaction frequencies `f(i,j)` between nodes.
 ///
@@ -20,8 +53,8 @@ use crate::NodeId;
 /// rates (e.g. interactions per month, as in the Overstock trace).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InteractionTracker {
-    /// `counts[i][j] = f(i, j)`.
-    counts: Vec<BTreeMap<NodeId, f64>>,
+    /// `rows[i]` holds `f(i, ·)` as a sorted id/value pair of slices.
+    rows: Vec<SparseRow>,
     /// `totals[i] = Σ_k f(i, k)` (kept incrementally to avoid rescans).
     totals: Vec<f64>,
     /// Epoch + per-node dirty log (see [`InteractionTracker::generation`]).
@@ -34,7 +67,7 @@ impl InteractionTracker {
     /// A tracker for `n` nodes with all frequencies zero.
     pub fn new(n: usize) -> Self {
         InteractionTracker {
-            counts: vec![BTreeMap::new(); n],
+            rows: vec![SparseRow::default(); n],
             totals: vec![0.0; n],
             dirty: DirtyLog::new(),
         }
@@ -73,11 +106,19 @@ impl InteractionTracker {
         self.dirty.changes_since(since)
     }
 
+    /// Borrowed, zero-copy variant of
+    /// [`changes_since`](Self::changes_since); see
+    /// [`DirtyLog::changes_since_ref`].
+    #[inline]
+    pub fn changes_since_ref(&self, since: u64) -> DirtyDeltaRef<'_> {
+        self.dirty.changes_since_ref(since)
+    }
+
     /// Grow the tracker to cover at least `n` nodes.
     pub fn ensure_nodes(&mut self, n: usize) {
         let old = self.totals.len();
         if n > old {
-            self.counts.resize(n, BTreeMap::new());
+            self.rows.resize(n, SparseRow::default());
             self.totals.resize(n, 0.0);
             // New nodes start with zero frequencies, so they cannot change
             // any existing value — but consumers indexing per-node state
@@ -100,7 +141,7 @@ impl InteractionTracker {
             from.index() < self.totals.len() && to.index() < self.totals.len(),
             "node out of range"
         );
-        *self.counts[from.index()].entry(to).or_insert(0.0) += amount;
+        self.rows[from.index()].add(to, amount);
         self.totals[from.index()] += amount;
         // Only `from` is dirtied: closeness reads interaction data solely
         // through f(from, ·) and the outgoing total of `from`.
@@ -110,10 +151,9 @@ impl InteractionTracker {
     /// The directed frequency `f(from, to)`.
     #[inline]
     pub fn frequency(&self, from: NodeId, to: NodeId) -> f64 {
-        self.counts
+        self.rows
             .get(from.index())
-            .and_then(|m| m.get(&to))
-            .copied()
+            .map(|r| r.get(to))
             .unwrap_or(0.0)
     }
 
@@ -135,18 +175,20 @@ impl InteractionTracker {
     }
 
     /// Iterate over `(to, f(from,to))` pairs for a given `from` node, in
-    /// unspecified order.
+    /// ascending `to` order.
     pub fn outgoing(&self, from: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
-        self.counts
+        self.rows
             .get(from.index())
             .into_iter()
-            .flat_map(|m| m.iter().map(|(&k, &v)| (k, v)))
+            .flat_map(|r| r.ids.iter().copied().zip(r.vals.iter().copied()))
     }
 
-    /// Reset all frequencies to zero, keeping the node count.
+    /// Reset all frequencies to zero, keeping the node count (and the row
+    /// allocations, which refill quickly in steady state).
     pub fn clear(&mut self) {
-        for m in &mut self.counts {
-            m.clear();
+        for r in &mut self.rows {
+            r.ids.clear();
+            r.vals.clear();
         }
         for t in &mut self.totals {
             *t = 0.0;
@@ -154,6 +196,18 @@ impl InteractionTracker {
         // Every node's frequencies changed at once; cheaper to declare a
         // whole-state mutation than to enumerate all nodes.
         self.dirty.touch_all();
+    }
+
+    /// Approximate heap bytes held by the tracker (rows, totals, dirty
+    /// log).
+    pub fn bytes(&self) -> usize {
+        let mut total = self.rows.capacity() * std::mem::size_of::<SparseRow>()
+            + self.totals.capacity() * std::mem::size_of::<f64>();
+        for r in &self.rows {
+            total += r.ids.capacity() * std::mem::size_of::<NodeId>()
+                + r.vals.capacity() * std::mem::size_of::<f64>();
+        }
+        total + self.dirty.bytes()
     }
 }
 
@@ -226,12 +280,11 @@ mod tests {
     }
 
     #[test]
-    fn outgoing_iterates_pairs() {
+    fn outgoing_iterates_pairs_ascending() {
         let mut t = InteractionTracker::new(3);
-        t.record(NodeId(0), NodeId(1), 1.0);
         t.record(NodeId(0), NodeId(2), 2.0);
-        let mut pairs: Vec<(NodeId, f64)> = t.outgoing(NodeId(0)).collect();
-        pairs.sort_by_key(|(n, _)| *n);
+        t.record(NodeId(0), NodeId(1), 1.0);
+        let pairs: Vec<(NodeId, f64)> = t.outgoing(NodeId(0)).collect();
         assert_eq!(pairs, vec![(NodeId(1), 1.0), (NodeId(2), 2.0)]);
     }
 
@@ -285,6 +338,16 @@ mod tests {
         assert_eq!(back.node_count(), 3);
         assert_eq!(back.frequency(NodeId(0), NodeId(1)), 2.5);
         assert_eq!(back.total_outgoing(NodeId(2)), 1.0);
+    }
+
+    #[test]
+    fn bytes_accounts_for_rows() {
+        let mut t = InteractionTracker::new(100);
+        let empty = t.bytes();
+        for j in 1..100u32 {
+            t.record(NodeId(0), NodeId(j), 1.0);
+        }
+        assert!(t.bytes() > empty);
     }
 
     #[test]

@@ -1,59 +1,75 @@
-//! Immutable, epoch-stamped CSR snapshot of the social substrate, with
-//! batched single-source closeness kernels and bitset interest similarity.
+//! Immutable, epoch-stamped CSR snapshot of the social substrate,
+//! partitioned into node-range shards, with batched single-source
+//! closeness kernels and bitset interest similarity.
 //!
 //! The detection pipeline and the Gaussian rescaling layer are
 //! read-dominated: each cycle evaluates `Ωc(i,j)` and `Ωs(i,j)` for
 //! thousands of (rater, ratee) pairs against a graph that mutates only
 //! sparsely between cycles. Serving those reads straight from
 //! [`SocialGraph`] means pointer-chasing `Vec<Vec<NodeId>>` adjacency, a
-//! `BTreeMap` probe per interaction frequency, and one full BFS per
+//! sorted-row probe per interaction frequency, and one full BFS per
 //! non-adjacent pair. [`GraphSnapshot`] freezes everything the closeness
 //! and similarity equations consume into flat arrays:
 //!
-//! * **CSR adjacency** — `offsets`/`neighbors` with *edge-parallel* arrays:
-//!   the interaction frequency `f(i,j)` and the Eq. (2)/(10) relationship
+//! * **Sharded CSR adjacency** — the node range `0..n` is split into P
+//!   contiguous shards ([`CsrShard`]); each holds its own
+//!   `offsets`/`neighbors` slab with *edge-parallel* arrays: the
+//!   interaction frequency `f(i,j)` and the Eq. (2)/(10) relationship
 //!   numerator per edge slot, plus the per-node denominator
 //!   `Σ_{k∈S_i} f(i,k)`. Adjacent closeness becomes one multiply-divide;
-//!   common friends (Eq. (3)) an allocation-free sorted-slice intersection.
+//!   common friends (Eq. (3)) an allocation-free sorted-slice
+//!   intersection. Shards are `Arc`-shared between snapshot generations:
+//!   a refresh clones only the shards it touches.
 //! * **Batched Eq. (4)** — one capped BFS per rater serves *all* of its
 //!   path-fallback ratees from a single traversal
 //!   ([`GraphSnapshot::closeness_to_all`]), on reusable
 //!   [`BfsScratch`](crate::distance::BfsScratch) buffers.
-//! * **Interned interest bitsets** — fixed-width `u64` blocks per node;
-//!   Eq. (1)/(7) overlap is AND + popcount, Eq. (11) walks the AND mask's
-//!   set bits against per-node request-weight rows.
+//! * **Interned interest bitsets** — fixed-width `u64` blocks per node,
+//!   global across shards (profiles have no shard locality); Eq. (1)/(7)
+//!   overlap is AND + popcount, Eq. (11) walks the AND mask's set bits
+//!   against per-node request-weight rows.
 //!
 //! Every kernel reproduces the corresponding live-path computation
 //! **bit-for-bit** (same floating-point evaluation order as
 //! [`ClosenessModel`](crate::closeness::ClosenessModel) and the
-//! [`crate::interest`] free functions); the property tests in
-//! `tests/properties.rs` drive random mutation/rebuild interleavings to
-//! prove it.
+//! [`crate::interest`] free functions), *independent of the shard count*:
+//! all arithmetic is per-row or walks rows through the same accessor, so
+//! shard boundaries never change an evaluation order. The property tests
+//! in `tests/properties.rs` drive random mutation/refresh interleavings
+//! across P ∈ {1, 2, 8} to prove it.
 //!
 //! # Epoch semantics and refresh
 //!
 //! A snapshot is stamped with the graph epoch, interaction epoch, and a
 //! caller-supplied profiles version, plus the [`ClosenessConfig`] whose
 //! numerators are baked into its edge slots. [`SnapshotStore`] keeps the
-//! most recent snapshot and refreshes it from
-//! [`DirtyLog::changes_since`](crate::dirty::DirtyLog::changes_since)
-//! deltas: interaction-only dirt patches just the dirty rows' frequency
-//! slots and denominators; any structural change (edge add/remove,
-//! whole-state reset) or config switch forces a full rebuild (and emits a
-//! `snapshot_rebuild` telemetry event carrying the dirty-node count).
-//! Consumers that hold one `Arc<GraphSnapshot>` for a whole cycle are
-//! guaranteed a frozen, mutually consistent view — no lock traffic, no
-//! mid-cycle epoch drift.
+//! most recent snapshot and refreshes it from borrowed
+//! [`DirtyLog::changes_since_ref`](crate::dirty::DirtyLog::changes_since_ref)
+//! deltas, routed per shard:
+//!
+//! * interaction-only dirt repatches just the dirty rows' frequency slots
+//!   and denominators, inside the owning shard only;
+//! * structural churn (edge add/remove) rebuilds **only the shards owning
+//!   a dirty endpoint** — sound because an edge mutation rewrites exactly
+//!   its two endpoints' adjacency rows, and both endpoints are in the
+//!   dirty set — and repatches interaction dirt in the surviving shards;
+//! * a whole-state flush or config switch rebuilds every shard (fanned
+//!   out over rayon).
+//!
+//! Rebuild refreshes emit a `snapshot_rebuild` telemetry event carrying
+//! the dirty-node count. Consumers that hold one `Arc<GraphSnapshot>` for
+//! a whole cycle are guaranteed a frozen, mutually consistent view — no
+//! lock traffic, no mid-cycle epoch drift.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::RwLock;
-use socialtrust_telemetry::{Counter, Event, EventSink, Histogram, Telemetry};
+use socialtrust_telemetry::{Counter, Event, EventSink, Gauge, Histogram, Telemetry};
 
 use crate::closeness::ClosenessConfig;
-use crate::dirty::DirtyDelta;
+use crate::dirty::DirtyDeltaRef;
 use crate::distance::{with_thread_scratch, BfsScratch};
 use crate::graph::SocialGraph;
 use crate::interaction::InteractionTracker;
@@ -61,40 +77,125 @@ use crate::interest::InterestProfile;
 use crate::relationship::weighted_relationship_sum;
 use crate::NodeId;
 
-/// An immutable CSR view of graph + interactions + interest profiles,
-/// valid for (and stamped with) one epoch triple and one
-/// [`ClosenessConfig`].
-///
-/// Build one with [`GraphSnapshot::build`], or let a [`SnapshotStore`]
-/// manage refreshes. All query methods take `&self` and are safe to share
-/// across rayon workers (`Arc<GraphSnapshot>` is `Send + Sync`).
-#[derive(Debug, Clone)]
-pub struct GraphSnapshot {
-    graph_epoch: u64,
-    interaction_epoch: u64,
-    profiles_version: u64,
-    config: ClosenessConfig,
-    /// Number of nodes (CSR rows).
-    n: usize,
+/// Node count one shard aims to cover under the default (adaptive) shard
+/// policy. Small graphs stay single-shard; a 1M-node graph splits into
+/// [`MAX_SHARDS`] ranges of ~16k rows, so structural churn touching a few
+/// endpoints rebuilds ~1/64th of the CSR instead of all of it.
+const SHARD_TARGET_NODES: usize = 8192;
+/// Upper bound on the adaptive shard count.
+const MAX_SHARDS: usize = 64;
 
-    /// CSR row boundaries: node `i`'s neighbors live in slots
-    /// `offsets[i]..offsets[i+1]`.
+/// Default shard count for an `n`-node snapshot: deterministic (no
+/// dependence on machine parallelism), one shard per
+/// [`SHARD_TARGET_NODES`] rows, clamped to `1..=`[`MAX_SHARDS`].
+pub fn default_shard_count(n: usize) -> usize {
+    (n / SHARD_TARGET_NODES).clamp(1, MAX_SHARDS)
+}
+
+/// One contiguous node range's CSR slab: rows `start..start+len` with
+/// *local* offsets (row `i` of the snapshot is row `i - start` here).
+#[derive(Debug, Clone)]
+struct CsrShard {
+    /// First global node id covered by this shard.
+    start: usize,
+    /// Local row boundaries: row `li`'s slots are
+    /// `offsets[li]..offsets[li+1]`. Length is `len + 1`.
     offsets: Vec<u32>,
-    /// Neighbor ids per slot, ascending within each row (mirrors
-    /// [`SocialGraph::neighbors`] order, which the equations' sums follow).
+    /// Neighbor ids (global) per slot, ascending within each row.
     neighbors: Vec<u32>,
     /// Edge-parallel `f(i, neighbors[slot])`.
     freq: Vec<f64>,
-    /// Edge-parallel Eq. (2)/(10) numerator for the owning row's direction
-    /// (relationship count, or the λ-decayed weighted sum floored at 1).
-    /// Relationships are per-edge, so the value is identical for both
-    /// directions, but it is stored per slot to keep the kernels branchless.
+    /// Edge-parallel Eq. (2)/(10) numerator for the owning row's
+    /// direction. Relationships are per-edge, so the value is identical
+    /// for both directions, but it is stored per slot to keep the kernels
+    /// branchless.
     numerator: Vec<f64>,
-    /// `Σ_{k ∈ S_i} f(i,k)` per node — the Eq. (2)/(10) denominator,
+    /// `Σ_{k ∈ S_i} f(i,k)` per local row — the Eq. (2)/(10) denominator,
     /// accumulated over the row in neighbor order.
     friend_total: Vec<f64>,
+}
 
-    /// Width of each interest bitset row, in `u64` words.
+impl CsrShard {
+    /// Build the slab for rows `start..end` from live structures. The
+    /// per-row loop is identical to the historical unsharded build, so
+    /// the arrays are bit-for-bit what a single-slab build would hold in
+    /// this range.
+    fn build(
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        config: ClosenessConfig,
+        start: usize,
+        end: usize,
+    ) -> CsrShard {
+        let len = end - start;
+        let mut offsets = Vec::with_capacity(len + 1);
+        let mut neighbors = Vec::new();
+        let mut freq = Vec::new();
+        let mut numerator = Vec::new();
+        let mut friend_total = Vec::with_capacity(len);
+        offsets.push(0u32);
+        for i in start..end {
+            let v = NodeId::from(i);
+            let mut total = 0.0;
+            for &w in graph.neighbors(v) {
+                let f = interactions.frequency(v, w);
+                neighbors.push(w.0);
+                freq.push(f);
+                numerator.push(edge_numerator(graph.relationships(v, w), config));
+                total += f;
+            }
+            friend_total.push(total);
+            offsets.push(neighbors.len() as u32);
+        }
+        CsrShard {
+            start,
+            offsets,
+            neighbors,
+            freq,
+            numerator,
+            friend_total,
+        }
+    }
+
+    /// Eq. (2)/(10) value for the edge at `slot` of local row `li`.
+    #[inline]
+    fn value_at(&self, li: usize, slot: usize) -> f64 {
+        let total = self.friend_total[li];
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.numerator[slot] * self.freq[slot] / total
+    }
+
+    /// Repatch local row `li`'s frequency slots and denominator from the
+    /// live tracker (the interaction-dirt fast path).
+    fn patch_row(&mut self, li: usize, v: NodeId, interactions: &InteractionTracker) {
+        let (s, e) = (self.offsets[li] as usize, self.offsets[li + 1] as usize);
+        let mut total = 0.0;
+        for slot in s..e {
+            let f = interactions.frequency(v, NodeId(self.neighbors[slot]));
+            self.freq[slot] = f;
+            total += f;
+        }
+        self.friend_total[li] = total;
+    }
+
+    /// Heap bytes held by the slab.
+    fn bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.neighbors.capacity() * std::mem::size_of::<u32>()
+            + self.freq.capacity() * std::mem::size_of::<f64>()
+            + self.numerator.capacity() * std::mem::size_of::<f64>()
+            + self.friend_total.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// The interned interest tables, global across shards (interest overlap
+/// has no node-range locality and rebuilds only on a profiles-version
+/// bump, so sharding it would buy nothing).
+#[derive(Debug, Clone, Default)]
+struct InterestTables {
+    /// Width of each bitset row, in `u64` words.
     words: usize,
     /// Declared interest bitsets, `n × words` (Eq. (1)/(7)).
     declared_bits: Vec<u64>,
@@ -111,6 +212,86 @@ pub struct GraphSnapshot {
     eff_weights: Vec<f64>,
 }
 
+impl InterestTables {
+    /// Intern `profiles` for `n` nodes. Nodes past `profiles.len()` get
+    /// empty rows.
+    fn build(n: usize, profiles: &[InterestProfile]) -> InterestTables {
+        let mut t = InterestTables::default();
+        t.eff_offsets.push(0);
+        let mut universe = 0usize;
+        for i in 0..n {
+            match profiles.get(i) {
+                Some(p) => {
+                    for (id, w) in p.effective_weights() {
+                        t.eff_ids.push(id.0);
+                        t.eff_weights.push(w);
+                        universe = universe.max(id.0 as usize + 1);
+                    }
+                    t.declared_len.push(p.declared().len() as u32);
+                }
+                None => t.declared_len.push(0),
+            }
+            t.eff_offsets.push(t.eff_ids.len() as u32);
+        }
+        let words = universe.div_ceil(64);
+        t.words = words;
+        t.declared_bits.resize(n * words, 0);
+        t.effective_bits.resize(n * words, 0);
+        for i in 0..n {
+            if let Some(p) = profiles.get(i) {
+                for id in p.declared().as_slice() {
+                    t.declared_bits[i * words + (id.0 as usize >> 6)] |= 1u64 << (id.0 & 63);
+                }
+            }
+            let (start, end) = (t.eff_offsets[i] as usize, t.eff_offsets[i + 1] as usize);
+            for &id in &t.eff_ids[start..end] {
+                t.effective_bits[i * words + (id as usize >> 6)] |= 1u64 << (id & 63);
+            }
+        }
+        t
+    }
+
+    /// Heap bytes held by the tables.
+    fn bytes(&self) -> usize {
+        self.declared_bits.capacity() * 8
+            + self.effective_bits.capacity() * 8
+            + self.declared_len.capacity() * 4
+            + self.eff_offsets.capacity() * 4
+            + self.eff_ids.capacity() * 2
+            + self.eff_weights.capacity() * 8
+    }
+}
+
+/// An immutable, shard-partitioned CSR view of graph + interactions +
+/// interest profiles, valid for (and stamped with) one epoch triple and
+/// one [`ClosenessConfig`].
+///
+/// Build one with [`GraphSnapshot::build`] (adaptive shard count) or
+/// [`GraphSnapshot::build_with_shards`], or let a [`SnapshotStore`]
+/// manage refreshes. All query methods take `&self` and are safe to share
+/// across rayon workers (`Arc<GraphSnapshot>` is `Send + Sync`). Query
+/// results are bit-for-bit identical across shard counts.
+#[derive(Debug, Clone)]
+pub struct GraphSnapshot {
+    graph_epoch: u64,
+    interaction_epoch: u64,
+    profiles_version: u64,
+    config: ClosenessConfig,
+    /// Number of nodes (CSR rows across all shards).
+    n: usize,
+    /// Nodes per shard at build time; the *last* shard absorbs the
+    /// remainder and any nodes added after the build, so
+    /// `shard index = min(i / shard_size, P-1)`.
+    shard_size: usize,
+    /// The P node-range slabs. `Arc`-shared with the previous snapshot
+    /// generation: a refresh clones only the shards it mutates, so
+    /// untouched slabs cost one refcount, not one copy.
+    shards: Vec<Arc<CsrShard>>,
+    /// Interest tables, shared across generations until a
+    /// profiles-version bump (or node growth) rebuilds them.
+    interest: Arc<InterestTables>,
+}
+
 /// What a [`SnapshotStore`] refresh did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RefreshOutcome {
@@ -121,10 +302,13 @@ pub enum RefreshOutcome {
         /// Number of CSR rows whose interaction slots were repatched.
         rows: usize,
     },
-    /// A full rebuild. `structural_dirty` is `Some(count)` when a
-    /// structural flush (edge add/remove or whole-state graph reset)
-    /// forced it, carrying the dirty-node count the log reported — this is
-    /// the case that emits an [`Event::SnapshotRebuild`].
+    /// A rebuild. `structural_dirty` is `Some(count)` when a structural
+    /// flush (edge add/remove or whole-state graph reset) forced it,
+    /// carrying the dirty-node count the log reported — this is the case
+    /// that emits an [`Event::SnapshotRebuild`]. Under sharding a
+    /// structural rebuild reconstructs only the shards owning dirty
+    /// endpoints; the remaining slabs are reused (and interaction-patched
+    /// if needed).
     Rebuilt {
         /// Dirty-node count when the rebuild was forced by graph
         /// structure; `None` for config switches and interaction resets.
@@ -134,7 +318,8 @@ pub enum RefreshOutcome {
 
 impl GraphSnapshot {
     /// Build a snapshot of the current state of `graph`, `interactions`,
-    /// and `profiles`, baking in `config`'s Eq. (2)/(10) numerators.
+    /// and `profiles`, baking in `config`'s Eq. (2)/(10) numerators, with
+    /// the [`default_shard_count`] for the graph's size.
     ///
     /// `profiles_version` is a caller-maintained counter stamped into the
     /// snapshot (interest profiles carry no dirty log of their own); bump
@@ -147,54 +332,55 @@ impl GraphSnapshot {
         profiles_version: u64,
         config: ClosenessConfig,
     ) -> GraphSnapshot {
+        Self::build_with_shards(
+            graph,
+            interactions,
+            profiles,
+            profiles_version,
+            config,
+            default_shard_count(graph.node_count()),
+        )
+    }
+
+    /// [`GraphSnapshot::build`] with an explicit shard count `p ≥ 1`.
+    /// Shards cover contiguous node ranges of `ceil(n / p)` rows each;
+    /// construction fans out one rayon task per shard.
+    pub fn build_with_shards(
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        profiles: &[InterestProfile],
+        profiles_version: u64,
+        config: ClosenessConfig,
+        p: usize,
+    ) -> GraphSnapshot {
+        use rayon::prelude::*;
         let n = graph.node_count();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut neighbors = Vec::new();
-        let mut freq = Vec::new();
-        let mut numerator = Vec::new();
-        let mut friend_total = Vec::with_capacity(n);
-        offsets.push(0u32);
-        for i in 0..n {
-            let v = NodeId::from(i);
-            let mut total = 0.0;
-            for &w in graph.neighbors(v) {
-                let f = interactions.frequency(v, w);
-                neighbors.push(w.0);
-                freq.push(f);
-                numerator.push(edge_numerator(graph.relationships(v, w), config));
-                total += f;
-            }
-            friend_total.push(total);
-            offsets.push(neighbors.len() as u32);
-        }
-        let mut snapshot = GraphSnapshot {
+        let shard_size = n.div_ceil(p.max(1)).max(1);
+        let bounds = shard_bounds(n, shard_size);
+        let shards: Vec<Arc<CsrShard>> = bounds
+            .par_iter()
+            .map(|&(start, end)| Arc::new(CsrShard::build(graph, interactions, config, start, end)))
+            .collect();
+        GraphSnapshot {
             graph_epoch: graph.epoch(),
             interaction_epoch: interactions.epoch(),
             profiles_version,
             config,
             n,
-            offsets,
-            neighbors,
-            freq,
-            numerator,
-            friend_total,
-            words: 0,
-            declared_bits: Vec::new(),
-            effective_bits: Vec::new(),
-            declared_len: Vec::new(),
-            eff_offsets: Vec::new(),
-            eff_ids: Vec::new(),
-            eff_weights: Vec::new(),
-        };
-        snapshot.rebuild_interest(profiles);
-        snapshot
+            shard_size,
+            shards,
+            interest: Arc::new(InterestTables::build(n, profiles)),
+        }
     }
 
-    /// Produce an up-to-date snapshot from `prev`, patching dirty CSR rows
-    /// in place when the deltas allow it and rebuilding from scratch
-    /// otherwise. Returns the new snapshot and what was done. The caller is
-    /// responsible for having checked [`GraphSnapshot::is_fresh`] first
-    /// (refreshing a fresh snapshot performs a pointless copy).
+    /// Produce an up-to-date snapshot from `prev`, keeping `prev`'s shard
+    /// layout: interaction dirt patches only the dirty rows inside their
+    /// owning shards; structural dirt rebuilds only the shards owning a
+    /// dirty endpoint; config switches and whole-state flushes rebuild
+    /// everything (at `prev`'s shard count). Returns the new snapshot and
+    /// what was done. The caller is responsible for having checked
+    /// [`GraphSnapshot::is_fresh`] first (refreshing a fresh snapshot
+    /// performs a pointless copy).
     pub fn refreshed(
         prev: &GraphSnapshot,
         graph: &SocialGraph,
@@ -203,68 +389,84 @@ impl GraphSnapshot {
         profiles_version: u64,
         config: ClosenessConfig,
     ) -> (GraphSnapshot, RefreshOutcome) {
-        let rebuild = |structural_dirty: Option<usize>| {
+        let p = prev.shards.len();
+        let full = |structural_dirty: Option<usize>| {
             (
-                GraphSnapshot::build(graph, interactions, profiles, profiles_version, config),
+                GraphSnapshot::build_with_shards(
+                    graph,
+                    interactions,
+                    profiles,
+                    profiles_version,
+                    config,
+                    p,
+                ),
                 RefreshOutcome::Rebuilt { structural_dirty },
             )
         };
         if config_key(prev.config) != config_key(config) {
-            return rebuild(None);
+            return full(None);
         }
-        let graph_delta = graph.changes_since(prev.graph_epoch);
-        match &graph_delta {
-            DirtyDelta::Full => return rebuild(Some(graph.node_count())),
-            DirtyDelta::Sparse {
-                nodes,
-                structural: true,
-            } => return rebuild(Some(nodes.len())),
+        let graph_delta = graph.changes_since_ref(prev.graph_epoch);
+        let structural_dirty = match graph_delta {
+            DirtyDeltaRef::Full => return full(Some(graph.node_count())),
+            DirtyDeltaRef::Sparse {
+                structural: true, ..
+            } => Some(graph_delta.nodes().count()),
             // Non-structural graph dirt is node *addition* only; anything
             // claiming to have touched a pre-existing row non-structurally
             // is outside the patch contract, so fall back to a rebuild.
-            DirtyDelta::Sparse { nodes, .. } if nodes.iter().any(|v| v.index() < prev.n) => {
-                return rebuild(None);
+            DirtyDeltaRef::Sparse { .. } if graph_delta.nodes().any(|v| v.index() < prev.n) => {
+                return full(None);
             }
-            _ => {}
-        }
-        let inter_delta = interactions.changes_since(prev.interaction_epoch);
-        if matches!(inter_delta, DirtyDelta::Full) {
-            return rebuild(None);
-        }
-        let inter_nodes = match inter_delta {
-            DirtyDelta::Sparse { nodes, .. } => nodes,
-            _ => Vec::new(),
+            _ => None,
         };
+        let inter_delta = interactions.changes_since_ref(prev.interaction_epoch);
+        if matches!(inter_delta, DirtyDeltaRef::Full) {
+            // Whole-tracker reset: every frequency slot is stale, so even
+            // a structural partial rebuild cannot save the other shards.
+            return full(structural_dirty);
+        }
 
         let mut next = prev.clone();
         let n = graph.node_count();
         let grew = n > next.n;
+
+        if let Some(dirty_count) = structural_dirty {
+            // Partial structural rebuild: reconstruct exactly the shards
+            // owning a dirty endpoint. Sound because an edge mutation
+            // rewrites only its two endpoints' adjacency rows and dirties
+            // both endpoints; rows in other shards are byte-identical to
+            // what a full rebuild would produce — up to interaction dirt,
+            // which is repatched below.
+            next.rebuild_shards_for(graph_delta, graph, interactions, grew.then_some(n));
+            next.n = n;
+            next.patch_interactions(inter_delta, interactions);
+            if grew || profiles_version != next.profiles_version {
+                next.interest = Arc::new(InterestTables::build(n, profiles));
+            }
+            next.profiles_version = profiles_version;
+            next.graph_epoch = graph.epoch();
+            next.interaction_epoch = interactions.epoch();
+            return (
+                next,
+                RefreshOutcome::Rebuilt {
+                    structural_dirty: Some(dirty_count),
+                },
+            );
+        }
+
         if grew {
-            // New nodes arrive isolated (edge additions are structural), so
-            // their CSR rows are empty.
-            let end = *next.offsets.last().expect("offsets never empty");
-            next.offsets.resize(n + 1, end);
-            next.friend_total.resize(n, 0.0);
+            // New nodes arrive isolated (edge additions are structural),
+            // so their CSR rows are empty; the last shard absorbs them.
+            let last = Arc::make_mut(next.shards.last_mut().expect("at least one shard"));
+            let end = *last.offsets.last().expect("offsets never empty");
+            last.offsets.resize(n - last.start + 1, end);
+            last.friend_total.resize(n - last.start, 0.0);
             next.n = n;
         }
-        let mut rows = 0usize;
-        for &v in &inter_nodes {
-            let i = v.index();
-            if i >= next.n {
-                continue; // tracker covers more nodes than the graph
-            }
-            let (start, end) = (next.offsets[i] as usize, next.offsets[i + 1] as usize);
-            let mut total = 0.0;
-            for slot in start..end {
-                let f = interactions.frequency(v, NodeId(next.neighbors[slot]));
-                next.freq[slot] = f;
-                total += f;
-            }
-            next.friend_total[i] = total;
-            rows += 1;
-        }
+        let rows = next.patch_interactions(inter_delta, interactions);
         if grew || profiles_version != next.profiles_version {
-            next.rebuild_interest(profiles);
+            next.interest = Arc::new(InterestTables::build(n, profiles));
             next.profiles_version = profiles_version;
         }
         next.graph_epoch = graph.epoch();
@@ -272,57 +474,88 @@ impl GraphSnapshot {
         (next, RefreshOutcome::Patched { rows })
     }
 
-    /// Rebuild the interned interest tables (bitsets, lengths, and
-    /// request-weight rows) from `profiles`. Nodes past `profiles.len()`
-    /// get empty rows.
-    fn rebuild_interest(&mut self, profiles: &[InterestProfile]) {
-        let n = self.n;
-        self.declared_len.clear();
-        self.eff_offsets.clear();
-        self.eff_ids.clear();
-        self.eff_weights.clear();
-        self.eff_offsets.push(0);
-        let mut universe = 0usize;
-        for i in 0..n {
-            match profiles.get(i) {
-                Some(p) => {
-                    for (id, w) in p.effective_weights() {
-                        self.eff_ids.push(id.0);
-                        self.eff_weights.push(w);
-                        universe = universe.max(id.0 as usize + 1);
-                    }
-                    self.declared_len.push(p.declared().len() as u32);
-                }
-                None => self.declared_len.push(0),
-            }
-            self.eff_offsets.push(self.eff_ids.len() as u32);
+    /// Rebuild the shards owning a node dirtied by `graph_delta` (plus
+    /// the last shard when the graph grew to `grown_n`), reusing every
+    /// other slab by `Arc` clone. Rebuilds fan out over rayon.
+    fn rebuild_shards_for(
+        &mut self,
+        graph_delta: DirtyDeltaRef<'_>,
+        graph: &SocialGraph,
+        interactions: &InteractionTracker,
+        grown_n: Option<usize>,
+    ) {
+        use rayon::prelude::*;
+        let p = self.shards.len();
+        let n = grown_n.unwrap_or(self.n);
+        let mut dirty = vec![false; p];
+        for v in graph_delta.nodes() {
+            dirty[(v.index() / self.shard_size).min(p - 1)] = true;
         }
-        let words = universe.div_ceil(64);
-        self.words = words;
-        self.declared_bits.clear();
-        self.declared_bits.resize(n * words, 0);
-        self.effective_bits.clear();
-        self.effective_bits.resize(n * words, 0);
-        for i in 0..n {
-            if let Some(p) = profiles.get(i) {
-                for id in p.declared().as_slice() {
-                    self.declared_bits[i * words + (id.0 as usize >> 6)] |= 1u64 << (id.0 & 63);
+        if grown_n.is_some() {
+            dirty[p - 1] = true;
+        }
+        let config = self.config;
+        let shard_size = self.shard_size;
+        let dirty = &dirty;
+        let rebuilt: Vec<Option<Arc<CsrShard>>> = (0..p)
+            .into_par_iter()
+            .map(|k| {
+                if !dirty[k] {
+                    return None;
                 }
-            }
-            let (start, end) = (
-                self.eff_offsets[i] as usize,
-                self.eff_offsets[i + 1] as usize,
-            );
-            for &id in &self.eff_ids[start..end] {
-                self.effective_bits[i * words + (id as usize >> 6)] |= 1u64 << (id & 63);
+                let start = k * shard_size;
+                let end = if k + 1 == p { n } else { start + shard_size };
+                Some(Arc::new(CsrShard::build(
+                    graph,
+                    interactions,
+                    config,
+                    start,
+                    end,
+                )))
+            })
+            .collect();
+        for (k, slab) in rebuilt.into_iter().enumerate() {
+            if let Some(slab) = slab {
+                self.shards[k] = slab;
             }
         }
+    }
+
+    /// Repatch interaction-dirty rows in place (via `Arc::make_mut`, so
+    /// only touched shards are copied). Returns the number of rows
+    /// patched. Rows rebuilt by a structural pass this refresh are
+    /// patched harmlessly (idempotent: the slab already holds the live
+    /// frequencies).
+    fn patch_interactions(
+        &mut self,
+        inter_delta: DirtyDeltaRef<'_>,
+        interactions: &InteractionTracker,
+    ) -> usize {
+        let p = self.shards.len();
+        let mut rows = 0usize;
+        for v in inter_delta.nodes() {
+            let i = v.index();
+            if i >= self.n {
+                continue; // tracker covers more nodes than the graph
+            }
+            let k = (i / self.shard_size).min(p - 1);
+            let shard = Arc::make_mut(&mut self.shards[k]);
+            shard.patch_row(i - shard.start, v, interactions);
+            rows += 1;
+        }
+        rows
     }
 
     /// Number of nodes in the snapshot.
     #[inline]
     pub fn node_count(&self) -> usize {
         self.n
+    }
+
+    /// Number of node-range shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// The `(graph, interaction, profiles)` epoch triple the snapshot was
@@ -338,6 +571,23 @@ impl GraphSnapshot {
     /// The configuration whose numerators are baked into the edge slots.
     pub fn config(&self) -> ClosenessConfig {
         self.config
+    }
+
+    /// Heap bytes held by the snapshot (CSR slabs + interest tables).
+    /// O(P): sums per-shard capacities, not elements.
+    pub fn bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.bytes()).sum::<usize>()
+            + self.interest.bytes()
+            + self.shards.capacity() * std::mem::size_of::<Arc<CsrShard>>()
+    }
+
+    /// [`GraphSnapshot::bytes`] per node — the memory-budget figure the
+    /// telemetry gauge `snapshot_bytes_per_node` reports.
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.bytes() as f64 / self.n as f64
     }
 
     /// Whether the snapshot still reflects the live structures (and would
@@ -356,46 +606,47 @@ impl GraphSnapshot {
             && config_key(self.config) == config_key(config)
     }
 
+    /// The shard owning global row `i`, and `i`'s local row index.
+    #[inline]
+    fn shard_and_local(&self, i: usize) -> (&CsrShard, usize) {
+        let k = (i / self.shard_size).min(self.shards.len() - 1);
+        let s = &self.shards[k];
+        (s, i - s.start)
+    }
+
     /// The CSR neighbor row of node `i` (ascending ids).
     #[inline]
     fn row(&self, i: usize) -> &[u32] {
-        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        let (s, li) = self.shard_and_local(i);
+        &s.neighbors[s.offsets[li] as usize..s.offsets[li + 1] as usize]
     }
 
-    /// Global slot index of edge `i → j`, if adjacent.
+    /// Eq. (2)/(10) value for edge `i → j`, or `None` when not adjacent.
     #[inline]
-    fn slot(&self, i: usize, j: u32) -> Option<usize> {
-        let start = self.offsets[i] as usize;
-        self.row(i).binary_search(&j).ok().map(|p| start + p)
-    }
-
-    /// Eq. (2)/(10) value for the edge at `slot` of row `i`.
-    #[inline]
-    fn adjacent_at(&self, i: usize, slot: usize) -> f64 {
-        let total = self.friend_total[i];
-        if total <= 0.0 {
-            return 0.0;
-        }
-        self.numerator[slot] * self.freq[slot] / total
+    fn edge_closeness(&self, i: usize, j: u32) -> Option<f64> {
+        let (s, li) = self.shard_and_local(i);
+        let start = s.offsets[li] as usize;
+        let row = &s.neighbors[start..s.offsets[li + 1] as usize];
+        row.binary_search(&j)
+            .ok()
+            .map(|p| s.value_at(li, start + p))
     }
 
     /// Closeness between *adjacent* nodes — Eq. (2)/(10). `0.0` when not
     /// adjacent. Bit-for-bit equal to
     /// [`ClosenessModel::adjacent_closeness`](crate::closeness::ClosenessModel::adjacent_closeness).
     pub fn adjacent_closeness(&self, i: NodeId, j: NodeId) -> f64 {
-        match self.slot(i.index(), j.0) {
-            Some(slot) => self.adjacent_at(i.index(), slot),
-            None => 0.0,
-        }
+        self.edge_closeness(i.index(), j.0).unwrap_or(0.0)
     }
 
     /// `Ωc(i,i)`: the maximum adjacent closeness of `i` (matches the
     /// live model's self-closeness convention).
     fn self_closeness(&self, i: usize) -> f64 {
-        let (start, end) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        let (s, li) = self.shard_and_local(i);
+        let (start, end) = (s.offsets[li] as usize, s.offsets[li + 1] as usize);
         let mut best = 0.0f64;
         for slot in start..end {
-            best = f64::max(best, self.adjacent_at(i, slot));
+            best = f64::max(best, s.value_at(li, slot));
         }
         best
     }
@@ -405,9 +656,10 @@ impl GraphSnapshot {
     /// two CSR rows, accumulating in ascending-id order (the live model's
     /// summation order).
     fn common_friend_sum(&self, i: usize, j: NodeId) -> Option<f64> {
-        let ra = self.row(i);
+        let (si, li) = self.shard_and_local(i);
+        let start_a = si.offsets[li] as usize;
+        let ra = &si.neighbors[start_a..si.offsets[li + 1] as usize];
         let rb = self.row(j.index());
-        let start_a = self.offsets[i] as usize;
         let mut sum = 0.0;
         let mut any = false;
         let (mut x, mut y) = (0usize, 0usize);
@@ -417,7 +669,7 @@ impl GraphSnapshot {
                 std::cmp::Ordering::Greater => y += 1,
                 std::cmp::Ordering::Equal => {
                     let k = ra[x];
-                    let a_ik = self.adjacent_at(i, start_a + x);
+                    let a_ik = si.value_at(li, start_a + x);
                     let a_kj = self.adjacent_closeness(NodeId(k), j);
                     sum += (a_ik + a_kj) / 2.0;
                     any = true;
@@ -442,8 +694,8 @@ impl GraphSnapshot {
         if i == j {
             return self.self_closeness(iu);
         }
-        if let Some(slot) = self.slot(iu, j.0) {
-            return self.adjacent_at(iu, slot);
+        if let Some(value) = self.edge_closeness(iu, j.0) {
+            return value;
         }
         if let Some(sum) = self.common_friend_sum(iu, j) {
             return sum;
@@ -474,8 +726,8 @@ impl GraphSnapshot {
         for (idx, &j) in targets.iter().enumerate() {
             if i == j {
                 out[idx] = self.self_closeness(iu);
-            } else if let Some(slot) = self.slot(iu, j.0) {
-                out[idx] = self.adjacent_at(iu, slot);
+            } else if let Some(value) = self.edge_closeness(iu, j.0) {
+                out[idx] = value;
             } else if let Some(sum) = self.common_friend_sum(iu, j) {
                 out[idx] = sum;
             } else {
@@ -588,10 +840,10 @@ impl GraphSnapshot {
         for t in (1..path.len()).rev() {
             let a = path[t] as usize; // nearer the source
             let b = path[t - 1]; // one hop toward dst
-            let slot = self
-                .slot(a, b)
+            let value = self
+                .edge_closeness(a, b)
                 .expect("BFS tree edges are adjacent by construction");
-            min = f64::min(min, self.adjacent_at(a, slot));
+            min = f64::min(min, value);
         }
         scratch.path = path;
         if min.is_finite() {
@@ -644,15 +896,16 @@ impl GraphSnapshot {
     /// AND + popcount, divided by the smaller declared-set size. Bit-for-bit
     /// equal to [`crate::interest::similarity`] on the live sets.
     pub fn similarity(&self, i: NodeId, j: NodeId) -> f64 {
+        let t = &*self.interest;
         let (iu, ju) = (i.index(), j.index());
-        let (la, lb) = (self.declared_len[iu], self.declared_len[ju]);
+        let (la, lb) = (t.declared_len[iu], t.declared_len[ju]);
         if la == 0 || lb == 0 {
             return 0.0;
         }
         let mut inter = 0u32;
-        let (ra, rb) = (iu * self.words, ju * self.words);
-        for w in 0..self.words {
-            inter += (self.declared_bits[ra + w] & self.declared_bits[rb + w]).count_ones();
+        let (ra, rb) = (iu * t.words, ju * t.words);
+        for w in 0..t.words {
+            inter += (t.declared_bits[ra + w] & t.declared_bits[rb + w]).count_ones();
         }
         inter as f64 / la.min(lb) as f64
     }
@@ -662,9 +915,10 @@ impl GraphSnapshot {
     /// against the per-node weight rows. Bit-for-bit equal to
     /// [`crate::interest::weighted_similarity`] on the live profiles.
     pub fn weighted_similarity(&self, i: NodeId, j: NodeId) -> f64 {
+        let t = &*self.interest;
         let (iu, ju) = (i.index(), j.index());
-        let la = self.eff_offsets[iu + 1] - self.eff_offsets[iu];
-        let lb = self.eff_offsets[ju + 1] - self.eff_offsets[ju];
+        let la = t.eff_offsets[iu + 1] - t.eff_offsets[iu];
+        let lb = t.eff_offsets[ju + 1] - t.eff_offsets[ju];
         if la == 0 || lb == 0 {
             return 0.0;
         }
@@ -673,9 +927,9 @@ impl GraphSnapshot {
         // path (products of non-negative weights can never be -0.0, so any
         // non-empty sum is unaffected by the seed).
         let mut numerator = -0.0f64;
-        let (ra, rb) = (iu * self.words, ju * self.words);
-        for w in 0..self.words {
-            let mut mask = self.effective_bits[ra + w] & self.effective_bits[rb + w];
+        let (ra, rb) = (iu * t.words, ju * t.words);
+        for w in 0..t.words {
+            let mut mask = t.effective_bits[ra + w] & t.effective_bits[rb + w];
             while mask != 0 {
                 let bit = mask.trailing_zeros() as usize;
                 let id = ((w << 6) + bit) as u16;
@@ -700,15 +954,33 @@ impl GraphSnapshot {
     /// node's effective set (guaranteed when it came from the AND mask).
     #[inline]
     fn eff_weight(&self, node: usize, id: u16) -> f64 {
+        let t = &*self.interest;
         let (start, end) = (
-            self.eff_offsets[node] as usize,
-            self.eff_offsets[node + 1] as usize,
+            t.eff_offsets[node] as usize,
+            t.eff_offsets[node + 1] as usize,
         );
-        match self.eff_ids[start..end].binary_search(&id) {
-            Ok(pos) => self.eff_weights[start + pos],
+        match t.eff_ids[start..end].binary_search(&id) {
+            Ok(pos) => t.eff_weights[start + pos],
             Err(_) => 0.0,
         }
     }
+}
+
+/// `(start, end)` node ranges for shards of `shard_size` covering `0..n`.
+/// Always at least one range (possibly empty, for `n = 0`).
+fn shard_bounds(n: usize, shard_size: usize) -> Vec<(usize, usize)> {
+    let count = (n.div_ceil(shard_size)).max(1);
+    (0..count)
+        .map(|k| {
+            let start = k * shard_size;
+            let end = if k + 1 == count {
+                n
+            } else {
+                start + shard_size
+            };
+            (start, end)
+        })
+        .collect()
 }
 
 /// The Eq. (2)/(10) numerator for one edge's relationship list under
@@ -744,12 +1016,17 @@ fn config_key(config: ClosenessConfig) -> (bool, u64, Option<u32>) {
 #[derive(Debug)]
 pub struct SnapshotStore {
     current: RwLock<Option<Arc<GraphSnapshot>>>,
-    /// Full rebuilds performed (`snapshot_rebuilds_total` once attached).
+    /// Explicit shard count; `None` uses [`default_shard_count`].
+    shard_count: Option<usize>,
+    /// Full or partial rebuilds performed (`snapshot_rebuilds_total`).
     rebuilds: Counter,
     /// Incremental row-patch refreshes (`snapshot_patches_total`).
     patches: Counter,
-    /// Wall-clock seconds per full rebuild (`snapshot_rebuild_seconds`).
+    /// Wall-clock seconds per rebuild (`snapshot_rebuild_seconds`).
     rebuild_seconds: Histogram,
+    /// CSR + interest heap bytes per node (`snapshot_bytes_per_node`),
+    /// updated after every refresh.
+    bytes_per_node: Gauge,
     /// Destination for [`Event::SnapshotRebuild`]; disabled by default.
     sink: EventSink,
 }
@@ -758,33 +1035,53 @@ impl Default for SnapshotStore {
     fn default() -> Self {
         SnapshotStore {
             current: RwLock::new(None),
+            shard_count: None,
             rebuilds: Counter::detached(),
             patches: Counter::detached(),
             rebuild_seconds: Histogram::detached(),
+            bytes_per_node: Gauge::detached(),
             sink: EventSink::disabled(),
         }
     }
 }
 
-/// Cloning a store yields an **empty** store (same rationale as the
-/// coefficient cache: the clone may be paired with a diverging copy of the
-/// graph, and snapshots are semantically transparent).
+/// Cloning a store yields an **empty** store with the same shard policy
+/// (same rationale as the coefficient cache: the clone may be paired with
+/// a diverging copy of the graph, and snapshots are semantically
+/// transparent).
 impl Clone for SnapshotStore {
     fn clone(&self) -> Self {
-        SnapshotStore::new()
+        SnapshotStore {
+            shard_count: self.shard_count,
+            ..SnapshotStore::default()
+        }
     }
 }
 
 impl SnapshotStore {
-    /// An empty store; the first [`SnapshotStore::snapshot`] call builds.
+    /// An empty store; the first [`SnapshotStore::snapshot`] call builds,
+    /// with the adaptive [`default_shard_count`] for the graph's size.
     pub fn new() -> Self {
         SnapshotStore::default()
     }
 
+    /// An empty store whose snapshots are partitioned into at most `p`
+    /// node-range shards (rows split into ranges of `ceil(n / p)`, so the
+    /// realized count can round down). Results are bit-for-bit identical for every
+    /// `p ≥ 1`; the shard count trades refresh granularity (structural
+    /// churn rebuilds only dirty shards) against per-shard overhead.
+    pub fn with_shards(p: usize) -> Self {
+        SnapshotStore {
+            shard_count: Some(p.max(1)),
+            ..SnapshotStore::default()
+        }
+    }
+
     /// Re-homes the rebuild/patch counters onto `telemetry`'s registry
     /// (`snapshot_rebuilds_total` / `snapshot_patches_total`, counts
-    /// migrated), registers the `snapshot_rebuild_seconds` histogram, and
-    /// routes `snapshot_rebuild` events to its sink.
+    /// migrated), registers the `snapshot_rebuild_seconds` histogram and
+    /// the `snapshot_bytes_per_node` gauge, and routes `snapshot_rebuild`
+    /// events to its sink.
     pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
         let registry = telemetry.registry();
         for (cell, name) in [
@@ -798,6 +1095,7 @@ impl SnapshotStore {
             }
         }
         self.rebuild_seconds = registry.histogram("snapshot_rebuild_seconds");
+        self.bytes_per_node = registry.gauge("snapshot_bytes_per_node");
         self.sink = telemetry.sink().clone();
     }
 
@@ -835,7 +1133,15 @@ impl SnapshotStore {
                 config,
             ),
             None => (
-                GraphSnapshot::build(graph, interactions, profiles, profiles_version, config),
+                GraphSnapshot::build_with_shards(
+                    graph,
+                    interactions,
+                    profiles,
+                    profiles_version,
+                    config,
+                    self.shard_count
+                        .unwrap_or_else(|| default_shard_count(graph.node_count())),
+                ),
                 RefreshOutcome::Rebuilt {
                     structural_dirty: None,
                 },
@@ -856,6 +1162,7 @@ impl SnapshotStore {
                 }
             }
         }
+        self.bytes_per_node.set(snapshot.bytes_per_node());
         let arc = Arc::new(snapshot);
         *slot = Some(Arc::clone(&arc));
         arc
@@ -872,7 +1179,6 @@ impl SnapshotStore {
         (self.rebuilds.get(), self.patches.get())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1170,6 +1476,87 @@ mod tests {
             after.histogram("snapshot_rebuild_seconds").is_some(),
             "rebuild timings must be recorded"
         );
+    }
+
+    #[test]
+    fn sharded_build_is_bit_for_bit_equal_across_shard_counts() {
+        let (g, t) = fixture();
+        let p = profiles();
+        let config = ClosenessConfig::default();
+        let base = GraphSnapshot::build_with_shards(&g, &t, &p, 0, config, 1);
+        for shards in [2, 3, 8, 64] {
+            let snap = GraphSnapshot::build_with_shards(&g, &t, &p, 0, config, shards);
+            for i in 0..g.node_count() {
+                for j in 0..g.node_count() {
+                    let (a, b) = (NodeId::from(i), NodeId::from(j));
+                    assert_eq!(
+                        snap.closeness(a, b).to_bits(),
+                        base.closeness(a, b).to_bits(),
+                        "closeness({i},{j}) diverged at P={shards}"
+                    );
+                    assert_eq!(
+                        snap.weighted_similarity(a, b).to_bits(),
+                        base.weighted_similarity(a, b).to_bits(),
+                        "weighted_similarity({i},{j}) diverged at P={shards}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structural_refresh_rebuilds_only_shards_owning_dirty_endpoints() {
+        let (mut g, t) = fixture();
+        let p = profiles();
+        let config = ClosenessConfig::default();
+        // 5 nodes, 5 shards: one row each.
+        let prev = GraphSnapshot::build_with_shards(&g, &t, &p, 0, config, 5);
+        assert_eq!(prev.shard_count(), 5);
+        g.add_relationship(NodeId(2), NodeId(4), Relationship::friendship());
+        let (next, outcome) = GraphSnapshot::refreshed(&prev, &g, &t, &p, 0, config);
+        assert_eq!(
+            outcome,
+            RefreshOutcome::Rebuilt {
+                structural_dirty: Some(2)
+            }
+        );
+        // The shards owning rows 2 and 4 were rebuilt; rows 0, 1, 3 still
+        // share the previous generation's slabs.
+        for i in [0usize, 1, 3] {
+            assert!(
+                Arc::ptr_eq(&prev.shards[i], &next.shards[i]),
+                "clean shard {i} should be Arc-shared across the refresh"
+            );
+        }
+        for i in [2usize, 4] {
+            assert!(
+                !Arc::ptr_eq(&prev.shards[i], &next.shards[i]),
+                "dirty shard {i} must have been rebuilt"
+            );
+        }
+        // And the partially rebuilt snapshot equals a from-scratch build.
+        let fresh = GraphSnapshot::build_with_shards(&g, &t, &p, 0, config, 5);
+        for i in 0..g.node_count() {
+            for j in 0..g.node_count() {
+                let (a, b) = (NodeId::from(i), NodeId::from(j));
+                assert_eq!(
+                    next.closeness(a, b).to_bits(),
+                    fresh.closeness(a, b).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn store_with_shards_reports_bytes_per_node() {
+        let (g, t) = fixture();
+        let p = profiles();
+        let store = SnapshotStore::with_shards(4);
+        let snap = store.snapshot(&g, &t, &p, 0, ClosenessConfig::default());
+        // ceil(5 / 4) = 2 rows per shard → 3 shards cover 5 nodes.
+        assert_eq!(snap.shard_count(), 3);
+        assert!(snap.bytes() > 0);
+        assert!(snap.bytes_per_node() > 0.0);
     }
 
     #[test]

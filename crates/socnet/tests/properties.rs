@@ -461,4 +461,107 @@ proptest! {
         let (rebuilds, _patches) = store.stats();
         prop_assert!(rebuilds >= 1);
     }
+
+    /// Shard-count transparency: stores pinned to P ∈ {1, 2, 8} shards must
+    /// produce snapshots that agree **bit-for-bit** with the
+    /// auto-partitioned store through every kernel, at every step of a
+    /// random mutation/refresh interleaving. Sparse interaction dirt
+    /// exercises the per-shard row patch, edge mutations the
+    /// dirty-shard-only rebuild, and profile edits the shared interest
+    /// tables — none of which may leak shard boundaries into results.
+    #[test]
+    fn sharded_snapshot_is_bit_for_bit_equal_to_unsharded(
+        seed in 0u64..150,
+        n in 4usize..24,
+        weighted in proptest::bool::ANY,
+        script in proptest::collection::vec((0u8..8, 0u64..u64::MAX), 1..30),
+    ) {
+        let (mut g, mut t) = env(seed, n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5a4d);
+        let profiles: Vec<InterestProfile> =
+            socialtrust_socnet::builder::random_interests(n, 25, (1, 8), &mut rng)
+                .into_iter()
+                .map(InterestProfile::new)
+                .collect();
+        let mut pv = 0u64;
+        let config = if weighted {
+            ClosenessConfig::weighted(0.8)
+        } else {
+            ClosenessConfig::default()
+        };
+        let baseline = SnapshotStore::new();
+        let sharded: Vec<SnapshotStore> =
+            [1, 2, 8].iter().map(|&p| SnapshotStore::with_shards(p)).collect();
+        for (op, raw) in script {
+            let a = NodeId::from((raw % n as u64) as usize);
+            let b = NodeId::from(((raw / n as u64) % n as u64) as usize);
+            match op {
+                0 if a != b => {
+                    g.add_relationship(a, b, Relationship::friendship());
+                }
+                1 => {
+                    g.remove_edge(a, b);
+                }
+                2 | 3 if a != b => {
+                    t.record(a, b, (raw % 7 + 1) as f64);
+                }
+                4 | 5 => {
+                    pv += 1;
+                }
+                // 6 and 7 are pure query steps: no mutation at all.
+                _ => {}
+            }
+            let base = baseline.snapshot(&g, &t, &profiles, pv, config);
+            for store in &sharded {
+                let snap = store.snapshot(&g, &t, &profiles, pv, config);
+                prop_assert_eq!(
+                    snap.closeness(a, b).to_bits(),
+                    base.closeness(a, b).to_bits(),
+                    "closeness({}, {}) diverged at P={} after op {}",
+                    a, b, snap.shard_count(), op
+                );
+                prop_assert_eq!(
+                    snap.closeness(b, a).to_bits(),
+                    base.closeness(b, a).to_bits()
+                );
+            }
+        }
+        // Final sweep: every pair, every kernel, every shard count.
+        let base = baseline.snapshot(&g, &t, &profiles, pv, config);
+        let targets: Vec<NodeId> = (0..n).map(NodeId::from).collect();
+        let pairs: Vec<(NodeId, NodeId)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (NodeId::from(i), NodeId::from(j))))
+            .collect();
+        let base_bulk = base.closeness_for_pairs(&pairs);
+        for store in &sharded {
+            let snap = store.snapshot(&g, &t, &profiles, pv, config);
+            prop_assert_eq!(snap.node_count(), base.node_count());
+            let bulk = snap.closeness_for_pairs(&pairs);
+            for i in 0..n {
+                let batched = snap.closeness_to_all(NodeId::from(i), &targets);
+                for j in 0..n {
+                    let (a, b) = (NodeId::from(i), NodeId::from(j));
+                    prop_assert_eq!(
+                        snap.closeness(a, b).to_bits(),
+                        base.closeness(a, b).to_bits(),
+                        "P={} closeness({}, {})", snap.shard_count(), a, b
+                    );
+                    prop_assert_eq!(batched[j].to_bits(), base.closeness(a, b).to_bits());
+                    prop_assert_eq!(bulk[i * n + j].to_bits(), base_bulk[i * n + j].to_bits());
+                    prop_assert_eq!(
+                        snap.similarity(a, b).to_bits(),
+                        base.similarity(a, b).to_bits()
+                    );
+                    prop_assert_eq!(
+                        snap.weighted_similarity(a, b).to_bits(),
+                        base.weighted_similarity(a, b).to_bits()
+                    );
+                    prop_assert_eq!(
+                        snap.interest_similarity(a, b, weighted).to_bits(),
+                        base.interest_similarity(a, b, weighted).to_bits()
+                    );
+                }
+            }
+        }
+    }
 }

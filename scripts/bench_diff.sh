@@ -11,8 +11,10 @@
 # a fresh counterpart, every key ending in `_seconds` is compared:
 # fresh > committed * (1 + allowed/100) fails the script. Ratio keys
 # (speedups, overhead percentages) and metadata are reported but never
-# gate, and a missing fresh file is skipped — the committed baseline is
-# the contract, the fresh dir is whatever this CI run measured.
+# gate. A missing fresh file — or a committed key absent from the fresh
+# file — is skipped with a note: the committed baseline is the contract,
+# the fresh dir is whatever subset this CI run measured (e.g. the scale
+# bench smoke regenerates only its smallest size).
 #
 # Timings measured on CI runners are noisy; the default gate is
 # deliberately loose (25%) to catch real regressions, not jitter.
@@ -58,8 +60,8 @@ for key, value in base.items():
     if not isinstance(value, (int, float)) or value <= 0:
         continue
     if not isinstance(new.get(key), (int, float)):
-        print(f"bench_diff: missing key {key} in fresh file", file=sys.stderr)
-        sys.exit(2)
+        print(f"bench_diff: {key} — no fresh measurement, skipping", file=sys.stderr)
+        continue
     print(key, repr(float(value)), repr(float(new[key])))
 PY
 )

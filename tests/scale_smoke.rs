@@ -1,0 +1,106 @@
+//! Release-mode scale smoke test: a 100k-node network must run full
+//! decorated reputation cycles end to end, the sharded snapshot store must
+//! actually partition at that size, and shard boundaries must stay
+//! invisible in results.
+//!
+//! `#[ignore]`d by default — it takes tens of seconds in release mode and
+//! far longer in debug. CI runs it explicitly with
+//! `cargo test --release --test scale_smoke -- --ignored`.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use socialtrust_core::prelude::{
+    SharedSocialContext, SocialContext, SocialTrustConfig, WithSocialTrust,
+};
+use socialtrust_reputation::prelude::{EigenTrust, Rating, ReputationSystem};
+use socialtrust_socnet::builder::{connected_random_graph, random_interests};
+use socialtrust_socnet::closeness::ClosenessConfig;
+use socialtrust_socnet::interest::InterestProfile;
+use socialtrust_socnet::snapshot::SnapshotStore;
+use socialtrust_socnet::NodeId;
+
+const N: usize = 100_000;
+const INTERESTS: u16 = 40;
+
+#[test]
+#[ignore = "release-mode scale smoke; run explicitly with -- --ignored"]
+fn hundred_k_node_full_cycles() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let g = connected_random_graph(N, 6.0, (1, 2), &mut rng);
+    let mut t = socialtrust_socnet::interaction::InteractionTracker::new(N);
+    for _ in 0..N {
+        let a = rng.gen_range(0..N);
+        let b = rng.gen_range(0..N);
+        if a != b {
+            t.record(NodeId::from(a), NodeId::from(b), rng.gen_range(1.0..5.0));
+        }
+    }
+    let profiles: Vec<InterestProfile> = random_interests(N, INTERESTS, (2, 6), &mut rng)
+        .into_iter()
+        .map(InterestProfile::new)
+        .collect();
+
+    // The store must shard at this size, and a pinned single-shard store
+    // must agree bit-for-bit on a sample of pairs.
+    let config = ClosenessConfig::default();
+    let sharded = SnapshotStore::new();
+    let unsharded = SnapshotStore::with_shards(1);
+    let snap = sharded.snapshot(&g, &t, &profiles, 0, config);
+    let base = unsharded.snapshot(&g, &t, &profiles, 0, config);
+    assert!(
+        snap.shard_count() > 1,
+        "expected a partitioned store at {N} nodes, got {} shard(s)",
+        snap.shard_count()
+    );
+    for _ in 0..2_000 {
+        let a = NodeId::from(rng.gen_range(0..N));
+        let b = NodeId::from(rng.gen_range(0..N));
+        assert_eq!(
+            snap.closeness(a, b).to_bits(),
+            base.closeness(a, b).to_bits(),
+            "sharded closeness({a}, {b}) diverged"
+        );
+        assert_eq!(
+            snap.weighted_similarity(a, b).to_bits(),
+            base.weighted_similarity(a, b).to_bits()
+        );
+    }
+    let bytes_per_node = snap.bytes_per_node();
+    assert!(
+        bytes_per_node > 0.0 && bytes_per_node < 10_000.0,
+        "implausible snapshot footprint: {bytes_per_node} bytes/node"
+    );
+    drop((snap, base, sharded, unsharded));
+
+    // Two full decorated cycles over the same network.
+    let ctx = SharedSocialContext::new(SocialContext::from_parts(g, t, profiles, INTERESTS));
+    let pretrusted: Vec<NodeId> = (0..32usize).map(NodeId::from).collect();
+    let mut engine = WithSocialTrust::new(
+        EigenTrust::with_defaults(N, &pretrusted),
+        ctx.clone(),
+        SocialTrustConfig::default(),
+    );
+    for _ in 0..2 {
+        for _ in 0..1_000 {
+            let rater = rng.gen_range(0..N);
+            for _ in 0..5 {
+                let ratee = rng.gen_range(0..N);
+                if rater == ratee {
+                    continue;
+                }
+                let value = if rng.gen_bool(0.9) { 1.0 } else { -1.0 };
+                engine.record(Rating::new(NodeId::from(rater), NodeId::from(ratee), value));
+                ctx.write()
+                    .record_interaction(NodeId::from(rater), NodeId::from(ratee), 1.0);
+            }
+        }
+        engine.end_cycle();
+        let reps = engine.reputations();
+        assert_eq!(reps.len(), N);
+        assert!(reps.iter().all(|&v| v >= -1e-12 && v.is_finite()));
+        let sum: f64 = reps.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "trust vector sum = {sum}");
+    }
+    let (rebuilds, _patches) = ctx.read().snapshot_stats();
+    assert!(rebuilds >= 1, "the decorated cycles never built a snapshot");
+}
