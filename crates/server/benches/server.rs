@@ -1,0 +1,221 @@
+//! Server bench — streaming ingest and loopback HTTP query throughput.
+//!
+//! For every size in `SERVER_SIZES` (default `10000,100000`) this boots a
+//! real daemon (ephemeral port, long tick interval so the recompute thread
+//! stays out of the timed windows) and measures:
+//!
+//! 1. `ingest_{n}_seconds`: wall time for the ingest thread to tail,
+//!    parse, and apply a pre-rendered JSONL batch (edge/profile bootstrap
+//!    plus five ratings per sampled rater) appended to the log in one
+//!    write — the daemon's end-to-end ingest path. The informational
+//!    `ingest_{n}_events_per_sec` is the same number as a rate.
+//!
+//! 2. `query_{n}_seconds`: wall time for `QUERIES` sequential
+//!    `GET /score/{node}` requests over loopback TCP, one connection per
+//!    request (the server is `Connection: close`), after one forced tick
+//!    published a board. `query_{n}_requests_per_sec` is informational.
+//!
+//! Results land in `BENCH_server.json` (override with `BENCH_SERVER_OUT`);
+//! `_seconds` keys are gated by `scripts/bench_diff.sh`. `--test` is
+//! accepted for CLI uniformity; CI smoke shrinks via `SERVER_SIZES=10000`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use socialtrust_server::event::{render_event, RelKind, ServerEvent};
+use socialtrust_server::service::ServiceConfig;
+use socialtrust_server::{start, ServerConfig};
+
+const QUERIES: usize = 2000;
+
+/// Deterministic event batch: a ring of friendships, sparse interest
+/// profiles, and five ratings per sampled rater.
+fn event_batch(n: usize) -> Vec<ServerEvent> {
+    let mut events = Vec::new();
+    for k in 0..n {
+        events.push(ServerEvent::EdgeAdd {
+            a: k as u32,
+            b: ((k + 1) % n) as u32,
+            rel: match k % 3 {
+                0 => RelKind::Friend,
+                1 => RelKind::Colleague,
+                _ => RelKind::Kin,
+            },
+        });
+    }
+    for k in (0..n).step_by(16) {
+        events.push(ServerEvent::Profile {
+            node: k as u32,
+            declare: vec![(k % 40) as u16, ((k + 11) % 40) as u16],
+            requests: vec![((k % 40) as u16, 3)],
+        });
+    }
+    let raters = (n / 500).clamp(50, 2000).min(n);
+    let stride = (n / raters).max(1);
+    for r in 0..raters {
+        let rater = (r * stride) % n;
+        for j in 1..=5 {
+            let ratee = (rater + j * 17 + 1) % n;
+            if ratee == rater {
+                continue;
+            }
+            events.push(ServerEvent::Rating {
+                rater: rater as u32,
+                ratee: ratee as u32,
+                value: if (rater + j).is_multiple_of(10) {
+                    -1.0
+                } else {
+                    1.0
+                },
+                interest: Some(((rater + j) % 40) as u16),
+            });
+        }
+    }
+    events
+}
+
+fn http_get(addr: std::net::SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+struct SizeReport {
+    n: usize,
+    events: usize,
+    ingest: f64,
+    query: f64,
+}
+
+fn bench_size(n: usize) -> SizeReport {
+    let dir = std::env::temp_dir().join(format!("st-server-bench-{n}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let log_path = dir.join("events.jsonl");
+    std::fs::write(&log_path, b"").expect("create log");
+
+    let events = event_batch(n);
+    let mut payload = String::with_capacity(events.len() * 48);
+    for event in &events {
+        payload.push_str(&render_event(event));
+        payload.push('\n');
+    }
+
+    let handle = start(ServerConfig {
+        log_path: log_path.clone(),
+        listen: "127.0.0.1:0".to_owned(),
+        service: ServiceConfig {
+            nodes: n,
+            interests: 40,
+            pretrusted: 32.min(n),
+            ..ServiceConfig::default()
+        },
+        // Keep the periodic recompute out of the timed windows; the bench
+        // forces its tick explicitly.
+        tick_interval: Duration::from_secs(3600),
+        workers: 2,
+        replay: false,
+    })
+    .expect("bench server boots");
+    let state = handle.state().clone();
+
+    // 1. Ingest: append the whole batch, then wait for the tail thread to
+    //    parse and apply every event.
+    let total = events.len() as u64;
+    let started = Instant::now();
+    {
+        use std::io::Write as _;
+        let mut log = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&log_path)
+            .expect("open log for append");
+        log.write_all(payload.as_bytes()).expect("append events");
+        log.flush().expect("flush log");
+    }
+    while state.events_ingested().get() < total {
+        assert!(
+            started.elapsed() < Duration::from_secs(600),
+            "ingest stalled at {}/{total}",
+            state.events_ingested().get()
+        );
+        std::thread::yield_now();
+    }
+    let ingest = started.elapsed().as_secs_f64();
+
+    // 2. Queries against a published board.
+    assert!(state.force_tick(), "tick covers the ingested batch");
+    let probe = http_get(handle.addr(), "/score/0");
+    assert!(probe.contains("\"score\":"), "probe response: {probe}");
+    let started = Instant::now();
+    for k in 0..QUERIES {
+        let node = (k * 37) % n;
+        let response = http_get(handle.addr(), &format!("/score/{node}"));
+        std::hint::black_box(&response);
+    }
+    let query = started.elapsed().as_secs_f64();
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "[server {n}] ingest {ingest:.4}s ({:.0} ev/s over {} events), \
+         query {query:.4}s ({:.0} req/s over {QUERIES} requests)",
+        total as f64 / ingest,
+        events.len(),
+        QUERIES as f64 / query,
+    );
+    SizeReport {
+        n,
+        events: events.len(),
+        ingest,
+        query,
+    }
+}
+
+/// Hand-assembled report (the vendored serde_json has no dynamic maps).
+/// Keys ending in `_seconds` gate regressions; rates are informational.
+fn write_report(reports: &[SizeReport], sizes: &str) {
+    let mut fields: Vec<String> = vec![
+        "\"bench\": \"server\"".to_owned(),
+        format!("\"sizes\": \"{sizes}\""),
+        format!("\"queries\": {QUERIES}"),
+    ];
+    for r in reports {
+        fields.push(format!("\"ingest_{}_seconds\": {:.9}", r.n, r.ingest));
+        fields.push(format!("\"query_{}_seconds\": {:.9}", r.n, r.query));
+        fields.push(format!("\"ingest_{}_events\": {}", r.n, r.events));
+        fields.push(format!(
+            "\"ingest_{}_events_per_sec\": {:.1}",
+            r.n,
+            r.events as f64 / r.ingest
+        ));
+        fields.push(format!(
+            "\"query_{}_requests_per_sec\": {:.1}",
+            r.n,
+            QUERIES as f64 / r.query
+        ));
+    }
+    let json = format!("{{\n  {}\n}}\n", fields.join(",\n  "));
+    let path = std::env::var("BENCH_SERVER_OUT").unwrap_or_else(|_| "BENCH_server.json".to_owned());
+    std::fs::write(&path, json).expect("bench report is writable");
+    println!("[server json] {} size(s) -> {path}", reports.len());
+}
+
+fn main() {
+    let _ = std::env::args().any(|a| a == "--test");
+    let sizes = std::env::var("SERVER_SIZES").unwrap_or_else(|_| "10000,100000".to_owned());
+    let parsed: Vec<usize> = sizes
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n: &usize| n >= 2)
+        .collect();
+    assert!(
+        !parsed.is_empty(),
+        "SERVER_SIZES has no valid sizes: {sizes}"
+    );
+    let reports: Vec<SizeReport> = parsed.iter().map(|&n| bench_size(n)).collect();
+    write_report(&reports, &sizes);
+}

@@ -1,0 +1,342 @@
+//! The append-only event-log schema.
+//!
+//! One JSON object per line, discriminated by a `"type"` field. The
+//! vendored serde shim's derive cannot express data-carrying enums, so
+//! events are interpreted by hand from the parsed [`Value`] tree — which
+//! also gives precise, line-oriented error messages for the
+//! malformed-event counters.
+//!
+//! ```json
+//! {"type":"rating","rater":3,"ratee":9,"value":1.0,"interest":2}
+//! {"type":"edge_add","a":3,"b":9,"rel":"friend"}
+//! {"type":"edge_remove","a":3,"b":9}
+//! {"type":"profile","node":3,"declare":[1,2],"requests":[[2,5]]}
+//! ```
+//!
+//! * `rating` — a reputation rating `rater → ratee` in `[-1, 1]`; the
+//!   optional `interest` category also records a service request (the
+//!   interaction substrate Eq. (2)/(11) read). Without it, a plain
+//!   interaction of weight 1 is recorded.
+//! * `edge_add` / `edge_remove` — social-relationship churn; `rel` is
+//!   `"friend"` (default), `"colleague"`, or `"kin"`.
+//! * `profile` — interest-profile update: `declare` inserts declared
+//!   categories, `requests` adds `[category, count]` request weight.
+
+use serde::Value;
+use socialtrust::socnet::relationship::Relationship;
+
+/// One parsed event-log line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerEvent {
+    /// `rater` rates `ratee` with `value`, optionally under an interest
+    /// category (which also logs a service request).
+    Rating {
+        rater: u32,
+        ratee: u32,
+        value: f64,
+        interest: Option<u16>,
+    },
+    /// Add one social relationship between `a` and `b`.
+    EdgeAdd { a: u32, b: u32, rel: RelKind },
+    /// Remove the `a`–`b` edge entirely (all relationships).
+    EdgeRemove { a: u32, b: u32 },
+    /// Update `node`'s interest profile.
+    Profile {
+        node: u32,
+        declare: Vec<u16>,
+        requests: Vec<(u16, u64)>,
+    },
+}
+
+/// Relationship kind carried by an `edge_add` event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelKind {
+    Friend,
+    Colleague,
+    Kin,
+}
+
+impl RelKind {
+    /// The socnet relationship this kind maps to.
+    pub fn relationship(self) -> Relationship {
+        match self {
+            RelKind::Friend => Relationship::friendship(),
+            RelKind::Colleague => Relationship::colleague(),
+            RelKind::Kin => Relationship::kinship(),
+        }
+    }
+
+    fn parse(raw: &str) -> Result<RelKind, String> {
+        match raw {
+            "friend" | "friendship" => Ok(RelKind::Friend),
+            "colleague" => Ok(RelKind::Colleague),
+            "kin" | "kinship" => Ok(RelKind::Kin),
+            other => Err(format!("unknown rel {other:?} (friend|colleague|kin)")),
+        }
+    }
+}
+
+fn field<'v>(obj: &'v Value, key: &str) -> Result<&'v Value, String> {
+    obj.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn node_field(obj: &Value, key: &str) -> Result<u32, String> {
+    let v = field(obj, key)?;
+    let id = v
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not a non-negative integer"))?;
+    u32::try_from(id).map_err(|_| format!("field {key:?} out of node range"))
+}
+
+fn interest_id(v: &Value, what: &str) -> Result<u16, String> {
+    let id = v
+        .as_u64()
+        .ok_or_else(|| format!("{what} is not a non-negative integer"))?;
+    u16::try_from(id).map_err(|_| format!("{what} out of interest range"))
+}
+
+/// Parse one event-log line. Errors name the offending field so the
+/// ingest loop can log a useful skip message.
+pub fn parse_event(line: &str) -> Result<ServerEvent, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e:?}"))?;
+    if !value.is_object() {
+        return Err("event line is not a JSON object".into());
+    }
+    let kind = field(&value, "type")?
+        .as_str()
+        .ok_or("field \"type\" is not a string")?;
+    match kind {
+        "rating" => {
+            let rater = node_field(&value, "rater")?;
+            let ratee = node_field(&value, "ratee")?;
+            if rater == ratee {
+                return Err("self-rating is not allowed".into());
+            }
+            let raw = field(&value, "value")?
+                .as_f64()
+                .ok_or("field \"value\" is not a number")?;
+            if !raw.is_finite() || !(-1.0..=1.0).contains(&raw) {
+                return Err(format!("rating value {raw} outside [-1, 1]"));
+            }
+            let interest = match value.get("interest") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(interest_id(v, "field \"interest\"")?),
+            };
+            Ok(ServerEvent::Rating {
+                rater,
+                ratee,
+                value: raw,
+                interest,
+            })
+        }
+        "edge_add" => {
+            let a = node_field(&value, "a")?;
+            let b = node_field(&value, "b")?;
+            if a == b {
+                return Err("self-edge is not allowed".into());
+            }
+            let rel = match value.get("rel") {
+                None | Some(Value::Null) => RelKind::Friend,
+                Some(v) => RelKind::parse(v.as_str().ok_or("field \"rel\" is not a string")?)?,
+            };
+            Ok(ServerEvent::EdgeAdd { a, b, rel })
+        }
+        "edge_remove" => {
+            let a = node_field(&value, "a")?;
+            let b = node_field(&value, "b")?;
+            if a == b {
+                return Err("self-edge is not allowed".into());
+            }
+            Ok(ServerEvent::EdgeRemove { a, b })
+        }
+        "profile" => {
+            let node = node_field(&value, "node")?;
+            let mut declare = Vec::new();
+            if let Some(v) = value.get("declare") {
+                let items = v.as_array().ok_or("field \"declare\" is not an array")?;
+                for item in items {
+                    declare.push(interest_id(item, "declare entry")?);
+                }
+            }
+            let mut requests = Vec::new();
+            if let Some(v) = value.get("requests") {
+                let items = v.as_array().ok_or("field \"requests\" is not an array")?;
+                for item in items {
+                    let pair = item
+                        .as_array()
+                        .filter(|p| p.len() == 2)
+                        .ok_or("requests entry is not a [category, count] pair")?;
+                    let id = interest_id(&pair[0], "requests category")?;
+                    let count = pair[1]
+                        .as_u64()
+                        .ok_or("requests count is not a non-negative integer")?;
+                    requests.push((id, count));
+                }
+            }
+            if declare.is_empty() && requests.is_empty() {
+                return Err("profile event updates nothing".into());
+            }
+            Ok(ServerEvent::Profile {
+                node,
+                declare,
+                requests,
+            })
+        }
+        other => Err(format!(
+            "unknown event type {other:?} (rating|edge_add|edge_remove|profile)"
+        )),
+    }
+}
+
+/// Render `event` back as one canonical log line (used by tests, benches,
+/// and fixture generation — hand-built because the serde shim's derive
+/// cannot emit tagged enums).
+pub fn render_event(event: &ServerEvent) -> String {
+    match event {
+        ServerEvent::Rating {
+            rater,
+            ratee,
+            value,
+            interest,
+        } => match interest {
+            Some(i) => format!(
+                "{{\"type\":\"rating\",\"rater\":{rater},\"ratee\":{ratee},\"value\":{value},\"interest\":{i}}}"
+            ),
+            None => format!(
+                "{{\"type\":\"rating\",\"rater\":{rater},\"ratee\":{ratee},\"value\":{value}}}"
+            ),
+        },
+        ServerEvent::EdgeAdd { a, b, rel } => {
+            let rel = match rel {
+                RelKind::Friend => "friend",
+                RelKind::Colleague => "colleague",
+                RelKind::Kin => "kin",
+            };
+            format!("{{\"type\":\"edge_add\",\"a\":{a},\"b\":{b},\"rel\":\"{rel}\"}}")
+        }
+        ServerEvent::EdgeRemove { a, b } => {
+            format!("{{\"type\":\"edge_remove\",\"a\":{a},\"b\":{b}}}")
+        }
+        ServerEvent::Profile {
+            node,
+            declare,
+            requests,
+        } => {
+            let declare: Vec<String> = declare.iter().map(u16::to_string).collect();
+            let requests: Vec<String> = requests
+                .iter()
+                .map(|(id, count)| format!("[{id},{count}]"))
+                .collect();
+            format!(
+                "{{\"type\":\"profile\",\"node\":{node},\"declare\":[{}],\"requests\":[{}]}}",
+                declare.join(","),
+                requests.join(",")
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_event_kind() {
+        let cases = [
+            (
+                r#"{"type":"rating","rater":3,"ratee":9,"value":1.0,"interest":2}"#,
+                ServerEvent::Rating {
+                    rater: 3,
+                    ratee: 9,
+                    value: 1.0,
+                    interest: Some(2),
+                },
+            ),
+            (
+                r#"{"type":"rating","rater":3,"ratee":9,"value":-0.5}"#,
+                ServerEvent::Rating {
+                    rater: 3,
+                    ratee: 9,
+                    value: -0.5,
+                    interest: None,
+                },
+            ),
+            (
+                r#"{"type":"edge_add","a":1,"b":2,"rel":"kin"}"#,
+                ServerEvent::EdgeAdd {
+                    a: 1,
+                    b: 2,
+                    rel: RelKind::Kin,
+                },
+            ),
+            (
+                r#"{"type":"edge_add","a":1,"b":2}"#,
+                ServerEvent::EdgeAdd {
+                    a: 1,
+                    b: 2,
+                    rel: RelKind::Friend,
+                },
+            ),
+            (
+                r#"{"type":"edge_remove","a":1,"b":2}"#,
+                ServerEvent::EdgeRemove { a: 1, b: 2 },
+            ),
+            (
+                r#"{"type":"profile","node":4,"declare":[1,2],"requests":[[2,5]]}"#,
+                ServerEvent::Profile {
+                    node: 4,
+                    declare: vec![1, 2],
+                    requests: vec![(2, 5)],
+                },
+            ),
+        ];
+        for (line, expected) in cases {
+            assert_eq!(parse_event(line).as_ref(), Ok(&expected), "{line}");
+        }
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let events = [
+            ServerEvent::Rating {
+                rater: 7,
+                ratee: 8,
+                value: 0.25,
+                interest: Some(11),
+            },
+            ServerEvent::EdgeAdd {
+                a: 0,
+                b: 5,
+                rel: RelKind::Colleague,
+            },
+            ServerEvent::EdgeRemove { a: 0, b: 5 },
+            ServerEvent::Profile {
+                node: 2,
+                declare: vec![3],
+                requests: vec![(3, 9), (4, 1)],
+            },
+        ];
+        for event in events {
+            assert_eq!(parse_event(&render_event(&event)), Ok(event));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let bad = [
+            "not json at all",
+            "{}",
+            r#"{"type":"rating","rater":1,"ratee":1,"value":1.0}"#,
+            r#"{"type":"rating","rater":1,"ratee":2,"value":7.0}"#,
+            r#"{"type":"rating","rater":1,"ratee":2,"value":"high"}"#,
+            r#"{"type":"edge_add","a":4,"b":4}"#,
+            r#"{"type":"edge_add","a":4,"b":5,"rel":"enemy"}"#,
+            r#"{"type":"profile","node":1}"#,
+            r#"{"type":"warp","a":1}"#,
+            r#"[1,2,3]"#,
+        ];
+        for line in bad {
+            assert!(parse_event(line).is_err(), "accepted {line}");
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! A minimal hand-rolled HTTP/1.1 listener (the workspace carries no
+//! HTTP dependency).
+//!
+//! The accept path is a small worker pool: every worker owns a clone of
+//! the shared non-blocking `TcpListener` and loops accept → handle →
+//! close. Connections are `Connection: close` one-shots — the endpoints
+//! are tiny JSON/text documents, and one-request connections keep the
+//! parser honest (no pipelining, no chunked bodies, no keep-alive
+//! bookkeeping). Workers poll the shutdown flag between accepts, so a
+//! drain completes within a few milliseconds of the flag flipping.
+//!
+//! Endpoints (all `GET`):
+//!
+//! * `/healthz` — liveness + tick/ingest counters.
+//! * `/score/{node}` — one node's trust score as of the last completed
+//!   tick.
+//! * `/scores?top=N` — the N highest-scored nodes (score-descending,
+//!   node-ascending tie-break).
+//! * `/explain/{node}` — audit entries for the node's rescaled ratings in
+//!   the last completed tick, joined from the decision-provenance trace.
+//! * `/journal` — the tick journal (cumulative applied-event count per
+//!   tick), which lets a client replay the daemon's exact tick
+//!   boundaries offline.
+//! * `/metrics` — Prometheus text exposition of the whole registry.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use socialtrust::explain::explain_entries;
+use socialtrust::telemetry::prometheus_text;
+
+use crate::ServerState;
+
+/// Sleep between empty non-blocking accept polls. Accept latency is
+/// bounded by this, so it is kept well under a millisecond; the idle cost
+/// is a few thousand wakeups per second per worker.
+const ACCEPT_POLL: Duration = Duration::from_micros(300);
+/// Per-connection read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Largest request head (request line + headers) the parser accepts.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// One worker's accept loop. Returns when the shutdown flag flips.
+pub(crate) fn worker_loop(listener: Arc<TcpListener>, state: Arc<ServerState>) {
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let started = Instant::now();
+                state.http_requests.inc();
+                // Ignore per-connection I/O errors: a client hanging up
+                // mid-response must never take a worker down.
+                let _ = handle_connection(stream, &state);
+                state.http_seconds.observe(started.elapsed().as_secs_f64());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = match read_head(&mut stream) {
+        Ok(head) => head,
+        Err(_) => {
+            return respond(
+                &mut stream,
+                400,
+                "application/json",
+                "{\"error\":\"bad request\"}",
+            )
+        }
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = (
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+    );
+    if !version.starts_with("HTTP/1.") || target.is_empty() {
+        return respond(
+            &mut stream,
+            400,
+            "application/json",
+            "{\"error\":\"bad request line\"}",
+        );
+    }
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            405,
+            "application/json",
+            "{\"error\":\"only GET is served\"}",
+        );
+    }
+    let (status, content_type, body) = route(state, target);
+    respond(&mut stream, status, content_type, &body)
+}
+
+/// Read up to the `\r\n\r\n` head terminator (bodies are ignored: every
+/// endpoint is a GET).
+fn read_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() > MAX_HEAD {
+            return Err(std::io::Error::other("request head too large"));
+        }
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    String::from_utf8(buf).map_err(std::io::Error::other)
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Format an `f64` as a JSON number. Rust's shortest round-trip `Display`
+/// keeps the full bit pattern, which is what the bit-for-bit `/score`
+/// contract (and its offline-replay test) relies on.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn route(state: &ServerState, target: &str) -> (u16, &'static str, String) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/healthz" => (200, "application/json", healthz_json(state)),
+        "/journal" => (200, "application/json", journal_json(state)),
+        "/metrics" => {
+            let text = prometheus_text(&state.telemetry.registry().snapshot());
+            (200, "text/plain; version=0.0.4", text)
+        }
+        "/scores" => scores_json(state, query),
+        _ => {
+            if let Some(raw) = path.strip_prefix("/score/") {
+                return score_json(state, raw);
+            }
+            if let Some(raw) = path.strip_prefix("/explain/") {
+                return explain_json(state, raw);
+            }
+            (
+                404,
+                "application/json",
+                format!("{{\"error\":\"no route {path}\"}}"),
+            )
+        }
+    }
+}
+
+fn healthz_json(state: &ServerState) -> String {
+    let board = state.board();
+    format!(
+        "{{\"status\":\"ok\",\"tick\":{},\"events_applied\":{},\"events_malformed\":{},\"events_rejected\":{},\"nodes\":{},\"uptime_seconds\":{:.3}}}",
+        board.tick,
+        board.events_applied,
+        state.events_malformed.get(),
+        state.events_rejected.get(),
+        board.scores.len(),
+        state.start.elapsed().as_secs_f64(),
+    )
+}
+
+fn journal_json(state: &ServerState) -> String {
+    let journal = state
+        .service
+        .lock()
+        .expect("service lock")
+        .journal()
+        .to_vec();
+    let cells: Vec<String> = journal.iter().map(u64::to_string).collect();
+    format!("{{\"journal\":[{}]}}", cells.join(","))
+}
+
+fn score_json(state: &ServerState, raw: &str) -> (u16, &'static str, String) {
+    let Ok(node) = raw.parse::<usize>() else {
+        return (
+            400,
+            "application/json",
+            format!("{{\"error\":\"bad node id {raw:?}\"}}"),
+        );
+    };
+    let board = state.board();
+    match board.scores.get(node) {
+        Some(&score) => (
+            200,
+            "application/json",
+            format!(
+                "{{\"node\":{node},\"score\":{},\"tick\":{},\"events_applied\":{}}}",
+                json_f64(score),
+                board.tick,
+                board.events_applied
+            ),
+        ),
+        None => (
+            404,
+            "application/json",
+            format!("{{\"error\":\"node {node} out of range\"}}"),
+        ),
+    }
+}
+
+fn scores_json(state: &ServerState, query: &str) -> (u16, &'static str, String) {
+    let mut top = 10usize;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("top", raw)) => match raw.parse::<usize>() {
+                Ok(n) => top = n,
+                Err(_) => {
+                    return (
+                        400,
+                        "application/json",
+                        format!("{{\"error\":\"bad top value {raw:?}\"}}"),
+                    )
+                }
+            },
+            _ => {
+                return (
+                    400,
+                    "application/json",
+                    format!("{{\"error\":\"unknown query parameter {pair:?}\"}}"),
+                )
+            }
+        }
+    }
+    let board = state.board();
+    let mut order: Vec<usize> = (0..board.scores.len()).collect();
+    // Deterministic ranking: score descending, node id ascending on ties.
+    order.sort_by(|&a, &b| {
+        board.scores[b]
+            .partial_cmp(&board.scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order.truncate(top);
+    let rows: Vec<String> = order
+        .iter()
+        .map(|&node| {
+            format!(
+                "{{\"node\":{node},\"score\":{}}}",
+                json_f64(board.scores[node])
+            )
+        })
+        .collect();
+    (
+        200,
+        "application/json",
+        format!(
+            "{{\"tick\":{},\"events_applied\":{},\"scores\":[{}]}}",
+            board.tick,
+            board.events_applied,
+            rows.join(",")
+        ),
+    )
+}
+
+fn explain_json(state: &ServerState, raw: &str) -> (u16, &'static str, String) {
+    let Ok(node) = raw.parse::<u64>() else {
+        return (
+            400,
+            "application/json",
+            format!("{{\"error\":\"bad node id {raw:?}\"}}"),
+        );
+    };
+    let board = state.board();
+    if node >= board.scores.len() as u64 {
+        return (
+            404,
+            "application/json",
+            format!("{{\"error\":\"node {node} out of range\"}}"),
+        );
+    }
+    let entries = explain_entries(&board.trace, Some(node), Some(board.cycle));
+    match serde_json::to_string(&entries) {
+        Ok(body) => (
+            200,
+            "application/json",
+            format!(
+                "{{\"node\":{node},\"tick\":{},\"entries\":{body}}}",
+                board.tick
+            ),
+        ),
+        Err(e) => (
+            500,
+            "application/json",
+            format!("{{\"error\":\"explain serialization: {e:?}\"}}"),
+        ),
+    }
+}

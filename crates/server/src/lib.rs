@@ -1,0 +1,421 @@
+//! # socialtrust-server
+//!
+//! A long-running reputation daemon over the SocialTrust pipeline,
+//! mirroring the staged-service shape of production EigenTrust
+//! deployments: an append-only JSONL event log is tailed by an **ingest
+//! thread**, applied through `DirtyLog` into the live social substrate, a
+//! **tick thread** recomputes warm-started blocked EigenTrust behind the
+//! B1–B4 detector on a configurable interval, and a small **HTTP worker
+//! pool** serves scores, audit explanations, and Prometheus metrics from
+//! immutable published [`ScoreBoard`]s.
+//!
+//! Threading model (no async runtime, no HTTP/signal dependencies):
+//!
+//! ```text
+//!  events.jsonl ──tail── ingest thread ──apply──▶ Mutex<ReputationService>
+//!                                                    │ end_cycle() per tick
+//!  tick thread ──every --tick-ms, skip when idle─────┘
+//!       │ publish Arc<ScoreBoard>
+//!       ▼
+//!  RwLock<Arc<ScoreBoard>> ◀──read── HTTP workers (/score /scores /explain
+//!                                       /journal /healthz /metrics)
+//! ```
+//!
+//! Consistency: queries see exactly the last completed tick. Ticks with
+//! no newly applied events are skipped, so the tick journal (cumulative
+//! events per tick, served at `/journal`) stays finite and the daemon's
+//! entire output is reproducible offline via
+//! [`service::replay_offline`] — bit for bit, which the integration
+//! tests assert over real sockets.
+
+pub mod event;
+pub mod http;
+pub mod service;
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use socialtrust::prelude::*;
+use socialtrust::telemetry::{Counter, Gauge, Histogram};
+
+use service::{ReputationService, ScoreBoard, ServiceConfig};
+
+/// Daemon configuration: where the log lives, where to listen, pipeline
+/// capacity, and the tick/worker knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The append-only JSONL event log to tail (created if absent).
+    pub log_path: PathBuf,
+    /// Listen address, e.g. `127.0.0.1:8080` (port 0 for ephemeral).
+    pub listen: String,
+    /// Pipeline capacity and SocialTrust thresholds.
+    pub service: ServiceConfig,
+    /// Wall-clock interval between recompute ticks.
+    pub tick_interval: Duration,
+    /// HTTP worker threads.
+    pub workers: usize,
+    /// Bootstrap mode: apply the log's existing backlog and run one tick
+    /// *before* binding the listener, so the daemon goes live warm.
+    pub replay: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            log_path: PathBuf::from("events.jsonl"),
+            listen: "127.0.0.1:8080".to_string(),
+            service: ServiceConfig::default(),
+            tick_interval: Duration::from_millis(200),
+            workers: 4,
+            replay: false,
+        }
+    }
+}
+
+/// Shared daemon state: the pipeline behind a mutex, the published board
+/// behind an rwlock, and the telemetry handles every thread updates.
+pub struct ServerState {
+    pub(crate) service: Mutex<ReputationService>,
+    board: RwLock<Arc<ScoreBoard>>,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) start: Instant,
+    // Ingest-side telemetry.
+    pub(crate) events_ingested: Counter,
+    pub(crate) events_malformed: Counter,
+    pub(crate) events_rejected: Counter,
+    queue_depth: Gauge,
+    ingest_lag: Gauge,
+    ingest_apply_seconds: Histogram,
+    /// When the oldest event not yet covered by a completed tick was
+    /// applied (drives the `server_ingest_lag_seconds` gauge).
+    oldest_pending: Mutex<Option<Instant>>,
+    // Tick-side telemetry.
+    ticks_total: Counter,
+    ticks_skipped: Counter,
+    tick_seconds: Histogram,
+    // HTTP-side telemetry.
+    pub(crate) http_requests: Counter,
+    pub(crate) http_seconds: Histogram,
+}
+
+impl ServerState {
+    fn new(service: ReputationService, telemetry: Telemetry) -> ServerState {
+        let board = service.boot_board();
+        let r = telemetry.registry();
+        ServerState {
+            service: Mutex::new(service),
+            board: RwLock::new(board),
+            shutdown: AtomicBool::new(false),
+            start: Instant::now(),
+            events_ingested: r.counter("server_events_ingested_total"),
+            events_malformed: r.counter("server_events_malformed_total"),
+            events_rejected: r.counter("server_events_rejected_total"),
+            queue_depth: r.gauge("server_ingest_queue_depth"),
+            ingest_lag: r.gauge("server_ingest_lag_seconds"),
+            ingest_apply_seconds: r.histogram("server_ingest_apply_seconds"),
+            ticks_total: r.counter("server_ticks_total"),
+            ticks_skipped: r.counter("server_ticks_skipped_total"),
+            tick_seconds: r.histogram("server_tick_seconds"),
+            http_requests: r.counter("server_http_requests_total"),
+            http_seconds: r.histogram("server_http_request_seconds"),
+            oldest_pending: Mutex::new(None),
+            telemetry,
+        }
+    }
+
+    /// The last completed tick's published board.
+    pub fn board(&self) -> Arc<ScoreBoard> {
+        self.board.read().expect("board lock").clone()
+    }
+
+    /// The daemon's telemetry bundle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Counter of events the ingest thread has applied (benches and tests
+    /// poll this to detect when an appended batch has landed).
+    pub fn events_ingested(&self) -> &Counter {
+        &self.events_ingested
+    }
+
+    /// Run one recompute tick immediately if any events are pending,
+    /// instead of waiting out the tick interval. Benches and tests use
+    /// this to get deterministic tick boundaries; the daemon itself only
+    /// ticks from the tick thread and the shutdown drain.
+    pub fn force_tick(&self) -> bool {
+        self.maybe_tick()
+    }
+
+    /// Apply a batch of parsed events under one service lock. Returns the
+    /// number applied (rejections are counted, not applied).
+    fn apply_batch(&self, events: &[event::ServerEvent]) -> usize {
+        if events.is_empty() {
+            return 0;
+        }
+        let started = Instant::now();
+        let mut applied = 0usize;
+        {
+            let mut service = self.service.lock().expect("service lock");
+            for ev in events {
+                match service.apply(ev) {
+                    Ok(()) => applied += 1,
+                    Err(reason) => {
+                        self.events_rejected.inc();
+                        eprintln!("socialtrust-server: rejected event: {reason}");
+                    }
+                }
+            }
+            self.queue_depth.set(service.pending_events() as f64);
+        }
+        self.events_ingested.add(applied as u64);
+        self.ingest_apply_seconds
+            .observe(started.elapsed().as_secs_f64());
+        if applied > 0 {
+            let mut oldest = self.oldest_pending.lock().expect("oldest lock");
+            oldest.get_or_insert(started);
+        }
+        applied
+    }
+
+    /// Run one tick if any events arrived since the last one; publish the
+    /// new board. Returns whether a tick ran.
+    fn maybe_tick(&self) -> bool {
+        let mut service = self.service.lock().expect("service lock");
+        if service.pending_events() == 0 {
+            self.ticks_skipped.inc();
+            return false;
+        }
+        let started = Instant::now();
+        let board = service.tick();
+        self.tick_seconds.observe(started.elapsed().as_secs_f64());
+        self.ticks_total.inc();
+        self.queue_depth.set(service.pending_events() as f64);
+        drop(service);
+        if let Some(oldest) = self.oldest_pending.lock().expect("oldest lock").take() {
+            self.ingest_lag.set(oldest.elapsed().as_secs_f64());
+        }
+        *self.board.write().expect("board lock") = board;
+        true
+    }
+}
+
+/// Tail the log file: parse complete lines into events, apply them in
+/// batches, count malformed lines, and — once shutdown is signalled —
+/// drain whatever the log still holds before returning.
+fn ingest_loop(state: Arc<ServerState>, path: PathBuf, start_offset: u64) {
+    use std::io::Seek;
+    let mut file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("socialtrust-server: cannot open {}: {e}", path.display());
+            return;
+        }
+    };
+    if file.seek(std::io::SeekFrom::Start(start_offset)).is_err() {
+        return;
+    }
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        match file.read(&mut chunk) {
+            Ok(0) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return; // fully drained
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Ok(n) => {
+                pending.extend_from_slice(&chunk[..n]);
+                let batch = drain_lines(&mut pending, &state);
+                state.apply_batch(&batch);
+            }
+            Err(e) => {
+                eprintln!("socialtrust-server: ingest read error: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Split complete `\n`-terminated lines out of `pending` and parse them.
+/// A trailing partial line stays buffered until its newline arrives.
+/// Malformed lines are counted and logged, never fatal.
+fn drain_lines(pending: &mut Vec<u8>, state: &ServerState) -> Vec<event::ServerEvent> {
+    let mut events = Vec::new();
+    while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = pending.drain(..=pos).collect();
+        let line = match std::str::from_utf8(&line[..line.len() - 1]) {
+            Ok(s) => s.trim(),
+            Err(_) => {
+                state.events_malformed.inc();
+                eprintln!("socialtrust-server: skipped non-UTF-8 log line");
+                continue;
+            }
+        };
+        if line.is_empty() {
+            continue;
+        }
+        match event::parse_event(line) {
+            Ok(ev) => events.push(ev),
+            Err(reason) => {
+                state.events_malformed.inc();
+                eprintln!("socialtrust-server: skipped malformed event: {reason}");
+            }
+        }
+    }
+    events
+}
+
+/// The tick thread: one `maybe_tick` per interval until shutdown.
+fn tick_loop(state: Arc<ServerState>, interval: Duration) {
+    // Sleep in small slices so shutdown is honored promptly even with
+    // multi-second tick intervals.
+    let slice = Duration::from_millis(10).min(interval);
+    let mut next = Instant::now() + interval;
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if Instant::now() >= next {
+            state.maybe_tick();
+            next = Instant::now() + interval;
+        }
+        std::thread::sleep(slice);
+    }
+}
+
+/// A running daemon: bound address, shared state, and the threads to
+/// join on shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    ingest: Option<JoinHandle<()>>,
+    tick: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared daemon state (boards, telemetry, counters).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop tailing after a final drain of the log,
+    /// run one last tick over whatever the drain applied, stop the HTTP
+    /// workers, and return the state for a final metrics dump. The
+    /// sequence mirrors SIGTERM handling in the binary.
+    pub fn shutdown(mut self) -> Arc<ServerState> {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(ingest) = self.ingest.take() {
+            let _ = ingest.join(); // drains the log to EOF first
+        }
+        if let Some(tick) = self.tick.take() {
+            let _ = tick.join();
+        }
+        self.state.maybe_tick(); // cover events applied by the drain
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.state.sink_flush();
+        Arc::clone(&self.state)
+    }
+}
+
+impl ServerState {
+    fn sink_flush(&self) {
+        // EventSink file backends flush+fsync on last drop; the in-memory
+        // sink has nothing to flush. Nothing to do beyond dropping guards,
+        // but keep the hook so a future file sink slots in here.
+    }
+}
+
+/// Start the daemon: open (or create) the log, optionally replay the
+/// backlog, bind the listener, and spawn the ingest/tick/worker threads.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    // The log must exist to be tailed; create it empty on first boot so
+    // `--log fresh.jsonl` works out of the box.
+    if !config.log_path.exists() {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&config.log_path)?;
+    }
+    let telemetry = Telemetry::with_parts(
+        EventSink::in_memory(),
+        Tracer::new(TracerConfig::with_sample(SampleMode::Full)),
+    );
+    let service = ReputationService::new(config.service, &telemetry);
+    let state = Arc::new(ServerState::new(service, telemetry));
+
+    // --replay: consume the existing backlog and tick once before going
+    // live, so first queries see a warm trust vector.
+    let mut start_offset = 0u64;
+    if config.replay {
+        let mut buffer = std::fs::read(&config.log_path)?;
+        // A trailing partial line (writer mid-append) is left for the
+        // tailer: rewind the offset to its start.
+        if let Some(last_newline) = buffer.iter().rposition(|&b| b == b'\n') {
+            start_offset = (last_newline + 1) as u64;
+            buffer.truncate(last_newline + 1);
+        } else {
+            start_offset = 0;
+            buffer.clear();
+        }
+        let batch = drain_lines(&mut buffer, &state);
+        let applied = state.apply_batch(&batch);
+        state.maybe_tick();
+        eprintln!(
+            "socialtrust-server: replayed {applied} event(s) from {}",
+            config.log_path.display()
+        );
+    }
+
+    let listener = TcpListener::bind(&config.listen)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let listener = Arc::new(listener);
+
+    let ingest = {
+        let state = Arc::clone(&state);
+        let path = config.log_path.clone();
+        std::thread::Builder::new()
+            .name("st-ingest".into())
+            .spawn(move || ingest_loop(state, path, start_offset))?
+    };
+    let tick = {
+        let state = Arc::clone(&state);
+        let interval = config.tick_interval.max(Duration::from_millis(1));
+        std::thread::Builder::new()
+            .name("st-tick".into())
+            .spawn(move || tick_loop(state, interval))?
+    };
+    let workers = (0..config.workers.max(1))
+        .map(|k| {
+            let listener = Arc::clone(&listener);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("st-http-{k}"))
+                .spawn(move || http::worker_loop(listener, state))
+        })
+        .collect::<std::io::Result<Vec<_>>>()?;
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        ingest: Some(ingest),
+        tick: Some(tick),
+        workers,
+    })
+}

@@ -1,0 +1,439 @@
+//! The in-process reputation pipeline behind the daemon: event
+//! application, tick-based recompute, and published score boards.
+//!
+//! [`ReputationService`] owns the live substrate (a [`SharedSocialContext`]
+//! wrapping `SocialGraph` + `InteractionTracker` + interest profiles) and
+//! the decorated engine (`WithSocialTrust<EigenTrust>` — warm-started
+//! blocked power iteration behind the B1–B4 detector and Gaussian
+//! rescaling). Events mutate the live substrate through `DirtyLog`; the
+//! per-cycle snapshot refresh inside `end_cycle` turns that dirt into
+//! incremental CSR shard patches.
+//!
+//! Consistency contract: queries never see a half-applied state. A tick
+//! (`ReputationService::tick`) runs one full `end_cycle` and publishes an
+//! immutable [`ScoreBoard`]; HTTP readers hold one `Arc<ScoreBoard>` for a
+//! whole request. The **tick journal** records the cumulative event count
+//! at every completed tick, which makes the daemon's output exactly
+//! reproducible offline: [`replay_offline`] applies the same events with
+//! the same tick boundaries and yields bit-for-bit identical scores (the
+//! integration tests enforce this over HTTP).
+
+use std::sync::Arc;
+
+use socialtrust::prelude::*;
+use socialtrust::telemetry::trace::names as trace_names;
+use socialtrust::telemetry::TraceDump;
+
+use crate::event::ServerEvent;
+
+/// Fixed-capacity pipeline parameters. The engine's node count is set at
+/// construction (EigenTrust's trust vector and pretrust distribution are
+/// sized once), so the daemon rejects events that reference ids at or
+/// beyond `nodes` instead of growing.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Node capacity. Events referencing ids `>= nodes` are rejected.
+    pub nodes: usize,
+    /// Interest-category universe for Ωs bitsets.
+    pub interests: u16,
+    /// The first `pretrusted` node ids form the EigenTrust pretrust set.
+    pub pretrusted: usize,
+    /// SocialTrust thresholds and measurement modes.
+    pub social: SocialTrustConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            nodes: 1024,
+            interests: 64,
+            pretrusted: 16,
+            social: SocialTrustConfig::default(),
+        }
+    }
+}
+
+/// One published, immutable view of the pipeline after a completed tick.
+#[derive(Debug)]
+pub struct ScoreBoard {
+    /// Completed-tick count (0 for the boot board).
+    pub tick: u64,
+    /// Trace-cycle id of the most recent tick (`tick - 1`), used to join
+    /// `/explain` queries against `trace`.
+    pub cycle: u64,
+    /// Cumulative events applied when this board was published.
+    pub events_applied: u64,
+    /// The full trust vector as of this tick.
+    pub scores: Vec<f64>,
+    /// Decision-provenance spans of the most recent tick (drained from
+    /// the tracer, so each board carries exactly its own cycle).
+    pub trace: TraceDump,
+}
+
+/// The live pipeline plus its tick journal.
+pub struct ReputationService {
+    ctx: SharedSocialContext,
+    engine: WithSocialTrust<EigenTrust>,
+    telemetry: Telemetry,
+    config: ServiceConfig,
+    events_applied: u64,
+    events_rejected: u64,
+    /// Cumulative `events_applied` at each completed tick.
+    journal: Vec<u64>,
+}
+
+impl ReputationService {
+    /// Build an empty pipeline at `config` capacity, instrumented into
+    /// `telemetry` (whose tracer should sample every cycle if `/explain`
+    /// is to serve non-empty answers).
+    pub fn new(config: ServiceConfig, telemetry: &Telemetry) -> ReputationService {
+        assert!(config.nodes >= 2, "server needs at least two nodes");
+        let mut ctx_inner = SocialContext::new(config.nodes, config.interests);
+        ctx_inner.attach_telemetry(telemetry);
+        let ctx = SharedSocialContext::new(ctx_inner);
+        let pretrusted: Vec<NodeId> = (0..config.pretrusted.clamp(1, config.nodes))
+            .map(NodeId::from)
+            .collect();
+        let mut engine = WithSocialTrust::new(
+            EigenTrust::with_defaults(config.nodes, &pretrusted),
+            ctx.clone(),
+            config.social,
+        );
+        engine.attach_telemetry(telemetry);
+        ReputationService {
+            ctx,
+            engine,
+            telemetry: telemetry.clone(),
+            config,
+            events_applied: 0,
+            events_rejected: 0,
+            journal: Vec::new(),
+        }
+    }
+
+    /// The pipeline's fixed configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Cumulative applied-event count.
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Events rejected for referencing out-of-capacity nodes.
+    pub fn events_rejected(&self) -> u64 {
+        self.events_rejected
+    }
+
+    /// Events applied since the last completed tick.
+    pub fn pending_events(&self) -> u64 {
+        self.events_applied - self.journal.last().copied().unwrap_or(0)
+    }
+
+    /// The tick journal: cumulative `events_applied` at each tick.
+    pub fn journal(&self) -> &[u64] {
+        &self.journal
+    }
+
+    fn in_range(&self, id: u32) -> bool {
+        (id as usize) < self.config.nodes
+    }
+
+    /// Apply one event to the live substrate. Returns `Err` (and counts a
+    /// rejection) when the event references a node outside the fixed
+    /// capacity; never panics on any [`ServerEvent`].
+    pub fn apply(&mut self, event: &ServerEvent) -> Result<(), String> {
+        let reject = |this: &mut Self, what: String| {
+            this.events_rejected += 1;
+            Err(what)
+        };
+        match *event {
+            ServerEvent::Rating {
+                rater,
+                ratee,
+                value,
+                interest,
+            } => {
+                if !self.in_range(rater) || !self.in_range(ratee) {
+                    return reject(self, format!("rating {rater}->{ratee} out of capacity"));
+                }
+                if interest.is_some_and(|i| i >= self.config.interests) {
+                    return reject(
+                        self,
+                        format!("rating {rater}->{ratee} interest out of capacity"),
+                    );
+                }
+                let (rater, ratee) = (NodeId(rater), NodeId(ratee));
+                let rating = match interest {
+                    Some(i) => Rating::with_interest(rater, ratee, value, InterestId(i)),
+                    None => Rating::new(rater, ratee, value),
+                };
+                self.engine.record(rating);
+                let mut ctx = self.ctx.write();
+                match interest {
+                    Some(i) => ctx.record_request(rater, ratee, InterestId(i)),
+                    None => ctx.record_interaction(rater, ratee, 1.0),
+                }
+            }
+            ServerEvent::EdgeAdd { a, b, rel } => {
+                if !self.in_range(a) || !self.in_range(b) {
+                    return reject(self, format!("edge_add {a}-{b} out of capacity"));
+                }
+                self.ctx.write().graph_mut().add_relationship(
+                    NodeId(a),
+                    NodeId(b),
+                    rel.relationship(),
+                );
+            }
+            ServerEvent::EdgeRemove { a, b } => {
+                if !self.in_range(a) || !self.in_range(b) {
+                    return reject(self, format!("edge_remove {a}-{b} out of capacity"));
+                }
+                self.ctx
+                    .write()
+                    .graph_mut()
+                    .remove_edge(NodeId(a), NodeId(b));
+            }
+            ServerEvent::Profile {
+                node,
+                ref declare,
+                ref requests,
+            } => {
+                if !self.in_range(node) {
+                    return reject(self, format!("profile {node} out of capacity"));
+                }
+                if declare
+                    .iter()
+                    .chain(requests.iter().map(|(id, _)| id))
+                    .any(|&id| id >= self.config.interests)
+                {
+                    return reject(self, format!("profile {node} interest out of capacity"));
+                }
+                let mut ctx = self.ctx.write();
+                let profile = ctx.profile_mut(NodeId(node));
+                for &id in declare {
+                    profile.declared_mut().insert(InterestId(id));
+                }
+                for &(id, count) in requests {
+                    profile.record_requests(InterestId(id), count);
+                }
+            }
+        }
+        self.events_applied += 1;
+        Ok(())
+    }
+
+    /// Run one reputation cycle (detector pass, Gaussian rescaling,
+    /// warm-started blocked EigenTrust) under a provenance trace root,
+    /// append the tick to the journal, and return the published board.
+    pub fn tick(&mut self) -> Arc<ScoreBoard> {
+        let cycle = self.journal.len() as u64;
+        {
+            let mut root = self.telemetry.tracer().begin_root(trace_names::CYCLE);
+            if root.is_recording() {
+                root.set_attr("cycle", cycle);
+                root.set_attr("system", self.engine.name());
+            }
+            self.engine.end_cycle();
+        }
+        self.journal.push(self.events_applied);
+        Arc::new(ScoreBoard {
+            tick: self.journal.len() as u64,
+            cycle,
+            events_applied: self.events_applied,
+            scores: self.engine.reputations().to_vec(),
+            // Drain the ring so each board carries exactly this tick's
+            // spans and tracer memory stays bounded across long runs.
+            trace: TraceDump {
+                traces: self.telemetry.tracer().take_traces(),
+                stats: self.telemetry.tracer().stats(),
+            },
+        })
+    }
+
+    /// The pre-first-tick board: initial (pretrust-distribution) scores,
+    /// no provenance.
+    pub fn boot_board(&self) -> Arc<ScoreBoard> {
+        Arc::new(ScoreBoard {
+            tick: self.journal.len() as u64,
+            cycle: (self.journal.len() as u64).saturating_sub(1),
+            events_applied: self.events_applied,
+            scores: self.engine.reputations().to_vec(),
+            trace: TraceDump {
+                traces: Vec::new(),
+                stats: self.telemetry.tracer().stats(),
+            },
+        })
+    }
+}
+
+/// Replay `events` through a fresh pipeline with the exact tick
+/// boundaries of `journal` (cumulative applied-event counts, as served by
+/// the daemon's `/journal` endpoint) and return the final board. Because
+/// the daemon and this function share every code path below the thread
+/// layer, the result is bit-for-bit identical to what the live server
+/// published — the integration contract for `/score`.
+///
+/// Events that the live server rejected (out-of-capacity ids) must be
+/// filtered out by the caller; `journal` counts applied events only.
+pub fn replay_offline(
+    config: ServiceConfig,
+    events: &[ServerEvent],
+    journal: &[u64],
+) -> Arc<ScoreBoard> {
+    let telemetry = Telemetry::with_parts(
+        EventSink::disabled(),
+        Tracer::new(TracerConfig::with_sample(SampleMode::Full)),
+    );
+    let mut service = ReputationService::new(config, &telemetry);
+    let mut next = 0usize;
+    let mut board = service.boot_board();
+    for &boundary in journal {
+        let boundary = boundary as usize;
+        assert!(
+            boundary <= events.len(),
+            "journal boundary {boundary} beyond {} events",
+            events.len()
+        );
+        for event in &events[next..boundary] {
+            service
+                .apply(event)
+                .expect("replayed events were applied by the live server");
+        }
+        next = boundary;
+        board = service.tick();
+    }
+    board
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RelKind;
+
+    fn small_config() -> ServiceConfig {
+        ServiceConfig {
+            nodes: 16,
+            interests: 8,
+            pretrusted: 2,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn telemetry() -> Telemetry {
+        Telemetry::with_parts(
+            EventSink::disabled(),
+            Tracer::new(TracerConfig::with_sample(SampleMode::Full)),
+        )
+    }
+
+    #[test]
+    fn applies_events_and_ticks() {
+        let t = telemetry();
+        let mut svc = ReputationService::new(small_config(), &t);
+        svc.apply(&ServerEvent::EdgeAdd {
+            a: 1,
+            b: 2,
+            rel: RelKind::Friend,
+        })
+        .unwrap();
+        svc.apply(&ServerEvent::Rating {
+            rater: 1,
+            ratee: 2,
+            value: 1.0,
+            interest: Some(3),
+        })
+        .unwrap();
+        assert_eq!(svc.pending_events(), 2);
+        let board = svc.tick();
+        assert_eq!(board.tick, 1);
+        assert_eq!(board.events_applied, 2);
+        assert_eq!(board.scores.len(), 16);
+        assert_eq!(svc.journal(), &[2]);
+        assert_eq!(svc.pending_events(), 0);
+        let total: f64 = board.scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "trust vector sums to 1");
+    }
+
+    #[test]
+    fn rejects_out_of_capacity_events() {
+        let t = telemetry();
+        let mut svc = ReputationService::new(small_config(), &t);
+        assert!(svc
+            .apply(&ServerEvent::Rating {
+                rater: 1,
+                ratee: 99,
+                value: 1.0,
+                interest: None,
+            })
+            .is_err());
+        assert!(svc
+            .apply(&ServerEvent::EdgeAdd {
+                a: 99,
+                b: 1,
+                rel: RelKind::Kin,
+            })
+            .is_err());
+        assert!(svc
+            .apply(&ServerEvent::Profile {
+                node: 1,
+                declare: vec![200],
+                requests: vec![],
+            })
+            .is_err());
+        assert_eq!(svc.events_rejected(), 3);
+        assert_eq!(svc.events_applied(), 0);
+    }
+
+    #[test]
+    fn replay_matches_live_sequence_bit_for_bit() {
+        let events: Vec<ServerEvent> = (0..40)
+            .map(|k| match k % 4 {
+                0 => ServerEvent::EdgeAdd {
+                    a: k % 8,
+                    b: (k + 1) % 8,
+                    rel: RelKind::Friend,
+                },
+                1 => ServerEvent::Rating {
+                    rater: k % 8,
+                    ratee: (k + 3) % 8,
+                    value: if k % 8 == 0 { -1.0 } else { 1.0 },
+                    interest: Some((k % 5) as u16),
+                },
+                2 => ServerEvent::Profile {
+                    node: k % 8,
+                    declare: vec![(k % 7) as u16],
+                    requests: vec![((k % 7) as u16, 2)],
+                },
+                _ => ServerEvent::Rating {
+                    rater: (k + 2) % 8,
+                    ratee: k % 8,
+                    value: 0.5,
+                    interest: None,
+                },
+            })
+            .collect();
+        // "Live" pass: irregular tick boundaries.
+        let t = telemetry();
+        let mut live = ReputationService::new(small_config(), &t);
+        let mut board = live.boot_board();
+        for (idx, event) in events.iter().enumerate() {
+            live.apply(event).unwrap();
+            if idx % 7 == 6 {
+                board = live.tick();
+            }
+        }
+        board = if live.pending_events() > 0 {
+            live.tick()
+        } else {
+            board
+        };
+        // Offline replay with the recorded journal.
+        let replayed = replay_offline(small_config(), &events, live.journal());
+        assert_eq!(board.tick, replayed.tick);
+        assert_eq!(board.events_applied, replayed.events_applied);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&board.scores), bits(&replayed.scores));
+    }
+}

@@ -1,0 +1,393 @@
+//! End-to-end daemon tests over real sockets.
+//!
+//! * `scores_match_offline_replay_bit_for_bit` — the ISSUE's core
+//!   contract: boot on an ephemeral port, append events to the log, wait
+//!   for ticks, and require every `/score/{node}` response to carry the
+//!   exact f64 bit pattern that [`replay_offline`] computes from the same
+//!   events and the `/journal` tick boundaries.
+//! * `malformed_events_are_counted_and_skipped` — garbage lines never
+//!   panic the daemon; they are counted in `/healthz` and `/metrics`
+//!   while the valid lines around them still apply.
+//! * `sigterm_exits_cleanly` — the installed binary drains and exits 0
+//!   on SIGTERM.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use socialtrust_server::event::{render_event, RelKind, ServerEvent};
+use socialtrust_server::service::{replay_offline, ServiceConfig};
+use socialtrust_server::{start, ServerConfig, ServerHandle};
+
+fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Pull one numeric field out of a flat JSON body.
+fn json_number(body: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    let at = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key:?} in {body:?}"));
+    let rest = &body[at + needle.len()..];
+    let end = rest
+        .find([',', '}', ']'])
+        .unwrap_or_else(|| panic!("unterminated {key:?} in {body:?}"));
+    rest[..end]
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key:?} in {body:?}"))
+}
+
+fn append_lines(path: &Path, lines: &[String]) {
+    let mut log = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .expect("open log");
+    for line in lines {
+        writeln!(log, "{line}").expect("append line");
+    }
+    log.flush().expect("flush log");
+}
+
+fn wait_for_applied(addr: SocketAddr, expected: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = http_get(addr, "/healthz");
+        assert_eq!(status, 200, "healthz failed: {body}");
+        if json_number(&body, "events_applied") as u64 >= expected {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never applied {expected} events: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn boot(dir: &Path, config: ServiceConfig, tick: Duration) -> ServerHandle {
+    let log_path = dir.join("events.jsonl");
+    start(ServerConfig {
+        log_path,
+        listen: "127.0.0.1:0".to_owned(),
+        service: config,
+        tick_interval: tick,
+        workers: 2,
+        replay: false,
+    })
+    .expect("daemon boots on an ephemeral port")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("st-daemon-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn fixture_events() -> Vec<ServerEvent> {
+    let mut events = Vec::new();
+    for k in 0u32..12 {
+        events.push(ServerEvent::EdgeAdd {
+            a: k % 8,
+            b: (k + 1) % 8,
+            rel: match k % 3 {
+                0 => RelKind::Friend,
+                1 => RelKind::Colleague,
+                _ => RelKind::Kin,
+            },
+        });
+    }
+    for k in 0u32..8 {
+        events.push(ServerEvent::Profile {
+            node: k,
+            declare: vec![(k % 6) as u16, ((k + 2) % 6) as u16],
+            requests: vec![((k % 6) as u16, 1 + k as u64)],
+        });
+    }
+    for k in 0u32..30 {
+        let rater = k % 8;
+        let ratee = (k * 3 + 1) % 8;
+        if rater == ratee {
+            continue;
+        }
+        events.push(ServerEvent::Rating {
+            rater,
+            ratee,
+            value: if k % 9 == 0 { -1.0 } else { 1.0 },
+            interest: if k % 4 == 0 {
+                None
+            } else {
+                Some((k % 6) as u16)
+            },
+        });
+    }
+    events.push(ServerEvent::EdgeRemove { a: 3, b: 4 });
+    events
+}
+
+#[test]
+fn scores_match_offline_replay_bit_for_bit() {
+    let dir = temp_dir("replay");
+    let config = ServiceConfig {
+        nodes: 16,
+        interests: 8,
+        pretrusted: 4,
+        ..ServiceConfig::default()
+    };
+    let handle = boot(&dir, config, Duration::from_millis(20));
+    let addr = handle.addr();
+    let log_path = dir.join("events.jsonl");
+
+    // Append in three batches with pauses, so the daemon takes several
+    // ticks at boundaries this test does not control.
+    let events = fixture_events();
+    let lines: Vec<String> = events.iter().map(render_event).collect();
+    let third = lines.len() / 3;
+    for chunk in [
+        &lines[..third],
+        &lines[third..2 * third],
+        &lines[2 * third..],
+    ] {
+        append_lines(&log_path, chunk);
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    wait_for_applied(addr, events.len() as u64);
+    // One more poll round: applied == total guarantees the *next* tick
+    // publishes the final board; wait until the board caught up too.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = http_get(addr, "/score/0");
+        if json_number(&body, "events_applied") as u64 == events.len() as u64 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "board never caught up: {body}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The daemon's own tick boundaries, then the offline replay.
+    let (status, journal_body) = http_get(addr, "/journal");
+    assert_eq!(status, 200);
+    let journal: Vec<u64> = journal_body
+        .trim_start_matches("{\"journal\":[")
+        .trim_end_matches("]}")
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("journal entry"))
+        .collect();
+    assert!(!journal.is_empty(), "no ticks recorded: {journal_body}");
+    assert_eq!(*journal.last().unwrap(), events.len() as u64);
+    let replayed = replay_offline(config, &events, &journal);
+
+    for node in 0..config.nodes {
+        let (status, body) = http_get(addr, &format!("/score/{node}"));
+        assert_eq!(status, 200, "score {node}: {body}");
+        let served = json_number(&body, "score");
+        assert_eq!(
+            served.to_bits(),
+            replayed.scores[node].to_bits(),
+            "node {node}: served {served} != replayed {}",
+            replayed.scores[node]
+        );
+    }
+
+    // /scores and /explain stay consistent with the same board.
+    let (status, body) = http_get(addr, "/scores?top=5");
+    assert_eq!(status, 200);
+    assert_eq!(json_number(&body, "events_applied") as usize, events.len());
+    let (status, body) = http_get(addr, "/explain/1");
+    assert_eq!(status, 200, "explain: {body}");
+    assert!(body.contains("\"entries\":"), "explain body: {body}");
+
+    let state = handle.shutdown();
+    assert_eq!(state.board().events_applied, events.len() as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_events_are_counted_and_skipped() {
+    let dir = temp_dir("malformed");
+    let config = ServiceConfig {
+        nodes: 8,
+        interests: 4,
+        pretrusted: 2,
+        ..ServiceConfig::default()
+    };
+    let handle = boot(&dir, config, Duration::from_millis(20));
+    let addr = handle.addr();
+    let log_path = dir.join("events.jsonl");
+
+    append_lines(
+        &log_path,
+        &[
+            r#"{"type":"edge_add","a":1,"b":2}"#.to_owned(),
+            "this is not json".to_owned(),
+            r#"{"type":"rating","rater":1,"ratee":1,"value":1.0}"#.to_owned(),
+            r#"{"type":"rating","rater":1,"ratee":2,"value":99.0}"#.to_owned(),
+            r#"{"type":"warp","x":1}"#.to_owned(),
+            r#"{"type":"rating","rater":1,"ratee":2,"value":1.0,"interest":3}"#.to_owned(),
+            // Valid JSON but out of the 8-node capacity: rejected, not malformed.
+            r#"{"type":"rating","rater":1,"ratee":500,"value":1.0}"#.to_owned(),
+            r#"{"type":"rating","rater":2,"ratee":1,"value":0.5}"#.to_owned(),
+        ],
+    );
+    wait_for_applied(addr, 3);
+
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(json_number(&body, "events_applied") as u64, 3, "{body}");
+    assert_eq!(json_number(&body, "events_malformed") as u64, 4, "{body}");
+    assert_eq!(json_number(&body, "events_rejected") as u64, 1, "{body}");
+
+    // The daemon still serves: scores exist and metrics expose the counts.
+    let (status, body) = http_get(addr, "/score/1");
+    assert_eq!(status, 200, "{body}");
+    let (status, metrics) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let samples = socialtrust::telemetry::validate_exposition(&metrics)
+        .expect("served /metrics must pass the exposition validator");
+    assert!(samples > 0, "empty exposition");
+    assert!(
+        metrics.contains("server_events_malformed_total 4"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("server_events_rejected_total 1"),
+        "{metrics}"
+    );
+
+    // Unknown routes and bad requests answer without harming the daemon.
+    assert_eq!(http_get(addr, "/nope").0, 404);
+    assert_eq!(http_get(addr, "/score/banana").0, 400);
+    assert_eq!(http_get(addr, "/score/9999").0, 404);
+    assert_eq!(http_get(addr, "/scores?top=banana").0, 400);
+    let (status, _) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_pending_log_lines() {
+    let dir = temp_dir("drain");
+    let config = ServiceConfig {
+        nodes: 8,
+        interests: 4,
+        pretrusted: 2,
+        ..ServiceConfig::default()
+    };
+    // Hour-long tick: only the shutdown drain can cover these events.
+    let handle = boot(&dir, config, Duration::from_secs(3600));
+    let log_path = dir.join("events.jsonl");
+    append_lines(
+        &log_path,
+        &[
+            r#"{"type":"edge_add","a":1,"b":2}"#.to_owned(),
+            r#"{"type":"rating","rater":1,"ratee":2,"value":1.0}"#.to_owned(),
+        ],
+    );
+    let state = handle.shutdown();
+    let board = state.board();
+    assert_eq!(board.events_applied, 2, "drain applied the tail");
+    assert_eq!(board.tick, 1, "final tick covered the drained events");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigterm_exits_cleanly() {
+    let dir = temp_dir("sigterm");
+    let log_path = dir.join("events.jsonl");
+    std::fs::write(
+        &log_path,
+        "{\"type\":\"edge_add\",\"a\":1,\"b\":2}\n{\"type\":\"rating\",\"rater\":1,\"ratee\":2,\"value\":1.0}\n",
+    )
+    .unwrap();
+    let metrics_path = dir.join("metrics.json");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_socialtrust-server"))
+        .args([
+            "--log",
+            log_path.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+            "--nodes",
+            "8",
+            "--interests",
+            "4",
+            "--pretrusted",
+            "2",
+            "--tick-ms",
+            "20",
+            "--replay",
+            "--metrics-out",
+            metrics_path.to_str().unwrap(),
+            "--max-runtime-secs",
+            "60",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon binary");
+
+    // Wait until the daemon reports its listen address, then SIGTERM it.
+    let mut stderr = child.stderr.take().expect("stderr piped");
+    let mut seen = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !String::from_utf8_lossy(&seen).contains("listening on http://") {
+        assert!(Instant::now() < deadline, "daemon never reported listening");
+        let mut byte = [0u8; 256];
+        let n = stderr.read(&mut byte).expect("read child stderr");
+        assert!(
+            n > 0,
+            "daemon stderr closed early: {:?}",
+            String::from_utf8_lossy(&seen)
+        );
+        seen.extend_from_slice(&byte[..n]);
+    }
+    let term = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(term.success(), "kill -TERM failed");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "daemon ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let mut rest = String::new();
+    let _ = stderr.read_to_string(&mut rest);
+    let all = format!("{}{rest}", String::from_utf8_lossy(&seen));
+    assert!(status.success(), "non-zero exit: {status:?}\n{all}");
+    assert!(
+        all.contains("clean shutdown"),
+        "no shutdown summary:\n{all}"
+    );
+    assert!(
+        metrics_path.exists(),
+        "metrics document missing after shutdown:\n{all}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -521,27 +521,69 @@ impl GraphSnapshot {
         }
     }
 
-    /// Repatch interaction-dirty rows in place (via `Arc::make_mut`, so
-    /// only touched shards are copied). Returns the number of rows
-    /// patched. Rows rebuilt by a structural pass this refresh are
-    /// patched harmlessly (idempotent: the slab already holds the live
-    /// frequencies).
+    /// Repatch interaction-dirty rows, batched per owning shard. Dirt is
+    /// first grouped by shard, then each touched shard is brought up to
+    /// date exactly once: slabs this snapshot already owns uniquely (e.g.
+    /// just rebuilt by a structural pass this refresh — the patch is
+    /// idempotent there) are patched in place with no copy, while slabs
+    /// still shared with older snapshot generations are clone+patched in
+    /// parallel over rayon. Row patches only write their own frequency
+    /// slots and denominator, so batch order never changes a result and
+    /// the refresh stays bit-for-bit equal to the per-row path. Returns
+    /// the number of rows patched.
     fn patch_interactions(
         &mut self,
         inter_delta: DirtyDeltaRef<'_>,
         interactions: &InteractionTracker,
     ) -> usize {
+        use rayon::prelude::*;
         let p = self.shards.len();
+        // Group the dirty rows by owning shard.
+        let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); p];
         let mut rows = 0usize;
         for v in inter_delta.nodes() {
             let i = v.index();
             if i >= self.n {
                 continue; // tracker covers more nodes than the graph
             }
-            let k = (i / self.shard_size).min(p - 1);
-            let shard = Arc::make_mut(&mut self.shards[k]);
-            shard.patch_row(i - shard.start, v, interactions);
+            buckets[(i / self.shard_size).min(p - 1)].push(v);
             rows += 1;
+        }
+        // In-place pass for uniquely-owned slabs; collect the shared ones.
+        let mut shared: Vec<usize> = Vec::new();
+        for (k, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            match Arc::get_mut(&mut self.shards[k]) {
+                Some(shard) => {
+                    for &v in bucket {
+                        shard.patch_row(v.index() - shard.start, v, interactions);
+                    }
+                }
+                None => shared.push(k),
+            }
+        }
+        if shared.is_empty() {
+            return rows;
+        }
+        // Clone+patch every still-shared shard concurrently: the slab
+        // memcpy dominates the sparse-dirt patch path, and the copies are
+        // independent.
+        let shards = &self.shards;
+        let buckets = &buckets;
+        let repatched: Vec<(usize, Arc<CsrShard>)> = shared
+            .into_par_iter()
+            .map(|k| {
+                let mut shard = CsrShard::clone(&shards[k]);
+                for &v in &buckets[k] {
+                    shard.patch_row(v.index() - shard.start, v, interactions);
+                }
+                (k, Arc::new(shard))
+            })
+            .collect();
+        for (k, slab) in repatched {
+            self.shards[k] = slab;
         }
         rows
     }

@@ -12,9 +12,11 @@
 # fresh > committed * (1 + allowed/100) fails the script. Ratio keys
 # (speedups, overhead percentages) and metadata are reported but never
 # gate. A missing fresh file — or a committed key absent from the fresh
-# file — is skipped with a note: the committed baseline is the contract,
-# the fresh dir is whatever subset this CI run measured (e.g. the scale
-# bench smoke regenerates only its smallest size).
+# file — is skipped with a WARNING: the committed baseline is the
+# contract, the fresh dir is whatever subset this CI run measured (e.g.
+# the scale bench smoke regenerates only its smallest size). Skips are
+# tallied in the final summary so a silently-shrinking fresh set is
+# visible in the CI log; only zero comparisons overall is fatal.
 #
 # Timings measured on CI runners are noisy; the default gate is
 # deliberately loose (25%) to catch real regressions, not jitter.
@@ -27,13 +29,15 @@ allowed="${2:-25}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 status=0
 compared=0
+skipped=0
 
 for committed in "$repo_root"/BENCH_*.json; do
     [ -e "$committed" ] || continue
     name="$(basename "$committed")"
     fresh="$fresh_dir/$name"
     if [ ! -e "$fresh" ]; then
-        echo "bench_diff: $name — no fresh measurement, skipping"
+        echo "bench_diff: WARNING: $name has no fresh counterpart in $fresh_dir — committed baseline not checked this run" >&2
+        skipped=$((skipped + 1))
         continue
     fi
     compared=$((compared + 1))
@@ -71,5 +75,6 @@ if [ "$compared" -eq 0 ]; then
     echo "bench_diff: no committed BENCH_*.json had a fresh counterpart" >&2
     exit 1
 fi
-[ "$status" -eq 0 ] && echo "bench_diff: all $compared file(s) within +$allowed%"
+[ "$skipped" -gt 0 ] && echo "bench_diff: WARNING: $skipped committed baseline file(s) skipped without a fresh measurement" >&2
+[ "$status" -eq 0 ] && echo "bench_diff: all $compared file(s) within +$allowed% ($skipped skipped)"
 exit "$status"

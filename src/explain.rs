@@ -1,0 +1,174 @@
+//! Audit-line reconstruction from decision-provenance trace dumps.
+//!
+//! One rescaled rating leaves three spans in its cycle's trace tree: the
+//! `detector_verdict` that flagged the pair (with exact threshold
+//! comparisons), the `gaussian_weight` that produced the Eq. (6)/(8)/(9)
+//! damping factor, and the `rescale_rating` that applied it. This module
+//! joins them back into [`ExplainEntry`] audit records — the shared
+//! backend of `socialtrust-cli explain` and the server's
+//! `GET /explain/{node}` endpoint.
+
+use socialtrust_telemetry::trace::{names as span_names, SpanRecord};
+use socialtrust_telemetry::TraceDump;
+
+/// One audited rescale, joined across the `detector_verdict`,
+/// `gaussian_weight`, and `rescale_rating` spans of its cycle trace.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ExplainEntry {
+    pub cycle: u64,
+    pub rater: u64,
+    pub ratee: u64,
+    pub original: f64,
+    pub adjusted: f64,
+    pub weight: f64,
+    /// Which paper equation produced the weight (`"Eq. 6"`/`"Eq. 8"`/
+    /// `"Eq. 9"`), when the weight span was found.
+    pub equation: Option<String>,
+    /// Fired behavior codes (`"B1"`–`"B4"`); empty for pure-hysteresis
+    /// (ghost) adjustments.
+    pub behaviors: Vec<String>,
+    /// True when the pair was adjusted from suspicion memory rather than a
+    /// fresh verdict this cycle.
+    pub ghost: bool,
+    /// The full "because ..." audit sentence printed for this entry.
+    pub audit: String,
+}
+
+/// The human-readable reason one behavior fired, from the verdict span's
+/// recorded threshold comparisons.
+pub fn behavior_clause(code: &str, v: &SpanRecord) -> String {
+    let f = |key: &str| v.attr_f64(key).unwrap_or(f64::NAN);
+    let n = |key: &str| v.attr_u64(key).unwrap_or(0);
+    match code {
+        "B1" => format!(
+            "B1 fired because F⁺={} > T⁺ₜ={:.2} and Ω꜀={:.3} < T_cₗ={:.2}",
+            n("f_pos"),
+            f("t_pos"),
+            f("omega_c"),
+            f("t_c_low")
+        ),
+        "B2" => {
+            let (t_r, ratee_rep, rater_rep) =
+                (f("t_r"), f("ratee_reputation"), f("rater_reputation"));
+            let low_side = if ratee_rep < t_r {
+                format!("ratee R={ratee_rep:.4} < T_R={t_r:.4}")
+            } else {
+                format!("rater R={rater_rep:.4} < T_R={t_r:.4}")
+            };
+            format!(
+                "B2 fired because F⁺={} > T⁺ₜ={:.2}, Ω꜀={:.3} > T_cₕ={:.2} and {}",
+                n("f_pos"),
+                f("t_pos"),
+                f("omega_c"),
+                f("t_c_high"),
+                low_side
+            )
+        }
+        "B3" => format!(
+            "B3 fired because F⁺={} > T⁺ₜ={:.2} and Ωₛ={:.3} < T_sₗ={:.2}",
+            n("f_pos"),
+            f("t_pos"),
+            f("omega_s"),
+            f("t_s_low")
+        ),
+        "B4" => format!(
+            "B4 fired because F⁻={} > T⁻ₜ={:.2} and Ωₛ={:.3} > T_sₕ={:.2}",
+            n("f_neg"),
+            f("t_neg"),
+            f("omega_s"),
+            f("t_s_high")
+        ),
+        other => other.to_string(),
+    }
+}
+
+/// Join every `rescale_rating` span in `dump` with its cycle's verdict and
+/// weight spans, producing audit entries in trace order. `node` keeps only
+/// ratings where the node is rater or ratee; `cycle` keeps only the given
+/// simulation cycle.
+pub fn explain_entries(
+    dump: &TraceDump,
+    node: Option<u64>,
+    cycle: Option<u64>,
+) -> Vec<ExplainEntry> {
+    let mut entries: Vec<ExplainEntry> = Vec::new();
+    for trace in &dump.traces {
+        let trace_cycle = trace.cycle().unwrap_or(0);
+        if cycle.is_some_and(|c| c != trace_cycle) {
+            continue;
+        }
+        // Join the cycle's decision spans by (rater, ratee).
+        let by_pair = |name: &'static str| -> std::collections::BTreeMap<(u64, u64), &SpanRecord> {
+            trace
+                .named(name)
+                .filter_map(|s| Some(((s.attr_u64("rater")?, s.attr_u64("ratee")?), s)))
+                .collect()
+        };
+        let verdicts = by_pair(span_names::VERDICT);
+        let weights = by_pair(span_names::WEIGHT);
+        for rescale in trace.named(span_names::RESCALED_RATING) {
+            let (Some(rater), Some(ratee)) = (rescale.attr_u64("rater"), rescale.attr_u64("ratee"))
+            else {
+                continue;
+            };
+            if node.is_some_and(|n| n != rater && n != ratee) {
+                continue;
+            }
+            let pair = (rater, ratee);
+            let verdict = verdicts.get(&pair);
+            let weight_span = weights.get(&pair);
+            let behaviors: Vec<String> = verdict
+                .and_then(|v| v.attr_str("behaviors"))
+                .map(|b| b.split('+').map(str::to_string).collect())
+                .unwrap_or_default();
+            let ghost = weight_span
+                .and_then(|w| w.attr_bool("ghost"))
+                .unwrap_or(verdict.is_none());
+            let original = rescale.attr_f64("original").unwrap_or(f64::NAN);
+            let adjusted = rescale.attr_f64("adjusted").unwrap_or(f64::NAN);
+            let weight = rescale.attr_f64("weight").unwrap_or(f64::NAN);
+            let equation = weight_span
+                .and_then(|w| w.attr_str("eq"))
+                .map(str::to_string);
+
+            let mut reasons: Vec<String> = behaviors
+                .iter()
+                .filter_map(|code| verdict.map(|v| behavior_clause(code, v)))
+                .collect();
+            if reasons.is_empty() {
+                reasons.push(
+                    "pair remembered from a recent verdict (suspicion hysteresis)".to_string(),
+                );
+            }
+            let weight_clause = match (&equation, weight_span) {
+                (Some(eq), Some(w)) => format!(
+                    "Gaussian weight {:.3} from {} (Ω꜀={:.3} vs μ꜀={:.3}, Ωₛ={:.3} vs μₛ={:.3})",
+                    weight,
+                    eq,
+                    w.attr_f64("omega_c").unwrap_or(f64::NAN),
+                    w.attr_f64("mean_c").unwrap_or(f64::NAN),
+                    w.attr_f64("omega_s").unwrap_or(f64::NAN),
+                    w.attr_f64("mean_s").unwrap_or(f64::NAN),
+                ),
+                _ => format!("Gaussian weight {weight:.3}"),
+            };
+            let audit = format!(
+                "cycle {trace_cycle} · rating {rater}→{ratee} rescaled {original:.2}→{adjusted:.2}: {}; {weight_clause}",
+                reasons.join("; "),
+            );
+            entries.push(ExplainEntry {
+                cycle: trace_cycle,
+                rater,
+                ratee,
+                original,
+                adjusted,
+                weight,
+                equation,
+                behaviors,
+                ghost,
+                audit,
+            });
+        }
+    }
+    entries
+}

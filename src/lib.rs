@@ -19,6 +19,8 @@
 //!   atomic counters/gauges/histograms, span timers, a structured JSONL
 //!   event sink, and Prometheus/JSON export (see DESIGN.md's
 //!   "Observability contract" for the metric inventory).
+//! * [`explain`] — audit-line reconstruction from trace dumps, shared by
+//!   `socialtrust-cli explain` and the server's `/explain` endpoint.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,8 @@
 //!         <= unprotected.final_summary.mean_reputation(&colluders)
 //! );
 //! ```
+
+pub mod explain;
 
 pub use socialtrust_core as core;
 pub use socialtrust_reputation as reputation;
