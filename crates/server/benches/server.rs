@@ -11,16 +11,27 @@
 //!    `ingest_{n}_events_per_sec` is the same number as a rate.
 //!
 //! 2. `query_{n}_seconds`: wall time for `QUERIES` sequential
-//!    `GET /score/{node}` requests over loopback TCP, one connection per
-//!    request (the server is `Connection: close`), after one forced tick
-//!    published a board. `query_{n}_requests_per_sec` is informational.
+//!    `GET /score/{node}` requests over **one keep-alive connection**
+//!    (reconnecting transparently if the server retires it at the
+//!    per-connection request cap), after one forced tick published a
+//!    board. This is the primary query-plane cell the ISSUE's ≥10×
+//!    target applies to; `query_{n}_requests_per_sec` is informational.
+//!
+//! 3. `query_close_{n}_seconds`: the PR-8 shape — one fresh connection
+//!    per request (`Connection: close`) — kept as the comparison cell
+//!    for the keep-alive win.
+//!
+//! 4. `query_c4_{n}_seconds` / `query_c16_{n}_seconds`: `CONC_QUERIES`
+//!    requests spread over 4 / 16 concurrent keep-alive connections
+//!    (one thread each), exercising the workers' `poll(2)` loops with
+//!    many live sockets.
 //!
 //! Results land in `BENCH_server.json` (override with `BENCH_SERVER_OUT`);
 //! `_seconds` keys are gated by `scripts/bench_diff.sh`. `--test` is
 //! accepted for CLI uniformity; CI smoke shrinks via `SERVER_SIZES=10000`.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use socialtrust_server::event::{render_event, RelKind, ServerEvent};
@@ -28,6 +39,7 @@ use socialtrust_server::service::ServiceConfig;
 use socialtrust_server::{start, ServerConfig};
 
 const QUERIES: usize = 2000;
+const CONC_QUERIES: usize = 8000;
 
 /// Deterministic event batch: a ring of friendships, sparse interest
 /// profiles, and five ratings per sampled rater.
@@ -75,14 +87,107 @@ fn event_batch(n: usize) -> Vec<ServerEvent> {
     events
 }
 
-fn http_get(addr: std::net::SocketAddr, target: &str) -> String {
+/// One-shot client: fresh connection, explicit `Connection: close`.
+fn http_get_close(addr: SocketAddr, target: &str) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect to bench server");
+    stream.set_nodelay(true).expect("nodelay");
     stream
-        .write_all(format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
         .expect("write request");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("read response");
     response
+}
+
+/// A keep-alive client: sequential requests on one persistent
+/// connection, parsing `Content-Length` to frame responses, and
+/// reconnecting transparently when the server retires the connection
+/// (idle timeout or per-connection request cap).
+struct KeepAliveClient {
+    addr: SocketAddr,
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl KeepAliveClient {
+    fn connect(addr: SocketAddr) -> KeepAliveClient {
+        let stream = TcpStream::connect(addr).expect("connect keep-alive client");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        KeepAliveClient {
+            addr,
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn reconnect(&mut self) {
+        *self = KeepAliveClient::connect(self.addr);
+    }
+
+    /// Issue one GET and return the full response (head + body). Panics
+    /// on malformed responses; reconnects and retries once if the server
+    /// closed the connection between requests.
+    fn get(&mut self, target: &str) -> String {
+        match self.try_get(target) {
+            Some(response) => response,
+            None => {
+                self.reconnect();
+                self.try_get(target).expect("request after reconnect")
+            }
+        }
+    }
+
+    fn try_get(&mut self, target: &str) -> Option<String> {
+        let request = format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n");
+        if self.stream.write_all(request.as_bytes()).is_err() {
+            return None;
+        }
+        // Read until the head terminator, then exactly the body.
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None, // server closed (cap/idle); caller reconnects
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return None,
+            }
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .expect("utf-8 head")
+            .to_owned();
+        let content_length: usize = head
+            .split("\r\n")
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().expect("content-length"))
+            })
+            .expect("response has content-length");
+        while self.buf.len() < head_end + content_length {
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return None,
+            }
+        }
+        let response: Vec<u8> = self.buf.drain(..head_end + content_length).collect();
+        let closing = head
+            .split("\r\n")
+            .any(|l| l.eq_ignore_ascii_case("connection: close"));
+        if closing {
+            self.reconnect();
+        }
+        Some(String::from_utf8(response).expect("utf-8 response"))
+    }
 }
 
 struct SizeReport {
@@ -90,6 +195,28 @@ struct SizeReport {
     events: usize,
     ingest: f64,
     query: f64,
+    query_close: f64,
+    query_c4: f64,
+    query_c16: f64,
+}
+
+/// `total` sequential keep-alive requests spread over `clients` threads.
+fn run_concurrent(addr: SocketAddr, n: usize, clients: usize, total: usize) -> f64 {
+    let per_client = total / clients;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            scope.spawn(move || {
+                let mut client = KeepAliveClient::connect(addr);
+                for k in 0..per_client {
+                    let node = (c * 7919 + k * 37) % n;
+                    let response = client.get(&format!("/score/{node}"));
+                    std::hint::black_box(&response);
+                }
+            });
+        }
+    });
+    started.elapsed().as_secs_f64()
 }
 
 fn bench_size(n: usize) -> SizeReport {
@@ -117,8 +244,9 @@ fn bench_size(n: usize) -> SizeReport {
         // Keep the periodic recompute out of the timed windows; the bench
         // forces its tick explicitly.
         tick_interval: Duration::from_secs(3600),
-        workers: 2,
+        workers: 4,
         replay: false,
+        ..ServerConfig::default()
     })
     .expect("bench server boots");
     let state = handle.state().clone();
@@ -146,32 +274,53 @@ fn bench_size(n: usize) -> SizeReport {
     }
     let ingest = started.elapsed().as_secs_f64();
 
-    // 2. Queries against a published board.
+    // 2. Queries against a published board: keep-alive sequential (the
+    //    primary cell), close-per-request (the PR-8 comparison), then
+    //    the 4/16-connection concurrency cells.
     assert!(state.force_tick(), "tick covers the ingested batch");
-    let probe = http_get(handle.addr(), "/score/0");
+    let mut client = KeepAliveClient::connect(handle.addr());
+    let probe = client.get("/score/0");
     assert!(probe.contains("\"score\":"), "probe response: {probe}");
     let started = Instant::now();
     for k in 0..QUERIES {
         let node = (k * 37) % n;
-        let response = http_get(handle.addr(), &format!("/score/{node}"));
+        let response = client.get(&format!("/score/{node}"));
         std::hint::black_box(&response);
     }
     let query = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    for k in 0..QUERIES {
+        let node = (k * 37) % n;
+        let response = http_get_close(handle.addr(), &format!("/score/{node}"));
+        std::hint::black_box(&response);
+    }
+    let query_close = started.elapsed().as_secs_f64();
+
+    let query_c4 = run_concurrent(handle.addr(), n, 4, CONC_QUERIES);
+    let query_c16 = run_concurrent(handle.addr(), n, 16, CONC_QUERIES);
 
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
     eprintln!(
         "[server {n}] ingest {ingest:.4}s ({:.0} ev/s over {} events), \
-         query {query:.4}s ({:.0} req/s over {QUERIES} requests)",
+         keep-alive {query:.4}s ({:.0} req/s), close {query_close:.4}s ({:.0} req/s), \
+         c4 {query_c4:.4}s ({:.0} req/s), c16 {query_c16:.4}s ({:.0} req/s)",
         total as f64 / ingest,
         events.len(),
         QUERIES as f64 / query,
+        QUERIES as f64 / query_close,
+        CONC_QUERIES as f64 / query_c4,
+        CONC_QUERIES as f64 / query_c16,
     );
     SizeReport {
         n,
         events: events.len(),
         ingest,
         query,
+        query_close,
+        query_c4,
+        query_c16,
     }
 }
 
@@ -182,10 +331,17 @@ fn write_report(reports: &[SizeReport], sizes: &str) {
         "\"bench\": \"server\"".to_owned(),
         format!("\"sizes\": \"{sizes}\""),
         format!("\"queries\": {QUERIES}"),
+        format!("\"concurrent_queries\": {CONC_QUERIES}"),
     ];
     for r in reports {
         fields.push(format!("\"ingest_{}_seconds\": {:.9}", r.n, r.ingest));
         fields.push(format!("\"query_{}_seconds\": {:.9}", r.n, r.query));
+        fields.push(format!(
+            "\"query_close_{}_seconds\": {:.9}",
+            r.n, r.query_close
+        ));
+        fields.push(format!("\"query_c4_{}_seconds\": {:.9}", r.n, r.query_c4));
+        fields.push(format!("\"query_c16_{}_seconds\": {:.9}", r.n, r.query_c16));
         fields.push(format!("\"ingest_{}_events\": {}", r.n, r.events));
         fields.push(format!(
             "\"ingest_{}_events_per_sec\": {:.1}",
@@ -196,6 +352,21 @@ fn write_report(reports: &[SizeReport], sizes: &str) {
             "\"query_{}_requests_per_sec\": {:.1}",
             r.n,
             QUERIES as f64 / r.query
+        ));
+        fields.push(format!(
+            "\"query_close_{}_requests_per_sec\": {:.1}",
+            r.n,
+            QUERIES as f64 / r.query_close
+        ));
+        fields.push(format!(
+            "\"query_c4_{}_requests_per_sec\": {:.1}",
+            r.n,
+            CONC_QUERIES as f64 / r.query_c4
+        ));
+        fields.push(format!(
+            "\"query_c16_{}_requests_per_sec\": {:.1}",
+            r.n,
+            CONC_QUERIES as f64 / r.query_c16
         ));
     }
     let json = format!("{{\n  {}\n}}\n", fields.join(",\n  "));

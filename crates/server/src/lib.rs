@@ -6,8 +6,9 @@
 //! thread**, applied through `DirtyLog` into the live social substrate, a
 //! **tick thread** recomputes warm-started blocked EigenTrust behind the
 //! B1–B4 detector on a configurable interval, and a small **HTTP worker
-//! pool** serves scores, audit explanations, and Prometheus metrics from
-//! immutable published [`ScoreBoard`]s.
+//! pool** (keep-alive HTTP/1.1 over a `poll(2)` event loop, see
+//! [`http`]) serves scores, audit explanations, and Prometheus metrics
+//! from immutable published [`ScoreBoard`]s.
 //!
 //! Threading model (no async runtime, no HTTP/signal dependencies):
 //!
@@ -59,6 +60,10 @@ pub struct ServerConfig {
     pub tick_interval: Duration,
     /// HTTP worker threads.
     pub workers: usize,
+    /// Keep-alive: close a connection after this much idle time.
+    pub http_idle_timeout: Duration,
+    /// Keep-alive: retire a connection after this many requests.
+    pub http_max_requests: usize,
     /// Bootstrap mode: apply the log's existing backlog and run one tick
     /// *before* binding the listener, so the daemon goes live warm.
     pub replay: bool,
@@ -72,6 +77,8 @@ impl Default for ServerConfig {
             service: ServiceConfig::default(),
             tick_interval: Duration::from_millis(200),
             workers: 4,
+            http_idle_timeout: Duration::from_secs(5),
+            http_max_requests: 1000,
             replay: false,
         }
     }
@@ -99,14 +106,23 @@ pub struct ServerState {
     ticks_total: Counter,
     ticks_skipped: Counter,
     tick_seconds: Histogram,
-    // HTTP-side telemetry.
+    // HTTP-side telemetry. `http_requests` counts parsed requests (a
+    // keep-alive connection contributes one per request it carries);
+    // `http_connections` counts accepted connections.
     pub(crate) http_requests: Counter,
+    pub(crate) http_connections: Counter,
     pub(crate) http_seconds: Histogram,
+    // HTTP keep-alive tuning (from `ServerConfig`).
+    pub(crate) http_idle_timeout: Duration,
+    pub(crate) http_max_requests: usize,
+    /// Rendered `/metrics` body, shared until its short TTL lapses.
+    pub(crate) metrics_cache: Mutex<Option<(Instant, Arc<str>)>>,
 }
 
 impl ServerState {
-    fn new(service: ReputationService, telemetry: Telemetry) -> ServerState {
+    fn new(service: ReputationService, telemetry: Telemetry, config: &ServerConfig) -> ServerState {
         let board = service.boot_board();
+        board.ranking(); // warm the boot board's score index
         let r = telemetry.registry();
         ServerState {
             service: Mutex::new(service),
@@ -123,7 +139,11 @@ impl ServerState {
             ticks_skipped: r.counter("server_ticks_skipped_total"),
             tick_seconds: r.histogram("server_tick_seconds"),
             http_requests: r.counter("server_http_requests_total"),
+            http_connections: r.counter("server_http_connections_total"),
             http_seconds: r.histogram("server_http_request_seconds"),
+            http_idle_timeout: config.http_idle_timeout,
+            http_max_requests: config.http_max_requests.max(1),
+            metrics_cache: Mutex::new(None),
             oldest_pending: Mutex::new(None),
             telemetry,
         }
@@ -201,6 +221,9 @@ impl ServerState {
         if let Some(oldest) = self.oldest_pending.lock().expect("oldest lock").take() {
             self.ingest_lag.set(oldest.elapsed().as_secs_f64());
         }
+        // Precompute the per-tick score index here, on the tick thread,
+        // so `/scores` requests slice a warm shared ranking.
+        board.ranking();
         *self.board.write().expect("board lock") = board;
         true
     }
@@ -357,7 +380,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         Tracer::new(TracerConfig::with_sample(SampleMode::Full)),
     );
     let service = ReputationService::new(config.service, &telemetry);
-    let state = Arc::new(ServerState::new(service, telemetry));
+    let state = Arc::new(ServerState::new(service, telemetry, &config));
 
     // --replay: consume the existing backlog and tick once before going
     // live, so first queries see a warm trust vector.

@@ -14,6 +14,10 @@
 //!   capacity (defaults 1024 / 64 / 16).
 //! * `--tick-ms MS` — recompute interval, default 200.
 //! * `--workers N` — HTTP worker threads, default 4.
+//! * `--http-idle-ms MS` — close keep-alive connections idle longer than
+//!   this, default 5000.
+//! * `--http-max-requests N` — retire a keep-alive connection after N
+//!   requests, default 1000.
 //! * `--replay` — apply the log's existing backlog and tick once before
 //!   binding, so the daemon goes live warm.
 //! * `--metrics-out PATH` — write a final `MetricsExport` JSON document
@@ -69,7 +73,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: socialtrust-server --log events.jsonl [--listen 127.0.0.1:8080] \
          [--nodes 1024] [--interests 64] [--pretrusted 16] [--tick-ms 200] \
-         [--workers 4] [--replay] [--metrics-out PATH] [--max-runtime-secs S]"
+         [--workers 4] [--http-idle-ms 5000] [--http-max-requests 1000] \
+         [--replay] [--metrics-out PATH] [--max-runtime-secs S]"
     );
     std::process::exit(2);
 }
@@ -109,6 +114,17 @@ fn parse_args() -> Args {
                 config.tick_interval = Duration::from_millis(ms.max(1));
             }
             "--workers" => config.workers = number(&value(&mut argv, "--workers"), "--workers"),
+            "--http-idle-ms" => {
+                let ms: u64 = number(&value(&mut argv, "--http-idle-ms"), "--http-idle-ms");
+                config.http_idle_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--http-max-requests" => {
+                let n: usize = number(
+                    &value(&mut argv, "--http-max-requests"),
+                    "--http-max-requests",
+                );
+                config.http_max_requests = n.max(1);
+            }
             "--replay" => config.replay = true,
             "--metrics-out" => metrics_out = Some(PathBuf::from(value(&mut argv, "--metrics-out"))),
             "--max-runtime-secs" => {

@@ -18,7 +18,7 @@
 //! the same tick boundaries and yields bit-for-bit identical scores (the
 //! integration tests enforce this over HTTP).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use socialtrust::prelude::*;
 use socialtrust::telemetry::trace::names as trace_names;
@@ -53,6 +53,12 @@ impl Default for ServiceConfig {
     }
 }
 
+/// How many ranked nodes the per-tick score index keeps. `/scores`
+/// requests with `top` at or below this are an O(top) slice of the
+/// shared prefix; larger requests fall back to a per-request partial
+/// sort (`select_nth_unstable_by`), still avoiding a full-vector sort.
+const RANK_PREFIX: usize = 1024;
+
 /// One published, immutable view of the pipeline after a completed tick.
 #[derive(Debug)]
 pub struct ScoreBoard {
@@ -65,9 +71,67 @@ pub struct ScoreBoard {
     pub events_applied: u64,
     /// The full trust vector as of this tick.
     pub scores: Vec<f64>,
+    /// The tick journal as of this board (cumulative applied-event count
+    /// per tick). Published here so `/journal` never takes the service
+    /// mutex.
+    pub journal: Vec<u64>,
     /// Decision-provenance spans of the most recent tick (drained from
     /// the tracer, so each board carries exactly its own cycle).
     pub trace: TraceDump,
+    /// Lazily-built score-descending index prefix (see [`RANK_PREFIX`]);
+    /// the tick thread warms it once per publish, off the request path.
+    ranking: OnceLock<Arc<[u32]>>,
+    /// Lazily-rendered body for the default `/scores` request.
+    pub cached_scores_body: OnceLock<Arc<str>>,
+    /// Lazily-rendered `/journal` body.
+    pub cached_journal_body: OnceLock<Arc<str>>,
+}
+
+impl ScoreBoard {
+    /// Deterministic ranking order: score descending, node id ascending
+    /// on ties (matching the pre-cache `/scores` sort exactly).
+    fn rank_cmp(scores: &[f64]) -> impl Fn(&u32, &u32) -> std::cmp::Ordering + '_ {
+        |&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        }
+    }
+
+    /// The `k` best-ranked node ids, in order. `select_nth_unstable_by`
+    /// partitions the top `k` in O(n), then only the prefix is sorted —
+    /// no full-vector O(n log n) sort for any `k < n`.
+    fn rank_top(scores: &[f64], k: usize) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+        let k = k.min(order.len());
+        if k < order.len() {
+            order.select_nth_unstable_by(k, Self::rank_cmp(scores));
+            order.truncate(k);
+        }
+        order.sort_unstable_by(Self::rank_cmp(scores));
+        order
+    }
+
+    /// The shared score-descending index prefix, built at most once per
+    /// board. [`crate::ServerState`] warms it from the tick thread right
+    /// after publishing, so requests normally never pay for it.
+    pub fn ranking(&self) -> &Arc<[u32]> {
+        self.ranking
+            .get_or_init(|| Self::rank_top(&self.scores, RANK_PREFIX).into())
+    }
+
+    /// The `top` best-ranked node ids: an O(top) slice of the shared
+    /// prefix when it covers the request, else a per-request partial
+    /// sort.
+    pub fn top_nodes(&self, top: usize) -> Vec<u32> {
+        let ranking = self.ranking();
+        if top <= ranking.len() || ranking.len() == self.scores.len() {
+            ranking[..top.min(ranking.len())].to_vec()
+        } else {
+            Self::rank_top(&self.scores, top)
+        }
+    }
 }
 
 /// The live pipeline plus its tick journal.
@@ -243,12 +307,16 @@ impl ReputationService {
             cycle,
             events_applied: self.events_applied,
             scores: self.engine.reputations().to_vec(),
+            journal: self.journal.clone(),
             // Drain the ring so each board carries exactly this tick's
             // spans and tracer memory stays bounded across long runs.
             trace: TraceDump {
                 traces: self.telemetry.tracer().take_traces(),
                 stats: self.telemetry.tracer().stats(),
             },
+            ranking: OnceLock::new(),
+            cached_scores_body: OnceLock::new(),
+            cached_journal_body: OnceLock::new(),
         })
     }
 
@@ -260,10 +328,14 @@ impl ReputationService {
             cycle: (self.journal.len() as u64).saturating_sub(1),
             events_applied: self.events_applied,
             scores: self.engine.reputations().to_vec(),
+            journal: self.journal.clone(),
             trace: TraceDump {
                 traces: Vec::new(),
                 stats: self.telemetry.tracer().stats(),
             },
+            ranking: OnceLock::new(),
+            cached_scores_body: OnceLock::new(),
+            cached_journal_body: OnceLock::new(),
         })
     }
 }
@@ -384,6 +456,57 @@ mod tests {
             .is_err());
         assert_eq!(svc.events_rejected(), 3);
         assert_eq!(svc.events_applied(), 0);
+    }
+
+    #[test]
+    fn ranking_prefix_matches_full_sort() {
+        // Synthetic scores with duplicates so the node-id tie-break is
+        // exercised; compare against the pre-cache full-sort ordering.
+        let scores: Vec<f64> = (0..4000u32)
+            .map(|k| (k.wrapping_mul(2654435761).rotate_right(7) % 97) as f64 / 97.0)
+            .collect();
+        let mut full: Vec<u32> = (0..scores.len() as u32).collect();
+        full.sort_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for k in [0usize, 1, 10, 96, 1023, 1024, 1025, 3999, 4000, 5000] {
+            assert_eq!(
+                ScoreBoard::rank_top(&scores, k),
+                full[..k.min(full.len())],
+                "rank_top({k}) diverged from the full sort"
+            );
+        }
+    }
+
+    #[test]
+    fn board_top_nodes_covers_prefix_and_fallback() {
+        let t = telemetry();
+        let mut svc = ReputationService::new(small_config(), &t);
+        svc.apply(&ServerEvent::Rating {
+            rater: 1,
+            ratee: 2,
+            value: 1.0,
+            interest: None,
+        })
+        .unwrap();
+        let board = svc.tick();
+        assert_eq!(board.journal, vec![1], "journal published on the board");
+        // 16 nodes < RANK_PREFIX: the prefix is the full ranking, and
+        // any top (including past the end) slices it consistently.
+        assert_eq!(board.ranking().len(), 16);
+        assert_eq!(board.top_nodes(5), board.ranking()[..5].to_vec());
+        assert_eq!(board.top_nodes(100), board.ranking().to_vec());
+        let scores = &board.scores;
+        for pair in board.top_nodes(16).windows(2) {
+            let (a, b) = (pair[0] as usize, pair[1] as usize);
+            assert!(
+                scores[a] > scores[b] || (scores[a] == scores[b] && a < b),
+                "ranking out of order at {a}/{b}"
+            );
+        }
     }
 
     #[test]

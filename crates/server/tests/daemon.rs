@@ -10,6 +10,12 @@
 //!   while the valid lines around them still apply.
 //! * `sigterm_exits_cleanly` — the installed binary drains and exits 0
 //!   on SIGTERM.
+//! * keep-alive conformance — sequential requests on one socket,
+//!   pipelined pairs answered in order, a malformed second request gets
+//!   a 400 and a clean close, idle connections are reaped on the
+//!   configured timeout, the per-connection request cap retires
+//!   connections with `Connection: close`, and shutdown drains in-flight
+//!   keep-alive connections before the workers exit.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -21,12 +27,17 @@ use socialtrust_server::service::{replay_offline, ServiceConfig};
 use socialtrust_server::{start, ServerConfig, ServerHandle};
 
 fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
+    // One-shot client: `Connection: close` lets `read_to_string` frame
+    // the response by EOF (the server keeps HTTP/1.1 connections alive
+    // otherwise).
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
     stream
-        .write_all(format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
         .expect("write request");
     let mut response = String::new();
     stream.read_to_string(&mut response).expect("read response");
@@ -40,6 +51,90 @@ fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
         .map(|(_, b)| b.to_owned())
         .unwrap_or_default();
     (status, body)
+}
+
+/// A keep-alive test client over one socket: no `Connection:` header
+/// (HTTP/1.1 defaults to keep-alive), responses framed by
+/// `Content-Length`.
+struct KaConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl KaConn {
+    fn connect(addr: SocketAddr) -> KaConn {
+        let stream = TcpStream::connect(addr).expect("connect keep-alive");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        KaConn {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, target: &str) {
+        self.stream
+            .write_all(format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+            .expect("write keep-alive request");
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write raw bytes");
+    }
+
+    /// Read one response. Returns `(status, head, body)`.
+    fn read_response(&mut self) -> (u16, String, String) {
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk).expect("read response head");
+            assert!(n > 0, "connection closed before a full response head");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8(self.buf[..head_end].to_vec()).expect("utf-8 head");
+        let status: u16 = head
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unparsable head: {head:?}"));
+        let content_length: usize = head
+            .split("\r\n")
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.trim()
+                    .eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().expect("content-length value"))
+            })
+            .expect("response carries content-length");
+        while self.buf.len() < head_end + content_length {
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk).expect("read response body");
+            assert!(n > 0, "connection closed mid-body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = String::from_utf8(self.buf[head_end..head_end + content_length].to_vec())
+            .expect("utf-8 body");
+        self.buf.drain(..head_end + content_length);
+        (status, head, body)
+    }
+
+    /// Expect the server to close this connection: the next read must
+    /// return EOF (not a reset, not a timeout).
+    fn expect_eof(&mut self) {
+        let mut chunk = [0u8; 256];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => {}
+            Ok(n) => panic!(
+                "expected EOF, got {n} bytes: {:?}",
+                String::from_utf8_lossy(&chunk[..n])
+            ),
+            Err(e) => panic!("expected clean EOF, got error: {e}"),
+        }
+    }
 }
 
 /// Pull one numeric field out of a flat JSON body.
@@ -85,17 +180,28 @@ fn wait_for_applied(addr: SocketAddr, expected: u64) {
     }
 }
 
-fn boot(dir: &Path, config: ServiceConfig, tick: Duration) -> ServerHandle {
+fn boot_tuned(
+    dir: &Path,
+    config: ServiceConfig,
+    tick: Duration,
+    tune: impl FnOnce(&mut ServerConfig),
+) -> ServerHandle {
     let log_path = dir.join("events.jsonl");
-    start(ServerConfig {
+    let mut server = ServerConfig {
         log_path,
         listen: "127.0.0.1:0".to_owned(),
         service: config,
         tick_interval: tick,
         workers: 2,
         replay: false,
-    })
-    .expect("daemon boots on an ephemeral port")
+        ..ServerConfig::default()
+    };
+    tune(&mut server);
+    start(server).expect("daemon boots on an ephemeral port")
+}
+
+fn boot(dir: &Path, config: ServiceConfig, tick: Duration) -> ServerHandle {
+    boot_tuned(dir, config, tick, |_| {})
 }
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -311,6 +417,179 @@ fn shutdown_drains_pending_log_lines() {
     let board = state.board();
     assert_eq!(board.events_applied, 2, "drain applied the tail");
     assert_eq!(board.tick, 1, "final tick covered the drained events");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A tiny substrate every keep-alive test shares: two events so the
+/// first tick publishes a non-boot board.
+fn seed_daemon(dir: &Path) -> ServerHandle {
+    let config = ServiceConfig {
+        nodes: 8,
+        interests: 4,
+        pretrusted: 2,
+        ..ServiceConfig::default()
+    };
+    let handle = boot(dir, config, Duration::from_millis(20));
+    append_lines(
+        &dir.join("events.jsonl"),
+        &[
+            r#"{"type":"edge_add","a":1,"b":2}"#.to_owned(),
+            r#"{"type":"rating","rater":1,"ratee":2,"value":1.0}"#.to_owned(),
+        ],
+    );
+    wait_for_applied(handle.addr(), 2);
+    handle
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_socket() {
+    let dir = temp_dir("keepalive-seq");
+    let handle = seed_daemon(&dir);
+    let registry = handle.state().telemetry().registry();
+    let connections_before = registry.counter("server_http_connections_total").get();
+    let requests_before = registry.counter("server_http_requests_total").get();
+
+    let mut conn = KaConn::connect(handle.addr());
+    for (target, expect) in [
+        ("/healthz", "\"status\":\"ok\""),
+        ("/score/1", "\"node\":1"),
+        ("/scores?top=3", "\"scores\":["),
+        ("/scores", "\"scores\":["),
+        ("/journal", "\"journal\":["),
+        ("/metrics", "server_http_requests_total"),
+    ] {
+        conn.send(target);
+        let (status, head, body) = conn.read_response();
+        assert_eq!(status, 200, "{target}: {body}");
+        assert!(
+            head.contains("Connection: keep-alive"),
+            "{target} head: {head}"
+        );
+        assert!(body.contains(expect), "{target} body: {body}");
+    }
+
+    let registry = handle.state().telemetry().registry();
+    assert_eq!(
+        registry.counter("server_http_connections_total").get(),
+        connections_before + 1,
+        "six requests rode one connection"
+    );
+    assert!(
+        registry.counter("server_http_requests_total").get() >= requests_before + 6,
+        "requests are counted per parsed request, not per connection"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let dir = temp_dir("keepalive-pipeline");
+    let handle = seed_daemon(&dir);
+    let mut conn = KaConn::connect(handle.addr());
+    conn.send_raw(
+        b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n\
+          GET /score/1 HTTP/1.1\r\nHost: test\r\n\r\n",
+    );
+    let (status, _, body) = conn.read_response();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "first response: {body}");
+    let (status, _, body) = conn.read_response();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"node\":1"), "second response: {body}");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_second_request_closes_cleanly() {
+    let dir = temp_dir("keepalive-malformed");
+    let handle = seed_daemon(&dir);
+    let mut conn = KaConn::connect(handle.addr());
+    conn.send("/healthz");
+    let (status, _, _) = conn.read_response();
+    assert_eq!(status, 200);
+    conn.send_raw(b"THIS IS NOT HTTP\r\n\r\n");
+    let (status, head, _) = conn.read_response();
+    assert_eq!(status, 400, "malformed request head: {head}");
+    assert!(head.contains("Connection: close"), "head: {head}");
+    conn.expect_eof();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn idle_connections_are_reaped_on_timeout() {
+    let dir = temp_dir("keepalive-idle");
+    let config = ServiceConfig {
+        nodes: 8,
+        interests: 4,
+        pretrusted: 2,
+        ..ServiceConfig::default()
+    };
+    let handle = boot_tuned(&dir, config, Duration::from_millis(20), |server| {
+        server.http_idle_timeout = Duration::from_millis(200);
+    });
+    let mut conn = KaConn::connect(handle.addr());
+    conn.send("/healthz");
+    let (status, _, _) = conn.read_response();
+    assert_eq!(status, 200);
+    // No further requests: the server must close within the idle timeout
+    // plus one poll sweep, well inside this client's 10s read timeout.
+    conn.expect_eof();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn request_cap_retires_connection_with_close() {
+    let dir = temp_dir("keepalive-cap");
+    let config = ServiceConfig {
+        nodes: 8,
+        interests: 4,
+        pretrusted: 2,
+        ..ServiceConfig::default()
+    };
+    let handle = boot_tuned(&dir, config, Duration::from_millis(20), |server| {
+        server.http_max_requests = 2;
+    });
+    let mut conn = KaConn::connect(handle.addr());
+    conn.send("/healthz");
+    let (status, head, _) = conn.read_response();
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: keep-alive"), "head: {head}");
+    conn.send("/healthz");
+    let (status, head, _) = conn.read_response();
+    assert_eq!(status, 200);
+    assert!(
+        head.contains("Connection: close"),
+        "capped response must advertise close: {head}"
+    );
+    conn.expect_eof();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_drains_inflight_keepalive_connections() {
+    let dir = temp_dir("keepalive-drain");
+    let handle = seed_daemon(&dir);
+    let mut conn = KaConn::connect(handle.addr());
+    conn.send("/score/1");
+    let (status, _, _) = conn.read_response();
+    assert_eq!(status, 200);
+
+    // Second request in flight while shutdown runs on another thread:
+    // the drain must still answer it (Connection: close) before EOF.
+    conn.send("/score/2");
+    let shutdown = std::thread::spawn(move || handle.shutdown());
+    let (status, _, body) = conn.read_response();
+    assert_eq!(status, 200, "in-flight request answered during drain");
+    assert!(body.contains("\"node\":2"), "drained response: {body}");
+    conn.expect_eof();
+    let state = shutdown.join().expect("shutdown thread");
+    assert_eq!(state.board().events_applied, 2);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
