@@ -40,6 +40,16 @@
 //!   the service mutex.
 //! * `/metrics` — Prometheus text exposition of the whole registry,
 //!   cached for [`METRICS_TTL`].
+//! * `/debug/vars` — instantaneous JSON dump of every metric in the
+//!   registry (the expvar idiom), uncached.
+//! * `/debug/timeseries?window=N` — the last N flight-recorder frames
+//!   with per-family rates (the whole ring without `window`).
+//! * `/debug/slow` — the ring of recent requests slower than the
+//!   `--slow-ms` threshold.
+//!
+//! Every response is classified into a per-endpoint × status-class
+//! labeled counter/histogram pair ([`HttpClassMetrics`]) alongside the
+//! aggregate `server_http_request_seconds` histogram.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -48,7 +58,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use socialtrust::explain::explain_entries;
-use socialtrust::telemetry::prometheus_text;
+use socialtrust::telemetry::{prometheus_text, Counter, Histogram, Registry};
 
 use crate::ServerState;
 
@@ -137,6 +147,113 @@ mod sys {
 
     pub fn raw_fd(_stream: &impl Sized) -> i32 {
         -1
+    }
+}
+
+/// Endpoint class a request resolved to, used as the `endpoint` label on
+/// the per-class request metrics and as the `/debug/slow` tag. A static
+/// class (not the raw target) keeps label cardinality bounded and the
+/// hot path allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Endpoint {
+    Healthz = 0,
+    Score = 1,
+    Scores = 2,
+    Explain = 3,
+    Journal = 4,
+    Metrics = 5,
+    DebugVars = 6,
+    DebugTimeseries = 7,
+    DebugSlow = 8,
+    /// Unroutable targets and protocol-level rejections (bad request
+    /// line, bodies, non-GET).
+    Other = 9,
+}
+
+impl Endpoint {
+    pub(crate) const ALL: [Endpoint; 10] = [
+        Endpoint::Healthz,
+        Endpoint::Score,
+        Endpoint::Scores,
+        Endpoint::Explain,
+        Endpoint::Journal,
+        Endpoint::Metrics,
+        Endpoint::DebugVars,
+        Endpoint::DebugTimeseries,
+        Endpoint::DebugSlow,
+        Endpoint::Other,
+    ];
+
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Score => "score",
+            Endpoint::Scores => "scores",
+            Endpoint::Explain => "explain",
+            Endpoint::Journal => "journal",
+            Endpoint::Metrics => "metrics",
+            Endpoint::DebugVars => "debug_vars",
+            Endpoint::DebugTimeseries => "debug_timeseries",
+            Endpoint::DebugSlow => "debug_slow",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Status classes the per-endpoint metrics distinguish. 1xx/3xx never
+/// leave this server; they fold into the success class defensively.
+const STATUS_CLASSES: [&str; 3] = ["2xx", "4xx", "5xx"];
+
+fn status_class_index(status: u16) -> usize {
+    match status / 100 {
+        4 => 1,
+        5 => 2,
+        _ => 0,
+    }
+}
+
+/// Pre-registered per-endpoint × status-class views of
+/// `server_http_requests_total` and `server_http_request_seconds`. The
+/// whole matrix is built once at boot, so the request path is two array
+/// indexes and two atomic updates — no label formatting, no registry
+/// lock.
+pub(crate) struct HttpClassMetrics {
+    requests: [[Counter; 3]; 10],
+    seconds: [[Histogram; 3]; 10],
+}
+
+impl HttpClassMetrics {
+    pub(crate) fn new(registry: &Registry) -> HttpClassMetrics {
+        HttpClassMetrics {
+            requests: std::array::from_fn(|e| {
+                std::array::from_fn(|s| {
+                    registry.counter_labeled(
+                        "server_http_requests_total",
+                        &[
+                            ("endpoint", Endpoint::ALL[e].label()),
+                            ("status", STATUS_CLASSES[s]),
+                        ],
+                    )
+                })
+            }),
+            seconds: std::array::from_fn(|e| {
+                std::array::from_fn(|s| {
+                    registry.histogram_labeled(
+                        "server_http_request_seconds",
+                        &[
+                            ("endpoint", Endpoint::ALL[e].label()),
+                            ("status", STATUS_CLASSES[s]),
+                        ],
+                    )
+                })
+            }),
+        }
+    }
+
+    pub(crate) fn record(&self, endpoint: Endpoint, status: u16, seconds: f64) {
+        let (e, s) = (endpoint as usize, status_class_index(status));
+        self.requests[e][s].inc();
+        self.seconds[e][s].observe(seconds);
     }
 }
 
@@ -289,8 +406,10 @@ impl Conn {
                 self.bad_request(state, "{\"error\":\"bad request\"}");
                 return;
             };
-            let outcome = self.serve_one(state, head, force_close);
-            state.http_seconds.observe(started.elapsed().as_secs_f64());
+            let (outcome, endpoint, status) = self.serve_one(state, head, force_close);
+            let elapsed = started.elapsed().as_secs_f64();
+            state.http_seconds.observe(elapsed);
+            state.record_request(endpoint, status, elapsed);
             if outcome == Outcome::Close {
                 self.closing = true;
             }
@@ -298,8 +417,14 @@ impl Conn {
     }
 
     /// Answer one parsed request head. Returns whether the connection
-    /// may serve another request afterwards.
-    fn serve_one(&mut self, state: &ServerState, head: &str, force_close: bool) -> Outcome {
+    /// may serve another request afterwards, plus the endpoint class and
+    /// status it resolved to (for the per-class metrics).
+    fn serve_one(
+        &mut self,
+        state: &ServerState,
+        head: &str,
+        force_close: bool,
+    ) -> (Outcome, Endpoint, u16) {
         let request_line = head.split("\r\n").next().unwrap_or_default();
         let mut parts = request_line.split(' ');
         let (method, target, version) = (
@@ -314,7 +439,7 @@ impl Conn {
                 &Body::Owned("{\"error\":\"bad request line\"}".to_owned()),
                 false,
             );
-            return Outcome::Close;
+            return (Outcome::Close, Endpoint::Other, 400);
         }
         // Every endpoint is a bodyless GET; a request that carries a body
         // would desynchronize the pipelined parser, so refuse and close.
@@ -328,7 +453,7 @@ impl Conn {
                 &Body::Owned("{\"error\":\"request bodies are not supported\"}".to_owned()),
                 false,
             );
-            return Outcome::Close;
+            return (Outcome::Close, Endpoint::Other, 400);
         }
         if method != "GET" {
             self.push_response(
@@ -337,7 +462,7 @@ impl Conn {
                 &Body::Owned("{\"error\":\"only GET is served\"}".to_owned()),
                 false,
             );
-            return Outcome::Close;
+            return (Outcome::Close, Endpoint::Other, 405);
         }
         // Connection lifecycle: HTTP/1.1 keeps alive unless told to
         // close; HTTP/1.0 closes unless told to keep alive; the
@@ -350,17 +475,19 @@ impl Conn {
         };
         self.served += 1;
         let keep_alive = wants_keep_alive && !force_close && self.served < state.http_max_requests;
-        let (status, content_type, body) = route(state, target);
+        let (endpoint, status, content_type, body) = route(state, target);
         self.push_response(status, content_type, &body, keep_alive);
-        if keep_alive {
+        let outcome = if keep_alive {
             Outcome::KeepGoing
         } else {
             Outcome::Close
-        }
+        };
+        (outcome, endpoint, status)
     }
 
     fn bad_request(&mut self, state: &ServerState, body: &str) {
         state.http_requests.inc();
+        state.record_request(Endpoint::Other, 400, 0.0);
         self.push_response(
             400,
             "application/json",
@@ -378,6 +505,7 @@ impl Conn {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         };
         let bytes = body.as_bytes();
@@ -541,24 +669,57 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn route(state: &ServerState, target: &str) -> (u16, &'static str, Body) {
+fn route(state: &ServerState, target: &str) -> (Endpoint, u16, &'static str, Body) {
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
     match path {
-        "/healthz" => (200, "application/json", healthz_json(state).into()),
-        "/journal" => (200, "application/json", journal_body(state)),
-        "/metrics" => (200, "text/plain; version=0.0.4", metrics_body(state)),
-        "/scores" => scores_json(state, query),
+        "/healthz" => {
+            let (status, body) = healthz_json(state);
+            (Endpoint::Healthz, status, "application/json", body.into())
+        }
+        "/journal" => (
+            Endpoint::Journal,
+            200,
+            "application/json",
+            journal_body(state),
+        ),
+        "/metrics" => (
+            Endpoint::Metrics,
+            200,
+            "text/plain; version=0.0.4",
+            metrics_body(state),
+        ),
+        "/scores" => {
+            let (status, ct, body) = scores_json(state, query);
+            (Endpoint::Scores, status, ct, body)
+        }
+        "/debug/vars" => {
+            let (status, ct, body) = debug_vars_json(state);
+            (Endpoint::DebugVars, status, ct, body)
+        }
+        "/debug/timeseries" => {
+            let (status, ct, body) = debug_timeseries_json(state, query);
+            (Endpoint::DebugTimeseries, status, ct, body)
+        }
+        "/debug/slow" => (
+            Endpoint::DebugSlow,
+            200,
+            "application/json",
+            debug_slow_json(state).into(),
+        ),
         _ => {
             if let Some(raw) = path.strip_prefix("/score/") {
-                return score_json(state, raw);
+                let (status, ct, body) = score_json(state, raw);
+                return (Endpoint::Score, status, ct, body);
             }
             if let Some(raw) = path.strip_prefix("/explain/") {
-                return explain_json(state, raw);
+                let (status, ct, body) = explain_json(state, raw);
+                return (Endpoint::Explain, status, ct, body);
             }
             (
+                Endpoint::Other,
                 404,
                 "application/json",
                 format!("{{\"error\":\"no route {path}\"}}").into(),
@@ -567,16 +728,106 @@ fn route(state: &ServerState, target: &str) -> (u16, &'static str, Body) {
     }
 }
 
-fn healthz_json(state: &ServerState) -> String {
+/// `/healthz`: liveness counters plus the derived health state. The
+/// status code follows the state — 503 when stalled so load balancers
+/// eject the instance, 200 otherwise (degraded instances still serve
+/// correct, if lagging, answers).
+fn healthz_json(state: &ServerState) -> (u16, String) {
     let board = state.board();
-    format!(
-        "{{\"status\":\"ok\",\"tick\":{},\"events_applied\":{},\"events_malformed\":{},\"events_rejected\":{},\"nodes\":{},\"uptime_seconds\":{:.3}}}",
+    let (health, heartbeat_age, ingest_lag) = state.assess_health();
+    let body = format!(
+        "{{\"status\":\"{}\",\"tick\":{},\"events_applied\":{},\"events_malformed\":{},\"events_invalid_utf8\":{},\"events_rejected\":{},\"worker_panics\":{},\"nodes\":{},\"uptime_seconds\":{:.3},\"heartbeat_age_seconds\":{:.3},\"ingest_lag_seconds\":{:.3}}}",
+        health.as_str(),
         board.tick,
         board.events_applied,
         state.events_malformed.get(),
+        state.events_invalid_utf8.get(),
         state.events_rejected.get(),
+        state.worker_panics.get(),
         board.scores.len(),
         state.start.elapsed().as_secs_f64(),
+        heartbeat_age,
+        ingest_lag,
+    );
+    (health.http_status(), body)
+}
+
+/// `/debug/vars`: instantaneous JSON dump of the whole registry (the
+/// expvar idiom — no TTL cache, every hit is a fresh snapshot).
+fn debug_vars_json(state: &ServerState) -> (u16, &'static str, Body) {
+    let snap = state.telemetry.registry().snapshot();
+    match serde_json::to_string(&snap) {
+        Ok(metrics) => (
+            200,
+            "application/json",
+            format!(
+                "{{\"uptime_seconds\":{:.3},\"tick\":{},\"metrics\":{metrics}}}",
+                state.start.elapsed().as_secs_f64(),
+                state.board().tick,
+            )
+            .into(),
+        ),
+        Err(e) => (
+            500,
+            "application/json",
+            format!("{{\"error\":\"snapshot serialization: {e:?}\"}}").into(),
+        ),
+    }
+}
+
+/// `/debug/timeseries?window=N`: the last N flight-recorder frames with
+/// per-family rates; without `window`, the whole ring.
+fn debug_timeseries_json(state: &ServerState, query: &str) -> (u16, &'static str, Body) {
+    let mut window = usize::MAX;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("window", raw)) => match raw.parse::<usize>() {
+                Ok(n) if n > 0 => window = n,
+                _ => {
+                    return (
+                        400,
+                        "application/json",
+                        format!("{{\"error\":\"bad window value {raw:?}\"}}").into(),
+                    )
+                }
+            },
+            _ => {
+                return (
+                    400,
+                    "application/json",
+                    format!("{{\"error\":\"unknown query parameter {pair:?}\"}}").into(),
+                )
+            }
+        }
+    }
+    (
+        200,
+        "application/json",
+        state.recorder.window_json(window).into(),
+    )
+}
+
+/// `/debug/slow`: the ring of recent requests at or above the slow
+/// threshold, oldest first, plus the lifetime slow-request count.
+fn debug_slow_json(state: &ServerState) -> String {
+    let ring = state.slow.lock().expect("slow lock");
+    let rows: Vec<String> = ring
+        .iter_chrono()
+        .map(|e| {
+            format!(
+                "{{\"endpoint\":\"{}\",\"seconds\":{},\"tick\":{}}}",
+                e.endpoint,
+                json_f64(e.seconds),
+                e.tick
+            )
+        })
+        .collect();
+    format!(
+        "{{\"slow_threshold_seconds\":{},\"recorded_total\":{},\"capacity\":{},\"entries\":[{}]}}",
+        json_f64(state.slow_threshold.as_secs_f64()),
+        ring.total(),
+        crate::SLOW_RING_CAP,
+        rows.join(",")
     )
 }
 

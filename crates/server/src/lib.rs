@@ -42,9 +42,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use socialtrust::prelude::*;
-use socialtrust::telemetry::{Counter, Gauge, Histogram};
+use socialtrust::telemetry::{
+    Counter, FlightRecorder, Gauge, Histogram, Level, Logger, RecorderConfig,
+};
 
-use service::{ReputationService, ScoreBoard, ServiceConfig};
+use service::{HealthMachine, HealthState, ReputationService, ScoreBoard, ServiceConfig};
 
 /// Daemon configuration: where the log lives, where to listen, pipeline
 /// capacity, and the tick/worker knobs.
@@ -67,6 +69,24 @@ pub struct ServerConfig {
     /// Bootstrap mode: apply the log's existing backlog and run one tick
     /// *before* binding the listener, so the daemon goes live warm.
     pub replay: bool,
+    /// Minimum severity the structured logger emits.
+    pub log_level: Level,
+    /// Emit JSONL log records instead of human-readable text.
+    pub log_json: bool,
+    /// Flight-recorder sampling interval (also the watchdog cadence).
+    pub record_interval: Duration,
+    /// Flight-recorder ring capacity, in frames.
+    pub record_capacity: usize,
+    /// Requests at or above this latency land in the `/debug/slow` ring.
+    pub slow_threshold: Duration,
+    /// Where the flight-recorder window is dumped on shutdown or on a
+    /// watchdog-detected stall (`None` disables the blackbox).
+    pub blackbox_out: Option<PathBuf>,
+    /// Tick-heartbeat age at which `/healthz` reports `stalled` (503).
+    /// `None` derives `max(8 × tick_interval, 2s)`.
+    pub stall_after: Option<Duration>,
+    /// Live ingest lag at which `/healthz` reports `degraded`.
+    pub degraded_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +100,14 @@ impl Default for ServerConfig {
             http_idle_timeout: Duration::from_secs(5),
             http_max_requests: 1000,
             replay: false,
+            log_level: Level::Info,
+            log_json: false,
+            record_interval: Duration::from_millis(250),
+            record_capacity: 256,
+            slow_threshold: Duration::from_millis(100),
+            blackbox_out: None,
+            stall_after: None,
+            degraded_after: Duration::from_secs(5),
         }
     }
 }
@@ -117,6 +145,82 @@ pub struct ServerState {
     pub(crate) http_max_requests: usize,
     /// Rendered `/metrics` body, shared until its short TTL lapses.
     pub(crate) metrics_cache: Mutex<Option<(Instant, Arc<str>)>>,
+    // Observability plane (PR 10).
+    /// Structured leveled logger every thread writes through.
+    pub(crate) log: Logger,
+    /// Flight recorder the watchdog samples on `record_interval`.
+    pub(crate) recorder: FlightRecorder,
+    /// Heartbeat-driven health derivation (beaten by the tick thread).
+    pub(crate) health: HealthMachine,
+    /// `server_health_state` gauge (0 ok / 1 degraded / 2 stalled).
+    health_gauge: Gauge,
+    /// Ingest lines dropped for invalid UTF-8 (kept separate from
+    /// `server_events_malformed_total`, which counts parse failures).
+    pub(crate) events_invalid_utf8: Counter,
+    /// HTTP worker threads that died panicking (degrades health).
+    pub(crate) worker_panics: Counter,
+    /// Per-endpoint × status-class request counters and latency
+    /// histograms (labeled views of the two aggregate families above).
+    pub(crate) http_classes: http::HttpClassMetrics,
+    /// Ring of the slowest recent requests, served at `/debug/slow`.
+    pub(crate) slow: Mutex<SlowRing>,
+    pub(crate) slow_threshold: Duration,
+    pub(crate) blackbox_out: Option<PathBuf>,
+    /// Test hook: while set, the tick thread neither ticks nor beats the
+    /// heartbeat, simulating a wedged recompute.
+    tick_frozen: AtomicBool,
+}
+
+/// One `/debug/slow` record: which endpoint class, how slow, and which
+/// published tick was current when it was served.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SlowEntry {
+    pub(crate) endpoint: &'static str,
+    pub(crate) seconds: f64,
+    pub(crate) tick: u64,
+}
+
+/// Fixed-capacity ring of [`SlowEntry`] — no allocation after the first
+/// `SLOW_RING_CAP` pushes; oldest entries are overwritten.
+#[derive(Debug)]
+pub(crate) struct SlowRing {
+    entries: Vec<SlowEntry>,
+    head: usize,
+    total: u64,
+}
+
+pub(crate) const SLOW_RING_CAP: usize = 64;
+
+impl SlowRing {
+    fn new() -> SlowRing {
+        SlowRing {
+            entries: Vec::with_capacity(SLOW_RING_CAP),
+            head: 0,
+            total: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, entry: SlowEntry) {
+        self.total = self.total.saturating_add(1);
+        if self.entries.len() < SLOW_RING_CAP {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.head] = entry;
+            self.head = (self.head + 1) % SLOW_RING_CAP;
+        }
+    }
+
+    /// Entries oldest-first.
+    pub(crate) fn iter_chrono(&self) -> impl Iterator<Item = &SlowEntry> {
+        self.entries[self.head..]
+            .iter()
+            .chain(self.entries[..self.head].iter())
+    }
+
+    /// Lifetime count of slow requests (including overwritten ones).
+    pub(crate) fn total(&self) -> u64 {
+        self.total
+    }
 }
 
 impl ServerState {
@@ -124,7 +228,28 @@ impl ServerState {
         let board = service.boot_board();
         board.ranking(); // warm the boot board's score index
         let r = telemetry.registry();
+        let stall_after = config
+            .stall_after
+            .unwrap_or_else(|| (config.tick_interval * 8).max(Duration::from_secs(2)));
+        let recorder = FlightRecorder::new(
+            r.clone(),
+            RecorderConfig {
+                interval: config.record_interval,
+                capacity: config.record_capacity,
+            },
+        );
         ServerState {
+            log: Logger::stderr(config.log_level, config.log_json),
+            recorder,
+            health: HealthMachine::new(stall_after, config.degraded_after),
+            health_gauge: r.gauge("server_health_state"),
+            events_invalid_utf8: r.counter("server_events_invalid_utf8_total"),
+            worker_panics: r.counter("server_worker_panics_total"),
+            http_classes: http::HttpClassMetrics::new(r),
+            slow: Mutex::new(SlowRing::new()),
+            slow_threshold: config.slow_threshold,
+            blackbox_out: config.blackbox_out.clone(),
+            tick_frozen: AtomicBool::new(false),
             service: Mutex::new(service),
             board: RwLock::new(board),
             shutdown: AtomicBool::new(false),
@@ -188,7 +313,11 @@ impl ServerState {
                     Ok(()) => applied += 1,
                     Err(reason) => {
                         self.events_rejected.inc();
-                        eprintln!("socialtrust-server: rejected event: {reason}");
+                        self.log.warn(
+                            "ingest",
+                            "rejected event",
+                            &[("reason", reason.as_str().into())],
+                        );
                     }
                 }
             }
@@ -227,6 +356,92 @@ impl ServerState {
         *self.board.write().expect("board lock") = board;
         true
     }
+
+    /// The daemon's structured logger.
+    pub fn logger(&self) -> &Logger {
+        &self.log
+    }
+
+    /// Derive the current health plus the inputs it was derived from:
+    /// `(state, heartbeat_age_seconds, ingest_lag_seconds)`. The lag is
+    /// the **live** wait of the oldest event not yet covered by a tick
+    /// (0 when nothing is pending), not the per-tick gauge.
+    pub fn assess_health(&self) -> (HealthState, f64, f64) {
+        let lag = self
+            .oldest_pending
+            .lock()
+            .expect("oldest lock")
+            .map(|t| t.elapsed());
+        let state = self.health.assess(lag, self.worker_panics.get());
+        (
+            state,
+            self.health.heartbeat_age().as_secs_f64(),
+            lag.map_or(0.0, |d| d.as_secs_f64()),
+        )
+    }
+
+    /// Record one served request into the labeled counter/histogram
+    /// matrix, and into the `/debug/slow` ring when it crossed the
+    /// threshold. The board read (for the tick stamp) only happens on
+    /// the slow path.
+    pub(crate) fn record_request(&self, endpoint: http::Endpoint, status: u16, seconds: f64) {
+        self.http_classes.record(endpoint, status, seconds);
+        if seconds >= self.slow_threshold.as_secs_f64() {
+            let tick = self.board().tick;
+            self.slow.lock().expect("slow lock").push(SlowEntry {
+                endpoint: endpoint.label(),
+                seconds,
+                tick,
+            });
+        }
+    }
+
+    /// Dump the flight-recorder window to `blackbox_out` (no-op when the
+    /// blackbox is disabled). Forces samples until the ring holds at
+    /// least two frames so even an immediately-terminated daemon leaves
+    /// a usable rate window.
+    pub(crate) fn dump_blackbox(&self, reason: &str) {
+        let Some(path) = &self.blackbox_out else {
+            return;
+        };
+        while self.recorder.frames() < 2 {
+            self.recorder.sample();
+        }
+        let (health, _, _) = self.assess_health();
+        let body = format!(
+            "{{\"reason\":\"{reason}\",\"health\":\"{}\",\"uptime_seconds\":{:.3},\"window\":{}}}\n",
+            health.as_str(),
+            self.start.elapsed().as_secs_f64(),
+            self.recorder.window_json(usize::MAX)
+        );
+        match std::fs::write(path, &body) {
+            Ok(()) => self.log.info(
+                "blackbox",
+                "wrote flight-recorder blackbox",
+                &[
+                    ("path", path.display().to_string().into()),
+                    ("reason", reason.into()),
+                    ("frames", self.recorder.frames().into()),
+                ],
+            ),
+            Err(e) => self.log.error(
+                "blackbox",
+                "failed to write blackbox",
+                &[
+                    ("path", path.display().to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
+            ),
+        }
+    }
+
+    /// Test hook: freeze (or thaw) the tick thread. While frozen it
+    /// neither runs `maybe_tick` nor beats the health heartbeat, so the
+    /// watchdog and `/healthz` observe a genuine stall.
+    #[doc(hidden)]
+    pub fn set_tick_frozen(&self, frozen: bool) {
+        self.tick_frozen.store(frozen, Ordering::SeqCst);
+    }
 }
 
 /// Tail the log file: parse complete lines into events, apply them in
@@ -237,7 +452,14 @@ fn ingest_loop(state: Arc<ServerState>, path: PathBuf, start_offset: u64) {
     let mut file = match std::fs::File::open(&path) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("socialtrust-server: cannot open {}: {e}", path.display());
+            state.log.error(
+                "ingest",
+                "cannot open event log",
+                &[
+                    ("path", path.display().to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
             return;
         }
     };
@@ -260,7 +482,11 @@ fn ingest_loop(state: Arc<ServerState>, path: PathBuf, start_offset: u64) {
                 state.apply_batch(&batch);
             }
             Err(e) => {
-                eprintln!("socialtrust-server: ingest read error: {e}");
+                state.log.error(
+                    "ingest",
+                    "ingest read error",
+                    &[("error", e.to_string().into())],
+                );
                 std::thread::sleep(Duration::from_millis(50));
             }
         }
@@ -269,7 +495,10 @@ fn ingest_loop(state: Arc<ServerState>, path: PathBuf, start_offset: u64) {
 
 /// Split complete `\n`-terminated lines out of `pending` and parse them.
 /// A trailing partial line stays buffered until its newline arrives.
-/// Malformed lines are counted and logged, never fatal.
+/// Bad lines are counted and logged, never fatal — invalid UTF-8 under
+/// `server_events_invalid_utf8_total` (encoding damage, e.g. a torn
+/// write or binary garbage in the log), parse failures under
+/// `server_events_malformed_total` (valid text that isn't an event).
 fn drain_lines(pending: &mut Vec<u8>, state: &ServerState) -> Vec<event::ServerEvent> {
     let mut events = Vec::new();
     while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
@@ -277,8 +506,12 @@ fn drain_lines(pending: &mut Vec<u8>, state: &ServerState) -> Vec<event::ServerE
         let line = match std::str::from_utf8(&line[..line.len() - 1]) {
             Ok(s) => s.trim(),
             Err(_) => {
-                state.events_malformed.inc();
-                eprintln!("socialtrust-server: skipped non-UTF-8 log line");
+                state.events_invalid_utf8.inc();
+                state.log.warn(
+                    "ingest",
+                    "skipped non-UTF-8 log line",
+                    &[("bytes", (line.len() - 1).into())],
+                );
                 continue;
             }
         };
@@ -289,14 +522,21 @@ fn drain_lines(pending: &mut Vec<u8>, state: &ServerState) -> Vec<event::ServerE
             Ok(ev) => events.push(ev),
             Err(reason) => {
                 state.events_malformed.inc();
-                eprintln!("socialtrust-server: skipped malformed event: {reason}");
+                state.log.warn(
+                    "ingest",
+                    "skipped malformed event",
+                    &[("reason", reason.as_str().into())],
+                );
             }
         }
     }
     events
 }
 
-/// The tick thread: one `maybe_tick` per interval until shutdown.
+/// The tick thread: one `maybe_tick` per interval until shutdown. Every
+/// slice (not just completed ticks) beats the health heartbeat, so a
+/// long-but-running tick interval never reads as a stall — only a thread
+/// that stopped scheduling does.
 fn tick_loop(state: Arc<ServerState>, interval: Duration) {
     // Sleep in small slices so shutdown is honored promptly even with
     // multi-second tick intervals.
@@ -306,8 +546,54 @@ fn tick_loop(state: Arc<ServerState>, interval: Duration) {
         if state.shutdown.load(Ordering::SeqCst) {
             return;
         }
+        if state.tick_frozen.load(Ordering::SeqCst) {
+            // Frozen (test hook): simulate a wedged recompute — no
+            // heartbeat, no ticks, but shutdown stays honored.
+            std::thread::sleep(slice);
+            continue;
+        }
+        state.health.beat();
         if Instant::now() >= next {
             state.maybe_tick();
+            next = Instant::now() + interval;
+        }
+        std::thread::sleep(slice);
+    }
+}
+
+/// The watchdog thread: on every recorder interval, sample the flight
+/// recorder, publish the derived health on `server_health_state`, log
+/// transitions, and dump the blackbox the moment a stall is detected
+/// (the post-mortem window is written while the evidence is fresh, not
+/// at whatever later point the process dies).
+fn watch_loop(state: Arc<ServerState>, interval: Duration) {
+    let slice = Duration::from_millis(10).min(interval);
+    let mut next = Instant::now();
+    let mut last = HealthState::Ok;
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if Instant::now() >= next {
+            state.recorder.sample();
+            let (health, heartbeat_age, ingest_lag) = state.assess_health();
+            state.health_gauge.set(health.gauge_value());
+            if health != last {
+                state.log.warn(
+                    "health",
+                    "health transition",
+                    &[
+                        ("from", last.as_str().into()),
+                        ("to", health.as_str().into()),
+                        ("heartbeat_age_seconds", heartbeat_age.into()),
+                        ("ingest_lag_seconds", ingest_lag.into()),
+                    ],
+                );
+                if health == HealthState::Stalled {
+                    state.dump_blackbox("stall");
+                }
+                last = health;
+            }
             next = Instant::now() + interval;
         }
         std::thread::sleep(slice);
@@ -321,6 +607,7 @@ pub struct ServerHandle {
     state: Arc<ServerState>,
     ingest: Option<JoinHandle<()>>,
     tick: Option<JoinHandle<()>>,
+    watch: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -348,9 +635,15 @@ impl ServerHandle {
             let _ = tick.join();
         }
         self.state.maybe_tick(); // cover events applied by the drain
+        if let Some(watch) = self.watch.take() {
+            let _ = watch.join();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Post-drain flight-recorder dump: the blackbox captures the
+        // final state of every counter after the last tick.
+        self.state.dump_blackbox("shutdown");
         self.state.sink_flush();
         Arc::clone(&self.state)
     }
@@ -399,9 +692,13 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let batch = drain_lines(&mut buffer, &state);
         let applied = state.apply_batch(&batch);
         state.maybe_tick();
-        eprintln!(
-            "socialtrust-server: replayed {applied} event(s) from {}",
-            config.log_path.display()
+        state.log.info(
+            "server",
+            "replayed backlog",
+            &[
+                ("events", applied.into()),
+                ("path", config.log_path.display().to_string().into()),
+            ],
         );
     }
 
@@ -424,13 +721,26 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
             .name("st-tick".into())
             .spawn(move || tick_loop(state, interval))?
     };
+    let watch = {
+        let state = Arc::clone(&state);
+        let interval = config.record_interval.max(Duration::from_millis(10));
+        std::thread::Builder::new()
+            .name("st-watch".into())
+            .spawn(move || watch_loop(state, interval))?
+    };
     let workers = (0..config.workers.max(1))
         .map(|k| {
             let listener = Arc::clone(&listener);
             let state = Arc::clone(&state);
             std::thread::Builder::new()
                 .name(format!("st-http-{k}"))
-                .spawn(move || http::worker_loop(listener, state))
+                .spawn(move || {
+                    let guard = PanicGuard {
+                        state: Arc::clone(&state),
+                    };
+                    http::worker_loop(listener, state);
+                    drop(guard);
+                })
         })
         .collect::<std::io::Result<Vec<_>>>()?;
 
@@ -439,6 +749,24 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         state,
         ingest: Some(ingest),
         tick: Some(tick),
+        watch: Some(watch),
         workers,
     })
+}
+
+/// Armed on every HTTP worker: if the worker unwinds, the drop runs
+/// during the panic and records it on `server_worker_panics_total`, which
+/// degrades `/healthz` (the pool does not self-heal, so a dead worker is
+/// a permanent capacity loss worth surfacing).
+struct PanicGuard {
+    state: Arc<ServerState>,
+}
+
+impl Drop for PanicGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.state.worker_panics.inc();
+            self.state.log.error("http", "worker thread panicked", &[]);
+        }
+    }
 }

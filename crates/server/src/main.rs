@@ -24,17 +24,26 @@
 //!   on shutdown.
 //! * `--max-runtime-secs S` — exit cleanly after S seconds (CI smoke
 //!   harnesses use this as a belt-and-braces bound alongside SIGTERM).
+//! * `--log-level LEVEL` — minimum log severity
+//!   (`error|warn|info|debug|trace`), default `info`.
+//! * `--log-json` — emit JSONL log records instead of text.
+//! * `--record-ms MS` — flight-recorder sampling interval, default 250.
+//! * `--slow-ms MS` — requests at or above this latency land in the
+//!   `/debug/slow` ring, default 100.
+//! * `--blackbox-out PATH` — dump the flight-recorder window as JSON on
+//!   shutdown or on a watchdog-detected stall.
 //!
 //! On SIGTERM/SIGINT the daemon drains: the ingest thread reads the log
 //! to EOF, one final tick covers whatever the drain applied, HTTP
-//! workers stop, the optional metrics document is written, and a
-//! one-line summary goes to stderr before a clean exit 0.
+//! workers stop, the optional metrics document and blackbox are
+//! written, and a one-line summary goes to stderr before a clean
+//! exit 0.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use socialtrust::telemetry::MetricsExport;
+use socialtrust::telemetry::{Level, Logger, MetricsExport};
 use socialtrust_server::service::ServiceConfig;
 use socialtrust_server::ServerConfig;
 
@@ -74,7 +83,9 @@ fn usage() -> ! {
         "usage: socialtrust-server --log events.jsonl [--listen 127.0.0.1:8080] \
          [--nodes 1024] [--interests 64] [--pretrusted 16] [--tick-ms 200] \
          [--workers 4] [--http-idle-ms 5000] [--http-max-requests 1000] \
-         [--replay] [--metrics-out PATH] [--max-runtime-secs S]"
+         [--replay] [--metrics-out PATH] [--max-runtime-secs S] \
+         [--log-level info] [--log-json] [--record-ms 250] [--slow-ms 100] \
+         [--blackbox-out PATH]"
     );
     std::process::exit(2);
 }
@@ -126,6 +137,21 @@ fn parse_args() -> Args {
                 config.http_max_requests = n.max(1);
             }
             "--replay" => config.replay = true,
+            "--log-level" => {
+                config.log_level = number::<Level>(&value(&mut argv, "--log-level"), "--log-level")
+            }
+            "--log-json" => config.log_json = true,
+            "--record-ms" => {
+                let ms: u64 = number(&value(&mut argv, "--record-ms"), "--record-ms");
+                config.record_interval = Duration::from_millis(ms.max(10));
+            }
+            "--slow-ms" => {
+                let ms: u64 = number(&value(&mut argv, "--slow-ms"), "--slow-ms");
+                config.slow_threshold = Duration::from_millis(ms);
+            }
+            "--blackbox-out" => {
+                config.blackbox_out = Some(PathBuf::from(value(&mut argv, "--blackbox-out")))
+            }
             "--metrics-out" => metrics_out = Some(PathBuf::from(value(&mut argv, "--metrics-out"))),
             "--max-runtime-secs" => {
                 let secs: u64 = number(
@@ -156,27 +182,38 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    // The binary's own logger: same level/format as the daemon's, so
+    // boot and shutdown lines interleave consistently with thread logs.
+    let log = Logger::stderr(args.config.log_level, args.config.log_json);
     install_signal_handlers();
     let started = Instant::now();
     let handle = match socialtrust_server::start(args.config) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("socialtrust-server: failed to start: {e}");
+            log.error(
+                "server",
+                "failed to start",
+                &[("error", e.to_string().into())],
+            );
             std::process::exit(1);
         }
     };
-    eprintln!("socialtrust-server: listening on http://{}", handle.addr());
+    log.info(
+        "server",
+        &format!("listening on http://{}", handle.addr()),
+        &[],
+    );
 
     // The threads do all the work; the main loop just waits for a stop
     // condition (signal or runtime bound).
     loop {
         if SHUTDOWN.load(Ordering::SeqCst) {
-            eprintln!("socialtrust-server: signal received, draining");
+            log.info("server", "signal received, draining", &[]);
             break;
         }
         if let Some(bound) = args.max_runtime {
             if started.elapsed() >= bound {
-                eprintln!("socialtrust-server: max runtime reached, draining");
+                log.info("server", "max runtime reached, draining", &[]);
                 break;
             }
         }
@@ -187,18 +224,30 @@ fn main() {
     if let Some(path) = &args.metrics_out {
         let export = MetricsExport::collect(state.telemetry());
         match export.write_to(path) {
-            Ok(()) => eprintln!("socialtrust-server: metrics written to {}", path.display()),
-            Err(e) => eprintln!(
-                "socialtrust-server: failed to write metrics to {}: {e}",
-                path.display()
+            Ok(()) => log.info(
+                "server",
+                "metrics written",
+                &[("path", path.display().to_string().into())],
+            ),
+            Err(e) => log.error(
+                "server",
+                "failed to write metrics",
+                &[
+                    ("path", path.display().to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
             ),
         }
     }
     let board = state.board();
-    eprintln!(
-        "socialtrust-server: clean shutdown after {:.1}s — {} tick(s), {} event(s) applied",
-        started.elapsed().as_secs_f64(),
-        board.tick,
-        board.events_applied,
+    log.info(
+        "server",
+        &format!(
+            "clean shutdown after {:.1}s — {} tick(s), {} event(s) applied",
+            started.elapsed().as_secs_f64(),
+            board.tick,
+            board.events_applied,
+        ),
+        &[],
     );
 }

@@ -18,7 +18,9 @@
 //! the same tick boundaries and yields bit-for-bit identical scores (the
 //! integration tests enforce this over HTTP).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use socialtrust::prelude::*;
 use socialtrust::telemetry::trace::names as trace_names;
@@ -379,6 +381,120 @@ pub fn replay_offline(
     board
 }
 
+/// Operational health of the daemon, derived by the watchdog (and on
+/// demand by `/healthz`) from the tick thread's heartbeat age, the live
+/// ingest lag, and the worker-panic count.
+///
+/// The states are ordered by severity, and the derivation is monotone in
+/// its inputs:
+///
+/// * **Ok** — the tick thread beat recently and ingest is keeping up.
+/// * **Degraded** — still ticking, but the oldest pending (unticked)
+///   event has waited longer than `degraded_after`, or an HTTP worker
+///   has panicked since boot. Queries are served but answers lag.
+/// * **Stalled** — the tick thread has not beaten its heartbeat within
+///   `stall_after`. `/healthz` reports 503 so load balancers stop
+///   routing to this instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Ticking on schedule, ingest keeping up.
+    Ok,
+    /// Ticking, but ingest lag exceeds the threshold or a worker panicked.
+    Degraded,
+    /// Tick-thread heartbeat is older than the stall threshold.
+    Stalled,
+}
+
+impl HealthState {
+    /// Lowercase wire name used in `/healthz` JSON and transition logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Ok => "ok",
+            HealthState::Degraded => "degraded",
+            HealthState::Stalled => "stalled",
+        }
+    }
+
+    /// Value published on the `server_health_state` gauge (0/1/2).
+    pub fn gauge_value(self) -> f64 {
+        match self {
+            HealthState::Ok => 0.0,
+            HealthState::Degraded => 1.0,
+            HealthState::Stalled => 2.0,
+        }
+    }
+
+    /// HTTP status `/healthz` answers with in this state: 503 only when
+    /// stalled, so degraded instances keep serving (their answers are
+    /// correct, just lagging).
+    pub fn http_status(self) -> u16 {
+        match self {
+            HealthState::Stalled => 503,
+            _ => 200,
+        }
+    }
+}
+
+/// Heartbeat-driven health derivation, shared by the tick thread (which
+/// beats it), the watchdog (which samples it on the recorder interval),
+/// and `/healthz` (which assesses it per request).
+///
+/// The heartbeat is stored as milliseconds since a construction-time
+/// anchor in an `AtomicU64`, so beating is a single relaxed store and the
+/// machine needs no lock.
+#[derive(Debug)]
+pub struct HealthMachine {
+    started: Instant,
+    /// Milliseconds since `started` of the most recent beat.
+    heartbeat_ms: AtomicU64,
+    stall_after: Duration,
+    degraded_after: Duration,
+}
+
+impl HealthMachine {
+    /// A machine whose heartbeat starts "fresh" (age zero at boot, so a
+    /// daemon is Ok until it has actually missed `stall_after`).
+    pub fn new(stall_after: Duration, degraded_after: Duration) -> Self {
+        HealthMachine {
+            started: Instant::now(),
+            heartbeat_ms: AtomicU64::new(0),
+            stall_after,
+            degraded_after,
+        }
+    }
+
+    /// Records a tick-thread heartbeat (called every scheduler slice, not
+    /// just on completed ticks, so slow ticks don't read as stalls).
+    pub fn beat(&self) {
+        let ms = self.started.elapsed().as_millis() as u64;
+        self.heartbeat_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Time since the most recent beat.
+    pub fn heartbeat_age(&self) -> Duration {
+        let beat = Duration::from_millis(self.heartbeat_ms.load(Ordering::Relaxed));
+        self.started.elapsed().saturating_sub(beat)
+    }
+
+    /// Stall threshold this machine was built with.
+    pub fn stall_after(&self) -> Duration {
+        self.stall_after
+    }
+
+    /// Derives the current state from the heartbeat age, the live lag of
+    /// the oldest pending (unticked) event, and the worker-panic count.
+    pub fn assess(&self, ingest_lag: Option<Duration>, worker_panics: u64) -> HealthState {
+        if self.heartbeat_age() >= self.stall_after {
+            return HealthState::Stalled;
+        }
+        let lagging = ingest_lag.is_some_and(|lag| lag >= self.degraded_after);
+        if lagging || worker_panics > 0 {
+            return HealthState::Degraded;
+        }
+        HealthState::Ok
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,5 +674,38 @@ mod tests {
         assert_eq!(board.events_applied, replayed.events_applied);
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
         assert_eq!(bits(&board.scores), bits(&replayed.scores));
+    }
+
+    #[test]
+    fn health_machine_derives_states_monotonically() {
+        let hm = HealthMachine::new(Duration::from_millis(80), Duration::from_millis(40));
+        // Fresh machine: heartbeat age ~0 → Ok.
+        assert_eq!(hm.assess(None, 0), HealthState::Ok);
+        // Ingest lag below the degraded threshold is still Ok.
+        assert_eq!(
+            hm.assess(Some(Duration::from_millis(10)), 0),
+            HealthState::Ok
+        );
+        // Lag at/over the threshold, or any worker panic, degrades.
+        assert_eq!(
+            hm.assess(Some(Duration::from_millis(40)), 0),
+            HealthState::Degraded
+        );
+        assert_eq!(hm.assess(None, 1), HealthState::Degraded);
+        // A missed heartbeat dominates everything else.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(hm.assess(None, 0), HealthState::Stalled);
+        assert_eq!(hm.assess(Some(Duration::ZERO), 0), HealthState::Stalled);
+        // Beating recovers the machine.
+        hm.beat();
+        assert_eq!(hm.assess(None, 0), HealthState::Ok);
+        assert!(hm.heartbeat_age() < Duration::from_millis(50));
+        // Severity ordering and wire constants.
+        assert!(HealthState::Ok < HealthState::Degraded);
+        assert!(HealthState::Degraded < HealthState::Stalled);
+        assert_eq!(HealthState::Stalled.as_str(), "stalled");
+        assert_eq!(HealthState::Stalled.http_status(), 503);
+        assert_eq!(HealthState::Degraded.http_status(), 200);
+        assert_eq!(HealthState::Degraded.gauge_value(), 1.0);
     }
 }

@@ -164,6 +164,34 @@ fn append_lines(path: &Path, lines: &[String]) {
     log.flush().expect("flush log");
 }
 
+/// Append raw bytes (for lines that are deliberately not valid UTF-8).
+fn append_raw(path: &Path, bytes: &[u8]) {
+    let mut log = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .expect("open log");
+    log.write_all(bytes).expect("append raw bytes");
+    log.flush().expect("flush log");
+}
+
+/// Poll `/healthz` until it answers `want_status` with the given
+/// `"status"` value; returns the matching body.
+fn wait_for_health(addr: SocketAddr, want_status: u16, want_state: &str) -> String {
+    let needle = format!("\"status\":\"{want_state}\"");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = http_get(addr, "/healthz");
+        if status == want_status && body.contains(&needle) {
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "healthz never reached {want_status}/{want_state}: last {status} {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
 fn wait_for_applied(addr: SocketAddr, expected: u64) {
     let deadline = Instant::now() + Duration::from_secs(30);
     loop {
@@ -357,10 +385,25 @@ fn malformed_events_are_counted_and_skipped() {
             r#"{"type":"rating","rater":2,"ratee":1,"value":0.5}"#.to_owned(),
         ],
     );
+    // One line of raw binary garbage: counted as invalid UTF-8, NOT as
+    // malformed (malformed = valid text that fails to parse).
+    append_raw(&log_path, &[0xFF, 0xFE, 0x80, b'x', b'\n']);
     wait_for_applied(addr, 3);
 
-    let (status, body) = http_get(addr, "/healthz");
-    assert_eq!(status, 200);
+    // The invalid-UTF-8 line lands asynchronously with the batch above.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let body = loop {
+        let (status, body) = http_get(addr, "/healthz");
+        assert_eq!(status, 200);
+        if json_number(&body, "events_invalid_utf8") as u64 == 1 {
+            break body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "invalid-UTF-8 line never counted: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
     assert_eq!(json_number(&body, "events_applied") as u64, 3, "{body}");
     assert_eq!(json_number(&body, "events_malformed") as u64, 4, "{body}");
     assert_eq!(json_number(&body, "events_rejected") as u64, 1, "{body}");
@@ -379,6 +422,10 @@ fn malformed_events_are_counted_and_skipped() {
     );
     assert!(
         metrics.contains("server_events_rejected_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("server_events_invalid_utf8_total 1"),
         "{metrics}"
     );
 
@@ -594,6 +641,140 @@ fn shutdown_drains_inflight_keepalive_connections() {
 }
 
 #[test]
+fn healthz_flips_to_stalled_and_recovers() {
+    let dir = temp_dir("health-stall");
+    let config = ServiceConfig {
+        nodes: 8,
+        interests: 4,
+        pretrusted: 2,
+        ..ServiceConfig::default()
+    };
+    let blackbox = dir.join("blackbox.json");
+    let handle = boot_tuned(&dir, config, Duration::from_millis(20), |server| {
+        server.stall_after = Some(Duration::from_millis(300));
+        server.record_interval = Duration::from_millis(50);
+        server.blackbox_out = Some(dir.join("blackbox.json"));
+    });
+    let addr = handle.addr();
+    append_lines(
+        &dir.join("events.jsonl"),
+        &[
+            r#"{"type":"edge_add","a":1,"b":2}"#.to_owned(),
+            r#"{"type":"rating","rater":1,"ratee":2,"value":1.0}"#.to_owned(),
+        ],
+    );
+    wait_for_applied(addr, 2);
+    let body = wait_for_health(addr, 200, "ok");
+    assert!(body.contains("\"heartbeat_age_seconds\":"), "{body}");
+
+    // Freeze the tick thread: the heartbeat stops, and once its age
+    // crosses stall_after, /healthz must flip to 503 "stalled".
+    handle.state().set_tick_frozen(true);
+    let body = wait_for_health(addr, 503, "stalled");
+    assert!(json_number(&body, "heartbeat_age_seconds") >= 0.3, "{body}");
+
+    // The watchdog dumps the blackbox the moment it sees the stall.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let dump = loop {
+        if let Ok(text) = std::fs::read_to_string(&blackbox) {
+            if text.contains("\"reason\":\"stall\"") {
+                break text;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "watchdog never dumped a stall blackbox"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(dump.contains("\"health\":\"stalled\""), "{dump}");
+    assert!(json_number(&dump, "frames") >= 2.0, "{dump}");
+    assert!(dump.contains("server_ticks_total"), "{dump}");
+
+    // Thawing resumes heartbeats; health recovers without a restart.
+    handle.state().set_tick_frozen(false);
+    wait_for_health(addr, 200, "ok");
+
+    // Shutdown overwrites the blackbox with the final window.
+    handle.shutdown();
+    let dump = std::fs::read_to_string(&blackbox).expect("shutdown blackbox");
+    assert!(dump.contains("\"reason\":\"shutdown\""), "{dump}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn debug_endpoints_serve_keepalive() {
+    let dir = temp_dir("debug-keepalive");
+    let config = ServiceConfig {
+        nodes: 8,
+        interests: 4,
+        pretrusted: 2,
+        ..ServiceConfig::default()
+    };
+    let handle = boot_tuned(&dir, config, Duration::from_millis(20), |server| {
+        // Every request is "slow" so /debug/slow has entries to serve,
+        // and the recorder runs fast enough to fill frames mid-test.
+        server.slow_threshold = Duration::ZERO;
+        server.record_interval = Duration::from_millis(50);
+    });
+    let addr = handle.addr();
+    append_lines(
+        &dir.join("events.jsonl"),
+        &[
+            r#"{"type":"edge_add","a":1,"b":2}"#.to_owned(),
+            r#"{"type":"rating","rater":1,"ratee":2,"value":1.0}"#.to_owned(),
+        ],
+    );
+    wait_for_applied(addr, 2);
+    // Let the recorder take a few frames before asking for a window.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut conn = KaConn::connect(addr);
+    conn.send("/debug/vars");
+    let (status, head, body) = conn.read_response();
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("Connection: keep-alive"), "head: {head}");
+    assert!(body.contains("\"metrics\":"), "{body}");
+    assert!(body.contains("server_events_ingested_total"), "{body}");
+    assert!(body.contains("\"uptime_seconds\":"), "{body}");
+
+    conn.send("/debug/timeseries?window=8");
+    let (status, head, body) = conn.read_response();
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("Connection: keep-alive"), "head: {head}");
+    assert!(json_number(&body, "frames") >= 1.0, "{body}");
+    assert!(body.contains("\"series\":["), "{body}");
+    assert!(body.contains("\"rate_per_second\":["), "{body}");
+    assert!(body.contains("server_ticks_total"), "{body}");
+
+    conn.send("/debug/slow");
+    let (status, head, body) = conn.read_response();
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("Connection: keep-alive"), "head: {head}");
+    // The two /debug requests above crossed the zero threshold.
+    assert!(
+        body.contains("\"endpoint\":\"debug_vars\""),
+        "slow ring: {body}"
+    );
+    assert!(json_number(&body, "recorded_total") >= 2.0, "{body}");
+
+    // Bad query parameters answer 400 without killing the connection.
+    conn.send("/debug/timeseries?window=banana");
+    let (status, _, body) = conn.read_response();
+    assert_eq!(status, 400, "{body}");
+    conn.send("/debug/timeseries?frobnicate=1");
+    let (status, _, body) = conn.read_response();
+    assert_eq!(status, 400, "{body}");
+    // …and the connection still serves afterwards.
+    conn.send("/healthz");
+    let (status, _, _) = conn.read_response();
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sigterm_exits_cleanly() {
     let dir = temp_dir("sigterm");
     let log_path = dir.join("events.jsonl");
@@ -603,6 +784,7 @@ fn sigterm_exits_cleanly() {
     )
     .unwrap();
     let metrics_path = dir.join("metrics.json");
+    let blackbox_path = dir.join("blackbox.json");
     let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_socialtrust-server"))
         .args([
             "--log",
@@ -617,9 +799,13 @@ fn sigterm_exits_cleanly() {
             "2",
             "--tick-ms",
             "20",
+            "--record-ms",
+            "50",
             "--replay",
             "--metrics-out",
             metrics_path.to_str().unwrap(),
+            "--blackbox-out",
+            blackbox_path.to_str().unwrap(),
             "--max-runtime-secs",
             "60",
         ])
@@ -668,5 +854,16 @@ fn sigterm_exits_cleanly() {
         metrics_path.exists(),
         "metrics document missing after shutdown:\n{all}"
     );
+    // The SIGTERM'd daemon leaves a parseable blackbox with at least two
+    // sampled frames of the server_* families.
+    let blackbox = std::fs::read_to_string(&blackbox_path)
+        .unwrap_or_else(|e| panic!("blackbox missing after shutdown: {e}\n{all}"));
+    assert!(blackbox.contains("\"reason\":\"shutdown\""), "{blackbox}");
+    assert!(json_number(&blackbox, "frames") >= 2.0, "{blackbox}");
+    assert!(
+        blackbox.contains("server_events_ingested_total"),
+        "{blackbox}"
+    );
+    assert!(blackbox.contains("server_ticks_total"), "{blackbox}");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -30,71 +30,126 @@ fn render_value(v: f64) -> String {
 /// samples in the exposition and a `quantiles` map in the JSON bundle.
 pub const EXPORT_QUANTILES: &[(&str, f64)] = &[("p50", 0.5), ("p95", 0.95), ("p99", 0.99)];
 
-fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
-    out.push_str(&format!("# TYPE {name} histogram\n"));
+/// Splits a registry key into its family name and the inner label list
+/// (without braces): `m{a="1"}` → `("m", Some("a=\"1\""))`, `m` →
+/// `("m", None)`.
+fn split_key(key: &str) -> (&str, Option<&str>) {
+    match key.split_once('{') {
+        Some((family, rest)) => (family, Some(rest.strip_suffix('}').unwrap_or(rest))),
+        None => (key, None),
+    }
+}
+
+/// Appends `extra` (e.g. `le="0.5"`) to an optional inner label list,
+/// producing a full `{...}` suffix.
+fn merge_labels(inner: Option<&str>, extra: &str) -> String {
+    match inner {
+        Some(inner) if !inner.is_empty() => format!("{{{inner},{extra}}}"),
+        _ => format!("{{{extra}}}"),
+    }
+}
+
+/// Renders one histogram series. `inner` is the series' own label list
+/// (without braces), merged ahead of the synthetic `le=`/`quantile=`
+/// labels on each sample line.
+fn render_histogram(out: &mut String, family: &str, inner: Option<&str>, h: &HistogramSnapshot) {
+    let own = match inner {
+        Some(inner) if !inner.is_empty() => format!("{{{inner}}}"),
+        _ => String::new(),
+    };
     let mut cumulative = 0u64;
     for (bound, count) in h.bounds.iter().zip(&h.counts) {
         cumulative += count;
         out.push_str(&format!(
-            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
-            render_value(*bound)
+            "{family}_bucket{} {cumulative}\n",
+            merge_labels(inner, &format!("le=\"{}\"", render_value(*bound)))
         ));
     }
-    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
-    out.push_str(&format!("{name}_sum {}\n", render_value(h.sum)));
-    out.push_str(&format!("{name}_count {}\n", h.count));
+    out.push_str(&format!(
+        "{family}_bucket{} {}\n",
+        merge_labels(inner, "le=\"+Inf\""),
+        h.count
+    ));
+    out.push_str(&format!("{family}_sum{own} {}\n", render_value(h.sum)));
+    out.push_str(&format!("{family}_count{own} {}\n", h.count));
     // EXPORT_QUANTILES is sorted by label value, so the `quantile=` sample
-    // lines come out ordered by label set within the family.
+    // lines come out ordered by label set within the series.
     for (label, q) in EXPORT_QUANTILES {
         if let Some(v) = h.quantile(*q) {
             out.push_str(&format!(
-                "{name}{{quantile=\"{label}\"}} {}\n",
+                "{family}{} {}\n",
+                merge_labels(inner, &format!("quantile=\"{label}\"")),
                 render_value(v)
             ));
         }
     }
 }
 
-/// One metric family to render, borrowed from a [`Snapshot`].
-enum Family<'a> {
+/// One metric series to render, borrowed from a [`Snapshot`].
+enum Series<'a> {
     Counter(u64),
     Gauge(f64),
     Histogram(&'a HistogramSnapshot),
 }
 
+impl Series<'_> {
+    fn kind(&self) -> &'static str {
+        match self {
+            Series::Counter(_) => "counter",
+            Series::Gauge(_) => "gauge",
+            Series::Histogram(_) => "histogram",
+        }
+    }
+}
+
 /// Renders a [`Snapshot`] in the Prometheus text exposition format
-/// (version 0.0.4). Families are sorted by metric name and, within a
-/// family, samples appear in a fixed label-set order (buckets by ascending
-/// `le`, then `_sum`/`_count`, then `quantile="pXX"` gauges), so two
-/// renderings of equal snapshots are byte-identical. Histograms expose
-/// cumulative `_bucket{le="..."}` samples plus `_sum`/`_count` and
-/// estimated [`EXPORT_QUANTILES`].
+/// (version 0.0.4). Series are grouped by family (label sets of one
+/// family are contiguous, unlabeled series first, then label sets in
+/// lexicographic order) with one `# TYPE` line per family; within a
+/// histogram series, samples appear in a fixed order (buckets by
+/// ascending `le`, then `_sum`/`_count`, then `quantile="pXX"` gauges).
+/// Two renderings of equal snapshots are byte-identical. Histograms
+/// expose cumulative `_bucket{le="..."}` samples plus `_sum`/`_count`
+/// and estimated [`EXPORT_QUANTILES`]; a labeled histogram's own labels
+/// are merged ahead of the synthetic `le=`/`quantile=` labels.
 pub fn prometheus_text(snapshot: &Snapshot) -> String {
-    let mut families: Vec<(&str, Family<'_>)> = Vec::new();
-    for (name, value) in &snapshot.counters {
-        families.push((name, Family::Counter(*value)));
+    // (family, label list) pairs; sorting on the pair keeps a family's
+    // series contiguous even when another family's name extends it
+    // (`abc{...}` vs `abcd`).
+    let mut series: Vec<(&str, Option<&str>, Series<'_>)> = Vec::new();
+    for (key, value) in &snapshot.counters {
+        let (family, inner) = split_key(key);
+        series.push((family, inner, Series::Counter(*value)));
     }
-    for (name, value) in &snapshot.gauges {
-        families.push((name, Family::Gauge(*value)));
+    for (key, value) in &snapshot.gauges {
+        let (family, inner) = split_key(key);
+        series.push((family, inner, Series::Gauge(*value)));
     }
-    for (name, h) in &snapshot.histograms {
-        families.push((name, Family::Histogram(h)));
+    for (key, h) in &snapshot.histograms {
+        let (family, inner) = split_key(key);
+        series.push((family, inner, Series::Histogram(h)));
     }
-    families.sort_by_key(|(name, _)| *name);
+    series.sort_by_key(|(family, inner, _)| (*family, *inner));
 
     let mut out = String::new();
-    for (name, family) in families {
-        match family {
-            Family::Counter(value) => {
-                out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    let mut last_type: Option<(&str, &'static str)> = None;
+    for (family, inner, series) in series {
+        if last_type != Some((family, series.kind())) {
+            out.push_str(&format!("# TYPE {family} {}\n", series.kind()));
+            last_type = Some((family, series.kind()));
+        }
+        let own = match inner {
+            Some(inner) if !inner.is_empty() => format!("{{{inner}}}"),
+            _ => String::new(),
+        };
+        match series {
+            Series::Counter(value) => {
+                out.push_str(&format!("{family}{own} {value}\n"));
             }
-            Family::Gauge(value) => {
-                out.push_str(&format!(
-                    "# TYPE {name} gauge\n{name} {}\n",
-                    render_value(value)
-                ));
+            Series::Gauge(value) => {
+                out.push_str(&format!("{family}{own} {}\n", render_value(value)));
             }
-            Family::Histogram(h) => render_histogram(&mut out, name, h),
+            Series::Histogram(h) => render_histogram(&mut out, family, inner, h),
         }
     }
     out
@@ -109,13 +164,31 @@ fn parse_sample_value(raw: &str) -> Option<f64> {
     }
 }
 
-/// One parsed exposition sample line: `name[{le="bound"}] value` or
-/// `name[{quantile="pXX"}] value`.
+/// One parsed exposition sample line:
+/// `name[{label="value",...}] value`. The synthetic `le=`/`quantile=`
+/// labels are pulled out; the remaining labels are kept for grouping.
 struct Sample {
     name: String,
+    /// Labels other than `le`/`quantile`, in line order.
+    labels: Vec<(String, String)>,
     le: Option<f64>,
     quantile: Option<String>,
     value: f64,
+}
+
+impl Sample {
+    /// A normalized rendering of the non-synthetic labels, used to group
+    /// the series of one (family × label set) together regardless of
+    /// label order on the line.
+    fn label_group(&self) -> String {
+        let mut pairs: Vec<&(String, String)> = self.labels.iter().collect();
+        pairs.sort();
+        pairs
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
 }
 
 fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
@@ -124,33 +197,51 @@ fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
         .ok_or_else(|| format!("line {lineno}: no sample value in {line:?}"))?;
     let value = parse_sample_value(value_part.trim())
         .ok_or_else(|| format!("line {lineno}: bad sample value {value_part:?}"))?;
-    let (name, le, quantile) = match name_part.split_once('{') {
-        None => (name_part.to_string(), None, None),
-        Some((name, labels)) => {
-            let labels = labels
+    let mut labels = Vec::new();
+    let mut le = None;
+    let mut quantile = None;
+    let name = match name_part.split_once('{') {
+        None => name_part.to_string(),
+        Some((name, rest)) => {
+            let rest = rest
                 .strip_suffix('}')
                 .ok_or_else(|| format!("line {lineno}: unterminated label set in {line:?}"))?;
-            if let Some(bound) = labels
-                .strip_prefix("le=\"")
-                .and_then(|rest| rest.strip_suffix('"'))
-            {
-                let bound = parse_sample_value(bound)
-                    .ok_or_else(|| format!("line {lineno}: bad le bound {bound:?}"))?;
-                (name.to_string(), Some(bound), None)
-            } else if let Some(q) = labels
-                .strip_prefix("quantile=\"")
-                .and_then(|rest| rest.strip_suffix('"'))
-            {
-                if q.is_empty() {
-                    return Err(format!("line {lineno}: empty quantile label"));
+            // Registration forbids commas inside label values, so a plain
+            // comma split recovers the pairs the renderer joined.
+            for pair in rest.split(',') {
+                let (key, raw) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {lineno}: malformed label {pair:?}"))?;
+                let val = raw
+                    .strip_prefix('"')
+                    .and_then(|r| r.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: unquoted label value {raw:?}"))?;
+                match key {
+                    "le" => {
+                        let bound = parse_sample_value(val)
+                            .ok_or_else(|| format!("line {lineno}: bad le bound {val:?}"))?;
+                        le = Some(bound);
+                    }
+                    "quantile" => {
+                        if val.is_empty() {
+                            return Err(format!("line {lineno}: empty quantile label"));
+                        }
+                        quantile = Some(val.to_string());
+                    }
+                    other => {
+                        if !crate::registry::is_valid_label_name(other) {
+                            return Err(format!("line {lineno}: invalid label name {other:?}"));
+                        }
+                        labels.push((other.to_string(), val.to_string()));
+                    }
                 }
-                (name.to_string(), None, Some(q.to_string()))
-            } else {
+            }
+            if le.is_some() && quantile.is_some() {
                 return Err(format!(
-                    "line {lineno}: only le=\"...\" or quantile=\"...\" labels are expected, \
-                     got {labels:?}"
+                    "line {lineno}: both le= and quantile= on one sample"
                 ));
             }
+            name.to_string()
         }
     };
     if !crate::registry::is_valid_metric_name(&name) {
@@ -158,27 +249,36 @@ fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
     }
     Ok(Sample {
         name,
+        labels,
         le,
         quantile,
         value,
     })
 }
 
+/// A histogram series key: the metric family plus the label group other
+/// than `le` (two strings), mapped to the series' accumulated samples.
+type SeriesKey = (String, String);
+
 /// Validates Prometheus text-exposition output line by line:
 ///
-/// * every non-comment line parses as `name[{le="bound"}] value` or
-///   `name[{quantile="pXX"}] value`;
-/// * every metric name matches `[a-zA-Z_:][a-zA-Z0-9_:]*`;
-/// * histogram bucket series have non-decreasing cumulative counts with
+/// * every non-comment line parses as `name[{label="value",...}] value`;
+/// * every metric name matches `[a-zA-Z_:][a-zA-Z0-9_:]*` and every
+///   label name matches `[a-zA-Z_][a-zA-Z0-9_]*`;
+/// * histogram bucket series — grouped by family **and** the labels
+///   other than `le` — have non-decreasing cumulative counts with
 ///   strictly increasing bounds, ending in a `+Inf` bucket;
-/// * each histogram's `+Inf` bucket equals its `_count` sample;
-/// * `quantile` samples never appear on `_bucket` series.
+/// * each histogram series' `+Inf` bucket equals its `_count` sample
+///   with the same label set;
+/// * `quantile` samples never appear on `_bucket` series, and no sample
+///   carries both `le=` and `quantile=`.
 ///
 /// Returns the number of sample lines validated.
 pub fn validate_exposition(text: &str) -> Result<usize, String> {
-    // name -> (bounds seen, cumulative counts seen), for `*_bucket` series.
-    let mut buckets: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
-    let mut counts: Vec<(String, f64)> = Vec::new();
+    // (family, label group) -> (bound, cumulative count) pairs seen, for
+    // `*_bucket` series.
+    let mut buckets: Vec<(SeriesKey, Vec<(f64, f64)>)> = Vec::new();
+    let mut counts: Vec<((String, String), f64)> = Vec::new();
     let mut samples = 0usize;
 
     for (idx, line) in text.lines().enumerate() {
@@ -195,9 +295,10 @@ pub fn validate_exposition(text: &str) -> Result<usize, String> {
                 .strip_suffix("_bucket")
                 .ok_or_else(|| format!("line {lineno}: le label on non-bucket sample"))?
                 .to_string();
-            match buckets.iter_mut().find(|(n, _)| *n == base) {
+            let group = (base, sample.label_group());
+            match buckets.iter_mut().find(|(g, _)| *g == group) {
                 Some((_, series)) => series.push((bound, sample.value)),
-                None => buckets.push((base, vec![(bound, sample.value)])),
+                None => buckets.push((group, vec![(bound, sample.value)])),
             }
         } else if sample.quantile.is_some() {
             if sample.name.ends_with("_bucket") {
@@ -207,39 +308,44 @@ pub fn validate_exposition(text: &str) -> Result<usize, String> {
                 ));
             }
         } else if let Some(base) = sample.name.strip_suffix("_count") {
-            counts.push((base.to_string(), sample.value));
+            counts.push(((base.to_string(), sample.label_group()), sample.value));
         }
     }
 
-    for (base, series) in &buckets {
+    for ((base, labels), series) in &buckets {
+        let shown = if labels.is_empty() {
+            base.clone()
+        } else {
+            format!("{base}{{{labels}}}")
+        };
         for pair in series.windows(2) {
             if pair[1].0 <= pair[0].0 {
                 return Err(format!(
-                    "histogram {base}: bucket bounds not strictly increasing ({} then {})",
+                    "histogram {shown}: bucket bounds not strictly increasing ({} then {})",
                     pair[0].0, pair[1].0
                 ));
             }
             if pair[1].1 < pair[0].1 {
                 return Err(format!(
-                    "histogram {base}: cumulative bucket counts decrease at le={}",
+                    "histogram {shown}: cumulative bucket counts decrease at le={}",
                     pair[1].0
                 ));
             }
         }
         let last = series
             .last()
-            .ok_or_else(|| format!("histogram {base}: empty bucket series"))?;
+            .ok_or_else(|| format!("histogram {shown}: empty bucket series"))?;
         if last.0 != f64::INFINITY {
-            return Err(format!("histogram {base}: missing +Inf bucket"));
+            return Err(format!("histogram {shown}: missing +Inf bucket"));
         }
         let count = counts
             .iter()
-            .find(|(n, _)| n == base)
+            .find(|((n, l), _)| n == base && l == labels)
             .map(|(_, v)| *v)
-            .ok_or_else(|| format!("histogram {base}: missing _count sample"))?;
+            .ok_or_else(|| format!("histogram {shown}: missing _count sample"))?;
         if last.1 != count {
             return Err(format!(
-                "histogram {base}: +Inf bucket {} != count {count}",
+                "histogram {shown}: +Inf bucket {} != count {count}",
                 last.1
             ));
         }
@@ -369,6 +475,105 @@ mod tests {
         // Renders are deterministic: equal snapshots → identical bytes.
         assert_eq!(text, prometheus_text(&r.snapshot()));
         assert!(validate_exposition(&text).is_ok());
+    }
+
+    #[test]
+    fn labeled_series_render_and_validate() {
+        let r = Registry::new();
+        r.counter("http_requests_total").add(7);
+        r.counter_labeled(
+            "http_requests_total",
+            &[("endpoint", "scores"), ("status", "2xx")],
+        )
+        .add(5);
+        r.counter_labeled(
+            "http_requests_total",
+            &[("endpoint", "healthz"), ("status", "2xx")],
+        )
+        .add(2);
+        let ha = r.histogram_labeled_with_bounds(
+            "http_request_seconds",
+            &[("endpoint", "scores")],
+            &[0.5],
+        );
+        let hb = r.histogram_labeled_with_bounds(
+            "http_request_seconds",
+            &[("endpoint", "healthz")],
+            &[0.5],
+        );
+        ha.observe(0.1);
+        ha.observe(2.0);
+        hb.observe(0.2);
+        let text = prometheus_text(&r.snapshot());
+        validate_exposition(&text).expect("labeled exposition validates");
+        assert!(text.contains("http_requests_total 7\n"));
+        assert!(text.contains("http_requests_total{endpoint=\"scores\",status=\"2xx\"} 5\n"));
+        assert!(text.contains("http_request_seconds_bucket{endpoint=\"scores\",le=\"0.5\"} 1\n"));
+        assert!(text.contains("http_request_seconds_bucket{endpoint=\"scores\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("http_request_seconds_sum{endpoint=\"scores\"}"));
+        assert!(text.contains("http_request_seconds_count{endpoint=\"healthz\"} 1\n"));
+        assert!(text.contains("http_request_seconds{endpoint=\"scores\",quantile=\"p50\"}"));
+        // One TYPE line per family, not per label set.
+        assert_eq!(
+            text.matches("# TYPE http_requests_total counter").count(),
+            1
+        );
+        assert_eq!(
+            text.matches("# TYPE http_request_seconds histogram")
+                .count(),
+            1
+        );
+        // Unlabeled series leads its family; label sets follow sorted.
+        let requests: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("http_requests_total"))
+            .collect();
+        assert!(requests[0].starts_with("http_requests_total 7"));
+        assert!(requests[1].contains("endpoint=\"healthz\""));
+        assert!(requests[2].contains("endpoint=\"scores\""));
+        assert_eq!(text, prometheus_text(&r.snapshot()), "deterministic");
+    }
+
+    #[test]
+    fn family_grouping_survives_name_extension() {
+        // `abc{...}` sorts after `abcd` as raw strings; grouping must be
+        // by (family, labels), keeping each family's series contiguous.
+        let r = Registry::new();
+        r.counter_labeled("abc_total", &[("k", "v")]).add(1);
+        r.counter("abc_total").add(1);
+        r.counter("abc_totalx").add(1);
+        let text = prometheus_text(&r.snapshot());
+        validate_exposition(&text).expect("validates");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "# TYPE abc_total counter",
+                "abc_total 1",
+                "abc_total{k=\"v\"} 1",
+                "# TYPE abc_totalx counter",
+                "abc_totalx 1",
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_histogram_emits_no_quantile_samples() {
+        let r = Registry::new();
+        r.histogram_with_bounds("idle_seconds", &[0.5, 1.0]);
+        let text = prometheus_text(&r.snapshot());
+        validate_exposition(&text).expect("zeroed histogram validates");
+        assert!(text.contains("idle_seconds_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("idle_seconds_count 0\n"));
+        assert!(
+            !text.contains("quantile="),
+            "no quantile gauges for an empty histogram: {text}"
+        );
+        assert!(!text.contains("NaN"), "no NaN samples: {text}");
+        assert!(
+            histogram_quantiles(&r.snapshot()).is_empty(),
+            "no quantiles map entry for an empty histogram"
+        );
     }
 
     #[test]

@@ -44,18 +44,22 @@
 
 pub mod event;
 pub mod export;
+pub mod log;
 pub mod metric;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use event::{Event, EventSink};
 pub use export::{prometheus_text, validate_exposition, MetricsExport};
+pub use log::{Level, LogBuffer, Logger};
 pub use metric::{Counter, Gauge, Histogram, DEFAULT_COUNT_BUCKETS, DEFAULT_SECONDS_BUCKETS};
-pub use registry::{is_valid_metric_name, Registry};
+pub use registry::{is_valid_metric_name, MetricHandle, Registry};
 pub use snapshot::{HistogramSnapshot, Snapshot};
 pub use span::Span;
+pub use timeseries::{FlightRecorder, RecorderConfig};
 pub use trace::{
     chrome_trace_json, AttrValue, RootGuard, SampleMode, SpanHandle, SpanId, SpanRecord, TraceDump,
     TraceId, TraceRecord, TraceStats, Tracer, TracerConfig,

@@ -1,0 +1,506 @@
+//! A leveled structured logger for long-running binaries.
+//!
+//! The workspace's daemons and CLIs need more than bare `eprintln!`: a
+//! severity filter, a stable machine-parseable format, and typed
+//! key/value fields. Like the rest of this crate the logger is
+//! global-free — a [`Logger`] is a cheap `Arc` handle constructed by the
+//! binary and threaded through its threads — and dependency-free: the
+//! text format is rendered by hand and the JSONL format rides the
+//! vendored serde shim for string escaping.
+//!
+//! Two output formats, chosen at construction:
+//!
+//! * **text** (default): `TIMESTAMP LEVEL target: message key=value ...`
+//!   — one line per record, RFC 3339 UTC timestamps with millisecond
+//!   precision.
+//! * **JSONL**: `{"ts":"...","level":"info","target":"...",
+//!   "message":"...","fields":{...}}` — one JSON object per line.
+//!
+//! Records below the configured [`Level`] are dropped before any
+//! formatting work. Each record is written to stderr (or an in-memory
+//! buffer, for tests) as a single write, so lines from concurrent
+//! threads never interleave mid-line.
+//!
+//! ```
+//! use socialtrust_telemetry::log::{Level, Logger};
+//!
+//! let (log, buffer) = Logger::buffered(Level::Info, false);
+//! log.info("ingest", "batch applied", &[("events", 42u64.into())]);
+//! log.debug("ingest", "dropped below the level filter", &[]);
+//! let lines = buffer.lines();
+//! assert_eq!(lines.len(), 1);
+//! assert!(lines[0].contains("INFO  ingest: batch applied events=42"));
+//! ```
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use std::sync::Mutex;
+
+/// Record severity, most severe first. The logger keeps records at or
+/// above (i.e. `<=` in this ordering) its configured level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The binary cannot do what it was asked to.
+    Error,
+    /// Something was skipped, dropped, or degraded — the binary goes on.
+    Warn,
+    /// Lifecycle and progress records (the default level).
+    Info,
+    /// Per-operation detail for diagnosing behavior.
+    Debug,
+    /// Very chatty inner-loop detail.
+    Trace,
+}
+
+impl Level {
+    /// Upper-case fixed-width name used by the text format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    /// Lower-case name used by the JSONL format.
+    pub fn as_lower(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            Level::Error => 1,
+            Level::Warn => 2,
+            Level::Info => 3,
+            Level::Debug => 4,
+            Level::Trace => 5,
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Level, String> {
+        match raw.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level {other:?} (error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_lower())
+    }
+}
+
+/// A typed field value attached to a log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A string value (JSON-escaped in both formats when needed).
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (rendered `null` in JSONL when non-finite).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> FieldValue {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl FieldValue {
+    /// Render as a JSON value (strings escaped via the serde shim).
+    fn to_json(&self) -> String {
+        match self {
+            FieldValue::Str(s) => {
+                serde_json::to_string(s).unwrap_or_else(|_| "\"<unrenderable>\"".to_owned())
+            }
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::F64(v) if v.is_finite() => format!("{v}"),
+            FieldValue::F64(_) => "null".to_owned(),
+            FieldValue::Bool(v) => v.to_string(),
+        }
+    }
+
+    /// Render for the text format: bare when unambiguous, JSON-quoted
+    /// when the string carries whitespace or quoting.
+    fn to_text(&self) -> String {
+        match self {
+            FieldValue::Str(s)
+                if !s.is_empty()
+                    && s.chars()
+                        .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\') =>
+            {
+                s.clone()
+            }
+            other => other.to_json(),
+        }
+    }
+}
+
+enum Output {
+    Stderr,
+    Buffer(Arc<Mutex<String>>),
+}
+
+struct LoggerInner {
+    /// `Level::rank` cutoff; 0 disables every record.
+    cutoff: AtomicU8,
+    json: bool,
+    out: Output,
+}
+
+/// A shared, leveled, structured logger. Cloning shares the level filter
+/// and output.
+#[derive(Clone)]
+pub struct Logger {
+    inner: Arc<LoggerInner>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("level", &self.level())
+            .field("json", &self.inner.json)
+            .finish()
+    }
+}
+
+/// The capture side of [`Logger::buffered`]: accumulated log lines, for
+/// tests.
+#[derive(Clone)]
+pub struct LogBuffer {
+    buf: Arc<Mutex<String>>,
+}
+
+impl LogBuffer {
+    /// Everything logged so far, as one string.
+    pub fn contents(&self) -> String {
+        self.buf.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Everything logged so far, split into lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.contents().lines().map(str::to_owned).collect()
+    }
+}
+
+impl Logger {
+    fn with_output(level: Option<Level>, json: bool, out: Output) -> Logger {
+        Logger {
+            inner: Arc::new(LoggerInner {
+                cutoff: AtomicU8::new(level.map_or(0, Level::rank)),
+                json,
+                out,
+            }),
+        }
+    }
+
+    /// A logger writing whole lines to stderr.
+    pub fn stderr(level: Level, json: bool) -> Logger {
+        Logger::with_output(Some(level), json, Output::Stderr)
+    }
+
+    /// A logger capturing into an in-memory buffer, for tests.
+    pub fn buffered(level: Level, json: bool) -> (Logger, LogBuffer) {
+        let buf = Arc::new(Mutex::new(String::new()));
+        let logger = Logger::with_output(Some(level), json, Output::Buffer(Arc::clone(&buf)));
+        (logger, LogBuffer { buf })
+    }
+
+    /// A logger that drops every record.
+    pub fn disabled() -> Logger {
+        Logger::with_output(None, false, Output::Stderr)
+    }
+
+    /// The current level, or `None` when disabled.
+    pub fn level(&self) -> Option<Level> {
+        match self.inner.cutoff.load(Ordering::Relaxed) {
+            1 => Some(Level::Error),
+            2 => Some(Level::Warn),
+            3 => Some(Level::Info),
+            4 => Some(Level::Debug),
+            5 => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// Changes the level filter for every clone of this logger.
+    pub fn set_level(&self, level: Level) {
+        self.inner.cutoff.store(level.rank(), Ordering::Relaxed);
+    }
+
+    /// Whether a record at `level` would be emitted.
+    pub fn enabled(&self, level: Level) -> bool {
+        level.rank() <= self.inner.cutoff.load(Ordering::Relaxed)
+    }
+
+    /// Emits one record: severity, a short component name (`target`), a
+    /// human message, and typed fields.
+    pub fn log(&self, level: Level, target: &str, message: &str, fields: &[(&str, FieldValue)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let line = if self.inner.json {
+            render_json(level, target, message, fields)
+        } else {
+            render_text(level, target, message, fields)
+        };
+        match &self.inner.out {
+            Output::Stderr => eprintln!("{line}"),
+            Output::Buffer(buf) => {
+                let mut buf = buf.lock().unwrap_or_else(|e| e.into_inner());
+                buf.push_str(&line);
+                buf.push('\n');
+            }
+        }
+    }
+
+    /// [`Logger::log`] at [`Level::Error`].
+    pub fn error(&self, target: &str, message: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Error, target, message, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Warn`].
+    pub fn warn(&self, target: &str, message: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Warn, target, message, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Info`].
+    pub fn info(&self, target: &str, message: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Info, target, message, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Debug`].
+    pub fn debug(&self, target: &str, message: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Debug, target, message, fields);
+    }
+
+    /// [`Logger::log`] at [`Level::Trace`].
+    pub fn trace(&self, target: &str, message: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Trace, target, message, fields);
+    }
+}
+
+fn render_text(level: Level, target: &str, message: &str, fields: &[(&str, FieldValue)]) -> String {
+    let mut line = format!(
+        "{} {:5} {target}: {message}",
+        rfc3339_millis(SystemTime::now()),
+        level.as_str()
+    );
+    for (key, value) in fields {
+        line.push(' ');
+        line.push_str(key);
+        line.push('=');
+        line.push_str(&value.to_text());
+    }
+    line
+}
+
+fn render_json(level: Level, target: &str, message: &str, fields: &[(&str, FieldValue)]) -> String {
+    let escape =
+        |s: &str| serde_json::to_string(s).unwrap_or_else(|_| "\"<unrenderable>\"".to_owned());
+    let mut line = format!(
+        "{{\"ts\":\"{}\",\"level\":\"{}\",\"target\":{},\"message\":{}",
+        rfc3339_millis(SystemTime::now()),
+        level.as_lower(),
+        escape(target),
+        escape(message),
+    );
+    if !fields.is_empty() {
+        line.push_str(",\"fields\":{");
+        for (i, (key, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&escape(key));
+            line.push(':');
+            line.push_str(&value.to_json());
+        }
+        line.push('}');
+    }
+    line.push('}');
+    line
+}
+
+/// RFC 3339 UTC timestamp with millisecond precision, e.g.
+/// `2026-08-08T12:34:56.789Z`. Civil-date math from days-since-epoch
+/// (Howard Hinnant's algorithm), so no date/time dependency is needed.
+pub fn rfc3339_millis(t: SystemTime) -> String {
+    let since_epoch = t.duration_since(UNIX_EPOCH).unwrap_or_default();
+    let secs = since_epoch.as_secs();
+    let millis = since_epoch.subsec_millis();
+    let (days, tod) = (secs / 86_400, secs % 86_400);
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = yoe as i64 + era * 400 + i64::from(month <= 2);
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        tod / 3600,
+        (tod % 3600) / 60,
+        tod % 60
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn level_parse_and_order() {
+        assert_eq!("info".parse::<Level>().unwrap(), Level::Info);
+        assert_eq!("WARN".parse::<Level>().unwrap(), Level::Warn);
+        assert_eq!("warning".parse::<Level>().unwrap(), Level::Warn);
+        assert!("loud".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Warn && Level::Warn < Level::Trace);
+    }
+
+    #[test]
+    fn level_filter_drops_below_cutoff() {
+        let (log, buffer) = Logger::buffered(Level::Warn, false);
+        log.info("t", "dropped", &[]);
+        log.warn("t", "kept", &[]);
+        log.error("t", "kept too", &[]);
+        assert_eq!(buffer.lines().len(), 2);
+        log.set_level(Level::Debug);
+        log.debug("t", "now kept", &[]);
+        assert_eq!(buffer.lines().len(), 3);
+        assert_eq!(log.level(), Some(Level::Debug));
+    }
+
+    #[test]
+    fn disabled_logger_drops_everything() {
+        let log = Logger::disabled();
+        assert!(!log.enabled(Level::Error));
+        assert_eq!(log.level(), None);
+        log.error("t", "nothing observable happens", &[]);
+    }
+
+    #[test]
+    fn text_format_renders_fields() {
+        let (log, buffer) = Logger::buffered(Level::Info, false);
+        log.info(
+            "server",
+            "listening on http://127.0.0.1:8080",
+            &[
+                ("workers", 4u64.into()),
+                ("ratio", 0.5f64.into()),
+                ("name", "with space".into()),
+                ("live", true.into()),
+            ],
+        );
+        let line = &buffer.lines()[0];
+        assert!(line.contains("INFO  server: listening on http://127.0.0.1:8080"));
+        assert!(line.contains("workers=4"));
+        assert!(line.contains("ratio=0.5"));
+        assert!(line.contains("name=\"with space\""));
+        assert!(line.contains("live=true"));
+        assert!(line.contains("T"), "timestamp present: {line}");
+        assert!(line.ends_with("live=true"));
+    }
+
+    #[test]
+    fn json_format_is_parseable() {
+        let (log, buffer) = Logger::buffered(Level::Info, true);
+        log.warn(
+            "ingest",
+            "skipped \"weird\" line",
+            &[("lineno", 7u64.into()), ("lag", f64::NAN.into())],
+        );
+        let line = &buffer.lines()[0];
+        let value: serde_json::Value = serde_json::from_str(line).expect("JSONL line parses");
+        let text = serde_json::to_string(&value).unwrap();
+        assert!(text.contains("\"level\":\"warn\""), "{text}");
+        assert!(line.contains("\"message\":\"skipped \\\"weird\\\" line\""));
+        assert!(line.contains("\"lineno\":7"));
+        assert!(line.contains("\"lag\":null"), "non-finite floats: {line}");
+    }
+
+    #[test]
+    fn rfc3339_known_instants() {
+        assert_eq!(rfc3339_millis(UNIX_EPOCH), "1970-01-01T00:00:00.000Z");
+        // 2026-08-08T00:00:00Z == 1786147200 seconds after the epoch.
+        let t = UNIX_EPOCH + Duration::from_millis(1_786_147_200_250);
+        assert_eq!(rfc3339_millis(t), "2026-08-08T00:00:00.250Z");
+        // Leap-year day: 2024-02-29T12:00:00Z == 1709208000.
+        let t = UNIX_EPOCH + Duration::from_secs(1_709_208_000);
+        assert_eq!(rfc3339_millis(t), "2024-02-29T12:00:00.000Z");
+    }
+
+    #[test]
+    fn clones_share_filter_and_output() {
+        let (log, buffer) = Logger::buffered(Level::Info, false);
+        let clone = log.clone();
+        clone.set_level(Level::Error);
+        log.info("t", "dropped via clone's filter", &[]);
+        clone.error("t", "lands in the shared buffer", &[]);
+        assert_eq!(buffer.lines().len(), 1);
+    }
+}

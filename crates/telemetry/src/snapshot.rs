@@ -49,9 +49,18 @@ impl HistogramSnapshot {
     /// within the bucket containing the target rank, mirroring Prometheus's
     /// `histogram_quantile`. Observations that landed above every finite
     /// bound clamp to the largest finite bound (the estimate cannot exceed
-    /// what the buckets resolve). Returns `None` when the histogram is
-    /// empty or `q` is out of range.
+    /// what the buckets resolve).
+    ///
+    /// The edge cases are defined, not accidental: an **empty** histogram
+    /// (`count == 0`) has no distribution to estimate, so the result is
+    /// `None` — callers rendering quantile gauges (the Prometheus
+    /// exposition, `MetricsExport::quantiles`) skip the series entirely
+    /// rather than emit `NaN`. A NaN or out-of-range `q` also returns
+    /// `None`, and a degenerate deserialized snapshot (non-empty count
+    /// with no bounds and a non-finite sum) returns `None` rather than
+    /// propagate the non-finite mean.
     pub fn quantile(&self, q: f64) -> Option<f64> {
+        // NaN fails the range check, so `q.is_nan()` lands here too.
         if self.count == 0 || !(0.0..=1.0).contains(&q) {
             return None;
         }
@@ -71,7 +80,11 @@ impl HistogramSnapshot {
             lower = *bound;
         }
         // Rank falls in the implicit +Inf bucket.
-        self.bounds.last().copied().or_else(|| self.mean())
+        self.bounds
+            .last()
+            .copied()
+            .or_else(|| self.mean())
+            .filter(|v| v.is_finite())
     }
 
     /// Subtracts `earlier` from `self` bucket-by-bucket.
@@ -224,6 +237,46 @@ mod tests {
             sum: 0.0,
         };
         assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_empty_and_degenerate_cases_never_yield_nan() {
+        let empty = HistogramSnapshot {
+            bounds: vec![0.5, 1.0],
+            counts: vec![0, 0],
+            count: 0,
+            sum: 0.0,
+        };
+        // Empty histogram: no quantile at any q, including the edges.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), None);
+        }
+        // NaN q is out of range, not a panic and not a NaN result.
+        let h = hist(vec![1, 1], 2, 1.5);
+        assert_eq!(h.quantile(f64::NAN), None);
+        // Degenerate deserialized snapshot: observations but no bounds and
+        // a non-finite sum. The +Inf fallthrough must not surface NaN.
+        let degenerate = HistogramSnapshot {
+            bounds: vec![],
+            counts: vec![],
+            count: 3,
+            sum: f64::NAN,
+        };
+        assert_eq!(degenerate.quantile(0.5), None);
+        // Same shape with a finite sum falls back to the mean.
+        let boundless = HistogramSnapshot {
+            bounds: vec![],
+            counts: vec![],
+            count: 4,
+            sum: 8.0,
+        };
+        assert_eq!(boundless.quantile(0.5), Some(2.0));
+        // Any value returned is finite.
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+            if let Some(v) = h.quantile(q) {
+                assert!(v.is_finite(), "quantile({q}) = {v}");
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::process::ExitCode;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use socialtrust::prelude::*;
+use socialtrust::telemetry::{Level, Logger};
 use socialtrust::trace::analysis::TraceAnalysis;
 use socialtrust::trace::io::write_transactions_csv;
 
@@ -26,6 +27,11 @@ USAGE:
   socialtrust-cli explain  [OPTIONS]   audit rescaled ratings from a trace dump
   socialtrust-cli trace    [OPTIONS]   generate & analyze a synthetic Overstock trace
   socialtrust-cli help                 print this help
+
+GLOBAL OPTIONS:
+  --log-level <error|warn|info|debug|trace>
+                                   minimum diagnostic severity on stderr
+                                   (results stay on stdout)  [default: info]
 
 SIMULATE OPTIONS:
   --model <none|pcm|mcm|mmm|neg>   collusion model            [default: pcm]
@@ -159,7 +165,7 @@ fn parse_system(s: &str) -> Result<ReputationKind, String> {
     })
 }
 
-fn cmd_simulate(mut args: Args) -> Result<(), String> {
+fn cmd_simulate(mut args: Args, log: &Logger) -> Result<(), String> {
     let model = parse_model(&args.take("--model").unwrap_or_else(|| "pcm".into()))?;
     let system = parse_system(&args.take("--system").unwrap_or_else(|| "et-st".into()))?;
     let b: f64 = args.take_parsed("--b", 0.6)?;
@@ -204,6 +210,15 @@ fn cmd_simulate(mut args: Args) -> Result<(), String> {
     }
     scenario.validate();
 
+    log.debug(
+        "simulate",
+        "scenario configured",
+        &[
+            ("colluders", scenario.colluder_count.into()),
+            ("pretrusted", scenario.pretrusted_count.into()),
+            ("oscillate", oscillate.into()),
+        ],
+    );
     println!(
         "simulate: {model} · {system} · B={b} · {nodes} nodes · {cycles} cycles · {runs} run(s) · seed {seed}"
     );
@@ -285,7 +300,7 @@ fn cmd_simulate(mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explain(mut args: Args) -> Result<(), String> {
+fn cmd_explain(mut args: Args, log: &Logger) -> Result<(), String> {
     let input = args
         .take("--trace-out")
         .ok_or("explain requires --trace-out <path> (a dump written by simulate)")?;
@@ -309,6 +324,15 @@ fn cmd_explain(mut args: Args) -> Result<(), String> {
     args.finish()?;
 
     let dump = TraceDump::read_from(&input).map_err(|e| format!("reading {input}: {e}"))?;
+    log.debug(
+        "explain",
+        "trace dump loaded",
+        &[
+            ("path", input.as_str().into()),
+            ("traces", dump.traces.len().into()),
+            ("spans_dropped", dump.stats.spans_dropped.into()),
+        ],
+    );
     println!(
         "explain: {} — {} trace(s), {} spans recorded, {} dropped",
         input,
@@ -349,7 +373,7 @@ fn cmd_explain(mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_trace(mut args: Args) -> Result<(), String> {
+fn cmd_trace(mut args: Args, log: &Logger) -> Result<(), String> {
     let users: usize = args.take_parsed("--users", 2000)?;
     let transactions: usize = args.take_parsed("--transactions", 45_000)?;
     let seed: u64 = args.take_parsed("--seed", 42)?;
@@ -365,6 +389,14 @@ fn cmd_trace(mut args: Args) -> Result<(), String> {
     println!("trace: {users} users · {transactions} transactions · seed {seed}");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let platform = generate(&config, &mut rng);
+    log.debug(
+        "trace",
+        "synthetic platform generated",
+        &[
+            ("users", users.into()),
+            ("transactions", transactions.into()),
+        ],
+    );
     let analysis = TraceAnalysis::new(&platform);
     let business_c = analysis.business_reputation_correlation();
     let personal_c = analysis.personal_reputation_correlation();
@@ -406,11 +438,29 @@ fn cmd_trace(mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn run(argv: Vec<String>) -> Result<(), String> {
+/// Strip every `--log-level VALUE` pair out of `argv` (it is a global
+/// flag, valid before or after the subcommand) and return the requested
+/// level, defaulting to `info`.
+fn extract_log_level(argv: &mut Vec<String>) -> Result<Level, String> {
+    let mut level = Level::Info;
+    while let Some(pos) = argv.iter().position(|a| a == "--log-level") {
+        if pos + 1 >= argv.len() {
+            return Err("flag --log-level expects a value".into());
+        }
+        let raw = argv.remove(pos + 1);
+        argv.remove(pos);
+        level = raw
+            .parse()
+            .map_err(|_| format!("flag --log-level got an unparsable value {raw:?}"))?;
+    }
+    Ok(level)
+}
+
+fn run(argv: Vec<String>, log: &Logger) -> Result<(), String> {
     match argv.first().map(String::as_str) {
-        Some("simulate") => cmd_simulate(Args::parse(&argv[1..])?),
-        Some("explain") => cmd_explain(Args::parse(&argv[1..])?),
-        Some("trace") => cmd_trace(Args::parse(&argv[1..])?),
+        Some("simulate") => cmd_simulate(Args::parse(&argv[1..])?, log),
+        Some("explain") => cmd_explain(Args::parse(&argv[1..])?, log),
+        Some("trace") => cmd_trace(Args::parse(&argv[1..])?, log),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
@@ -422,11 +472,18 @@ fn run(argv: Vec<String>) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match run(argv) {
-        Ok(()) => ExitCode::SUCCESS,
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let log = match extract_log_level(&mut argv) {
+        Ok(level) => Logger::stderr(level, false),
         Err(message) => {
             eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(argv, &log) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            log.error("cli", &message, &[]);
             ExitCode::FAILURE
         }
     }
@@ -487,17 +544,38 @@ mod tests {
 
     #[test]
     fn help_and_unknown_command() {
-        assert!(run(vec![]).is_ok());
-        assert!(run(argv("help")).is_ok());
-        assert!(run(argv("frobnicate")).is_err());
+        let log = Logger::disabled();
+        assert!(run(vec![], &log).is_ok());
+        assert!(run(argv("help"), &log).is_ok());
+        assert!(run(argv("frobnicate"), &log).is_err());
+    }
+
+    #[test]
+    fn log_level_is_extracted_anywhere_in_argv() {
+        let mut v = argv("simulate --log-level debug --nodes 40");
+        assert_eq!(extract_log_level(&mut v).unwrap(), Level::Debug);
+        assert_eq!(v, argv("simulate --nodes 40"));
+        // Before the subcommand works too, and the default is info.
+        let mut v = argv("--log-level warn trace");
+        assert_eq!(extract_log_level(&mut v).unwrap(), Level::Warn);
+        let mut v = argv("trace --users 10");
+        assert_eq!(extract_log_level(&mut v).unwrap(), Level::Info);
+        // Bad values and a missing value are reported.
+        let mut v = argv("--log-level shouty");
+        assert!(extract_log_level(&mut v).unwrap_err().contains("shouty"));
+        let mut v = argv("simulate --log-level");
+        assert!(extract_log_level(&mut v)
+            .unwrap_err()
+            .contains("expects a value"));
     }
 
     #[test]
     fn simulate_smoke() {
         // A tiny end-to-end run through the CLI path.
-        let result = run(argv(
-            "simulate --model pcm --system ebay --nodes 40 --cycles 2 --runs 1 --seed 3",
-        ));
+        let result = run(
+            argv("simulate --model pcm --system ebay --nodes 40 --cycles 2 --runs 1 --seed 3"),
+            &Logger::disabled(),
+        );
         assert!(result.is_ok(), "{result:?}");
     }
 
@@ -507,7 +585,7 @@ mod tests {
         let path_str = path.to_str().unwrap().to_string();
         let mut cmd = argv("simulate --model pcm --system et-st --nodes 40 --cycles 2 --runs 1 --seed 3 --metrics-out");
         cmd.push(path_str);
-        let result = run(cmd);
+        let result = run(cmd, &Logger::disabled());
         assert!(result.is_ok(), "{result:?}");
         let data = std::fs::read_to_string(&path).unwrap();
         let value: socialtrust::telemetry::MetricsExport = serde_json::from_str(&data).unwrap();
@@ -526,13 +604,20 @@ mod tests {
 
     #[test]
     fn simulate_rejects_bad_probability() {
-        let err = run(argv("simulate --b 1.5 --nodes 40 --cycles 1")).unwrap_err();
+        let err = run(
+            argv("simulate --b 1.5 --nodes 40 --cycles 1"),
+            &Logger::disabled(),
+        )
+        .unwrap_err();
         assert!(err.contains("--b"));
     }
 
     #[test]
     fn trace_smoke() {
-        let result = run(argv("trace --users 150 --transactions 1000 --seed 2"));
+        let result = run(
+            argv("trace --users 150 --transactions 1000 --seed 2"),
+            &Logger::disabled(),
+        );
         assert!(result.is_ok(), "{result:?}");
     }
 }
